@@ -1,0 +1,51 @@
+// Ablation (ours, motivated by Sec. 2's motif threshold T): sweep the motif
+// support threshold. Low T admits every sub-graph as a motif (bigger
+// clusters, more matching work); high T disables the machinery entirely
+// (Loom degrades to delayed LDG). The paper fixes T = 40%.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "datasets/dataset_registry.h"
+#include "eval/experiment.h"
+#include "util/table_writer.h"
+
+int main() {
+  using namespace loom;
+  bench::Banner("Ablation — motif support threshold T", "Sec. 2 (T = 40%)");
+
+  const std::vector<double> thresholds = {0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9};
+
+  for (auto id : {datasets::DatasetId::kProvGen, datasets::DatasetId::kDblp}) {
+    datasets::Dataset ds = datasets::MakeDataset(id, bench::BenchScale());
+    const stream::EdgeStream es =
+        stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+
+    eval::ExperimentConfig base;
+    base.window_size = bench::BenchWindow();
+    eval::SystemResult fennel =
+        eval::RunSystem(eval::System::kFennel, ds, es, base);
+
+    util::TableWriter t({"T", "loom ipt", "vs fennel", "partition ms/10k"});
+    for (double threshold : thresholds) {
+      eval::ExperimentConfig cfg = base;
+      cfg.support_threshold = threshold;
+      eval::SystemResult r = eval::RunSystem(eval::System::kLoom, ds, es, cfg);
+      t.AddRow({util::TableWriter::Pct(threshold, 0),
+                util::TableWriter::Fmt(r.weighted_ipt, 0),
+                util::TableWriter::Pct(r.weighted_ipt / fennel.weighted_ipt),
+                util::TableWriter::Fmt(r.ms_per_10k_edges, 1)});
+    }
+    std::cout << "--- " << ds.meta.name
+              << " (fennel ipt = " << util::TableWriter::Fmt(fennel.weighted_ipt, 0)
+              << ") ---\n";
+    t.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  std::cout << "Expected shape: a sweet spot around the paper's T = 40%; very "
+               "high T loses the motif\nsignal (ipt rises toward LDG "
+               "levels), very low T admits rare patterns whose\nco-location "
+               "crowds out the frequent ones.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation (paper Sec. 6 future work): workload change over time.
+//
+// We stream the first half of a ProvGen graph under an attribution-dominant
+// workload (agent-centred, whose hub motifs give Loom little to exploit),
+// then shift to the canonical derivation-dominant workload (whose E-A-E
+// motif is highly exploitable). Three Loom configurations are compared on
+// the *shifted* workload's ipt:
+//   - oracle: knew the final workload all along,
+//   - adaptive: calls UpdateWorkload() at the shift (decayed trie supports),
+//   - stale: keeps optimising for the original workload.
+// The gap stale - adaptive is the recoverable cost of workload drift; the
+// gap adaptive - oracle is what only a re-partitioner (the paper's planned
+// integration, Sec. 6) could win back, since the first half of the stream is
+// already placed.
+
+#include <iostream>
+
+#include "bench_common.h"
+#include "datasets/dataset_registry.h"
+#include "eval/experiment.h"
+#include "query/workload_runner.h"
+#include "util/table_writer.h"
+
+namespace {
+
+using namespace loom;
+
+// The pre-shift workload: attribution-heavy (agents are hubs; the only
+// motifs are agent-centred and largely un-exploitable).
+query::Workload InitialWorkload(graph::LabelRegistry* reg) {
+  query::Workload w;
+  const graph::LabelId entity = reg->Intern("Entity");
+  const graph::LabelId activity = reg->Intern("Activity");
+  const graph::LabelId agent = reg->Intern("Agent");
+  w.Add("attribution", graph::PatternGraph::Path({entity, activity, agent}),
+        0.70);
+  w.Add("derivation", graph::PatternGraph::Path({entity, activity, entity}),
+        0.30);
+  return w;
+}
+
+double RunVariant(const datasets::Dataset& ds, const stream::EdgeStream& es,
+                  const query::Workload& initial,
+                  const query::Workload& final_w, bool adapt, bool oracle) {
+  core::LoomOptions options;
+  options.base.k = 8;
+  options.base.expected_vertices = ds.NumVertices();
+  options.base.expected_edges = ds.NumEdges();
+  options.window_size = bench::BenchWindow();
+
+  core::LoomPartitioner loom(options, oracle ? final_w : initial,
+                             ds.registry.size());
+  const size_t half = es.size() / 2;
+  for (size_t i = 0; i < es.size(); ++i) {
+    if (i == half && adapt) loom.UpdateWorkload(final_w, /*decay=*/0.2);
+    loom.Ingest(es[i]);
+  }
+  loom.Finalize();
+  query::ExecutorConfig ex;
+  ex.max_seeds = 4000;
+  return query::RunWorkload(ds.graph, loom.partitioning(), final_w, ex)
+      .weighted_ipt;
+}
+
+}  // namespace
+
+int main() {
+  bench::Banner("Ablation — workload shift (Sec. 6 future work)",
+                "Sec. 6, workload-change robustness");
+
+  datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, bench::BenchScale());
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  // The post-shift workload is the dataset's canonical, derivation-dominant
+  // one; the pre-shift workload is attribution-heavy.
+  query::Workload initial_w = InitialWorkload(&ds.registry);
+  query::Workload final_w = ds.workload;
+
+  util::TableWriter t({"variant", "ipt on shifted workload"});
+  const double oracle =
+      RunVariant(ds, es, initial_w, final_w, /*adapt=*/false, /*oracle=*/true);
+  const double adaptive =
+      RunVariant(ds, es, initial_w, final_w, /*adapt=*/true, /*oracle=*/false);
+  const double stale =
+      RunVariant(ds, es, initial_w, final_w, /*adapt=*/false, /*oracle=*/false);
+  t.AddRow({"oracle (knew final Q)", util::TableWriter::Fmt(oracle, 0)});
+  t.AddRow({"adaptive (UpdateWorkload at shift)",
+            util::TableWriter::Fmt(adaptive, 0)});
+  t.AddRow({"stale (never updated)", util::TableWriter::Fmt(stale, 0)});
+  t.Print(std::cout);
+
+  std::cout << "\nExpected shape: oracle <= adaptive <= stale — updating the "
+               "TPSTry++ mid-stream\nrecovers part of the ipt a workload "
+               "shift costs; the rest is locked into the\nalready-placed "
+               "prefix, motivating the paper's planned re-partitioner "
+               "integration.\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Scale note: every harness runs the synthetic datasets at LOOM_BENCH_SCALE
+// (default 0.5) so the full suite finishes in minutes on a laptop; set the
+// environment variable LOOM_BENCH_SCALE to run larger. Relative results
+// (everything the paper reports) are stable across scales.
+
+#ifndef LOOM_BENCH_BENCH_COMMON_H_
+#define LOOM_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+namespace loom {
+namespace bench {
+
+inline double BenchScale(double fallback = 0.5) {
+  const char* env = std::getenv("LOOM_BENCH_SCALE");
+  if (env == nullptr) return fallback;
+  double v = std::atof(env);
+  return v > 0 ? v : fallback;
+}
+
+inline size_t BenchWindow(size_t fallback = 4000) {
+  const char* env = std::getenv("LOOM_BENCH_WINDOW");
+  if (env == nullptr) return fallback;
+  long v = std::atol(env);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+inline void Banner(const std::string& title, const std::string& paper_ref) {
+  std::cout << "\n=== " << title << " ===\n"
+            << "(reproduces " << paper_ref
+            << "; scale=" << BenchScale() << ", set LOOM_BENCH_SCALE to change)\n\n";
+}
+
+}  // namespace bench
+}  // namespace loom
+
+#endif  // LOOM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,60 @@
+// Micro-benchmarks for streaming ingestion: edges/second through each
+// partitioner on a pre-materialised provgen stream. This is Table 2's
+// measure expressed as throughput, suitable for regression tracking.
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/dataset_registry.h"
+#include "eval/experiment.h"
+#include "stream/stream_order.h"
+
+namespace {
+
+using namespace loom;
+
+struct Fixture {
+  datasets::Dataset ds;
+  stream::EdgeStream es;
+  Fixture()
+      : ds(datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.2)),
+        es(stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst)) {}
+};
+
+Fixture& GetFixture() {
+  static Fixture f;
+  return f;
+}
+
+void RunSystemBench(benchmark::State& state, eval::System system) {
+  Fixture& f = GetFixture();
+  eval::ExperimentConfig cfg;
+  cfg.window_size = 2000;
+  for (auto _ : state) {
+    auto p = eval::MakePartitioner(system, f.ds, cfg);
+    for (const auto& e : f.es) p->Ingest(e);
+    p->Finalize();
+    benchmark::DoNotOptimize(p->partitioning().NumAssigned());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.es.size()));
+}
+
+void BM_IngestHash(benchmark::State& state) {
+  RunSystemBench(state, eval::System::kHash);
+}
+void BM_IngestLdg(benchmark::State& state) {
+  RunSystemBench(state, eval::System::kLdg);
+}
+void BM_IngestFennel(benchmark::State& state) {
+  RunSystemBench(state, eval::System::kFennel);
+}
+void BM_IngestLoom(benchmark::State& state) {
+  RunSystemBench(state, eval::System::kLoom);
+}
+
+BENCHMARK(BM_IngestHash)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestLdg)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestFennel)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IngestLoom)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,80 @@
+// Micro-benchmarks for the number-theoretic signature machinery (Sec. 2):
+// single-edge signatures, full pattern signatures, incremental factor
+// deltas, multiset difference and TPSTry++ construction.
+
+#include <benchmark/benchmark.h>
+
+#include "datasets/workloads.h"
+#include "graph/pattern_graph.h"
+#include "signature/signature_calculator.h"
+#include "tpstry/tpstry.h"
+
+namespace {
+
+using namespace loom;
+
+const signature::LabelValues& Values() {
+  static signature::LabelValues values(16, 251, 0xC0FFEE);
+  return values;
+}
+
+void BM_SingleEdgeSignature(benchmark::State& state) {
+  signature::SignatureCalculator calc(&Values());
+  graph::LabelId a = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.SingleEdgeSignature(a, 1));
+    a = static_cast<graph::LabelId>((a + 1) % 16);
+  }
+}
+BENCHMARK(BM_SingleEdgeSignature);
+
+void BM_PatternSignature(benchmark::State& state) {
+  signature::SignatureCalculator calc(&Values());
+  std::vector<graph::LabelId> labels;
+  for (int64_t i = 0; i <= state.range(0); ++i) {
+    labels.push_back(static_cast<graph::LabelId>(i % 5));
+  }
+  graph::PatternGraph p = graph::PatternGraph::Path(labels);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.ComputeSignature(p));
+  }
+  state.SetLabel(std::to_string(state.range(0)) + " edges");
+}
+BENCHMARK(BM_PatternSignature)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_FactorDelta(benchmark::State& state) {
+  signature::SignatureCalculator calc(&Values());
+  uint32_t d = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(calc.FactorsForEdgeAddition(1, d, 2, d + 1));
+    d = d % 8 + 1;
+  }
+}
+BENCHMARK(BM_FactorDelta);
+
+void BM_SignatureExtendsBy(benchmark::State& state) {
+  signature::SignatureCalculator calc(&Values());
+  graph::PatternGraph ab = graph::PatternGraph::Path({0, 1});
+  graph::PatternGraph abc = graph::PatternGraph::Path({0, 1, 2});
+  signature::Signature parent = calc.ComputeSignature(ab);
+  signature::Signature child = calc.ComputeSignature(abc);
+  signature::FactorDelta delta = calc.FactorsForEdgeAddition(1, 2, 2, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(parent.ExtendsBy(delta, child));
+  }
+}
+BENCHMARK(BM_SignatureExtendsBy);
+
+void BM_TpstryConstruction(benchmark::State& state) {
+  graph::LabelRegistry reg;
+  query::Workload w = datasets::Figure1Workload(&reg);
+  signature::SignatureCalculator calc(&Values());
+  for (auto _ : state) {
+    tpstry::Tpstry trie(&calc, 0.4);
+    for (const auto& q : w.queries()) trie.AddQuery(q.pattern, q.frequency);
+    benchmark::DoNotOptimize(trie.NumNodes());
+  }
+}
+BENCHMARK(BM_TpstryConstruction);
+
+}  // namespace

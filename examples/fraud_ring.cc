@@ -1,0 +1,129 @@
+// Network-security scenario: ring / relay pattern detection on a stream
+// (the paper's Sec. 1 cites network security [3] as a core application of
+// continuous pattern matching on graph streams).
+//
+// We build a custom payment-network schema (Account / Merchant / Device /
+// Session), define a workload dominated by a "relay ring" motif
+// (Account-Session-Account triangle-ish chains typical of layered fraud),
+// and show (a) Loom's matcher finding the motif instances online and (b) the
+// resulting partitioning keeping rings intact within partitions.
+//
+// This example exercises the *library API directly* (no dataset registry):
+// it is the template for bringing your own schema + workload.
+//
+// Run:  ./example_fraud_ring [num_accounts]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/loom_partitioner.h"
+#include "graph/labeled_graph.h"
+#include "partition/partition_metrics.h"
+#include "query/workload_runner.h"
+#include "stream/stream_order.h"
+#include "util/rng.h"
+#include "util/table_writer.h"
+
+int main(int argc, char** argv) {
+  using namespace loom;
+  const size_t num_accounts =
+      argc > 1 ? static_cast<size_t>(std::strtoul(argv[1], nullptr, 10)) : 4000;
+
+  // --- 1. Schema and synthetic payment graph --------------------------
+  graph::LabelRegistry reg;
+  const graph::LabelId account = reg.Intern("Account");
+  const graph::LabelId merchant = reg.Intern("Merchant");
+  const graph::LabelId device = reg.Intern("Device");
+  const graph::LabelId session = reg.Intern("Session");
+
+  util::Rng rng(0xF4A1D);
+  graph::LabeledGraph::Builder b;
+  std::vector<graph::VertexId> accounts, merchants, devices;
+  for (size_t i = 0; i < num_accounts; ++i) accounts.push_back(b.AddVertex(account));
+  for (size_t i = 0; i < num_accounts / 40; ++i) merchants.push_back(b.AddVertex(merchant));
+  for (size_t i = 0; i < num_accounts / 4; ++i) devices.push_back(b.AddVertex(device));
+
+  // Normal traffic: account -> session -> merchant, account -> device.
+  for (graph::VertexId a : accounts) {
+    const size_t sessions = 1 + rng.Uniform(3);
+    for (size_t s = 0; s < sessions; ++s) {
+      graph::VertexId sess = b.AddVertex(session);
+      b.AddEdge(a, sess);
+      b.AddEdge(sess, merchants[rng.Zipf(merchants.size(), 1.0)]);
+    }
+    if (rng.Bernoulli(0.7)) b.AddEdge(a, devices[rng.Uniform(devices.size())]);
+  }
+  // Fraud rings: chains of accounts relaying through shared sessions
+  // (account - session - account), ~2% of accounts involved.
+  const size_t num_rings = num_accounts / 100;
+  for (size_t r = 0; r < num_rings; ++r) {
+    const size_t ring_size = 3 + rng.Uniform(4);
+    graph::VertexId prev = accounts[rng.Uniform(accounts.size())];
+    for (size_t i = 0; i < ring_size; ++i) {
+      graph::VertexId relay = b.AddVertex(session);
+      graph::VertexId next = accounts[rng.Uniform(accounts.size())];
+      b.AddEdge(prev, relay);
+      b.AddEdge(relay, next);
+      prev = next;
+    }
+  }
+  graph::LabeledGraph g = b.Build();
+  std::cout << "Payment network: " << g.NumVertices() << " vertices, "
+            << g.NumEdges() << " edges\n";
+
+  // --- 2. Security workload ------------------------------------------
+  query::Workload workload;
+  // The dominant query: relay step (account-session-account).
+  workload.Add("relay-step",
+               graph::PatternGraph::Path({account, session, account}), 0.55);
+  // Two-hop relay chain.
+  workload.Add(
+      "relay-chain",
+      graph::PatternGraph::Path({account, session, account, session, account}),
+      0.25);
+  // Device sharing (collusion signal).
+  workload.Add("shared-device",
+               graph::PatternGraph::Path({account, device, account}), 0.20);
+
+  // --- 3. Partition the stream with Loom ------------------------------
+  core::LoomOptions options;
+  options.base.k = 8;
+  options.base.expected_vertices = g.NumVertices();
+  options.base.expected_edges = g.NumEdges();
+  options.window_size = 4000;
+  core::LoomPartitioner loom(options, workload, reg.size());
+
+  stream::EdgeStream es = stream::MakeStream(g, stream::StreamOrder::kRandom,
+                                             /*seed=*/0xF4A1D);
+  for (const stream::StreamEdge& e : es) loom.Ingest(e);
+  loom.Finalize();
+
+  std::cout << "\nMotifs derived from the workload (T = 40%): "
+            << loom.trie().MotifIds().size() << " of "
+            << loom.trie().NumNodes() - 1 << " trie nodes\n"
+            << "Relay motif instances matched online: "
+            << loom.matcher_stats().extension_matches +
+                   loom.matcher_stats().join_matches
+            << "\n";
+
+  // --- 4. Evaluate: would the security workload stay local? -----------
+  query::WorkloadResult wr =
+      query::RunWorkload(g, loom.partitioning(), workload);
+  std::cout << "\nSecurity workload over Loom's partitioning:\n";
+  util::TableWriter t({"query", "matches", "traversals", "ipt", "ipt ratio"});
+  for (const auto& q : wr.per_query) {
+    t.AddRow({q.name, std::to_string(q.result.matches),
+              std::to_string(q.result.traversals),
+              std::to_string(q.result.ipt),
+              util::TableWriter::Pct(
+                  q.result.traversals > 0
+                      ? static_cast<double>(q.result.ipt) /
+                            static_cast<double>(q.result.traversals)
+                      : 0.0)});
+  }
+  t.Print(std::cout);
+  std::cout << "\nPartition imbalance: "
+            << util::TableWriter::Pct(partition::Imbalance(loom.partitioning()))
+            << " across " << options.base.k << " partitions.\n";
+  return 0;
+}

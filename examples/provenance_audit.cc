@@ -1,0 +1,83 @@
+// Provenance-audit scenario: PROV lineage queries over wiki-page revision
+// provenance (the paper's ProvGen dataset [6], with the common PROV queries
+// of Dey et al. [5]: derivation, attribution, multi-step lineage).
+//
+// Demonstrates the per-query view: which query patterns benefit most from
+// Loom's motif-aware placement, and how the motif machinery behaved
+// (admissions, matches, cluster allocations).
+//
+// Run:  ./example_provenance_audit [scale]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "core/loom_partitioner.h"
+#include "datasets/dataset_registry.h"
+#include "eval/experiment.h"
+#include "query/workload_runner.h"
+#include "util/table_writer.h"
+
+int main(int argc, char** argv) {
+  using namespace loom;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+
+  datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, scale);
+  std::cout << "PROV provenance graph: " << ds.NumVertices() << " vertices, "
+            << ds.NumEdges() << " edges (Entity / Activity / Agent)\n\n";
+
+  eval::ExperimentConfig cfg;
+  cfg.k = 8;
+  cfg.window_size = 4000;
+  stream::EdgeStream es =
+      stream::MakeStream(ds.graph, cfg.order, cfg.stream_seed);
+
+  // Loom, with access to its internals for reporting.
+  auto loom_p = eval::MakePartitioner(eval::System::kLoom, ds, cfg);
+  for (const auto& e : es) loom_p->Ingest(e);
+  loom_p->Finalize();
+  auto* loom = static_cast<core::LoomPartitioner*>(loom_p.get());
+
+  auto fennel_p = eval::MakePartitioner(eval::System::kFennel, ds, cfg);
+  for (const auto& e : es) fennel_p->Ingest(e);
+  fennel_p->Finalize();
+
+  std::cout << "Loom's motif machinery:\n"
+            << "  edges bypassing the window (never motif-matchable): "
+            << loom->stats().edges_bypassed << "\n"
+            << "  edges admitted to Ptemp: "
+            << loom->matcher_stats().edges_admitted << "\n"
+            << "  multi-edge motif matches found: "
+            << loom->matcher_stats().extension_matches +
+                   loom->matcher_stats().join_matches
+            << "\n"
+            << "  match clusters allocated: "
+            << loom->stats().clusters_allocated << "\n\n";
+
+  query::WorkloadResult lw =
+      query::RunWorkload(ds.graph, loom_p->partitioning(), ds.workload);
+  query::WorkloadResult fw =
+      query::RunWorkload(ds.graph, fennel_p->partitioning(), ds.workload);
+
+  util::TableWriter t({"query", "freq", "loom ipt", "fennel ipt", "loom wins by"});
+  for (size_t i = 0; i < lw.per_query.size(); ++i) {
+    const auto& lq = lw.per_query[i];
+    const auto& fq = fw.per_query[i];
+    const double gain =
+        fq.result.ipt > 0
+            ? 1.0 - static_cast<double>(lq.result.ipt) /
+                        static_cast<double>(fq.result.ipt)
+            : 0.0;
+    t.AddRow({lq.name, util::TableWriter::Pct(lq.frequency, 0),
+              std::to_string(lq.result.ipt), std::to_string(fq.result.ipt),
+              util::TableWriter::Pct(gain)});
+  }
+  t.Print(std::cout);
+
+  std::cout << "\nWorkload-weighted: loom "
+            << util::TableWriter::Fmt(lw.weighted_ipt, 0) << " ipt vs fennel "
+            << util::TableWriter::Fmt(fw.weighted_ipt, 0) << " ("
+            << util::TableWriter::Pct(1.0 - lw.weighted_ipt / fw.weighted_ipt)
+            << " fewer).\n";
+  return 0;
+}

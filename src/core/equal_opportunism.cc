@@ -1,0 +1,121 @@
+#include "core/equal_opportunism.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace loom {
+namespace core {
+
+EqualOpportunism::EqualOpportunism(const tpstry::Tpstry* trie,
+                                   const graph::DynamicGraph* neighborhood,
+                                   EqualOpportunismConfig config)
+    : trie_(trie), neighborhood_(neighborhood), config_(config) {}
+
+double EqualOpportunism::Ration(graph::PartitionId si,
+                                const partition::Partitioning& p) const {
+  if (config_.disable_rationing) return 1.0;
+  const double size = static_cast<double>(p.Size(si));
+  // Smin = 0 while partitions are still empty; clamp to 1 so the ratio stays
+  // meaningful during cold start.
+  const double smin = static_cast<double>(std::max<size_t>(p.MinSize(), 1));
+  // The b cutoff "emulates Fennel" (Sec. 4), whose ν bound is relative to
+  // the *average* partition size — a Smin-relative bound would mute almost
+  // every partition whenever one partition briefly lags. (The paper's own
+  // worked example exceeds b·Smin yet still bids, so the strict reading of
+  // Eq. 2's piecewise α is inconsistent with its use; see DESIGN.md.)
+  const double avg = std::max(
+      static_cast<double>(p.NumAssigned()) / static_cast<double>(p.k()), 1.0);
+  if (size > config_.balance_b * avg) return 0.0;  // α_eff = 0
+  if (size <= smin) return 1.0;                    // α_eff = 1, ratio >= 1
+  return (smin / size) * config_.alpha;            // α_eff = α
+}
+
+double EqualOpportunism::Bid(graph::PartitionId si, const motif::Match& match,
+                             const partition::Partitioning& p) const {
+  // N(Si, Ek): match vertices already resident in Si...
+  double overlap = 0.0;
+  for (graph::VertexId v : match.vertices) {
+    if (p.PartitionOf(v) == si) overlap += 1.0;
+  }
+  // ...generalised (as the paper notes of LDG's N) with a discounted count
+  // of the match vertices' already-assigned neighbours in Si, so a cluster
+  // is also drawn toward its satellite structure (recordings, venues, ...).
+  if (neighborhood_ != nullptr && config_.neighbor_bid_weight > 0.0) {
+    uint32_t nbrs = 0;
+    for (graph::VertexId v : match.vertices) {
+      for (graph::VertexId w : neighborhood_->Neighbors(v)) {
+        if (p.PartitionOf(w) == si) ++nbrs;
+      }
+    }
+    overlap += config_.neighbor_bid_weight * static_cast<double>(nbrs);
+  }
+  if (overlap <= 0.0) return 0.0;
+  const double residual =
+      1.0 - static_cast<double>(p.Size(si)) / static_cast<double>(p.Capacity());
+  const double support = trie_->NormalizedSupport(match.node_id);
+  return overlap * residual * support;
+}
+
+AllocationDecision EqualOpportunism::Decide(std::vector<motif::MatchPtr> me,
+                                            const partition::Partitioning& p,
+                                            graph::PartitionId fallback) const {
+  AllocationDecision decision;
+  if (me.empty()) {
+    decision.partition = fallback;
+    return decision;
+  }
+
+  // Support-descending order; smaller matches first on ties (the paper
+  // prioritises "smaller, higher support" matches), then content key so the
+  // order is fully deterministic.
+  std::sort(me.begin(), me.end(),
+            [&](const motif::MatchPtr& a, const motif::MatchPtr& b) {
+              const double sa = trie_->NormalizedSupport(a->node_id);
+              const double sb = trie_->NormalizedSupport(b->node_id);
+              if (sa != sb) return sa > sb;
+              if (a->edges.size() != b->edges.size()) {
+                return a->edges.size() < b->edges.size();
+              }
+              return a->Key() < b->Key();
+            });
+
+  graph::PartitionId best = graph::kNoPartition;
+  double best_total = 0.0;
+  size_t best_count = 0;
+  for (graph::PartitionId si = 0; si < p.k(); ++si) {
+    if (p.AtCapacity(si)) continue;
+    const double l = Ration(si, p);
+    if (l <= 0.0) continue;
+    const size_t count = static_cast<size_t>(
+        std::min<double>(std::ceil(l * static_cast<double>(me.size())),
+                         static_cast<double>(me.size())));
+    double total = 0.0;
+    for (size_t i = 0; i < count; ++i) total += Bid(si, *me[i], p);
+    total *= l;  // Eq. 3 leading l(Si) -- see sweep note in EXPERIMENTS.md
+    if (total > best_total ||
+        (total == best_total && total > 0.0 && best != graph::kNoPartition &&
+         p.Size(si) < p.Size(best))) {
+      best = si;
+      best_total = total;
+      best_count = count;
+    }
+  }
+
+  if (best == graph::kNoPartition || best_total <= 0.0) {
+    // Cold start / no overlap anywhere: seed the cluster where the caller's
+    // neighbourhood heuristic points (falling back to least-loaded if that
+    // partition is full). The whole cluster is seeded together — rationing
+    // exists to stop *bid-winning* partitions hoarding matches, not to break
+    // up a cluster that nobody bid on (doing so would orphan the evictee's
+    // match partners and void their co-location).
+    best = p.AtCapacity(fallback) ? p.LeastLoaded() : fallback;
+    best_count = me.size();
+  }
+
+  decision.partition = best;
+  decision.matches.assign(me.begin(), me.begin() + static_cast<ptrdiff_t>(best_count));
+  return decision;
+}
+
+}  // namespace core
+}  // namespace loom

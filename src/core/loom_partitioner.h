@@ -1,0 +1,143 @@
+// Loom: the query-aware streaming partitioner (the paper's primary
+// contribution, Secs. 2-4 composed).
+//
+// Pipeline per arriving edge e:
+//   1. Admission (Sec. 3): if e matches no single-edge motif it can never be
+//      part of a motif match — assign it immediately with the LDG heuristic
+//      and do not buffer it.
+//   2. Otherwise push e into the sliding window Ptemp and run the Alg. 2
+//      matcher to register every new motif match e creates.
+//   3. While the window exceeds its capacity t, evict the oldest edge: fetch
+//      the cluster of matches containing it, let equal opportunism pick the
+//      winning partition and the support-ordered prefix of matches it takes,
+//      assign all of those matches' edges (and their endpoints) there, and
+//      retire every match that lost a constituent edge.
+// Finalize() drains the window the same way.
+
+#ifndef LOOM_CORE_LOOM_PARTITIONER_H_
+#define LOOM_CORE_LOOM_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/equal_opportunism.h"
+#include "graph/dynamic_graph.h"
+#include "graph/label_registry.h"
+#include "motif/match_list.h"
+#include "motif/motif_matcher.h"
+#include "partition/ldg_partitioner.h"
+#include "partition/partitioner.h"
+#include "query/query.h"
+#include "signature/label_values.h"
+#include "signature/signature_calculator.h"
+#include "stream/sliding_window.h"
+#include "tpstry/tpstry.h"
+
+namespace loom {
+namespace core {
+
+/// All Loom knobs, with the paper's defaults.
+struct LoomOptions {
+  partition::PartitionerConfig base;
+
+  /// Sliding window size t (paper default 10k edges).
+  size_t window_size = 10000;
+
+  /// Motif support threshold T (paper default 40%).
+  double support_threshold = 0.4;
+
+  /// Finite-field prime p for signatures (paper: 251).
+  uint32_t prime = signature::kDefaultPrime;
+
+  /// Seed for the label -> random value assignment.
+  uint64_t signature_seed = 0xC0FFEE;
+
+  EqualOpportunismConfig equal_opportunism;
+  motif::MatcherConfig matcher;
+
+  /// Compact the matchList every this many admitted edges.
+  size_t compact_interval = 1024;
+};
+
+/// Counters exposed for reports and tests.
+struct LoomStats {
+  uint64_t edges_ingested = 0;
+  uint64_t edges_bypassed = 0;      // failed the admission test
+  uint64_t edges_via_window = 0;    // assigned on eviction
+  uint64_t clusters_allocated = 0;  // equal-opportunism decisions
+  uint64_t cluster_edges_assigned = 0;
+};
+
+class LoomPartitioner : public partition::Partitioner {
+ public:
+  /// Builds the TPSTry++ from `workload` (frequencies are normalised
+  /// internally) over a label space of `num_labels`.
+  LoomPartitioner(const LoomOptions& options, const query::Workload& workload,
+                  size_t num_labels);
+
+  void Ingest(const stream::StreamEdge& e) override;
+  void Finalize() override;
+
+  /// Workload drift (paper Sec. 6): decays the existing trie supports to
+  /// `decay` of their mass and mixes in `workload` (normalised) with weight
+  /// 1-decay. Motif status, the admission mask and allocation supports all
+  /// shift accordingly; matches already in flight are unaffected. Call
+  /// between Ingest()s at any time.
+  void UpdateWorkload(const query::Workload& workload, double decay = 0.5);
+  const partition::Partitioning& partitioning() const override {
+    return partitioning_;
+  }
+  std::string name() const override { return "loom"; }
+
+  const tpstry::Tpstry& trie() const { return *trie_; }
+  const LoomStats& stats() const { return stats_; }
+  const motif::MatcherStats& matcher_stats() const { return matcher_->stats(); }
+
+  /// Live window occupancy (the Ptemp size), for tests/monitoring.
+  size_t WindowSize() const { return window_.size(); }
+
+ private:
+  /// True if v's placement is being withheld pending a motif cluster (or an
+  /// anchor vertex that is): unassigned and motif-labelled, in live matches,
+  /// or registered as a satellite.
+  bool IsDeferred(graph::VertexId v, graph::LabelId label) const;
+
+  /// Assigns v to p and cascades to any satellites waiting on v.
+  void AssignVertex(graph::VertexId v, graph::PartitionId p);
+
+  /// Immediate LDG assignment for edges outside the motif machinery.
+  /// Endpoints whose partner is deferred become satellites: they are placed
+  /// with the partner when its cluster is finally allocated, instead of
+  /// being pinned blind now.
+  void AssignImmediately(const stream::StreamEdge& e);
+
+  /// Evicts the oldest window edge, allocating its match cluster.
+  void EvictOldest();
+
+  LoomOptions options_;
+  partition::Partitioning partitioning_;
+  graph::DynamicGraph seen_;  // streamed-so-far adjacency (for LDG scoring)
+
+  std::unique_ptr<signature::LabelValues> label_values_;
+  std::unique_ptr<signature::SignatureCalculator> calc_;
+  std::unique_ptr<tpstry::Tpstry> trie_;
+  std::unique_ptr<motif::MotifMatcher> matcher_;
+  std::unique_ptr<EqualOpportunism> allocator_;
+
+  stream::SlidingWindow window_;
+  motif::MatchList match_list_;
+  std::vector<bool> motif_label_;  // labels that occur in some motif
+  /// anchor vertex -> satellites placed alongside it when it is assigned.
+  std::unordered_map<graph::VertexId, std::vector<graph::VertexId>>
+      pending_satellites_;
+  std::unordered_set<graph::VertexId> satellites_;
+  LoomStats stats_;
+  uint64_t edges_since_compact_ = 0;
+};
+
+}  // namespace core
+}  // namespace loom
+
+#endif  // LOOM_CORE_LOOM_PARTITIONER_H_

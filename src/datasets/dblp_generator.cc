@@ -1,0 +1,88 @@
+#include "datasets/dblp_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace loom {
+namespace datasets {
+
+Dataset GenerateDblp(const DblpConfig& config) {
+  Dataset ds;
+  ds.meta.name = "dblp";
+  ds.meta.real_world_analog = true;
+  ds.meta.description = "Publications & citations (synthetic DBLP analog)";
+
+  auto& reg = ds.registry;
+  const graph::LabelId kAuthor = reg.Intern("Author");
+  const graph::LabelId kPaper = reg.Intern("Paper");
+  const graph::LabelId kVenue = reg.Intern("Venue");
+  const graph::LabelId kProceedings = reg.Intern("Proceedings");
+  const graph::LabelId kYear = reg.Intern("Year");
+  const graph::LabelId kOrganization = reg.Intern("Organization");
+  const graph::LabelId kTopic = reg.Intern("Topic");
+  const graph::LabelId kEditor = reg.Intern("Editor");
+
+  util::Rng rng(config.seed);
+  graph::LabeledGraph::Builder b;
+
+  const size_t num_papers = std::max<size_t>(config.num_papers, 50);
+  const size_t num_authors = std::max<size_t>(num_papers * 11 / 20, 10);
+  const size_t num_venues = std::max<size_t>(num_papers / 60, 3);
+  const size_t num_years = 40;
+  const size_t num_orgs = std::max<size_t>(num_papers / 120, 3);
+  const size_t num_topics = std::max<size_t>(num_papers / 40, 5);
+  const size_t num_editors = std::max<size_t>(num_venues / 2, 2);
+
+  std::vector<graph::VertexId> authors, papers, venues, proceedings, years,
+      orgs, topics, editors;
+  for (size_t i = 0; i < num_authors; ++i) authors.push_back(b.AddVertex(kAuthor));
+  for (size_t i = 0; i < num_papers; ++i) papers.push_back(b.AddVertex(kPaper));
+  for (size_t i = 0; i < num_venues; ++i) {
+    venues.push_back(b.AddVertex(kVenue));
+    proceedings.push_back(b.AddVertex(kProceedings));
+  }
+  for (size_t i = 0; i < num_years; ++i) years.push_back(b.AddVertex(kYear));
+  for (size_t i = 0; i < num_orgs; ++i) orgs.push_back(b.AddVertex(kOrganization));
+  for (size_t i = 0; i < num_topics; ++i) topics.push_back(b.AddVertex(kTopic));
+  for (size_t i = 0; i < num_editors; ++i) editors.push_back(b.AddVertex(kEditor));
+
+  // Venue plumbing: proceedings belong to venues, editors curate them.
+  for (size_t i = 0; i < num_venues; ++i) {
+    b.AddEdge(venues[i], proceedings[i]);
+    b.AddEdge(proceedings[i], editors[rng.Zipf(num_editors, 1.0)]);
+  }
+  // Author affiliation (~60% of authors).
+  for (graph::VertexId a : authors) {
+    if (rng.Bernoulli(0.6)) b.AddEdge(a, orgs[rng.Zipf(num_orgs, 0.8)]);
+  }
+
+  for (size_t i = 0; i < num_papers; ++i) {
+    const graph::VertexId paper = papers[i];
+    // 1-4 authors, Zipf productivity (a few prolific authors).
+    const size_t n_authors = 1 + rng.Uniform(4);
+    for (size_t a = 0; a < n_authors; ++a) {
+      b.AddEdge(paper, authors[rng.Zipf(num_authors, 0.65)]);
+    }
+    // Citations to earlier papers, preferential toward low ids (the "old
+    // famous papers" effect), only once a prefix exists.
+    if (i > 10) {
+      const size_t n_cites = rng.Uniform(3);  // 0-2
+      for (size_t c = 0; c < n_cites; ++c) {
+        b.AddEdge(paper, papers[rng.Zipf(i, 0.6)]);
+      }
+    }
+    // Venue + year are hub-like attributes.
+    b.AddEdge(paper, venues[rng.Zipf(num_venues, 1.0)]);
+    b.AddEdge(paper, years[rng.Uniform(num_years)]);
+    // ~70% of papers carry a topic.
+    if (rng.Bernoulli(0.7)) b.AddEdge(paper, topics[rng.Zipf(num_topics, 1.0)]);
+  }
+
+  ds.graph = b.Build();
+  return ds;
+}
+
+}  // namespace datasets
+}  // namespace loom

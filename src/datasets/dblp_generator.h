@@ -1,0 +1,31 @@
+// Synthetic DBLP-like bibliographic graph (8 labels: Table 1's DBLP row).
+//
+// Schema: Authors write Papers; Papers cite Papers (preferential to popular
+// targets); Papers appear at Venues inside Proceedings; Papers carry a Year
+// and Topics; Authors belong to Organizations and some act as Editors of
+// proceedings. Degree skew comes from Zipf author productivity and
+// preferential citation.
+
+#ifndef LOOM_DATASETS_DBLP_GENERATOR_H_
+#define LOOM_DATASETS_DBLP_GENERATOR_H_
+
+#include <cstdint>
+
+#include "datasets/schema.h"
+
+namespace loom {
+namespace datasets {
+
+struct DblpConfig {
+  /// Number of papers; every other entity count derives from it.
+  size_t num_papers = 12000;
+  uint64_t seed = 0xDB17;
+};
+
+/// Generates the graph only (workloads are attached by the registry).
+Dataset GenerateDblp(const DblpConfig& config);
+
+}  // namespace datasets
+}  // namespace loom
+
+#endif  // LOOM_DATASETS_DBLP_GENERATOR_H_

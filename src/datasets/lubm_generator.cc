@@ -1,0 +1,155 @@
+#include "datasets/lubm_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace loom {
+namespace datasets {
+
+Dataset GenerateLubm(const LubmConfig& config) {
+  Dataset ds;
+  ds.meta.name = config.name;
+  ds.meta.real_world_analog = false;
+  ds.meta.description = "University records (synthetic LUBM analog)";
+
+  auto& reg = ds.registry;
+  const graph::LabelId kUniversity = reg.Intern("University");
+  const graph::LabelId kDepartment = reg.Intern("Department");
+  const graph::LabelId kFullProfessor = reg.Intern("FullProfessor");
+  const graph::LabelId kAssociateProfessor = reg.Intern("AssociateProfessor");
+  const graph::LabelId kAssistantProfessor = reg.Intern("AssistantProfessor");
+  const graph::LabelId kLecturer = reg.Intern("Lecturer");
+  const graph::LabelId kGraduateStudent = reg.Intern("GraduateStudent");
+  const graph::LabelId kUndergraduateStudent = reg.Intern("UndergraduateStudent");
+  const graph::LabelId kCourse = reg.Intern("Course");
+  const graph::LabelId kGraduateCourse = reg.Intern("GraduateCourse");
+  const graph::LabelId kPublication = reg.Intern("Publication");
+  const graph::LabelId kResearchGroup = reg.Intern("ResearchGroup");
+  const graph::LabelId kTeachingAssistant = reg.Intern("TeachingAssistant");
+  const graph::LabelId kResearchAssistant = reg.Intern("ResearchAssistant");
+  const graph::LabelId kChair = reg.Intern("Chair");
+
+  util::Rng rng(config.seed);
+  graph::LabeledGraph::Builder b;
+
+  // Faculty across all universities, for cross-institution co-authorship —
+  // without it each university is an isolated component and any balanced
+  // partitioner trivially achieves zero cut.
+  std::vector<graph::VertexId> global_faculty;
+
+  for (size_t uni_i = 0; uni_i < std::max<size_t>(config.universities, 1);
+       ++uni_i) {
+    const graph::VertexId uni = b.AddVertex(kUniversity);
+    const size_t n_depts = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(config.min_departments),
+        static_cast<int64_t>(std::max(config.max_departments,
+                                      config.min_departments))));
+    for (size_t d = 0; d < n_depts; ++d) {
+      const graph::VertexId dept = b.AddVertex(kDepartment);
+      b.AddEdge(dept, uni);
+      // Chair heads the department.
+      const graph::VertexId chair = b.AddVertex(kChair);
+      b.AddEdge(chair, dept);
+
+      // Faculty (scaled-down LUBM profile counts).
+      std::vector<graph::VertexId> faculty;
+      auto add_faculty = [&](graph::LabelId l, size_t lo, size_t hi) {
+        const size_t n = lo + rng.Uniform(hi - lo + 1);
+        for (size_t i = 0; i < n; ++i) {
+          graph::VertexId f = b.AddVertex(l);
+          b.AddEdge(f, dept);
+          faculty.push_back(f);
+        }
+      };
+      add_faculty(kFullProfessor, 2, 4);
+      add_faculty(kAssociateProfessor, 3, 5);
+      add_faculty(kAssistantProfessor, 2, 4);
+      add_faculty(kLecturer, 1, 3);
+
+      // Research groups, each led by a faculty member.
+      const size_t n_groups = 1 + rng.Uniform(3);
+      for (size_t gi = 0; gi < n_groups; ++gi) {
+        graph::VertexId group = b.AddVertex(kResearchGroup);
+        b.AddEdge(group, dept);
+        b.AddEdge(group, faculty[rng.Uniform(faculty.size())]);
+      }
+
+      // Courses taught by faculty.
+      std::vector<graph::VertexId> courses, grad_courses;
+      const size_t n_courses = 6 + rng.Uniform(6);
+      for (size_t ci = 0; ci < n_courses; ++ci) {
+        graph::VertexId c = b.AddVertex(kCourse);
+        b.AddEdge(c, faculty[rng.Uniform(faculty.size())]);  // teacherOf
+        courses.push_back(c);
+      }
+      const size_t n_gcourses = 3 + rng.Uniform(4);
+      for (size_t ci = 0; ci < n_gcourses; ++ci) {
+        graph::VertexId c = b.AddVertex(kGraduateCourse);
+        b.AddEdge(c, faculty[rng.Uniform(faculty.size())]);
+        grad_courses.push_back(c);
+      }
+
+      // Graduate students: advisor, 1-3 graduate courses, assistantships.
+      std::vector<graph::VertexId> grads;
+      const size_t n_grads = 8 + rng.Uniform(8);
+      for (size_t si = 0; si < n_grads; ++si) {
+        graph::VertexId s = b.AddVertex(kGraduateStudent);
+        b.AddEdge(s, dept);  // memberOf
+        b.AddEdge(s, faculty[rng.Uniform(faculty.size())]);  // advisor
+        const size_t n_take = 1 + rng.Uniform(3);
+        for (size_t t = 0; t < n_take; ++t) {
+          b.AddEdge(s, grad_courses[rng.Uniform(grad_courses.size())]);
+        }
+        if (rng.Bernoulli(0.25)) {
+          graph::VertexId ta = b.AddVertex(kTeachingAssistant);
+          b.AddEdge(ta, s);
+          b.AddEdge(ta, courses[rng.Uniform(courses.size())]);
+        }
+        if (rng.Bernoulli(0.25)) {
+          graph::VertexId ra = b.AddVertex(kResearchAssistant);
+          b.AddEdge(ra, s);
+        }
+        grads.push_back(s);
+      }
+
+      // Undergraduates: 2-4 courses each.
+      const size_t n_under = 20 + rng.Uniform(16);
+      for (size_t si = 0; si < n_under; ++si) {
+        graph::VertexId s = b.AddVertex(kUndergraduateStudent);
+        b.AddEdge(s, dept);
+        const size_t n_take = 2 + rng.Uniform(3);
+        for (size_t t = 0; t < n_take; ++t) {
+          b.AddEdge(s, courses[rng.Uniform(courses.size())]);
+        }
+      }
+
+      // Publications: faculty-led, often with a graduate co-author, and
+      // sometimes (~12%) with an external collaborator from another
+      // department or university.
+      for (graph::VertexId f : faculty) {
+        const size_t n_pubs = rng.Uniform(4);  // 0-3
+        for (size_t pi = 0; pi < n_pubs; ++pi) {
+          graph::VertexId pub = b.AddVertex(kPublication);
+          b.AddEdge(pub, f);
+          if (!grads.empty() && rng.Bernoulli(0.7)) {
+            b.AddEdge(pub, grads[rng.Uniform(grads.size())]);
+          }
+          if (!global_faculty.empty() && rng.Bernoulli(0.12)) {
+            b.AddEdge(pub,
+                      global_faculty[rng.Uniform(global_faculty.size())]);
+          }
+        }
+      }
+      global_faculty.insert(global_faculty.end(), faculty.begin(),
+                            faculty.end());
+    }
+  }
+
+  ds.graph = b.Build();
+  return ds;
+}
+
+}  // namespace datasets
+}  // namespace loom

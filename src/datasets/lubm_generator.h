@@ -1,0 +1,37 @@
+// Synthetic LUBM-like university benchmark graph (15 labels).
+//
+// Follows the LUBM generator's profile, scaled: universities contain
+// departments; departments employ professors (full/associate/assistant) and
+// lecturers, host research groups, enrol under/graduate students; students
+// take courses taught by faculty; graduate students have advisors and act as
+// teaching/research assistants; faculty and graduate students co-author
+// publications. The `universities` knob mirrors LUBM-N's N.
+
+#ifndef LOOM_DATASETS_LUBM_GENERATOR_H_
+#define LOOM_DATASETS_LUBM_GENERATOR_H_
+
+#include <cstdint>
+
+#include "datasets/schema.h"
+
+namespace loom {
+namespace datasets {
+
+struct LubmConfig {
+  /// LUBM-N's N, at reproduction scale (departments are smaller than the
+  /// original profile so large N remains laptop sized).
+  size_t universities = 12;
+  /// Departments per university (LUBM: 15-25; scaled default keeps shape).
+  size_t min_departments = 4;
+  size_t max_departments = 8;
+  uint64_t seed = 0x10BA;
+  /// Dataset display name ("lubm-100" / "lubm-4000").
+  const char* name = "lubm";
+};
+
+Dataset GenerateLubm(const LubmConfig& config);
+
+}  // namespace datasets
+}  // namespace loom
+
+#endif  // LOOM_DATASETS_LUBM_GENERATOR_H_

@@ -1,0 +1,110 @@
+#include "datasets/musicbrainz_generator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace loom {
+namespace datasets {
+
+Dataset GenerateMusicBrainz(const MusicBrainzConfig& config) {
+  Dataset ds;
+  ds.meta.name = "musicbrainz";
+  ds.meta.real_world_analog = true;
+  ds.meta.description = "Music records metadata (synthetic MusicBrainz analog)";
+
+  auto& reg = ds.registry;
+  const graph::LabelId kArtist = reg.Intern("Artist");
+  const graph::LabelId kAlbum = reg.Intern("Album");
+  const graph::LabelId kRecording = reg.Intern("Recording");
+  const graph::LabelId kWork = reg.Intern("Work");
+  const graph::LabelId kLabel = reg.Intern("Label");
+  const graph::LabelId kArea = reg.Intern("Area");
+  const graph::LabelId kGenre = reg.Intern("Genre");
+  const graph::LabelId kRelease = reg.Intern("Release");
+  const graph::LabelId kEvent = reg.Intern("Event");
+  const graph::LabelId kPlace = reg.Intern("Place");
+  const graph::LabelId kSeries = reg.Intern("Series");
+  const graph::LabelId kInstrument = reg.Intern("Instrument");
+
+  util::Rng rng(config.seed);
+  graph::LabeledGraph::Builder b;
+
+  const size_t num_albums = std::max<size_t>(config.num_albums, 50);
+  const size_t num_artists = std::max<size_t>(num_albums * 2 / 5, 10);
+  const size_t num_labels = std::max<size_t>(num_albums / 80, 4);
+  const size_t num_areas = std::max<size_t>(num_albums / 300, 4);
+  const size_t num_genres = 24;
+  const size_t num_works = std::max<size_t>(num_albums / 2, 10);
+  const size_t num_places = std::max<size_t>(num_albums / 150, 4);
+  const size_t num_series = std::max<size_t>(num_albums / 200, 3);
+  const size_t num_instruments = 16;
+
+  std::vector<graph::VertexId> artists, albums, labels, areas, genres, works,
+      places, series, instruments;
+  for (size_t i = 0; i < num_artists; ++i) artists.push_back(b.AddVertex(kArtist));
+  for (size_t i = 0; i < num_albums; ++i) albums.push_back(b.AddVertex(kAlbum));
+  for (size_t i = 0; i < num_labels; ++i) labels.push_back(b.AddVertex(kLabel));
+  for (size_t i = 0; i < num_areas; ++i) areas.push_back(b.AddVertex(kArea));
+  for (size_t i = 0; i < num_genres; ++i) genres.push_back(b.AddVertex(kGenre));
+  for (size_t i = 0; i < num_works; ++i) works.push_back(b.AddVertex(kWork));
+  for (size_t i = 0; i < num_places; ++i) places.push_back(b.AddVertex(kPlace));
+  for (size_t i = 0; i < num_series; ++i) series.push_back(b.AddVertex(kSeries));
+  for (size_t i = 0; i < num_instruments; ++i) {
+    instruments.push_back(b.AddVertex(kInstrument));
+  }
+
+  // Static geography: artists and labels live in areas.
+  for (graph::VertexId a : artists) {
+    b.AddEdge(a, areas[rng.Zipf(num_areas, 0.9)]);
+    if (rng.Bernoulli(0.3)) {
+      b.AddEdge(a, instruments[rng.Zipf(num_instruments, 1.0)]);
+    }
+  }
+  for (graph::VertexId l : labels) b.AddEdge(l, areas[rng.Zipf(num_areas, 0.9)]);
+
+  for (size_t i = 0; i < num_albums; ++i) {
+    const graph::VertexId album = albums[i];
+    // Primary artist, Zipf popularity; ~25% are collaborations (features,
+    // splits and compilations are common in music metadata).
+    const graph::VertexId primary = artists[rng.Zipf(num_artists, 0.7)];
+    b.AddEdge(album, primary);
+    if (rng.Bernoulli(0.25)) {
+      b.AddEdge(album, artists[rng.Zipf(num_artists, 0.7)]);
+    }
+    b.AddEdge(album, labels[rng.Zipf(num_labels, 1.0)]);
+    b.AddEdge(album, genres[rng.Zipf(num_genres, 1.1)]);
+    if (rng.Bernoulli(0.25)) b.AddEdge(album, genres[rng.Zipf(num_genres, 1.1)]);
+    // 1-3 recordings per album, each of some work and credited to the
+    // album's primary artist; ~20% carry a guest credit (featurings are how
+    // MusicBrainz expresses most artist collaboration).
+    const size_t n_rec = 1 + rng.Uniform(3);
+    for (size_t r = 0; r < n_rec; ++r) {
+      const graph::VertexId rec = b.AddVertex(kRecording);
+      b.AddEdge(album, rec);
+      b.AddEdge(rec, works[rng.Zipf(num_works, 0.8)]);
+      b.AddEdge(rec, primary);
+      if (rng.Bernoulli(0.20)) {
+        b.AddEdge(rec, artists[rng.Zipf(num_artists, 0.7)]);
+      }
+    }
+    // ~40% of albums have an explicit release; releases happen at events.
+    if (rng.Bernoulli(0.4)) {
+      const graph::VertexId rel = b.AddVertex(kRelease);
+      b.AddEdge(album, rel);
+      if (rng.Bernoulli(0.3)) {
+        const graph::VertexId ev = b.AddVertex(kEvent);
+        b.AddEdge(rel, ev);
+        b.AddEdge(ev, places[rng.Zipf(num_places, 0.9)]);
+      }
+    }
+    if (rng.Bernoulli(0.05)) b.AddEdge(album, series[rng.Zipf(num_series, 1.0)]);
+  }
+
+  ds.graph = b.Build();
+  return ds;
+}
+
+}  // namespace datasets
+}  // namespace loom

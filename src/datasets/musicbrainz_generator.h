@@ -1,0 +1,31 @@
+// Synthetic MusicBrainz-like music metadata graph (12 labels) — the paper's
+// most heterogeneous dataset, where Loom's advantage is most pronounced.
+//
+// Schema (a pragmatic subset of the real MusicBrainz entity graph): Artists
+// release Albums (with occasional collaborations), Albums carry Recordings
+// of Works, are published by Labels, tagged with Genres and tied to Releases
+// and Events at Places; Artists and Labels live in Areas; Series group
+// Albums.
+
+#ifndef LOOM_DATASETS_MUSICBRAINZ_GENERATOR_H_
+#define LOOM_DATASETS_MUSICBRAINZ_GENERATOR_H_
+
+#include <cstdint>
+
+#include "datasets/schema.h"
+
+namespace loom {
+namespace datasets {
+
+struct MusicBrainzConfig {
+  /// Number of albums; everything else derives from it.
+  size_t num_albums = 18000;
+  uint64_t seed = 0x3b5;
+};
+
+Dataset GenerateMusicBrainz(const MusicBrainzConfig& config);
+
+}  // namespace datasets
+}  // namespace loom
+
+#endif  // LOOM_DATASETS_MUSICBRAINZ_GENERATOR_H_

@@ -1,0 +1,33 @@
+// Synthetic ProvGen-like PROV provenance graph (3 labels).
+//
+// ProvGen [6] generates wiki-page provenance: chains of page revisions.
+// Model: each page is a chain entity_0 <- activity_1 <- entity_1 <- ... where
+// each Activity (a revision) uses the previous Entity version and generates
+// the next, and is associated with an Agent (the editor, Zipf-skewed — a few
+// very active editors). Occasional branches model content reuse across
+// pages.
+
+#ifndef LOOM_DATASETS_PROVGEN_GENERATOR_H_
+#define LOOM_DATASETS_PROVGEN_GENERATOR_H_
+
+#include <cstdint>
+
+#include "datasets/schema.h"
+
+namespace loom {
+namespace datasets {
+
+struct ProvGenConfig {
+  /// Number of wiki pages (revision chains).
+  size_t num_pages = 2500;
+  /// Mean revisions per page (chain length is 1 + Zipf-ish noise).
+  size_t mean_revisions = 5;
+  uint64_t seed = 0x960c;
+};
+
+Dataset GenerateProvGen(const ProvGenConfig& config);
+
+}  // namespace datasets
+}  // namespace loom
+
+#endif  // LOOM_DATASETS_PROVGEN_GENERATOR_H_

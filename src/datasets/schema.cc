@@ -1,0 +1,7 @@
+#include "datasets/schema.h"
+
+// Currently header-only types; this TU anchors the module in the archive.
+
+namespace loom {
+namespace datasets {}  // namespace datasets
+}  // namespace loom

@@ -1,0 +1,104 @@
+#include "datasets/workloads.h"
+
+#include "graph/pattern_graph.h"
+
+namespace loom {
+namespace datasets {
+
+using graph::PatternGraph;
+
+query::Workload DblpWorkload(graph::LabelRegistry* reg) {
+  query::Workload w;
+  const graph::LabelId author = reg->Intern("Author");
+  const graph::LabelId paper = reg->Intern("Paper");
+  const graph::LabelId venue = reg->Intern("Venue");
+
+  // Potential collaboration: two authors of one paper.
+  w.Add("coauthor", PatternGraph::Path({author, paper, author}), 0.40);
+  // Citation chain: paper citing a paper citing a paper.
+  w.Add("citation-chain", PatternGraph::Path({paper, paper, paper}), 0.25);
+  // Where does an author publish.
+  w.Add("author-venue", PatternGraph::Path({author, paper, venue}), 0.20);
+  // Indirect collaboration via a cited paper.
+  w.Add("indirect-collab", PatternGraph::Path({author, paper, paper, author}),
+        0.15);
+  return w;
+}
+
+query::Workload ProvGenWorkload(graph::LabelRegistry* reg) {
+  query::Workload w;
+  const graph::LabelId entity = reg->Intern("Entity");
+  const graph::LabelId activity = reg->Intern("Activity");
+  const graph::LabelId agent = reg->Intern("Agent");
+
+  // Direct derivation: entity derived from entity through one activity.
+  w.Add("derivation", PatternGraph::Path({entity, activity, entity}), 0.50);
+  // Attribution: who produced this entity version.
+  w.Add("attribution", PatternGraph::Path({entity, activity, agent}), 0.30);
+  // Two-step lineage (regular path query over the revision chain).
+  w.Add("lineage-2",
+        PatternGraph::Path({entity, activity, entity, activity, entity}), 0.20);
+  return w;
+}
+
+query::Workload MusicBrainzWorkload(graph::LabelRegistry* reg) {
+  query::Workload w;
+  const graph::LabelId artist = reg->Intern("Artist");
+  const graph::LabelId album = reg->Intern("Album");
+  const graph::LabelId label = reg->Intern("Label");
+  const graph::LabelId recording = reg->Intern("Recording");
+  const graph::LabelId work = reg->Intern("Work");
+
+  // Potential collaboration: two artists credited on one recording — the
+  // dominant query (the paper's Sec. 1 motivates exactly this pattern;
+  // MusicBrainz expresses collaboration through recording credits).
+  w.Add("collaboration", PatternGraph::Path({artist, recording, artist}), 0.50);
+  // Label mates: artist and the label publishing their album.
+  w.Add("label-mates", PatternGraph::Path({artist, album, label}), 0.25);
+  // Work lineage: which work an album's recording captures.
+  w.Add("work-of", PatternGraph::Path({album, recording, work}), 0.15);
+  // Shared label: two albums under one label.
+  w.Add("shared-label", PatternGraph::Path({album, label, album}), 0.10);
+  return w;
+}
+
+query::Workload LubmWorkload(graph::LabelRegistry* reg) {
+  query::Workload w;
+  const graph::LabelId full_prof = reg->Intern("FullProfessor");
+  const graph::LabelId grad = reg->Intern("GraduateStudent");
+  const graph::LabelId course = reg->Intern("GraduateCourse");
+  const graph::LabelId publication = reg->Intern("Publication");
+  const graph::LabelId department = reg->Intern("Department");
+  const graph::LabelId university = reg->Intern("University");
+
+  // Co-authorship between faculty and their students — the dominant query.
+  w.Add("coauthor", PatternGraph::Path({full_prof, publication, grad}), 0.45);
+  // LUBM Q2-flavour: students taking a course taught by a professor.
+  w.Add("prof-course-student", PatternGraph::Path({full_prof, course, grad}),
+        0.25);
+  // Organisation drill-down.
+  w.Add("membership", PatternGraph::Path({grad, department, university}), 0.20);
+  // Colleagues: two professors of one department.
+  w.Add("colleagues", PatternGraph::Path({full_prof, department, full_prof}),
+        0.10);
+  return w;
+}
+
+query::Workload Figure1Workload(graph::LabelRegistry* reg) {
+  query::Workload w;
+  const graph::LabelId a = reg->Intern("a");
+  const graph::LabelId b = reg->Intern("b");
+  const graph::LabelId c = reg->Intern("c");
+  const graph::LabelId d = reg->Intern("d");
+
+  // q1: the a-b-a-b square (4 edges), 30%.
+  w.Add("q1", PatternGraph::Cycle({a, b, a, b}), 0.30);
+  // q2: a-b-c path, 60%.
+  w.Add("q2", PatternGraph::Path({a, b, c}), 0.60);
+  // q3: a-b-c-d path, 10%.
+  w.Add("q3", PatternGraph::Path({a, b, c, d}), 0.10);
+  return w;
+}
+
+}  // namespace datasets
+}  // namespace loom

@@ -1,0 +1,39 @@
+// Canonical query workloads per dataset (Sec. 5.1.2, Fig. 6).
+//
+// The paper defines "common-sense queries which focus on discovering
+// implicit relationships", e.g. potential collaboration between authors or
+// artists, and uses LUBM's own query patterns for LUBM. Each builder below
+// interns labels against the dataset's registry so the patterns are
+// guaranteed to reference real edge types of the generated graphs.
+
+#ifndef LOOM_DATASETS_WORKLOADS_H_
+#define LOOM_DATASETS_WORKLOADS_H_
+
+#include "graph/label_registry.h"
+#include "query/query.h"
+
+namespace loom {
+namespace datasets {
+
+/// DBLP: co-authorship, citation chains, venue exploration.
+query::Workload DblpWorkload(graph::LabelRegistry* registry);
+
+/// ProvGen: PROV derivation and attribution chains (mirrors the common PROV
+/// queries of Dey et al. [5]).
+query::Workload ProvGenWorkload(graph::LabelRegistry* registry);
+
+/// MusicBrainz: artist collaboration, label-mates, genre affinity.
+query::Workload MusicBrainzWorkload(graph::LabelRegistry* registry);
+
+/// LUBM: advisor / coursework / co-authorship patterns from the benchmark's
+/// query mix.
+query::Workload LubmWorkload(graph::LabelRegistry* registry);
+
+/// The running example of the paper's Fig. 1: labels a,b,c,d with
+/// Q = {q1: a-b square 30%, q2: a-b-c path 60%, q3: a-b-c-d path 10%}.
+query::Workload Figure1Workload(graph::LabelRegistry* registry);
+
+}  // namespace datasets
+}  // namespace loom
+
+#endif  // LOOM_DATASETS_WORKLOADS_H_

@@ -1,0 +1,133 @@
+#include "eval/experiment.h"
+
+#include "partition/fennel_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "partition/ldg_partitioner.h"
+#include "partition/partition_metrics.h"
+#include "query/workload_runner.h"
+#include "util/timer.h"
+
+namespace loom {
+namespace eval {
+
+std::string ToString(System s) {
+  switch (s) {
+    case System::kHash: return "hash";
+    case System::kLdg: return "ldg";
+    case System::kFennel: return "fennel";
+    case System::kLoom: return "loom";
+  }
+  return "?";
+}
+
+std::vector<System> AllSystems() {
+  return {System::kHash, System::kLdg, System::kFennel, System::kLoom};
+}
+
+const SystemResult* ComparisonResult::Find(System s) const {
+  for (const SystemResult& r : systems) {
+    if (r.system == s) return &r;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<partition::Partitioner> MakePartitioner(
+    System system, const datasets::Dataset& ds,
+    const ExperimentConfig& config) {
+  partition::PartitionerConfig base;
+  base.k = config.k;
+  base.expected_vertices = ds.NumVertices();
+  base.expected_edges = ds.NumEdges();
+
+  switch (system) {
+    case System::kHash:
+      return std::make_unique<partition::HashPartitioner>(base);
+    case System::kLdg:
+      return std::make_unique<partition::LdgPartitioner>(base);
+    case System::kFennel:
+      return std::make_unique<partition::FennelPartitioner>(base);
+    case System::kLoom: {
+      core::LoomOptions options;
+      options.base = base;
+      options.window_size = config.window_size;
+      options.support_threshold = config.support_threshold;
+      options.equal_opportunism = config.equal_opportunism;
+      return std::make_unique<core::LoomPartitioner>(options, ds.workload,
+                                                     ds.registry.size());
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+SystemResult RunCommon(System system, const datasets::Dataset& ds,
+                       const stream::EdgeStream& es,
+                       const ExperimentConfig& config, bool run_queries) {
+  SystemResult result;
+  result.system = system;
+
+  std::unique_ptr<partition::Partitioner> p =
+      MakePartitioner(system, ds, config);
+  util::Timer timer;
+  for (const stream::StreamEdge& e : es) p->Ingest(e);
+  p->Finalize();
+  result.partition_ms = timer.ElapsedMs();
+  result.ms_per_10k_edges =
+      es.empty() ? 0.0
+                 : result.partition_ms * 10000.0 /
+                       static_cast<double>(es.size());
+
+  const partition::Partitioning& partitioning = p->partitioning();
+  result.edge_cut = partition::EdgeCut(ds.graph, partitioning);
+  result.imbalance = partition::Imbalance(partitioning);
+
+  if (run_queries) {
+    query::WorkloadResult wr = query::RunWorkload(ds.graph, partitioning,
+                                                  ds.workload, config.executor);
+    result.weighted_ipt = wr.weighted_ipt;
+    result.matches = wr.total_matches;
+  }
+  return result;
+}
+
+}  // namespace
+
+SystemResult RunSystem(System system, const datasets::Dataset& ds,
+                       const stream::EdgeStream& es,
+                       const ExperimentConfig& config) {
+  return RunCommon(system, ds, es, config, /*run_queries=*/true);
+}
+
+SystemResult RunSystemTimingOnly(System system, const datasets::Dataset& ds,
+                                 const stream::EdgeStream& es,
+                                 const ExperimentConfig& config) {
+  return RunCommon(system, ds, es, config, /*run_queries=*/false);
+}
+
+ComparisonResult RunComparison(const datasets::Dataset& ds,
+                               const ExperimentConfig& config) {
+  ComparisonResult out;
+  out.dataset = ds.meta.name;
+  out.order = config.order;
+  out.k = config.k;
+
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, config.order, config.stream_seed);
+  out.stream_edges = es.size();
+
+  double hash_ipt = 0.0;
+  for (System s : AllSystems()) {
+    SystemResult r = RunSystem(s, ds, es, config);
+    if (s == System::kHash) hash_ipt = r.weighted_ipt;
+    out.systems.push_back(r);
+  }
+  for (SystemResult& r : out.systems) {
+    r.ipt_vs_hash = hash_ipt > 0.0 ? r.weighted_ipt / hash_ipt
+                                   : (r.weighted_ipt > 0.0 ? 1.0 : 0.0);
+  }
+  return out;
+}
+
+}  // namespace eval
+}  // namespace loom

@@ -1,0 +1,88 @@
+// The experiment harness behind every paper figure/table: stream a dataset
+// in a chosen order through each partitioner, then execute the dataset's
+// workload over the finished partitioning and count ipt.
+
+#ifndef LOOM_EVAL_EXPERIMENT_H_
+#define LOOM_EVAL_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/loom_partitioner.h"
+#include "datasets/schema.h"
+#include "partition/partitioner.h"
+#include "query/query_executor.h"
+#include "stream/stream_order.h"
+
+namespace loom {
+namespace eval {
+
+/// The four compared systems (Sec. 5.1).
+enum class System { kHash, kLdg, kFennel, kLoom };
+
+std::string ToString(System s);
+std::vector<System> AllSystems();
+
+/// Everything one comparison run needs.
+struct ExperimentConfig {
+  uint32_t k = 8;
+  stream::StreamOrder order = stream::StreamOrder::kBreadthFirst;
+  uint64_t stream_seed = 0x10c5;
+
+  /// Loom knobs (base.k / expected sizes are filled from the dataset).
+  size_t window_size = 10000;
+  double support_threshold = 0.4;
+  core::EqualOpportunismConfig equal_opportunism;
+
+  /// Query-executor caps (identical across systems: fair relative ipt).
+  query::ExecutorConfig executor{.max_seeds = 4000,
+                                 .max_matches_per_seed = 256};
+};
+
+/// Outcome of one (dataset, order, k, system) cell.
+struct SystemResult {
+  System system = System::kHash;
+  double weighted_ipt = 0.0;
+  double ipt_vs_hash = 1.0;  // filled by RunComparison (1.0 for hash itself)
+  uint64_t matches = 0;
+  size_t edge_cut = 0;
+  double imbalance = 0.0;
+  double partition_ms = 0.0;      // wall time to consume the whole stream
+  double ms_per_10k_edges = 0.0;  // Table 2's measure
+};
+
+struct ComparisonResult {
+  std::string dataset;
+  stream::StreamOrder order = stream::StreamOrder::kBreadthFirst;
+  uint32_t k = 8;
+  size_t stream_edges = 0;
+  std::vector<SystemResult> systems;
+
+  const SystemResult* Find(System s) const;
+};
+
+/// Instantiates a partitioner for `system`, sized for `ds`.
+std::unique_ptr<partition::Partitioner> MakePartitioner(
+    System system, const datasets::Dataset& ds, const ExperimentConfig& config);
+
+/// Streams `es` through `system`'s partitioner (timed), finalizes, measures
+/// edge-cut/imbalance and executes the dataset workload for ipt.
+SystemResult RunSystem(System system, const datasets::Dataset& ds,
+                       const stream::EdgeStream& es,
+                       const ExperimentConfig& config);
+
+/// Runs all four systems over the same stream and fills ipt_vs_hash.
+ComparisonResult RunComparison(const datasets::Dataset& ds,
+                               const ExperimentConfig& config);
+
+/// Variant measuring only partitioning throughput (no query execution);
+/// used by Table 2 where LUBM-4000 is partitioned but never queried.
+SystemResult RunSystemTimingOnly(System system, const datasets::Dataset& ds,
+                                 const stream::EdgeStream& es,
+                                 const ExperimentConfig& config);
+
+}  // namespace eval
+}  // namespace loom
+
+#endif  // LOOM_EVAL_EXPERIMENT_H_

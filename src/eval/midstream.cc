@@ -1,0 +1,97 @@
+#include "eval/midstream.h"
+
+#include <algorithm>
+
+#include "query/workload_runner.h"
+
+namespace loom {
+namespace eval {
+
+namespace {
+
+// Prefix graph over the first `count` stream edges, preserving vertex ids
+// and labels of the full graph (untouched vertices are isolated).
+graph::LabeledGraph PrefixGraph(const datasets::Dataset& ds,
+                                const stream::EdgeStream& es, size_t count) {
+  graph::LabeledGraph::Builder b;
+  for (graph::VertexId v = 0; v < ds.NumVertices(); ++v) {
+    b.AddVertex(ds.graph.label(v));
+  }
+  for (size_t i = 0; i < count && i < es.size(); ++i) {
+    b.AddEdge(es[i].u, es[i].v);
+  }
+  return b.Build();
+}
+
+// Partitioning view with k+1 partitions where every touched-but-unassigned
+// vertex lives in partition k (Ptemp).
+partition::Partitioning WithPtemp(const partition::Partitioning& p,
+                                  const graph::LabeledGraph& prefix,
+                                  size_t* in_ptemp, size_t* touched) {
+  partition::Partitioning view(p.k() + 1, prefix.NumVertices(), /*nu=*/2.0);
+  *in_ptemp = 0;
+  *touched = 0;
+  for (graph::VertexId v = 0; v < prefix.NumVertices(); ++v) {
+    if (prefix.Degree(v) == 0) continue;  // not streamed yet
+    ++*touched;
+    graph::PartitionId pid = p.PartitionOf(v);
+    if (pid == graph::kNoPartition) {
+      pid = p.k();  // Ptemp
+      ++*in_ptemp;
+    }
+    view.Assign(v, pid);
+  }
+  return view;
+}
+
+}  // namespace
+
+MidstreamResult RunLoomMidstream(const datasets::Dataset& ds,
+                                 const stream::EdgeStream& es,
+                                 const core::LoomOptions& options,
+                                 const MidstreamConfig& config) {
+  MidstreamResult result;
+  if (es.empty() || config.num_checkpoints == 0) return result;
+
+  core::LoomPartitioner loom(options, ds.workload, ds.registry.size());
+  const size_t stride =
+      std::max<size_t>(es.size() / config.num_checkpoints, 1);
+
+  size_t next_checkpoint = stride;
+  for (size_t i = 0; i < es.size(); ++i) {
+    loom.Ingest(es[i]);
+    const bool at_stride = i + 1 == next_checkpoint;
+    const bool at_end =
+        i + 1 == es.size() &&
+        (result.checkpoints.empty() ||
+         result.checkpoints.back().edges_streamed != i + 1);
+    if (at_stride || at_end) {
+      next_checkpoint += stride;
+      graph::LabeledGraph prefix = PrefixGraph(ds, es, i + 1);
+      size_t in_ptemp = 0, touched = 0;
+      partition::Partitioning view =
+          WithPtemp(loom.partitioning(), prefix, &in_ptemp, &touched);
+      query::WorkloadResult wr =
+          query::RunWorkload(prefix, view, ds.workload, config.executor);
+      CheckpointResult cp;
+      cp.edges_streamed = i + 1;
+      cp.weighted_ipt = wr.weighted_ipt;
+      cp.ptemp_share =
+          touched > 0 ? static_cast<double>(in_ptemp) / touched : 0.0;
+      result.checkpoints.push_back(cp);
+    }
+  }
+
+  double total = 0.0;
+  for (const CheckpointResult& cp : result.checkpoints) {
+    total += cp.weighted_ipt;
+  }
+  result.mean_weighted_ipt =
+      result.checkpoints.empty()
+          ? 0.0
+          : total / static_cast<double>(result.checkpoints.size());
+  return result;
+}
+
+}  // namespace eval
+}  // namespace loom

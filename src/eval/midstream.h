@@ -1,0 +1,59 @@
+// Mid-stream evaluation with Ptemp as an extra partition (Sec. 3 / 5.3).
+//
+// The paper notes that the sliding window is itself a temporary partition:
+// edges buffered in Ptemp are queryable before permanent placement, and a
+// window that is too large becomes its own source of inter-partition
+// traversals. The end-of-stream measurements of Figs. 7-9 cannot see this
+// cost; this harness can. At evenly spaced checkpoints it materialises the
+// streamed-so-far prefix graph, views still-unassigned vertices as living in
+// the extra partition k (= Ptemp), executes the workload, and reports the
+// ipt — so the window-size trade-off of Sec. 5.3's closing paragraph is
+// measurable.
+
+#ifndef LOOM_EVAL_MIDSTREAM_H_
+#define LOOM_EVAL_MIDSTREAM_H_
+
+#include <vector>
+
+#include "core/loom_partitioner.h"
+#include "datasets/schema.h"
+#include "query/query_executor.h"
+#include "stream/edge_stream.h"
+
+namespace loom {
+namespace eval {
+
+struct MidstreamConfig {
+  /// Number of evenly spaced evaluation points over the stream.
+  size_t num_checkpoints = 4;
+  query::ExecutorConfig executor{.max_seeds = 1000,
+                                 .max_matches_per_seed = 128};
+};
+
+struct CheckpointResult {
+  size_t edges_streamed = 0;
+  /// Workload-weighted ipt over the prefix graph, with unassigned vertices
+  /// charged to the Ptemp partition.
+  double weighted_ipt = 0.0;
+  /// Fraction of touched vertices still resident in Ptemp.
+  double ptemp_share = 0.0;
+};
+
+struct MidstreamResult {
+  std::vector<CheckpointResult> checkpoints;
+  /// Mean weighted ipt over the checkpoints — the headline number the
+  /// window-size ablation compares.
+  double mean_weighted_ipt = 0.0;
+};
+
+/// Streams `es` through a fresh Loom configured by `options`, evaluating at
+/// checkpoints. `ds` supplies labels and the workload.
+MidstreamResult RunLoomMidstream(const datasets::Dataset& ds,
+                                 const stream::EdgeStream& es,
+                                 const core::LoomOptions& options,
+                                 const MidstreamConfig& config = {});
+
+}  // namespace eval
+}  // namespace loom
+
+#endif  // LOOM_EVAL_MIDSTREAM_H_

@@ -1,0 +1,70 @@
+#include "eval/report.h"
+
+#include <cstdio>
+
+#include "util/table_writer.h"
+
+namespace loom {
+namespace eval {
+
+void PrintRelativeIptTable(const std::vector<ComparisonResult>& results,
+                           std::ostream& os) {
+  util::TableWriter t(
+      {"dataset", "order", "k", "hash", "ldg", "fennel", "loom",
+       "loom vs fennel"});
+  for (const ComparisonResult& r : results) {
+    const SystemResult* fennel = r.Find(System::kFennel);
+    const SystemResult* loom = r.Find(System::kLoom);
+    const double loom_vs_fennel =
+        (fennel != nullptr && loom != nullptr && fennel->weighted_ipt > 0)
+            ? 1.0 - loom->weighted_ipt / fennel->weighted_ipt
+            : 0.0;
+    std::vector<std::string> row = {r.dataset, stream::ToString(r.order),
+                                    std::to_string(r.k)};
+    for (System s : AllSystems()) {
+      const SystemResult* sr = r.Find(s);
+      row.push_back(sr != nullptr ? util::TableWriter::Pct(sr->ipt_vs_hash)
+                                  : "-");
+    }
+    // Positive = Loom suffered fewer ipt than Fennel (an improvement).
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+.1f%%", loom_vs_fennel * 100.0);
+    row.push_back(buf);
+    t.AddRow(std::move(row));
+  }
+  t.Print(os);
+}
+
+void PrintTimingTable(const std::vector<ComparisonResult>& results,
+                      std::ostream& os) {
+  util::TableWriter t({"dataset", "ldg (ms)", "fennel (ms)", "loom (ms)",
+                       "hash (ms)"});
+  for (const ComparisonResult& r : results) {
+    auto cell = [&](System s) {
+      const SystemResult* sr = r.Find(s);
+      return sr != nullptr ? util::TableWriter::Fmt(sr->ms_per_10k_edges, 1)
+                           : std::string("-");
+    };
+    t.AddRow({r.dataset, cell(System::kLdg), cell(System::kFennel),
+              cell(System::kLoom), cell(System::kHash)});
+  }
+  t.Print(os);
+}
+
+void PrintImbalanceTable(const std::vector<ComparisonResult>& results,
+                         std::ostream& os) {
+  util::TableWriter t({"dataset", "hash", "ldg", "fennel", "loom"});
+  for (const ComparisonResult& r : results) {
+    auto cell = [&](System s) {
+      const SystemResult* sr = r.Find(s);
+      return sr != nullptr ? util::TableWriter::Pct(sr->imbalance)
+                           : std::string("-");
+    };
+    t.AddRow({r.dataset, cell(System::kHash), cell(System::kLdg),
+              cell(System::kFennel), cell(System::kLoom)});
+  }
+  t.Print(os);
+}
+
+}  // namespace eval
+}  // namespace loom

@@ -1,0 +1,31 @@
+// Rendering helpers: turn ComparisonResults into the tables/series the paper
+// prints (ipt relative to Hash, timing rows, balance notes).
+
+#ifndef LOOM_EVAL_REPORT_H_
+#define LOOM_EVAL_REPORT_H_
+
+#include <ostream>
+#include <vector>
+
+#include "eval/experiment.h"
+
+namespace loom {
+namespace eval {
+
+/// Prints one Fig. 7/8-style block: rows = datasets, columns = systems,
+/// cells = ipt as % of Hash's ipt (lower is better).
+void PrintRelativeIptTable(const std::vector<ComparisonResult>& results,
+                           std::ostream& os);
+
+/// Prints a Table 2-style block: ms to partition 10k edges per system.
+void PrintTimingTable(const std::vector<ComparisonResult>& results,
+                      std::ostream& os);
+
+/// Prints imbalance per system (the §5.2 prose numbers).
+void PrintImbalanceTable(const std::vector<ComparisonResult>& results,
+                         std::ostream& os);
+
+}  // namespace eval
+}  // namespace loom
+
+#endif  // LOOM_EVAL_REPORT_H_

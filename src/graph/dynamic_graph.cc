@@ -1,0 +1,37 @@
+#include "graph/dynamic_graph.h"
+
+#include <cassert>
+
+namespace loom {
+namespace graph {
+
+void DynamicGraph::Reserve(size_t n) {
+  if (labels_.size() < n) {
+    labels_.resize(n, kInvalidLabel);
+    adj_.resize(n);
+  }
+}
+
+void DynamicGraph::TouchVertex(VertexId v, LabelId label) {
+  assert(label != kInvalidLabel);
+  if (v >= labels_.size()) {
+    labels_.resize(v + 1, kInvalidLabel);
+    adj_.resize(v + 1);
+  }
+  if (labels_[v] == kInvalidLabel) {
+    labels_[v] = label;
+    ++num_vertices_;
+  } else {
+    assert(labels_[v] == label && "vertex relabelled with a different label");
+  }
+}
+
+void DynamicGraph::AddEdge(VertexId u, VertexId v) {
+  assert(Known(u) && Known(v));
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  ++num_edges_;
+}
+
+}  // namespace graph
+}  // namespace loom

@@ -1,0 +1,73 @@
+// Incrementally growable labelled graph.
+//
+// Streaming partitioners (LDG, Fennel, Loom) see the graph one edge at a
+// time; heuristics like "number of neighbours already in partition S" need
+// the adjacency of the streamed-so-far prefix. DynamicGraph provides that:
+// O(1) amortised edge insertion, label assignment on first sight of a
+// vertex, and neighbour iteration.
+
+#ifndef LOOM_GRAPH_DYNAMIC_GRAPH_H_
+#define LOOM_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace loom {
+namespace graph {
+
+/// Adjacency-list labelled graph supporting online edge insertion. Vertex
+/// ids are externally assigned (dense in practice: dataset generators number
+/// vertices 0..n-1); the structure grows to accommodate the largest id seen.
+class DynamicGraph {
+ public:
+  DynamicGraph() = default;
+
+  /// Optionally pre-sizes internal arrays for `n` vertices.
+  explicit DynamicGraph(size_t n) { Reserve(n); }
+
+  void Reserve(size_t n);
+
+  /// Records vertex `v` with `label`. Idempotent; relabeling an existing
+  /// vertex with a different label is a programming error (asserted).
+  void TouchVertex(VertexId v, LabelId label);
+
+  /// Inserts undirected edge (u,v); both endpoints must have been touched.
+  /// Duplicate edges are permitted (callers dedupe upstream if needed).
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Number of vertex slots (max touched id + 1; untouched slots have
+  /// kInvalidLabel and degree 0).
+  size_t NumSlots() const { return labels_.size(); }
+
+  /// Number of vertices actually touched.
+  size_t NumVertices() const { return num_vertices_; }
+
+  /// Number of inserted edges.
+  size_t NumEdges() const { return num_edges_; }
+
+  bool Known(VertexId v) const {
+    return v < labels_.size() && labels_[v] != kInvalidLabel;
+  }
+
+  LabelId label(VertexId v) const { return labels_[v]; }
+
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    if (v >= adj_.size()) return {};
+    return {adj_[v].data(), adj_[v].size()};
+  }
+
+  size_t Degree(VertexId v) const { return v < adj_.size() ? adj_[v].size() : 0; }
+
+ private:
+  std::vector<LabelId> labels_;
+  std::vector<std::vector<VertexId>> adj_;
+  size_t num_vertices_ = 0;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace graph
+}  // namespace loom
+
+#endif  // LOOM_GRAPH_DYNAMIC_GRAPH_H_

@@ -1,0 +1,123 @@
+#include "graph/graph_algos.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+namespace loom {
+namespace graph {
+
+namespace {
+
+// Shared skeleton for BFS/DFS edge discovery. `lifo` selects stack vs queue.
+std::vector<EdgeId> SearchEdgeOrder(const LabeledGraph& g, bool lifo) {
+  const size_t n = g.NumVertices();
+  std::vector<EdgeId> order;
+  order.reserve(g.NumEdges());
+  std::vector<bool> edge_seen(g.NumEdges(), false);
+  std::vector<bool> vertex_seen(n, false);
+  std::deque<VertexId> frontier;
+
+  for (VertexId root = 0; root < n; ++root) {
+    if (vertex_seen[root]) continue;
+    vertex_seen[root] = true;
+    frontier.push_back(root);
+    while (!frontier.empty()) {
+      VertexId v;
+      if (lifo) {
+        v = frontier.back();
+        frontier.pop_back();
+      } else {
+        v = frontier.front();
+        frontier.pop_front();
+      }
+      auto nbrs = g.Neighbors(v);
+      auto eids = g.IncidentEdges(v);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        EdgeId eid = eids[i];
+        if (!edge_seen[eid]) {
+          edge_seen[eid] = true;
+          order.push_back(eid);
+        }
+        VertexId w = nbrs[i];
+        if (!vertex_seen[w]) {
+          vertex_seen[w] = true;
+          frontier.push_back(w);
+        }
+      }
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+std::vector<EdgeId> BfsEdgeOrder(const LabeledGraph& g) {
+  return SearchEdgeOrder(g, /*lifo=*/false);
+}
+
+std::vector<EdgeId> DfsEdgeOrder(const LabeledGraph& g) {
+  return SearchEdgeOrder(g, /*lifo=*/true);
+}
+
+std::vector<EdgeId> RandomEdgeOrder(const LabeledGraph& g, util::Rng* rng) {
+  std::vector<EdgeId> order(g.NumEdges());
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+  return order;
+}
+
+std::vector<uint32_t> ConnectedComponents(const LabeledGraph& g,
+                                          size_t* num_components) {
+  const size_t n = g.NumVertices();
+  std::vector<uint32_t> comp(n, static_cast<uint32_t>(-1));
+  uint32_t next = 0;
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (comp[root] != static_cast<uint32_t>(-1)) continue;
+    comp[root] = next;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      VertexId v = stack.back();
+      stack.pop_back();
+      for (VertexId w : g.Neighbors(v)) {
+        if (comp[w] == static_cast<uint32_t>(-1)) {
+          comp[w] = next;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components != nullptr) *num_components = next;
+  return comp;
+}
+
+LabeledGraph DropIsolatedVertices(const LabeledGraph& g) {
+  std::vector<VertexId> remap(g.NumVertices(), kInvalidVertex);
+  LabeledGraph::Builder b;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (g.Degree(v) > 0) remap[v] = b.AddVertex(g.label(v));
+  }
+  for (const Edge& e : g.edges()) b.AddEdge(remap[e.u], remap[e.v]);
+  return b.Build();
+}
+
+DegreeStats ComputeDegreeStats(const LabeledGraph& g) {
+  DegreeStats s;
+  const size_t n = g.NumVertices();
+  if (n == 0) return s;
+  s.min = g.Degree(0);
+  size_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    size_t d = g.Degree(v);
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+    total += d;
+  }
+  s.mean = static_cast<double>(total) / static_cast<double>(n);
+  return s;
+}
+
+}  // namespace graph
+}  // namespace loom

@@ -1,0 +1,97 @@
+#include "graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/string_util.h"
+
+namespace loom {
+namespace graph {
+
+void WriteGraph(const LabeledGraph& g, const LabelRegistry& registry,
+                std::ostream& os) {
+  os << "# loom graph: " << g.NumVertices() << " vertices, " << g.NumEdges()
+     << " edges, " << registry.size() << " labels\n";
+  for (const std::string& name : registry.names()) os << "L " << name << "\n";
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    os << "V " << v << " " << g.label(v) << "\n";
+  }
+  for (const Edge& e : g.edges()) os << "E " << e.u << " " << e.v << "\n";
+}
+
+LabeledGraph ReadGraph(std::istream& is, LabelRegistry* registry) {
+  LabeledGraph::Builder builder;
+  std::string line;
+  size_t line_no = 0;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  std::vector<std::pair<VertexId, LabelId>> vertices;
+  VertexId max_vertex = 0;
+  bool any_vertex = false;
+
+  while (std::getline(is, line)) {
+    ++line_no;
+    line = util::Trim(line);
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char kind;
+    ls >> kind;
+    auto fail = [&](const std::string& why) {
+      throw std::runtime_error("graph parse error at line " +
+                               std::to_string(line_no) + ": " + why);
+    };
+    if (kind == 'L') {
+      std::string name;
+      ls >> name;
+      if (name.empty()) fail("label name missing");
+      registry->Intern(name);
+    } else if (kind == 'V') {
+      uint64_t v, l;
+      if (!(ls >> v >> l)) fail("expected 'V <id> <label-id>'");
+      if (l >= registry->size()) fail("label id out of range");
+      vertices.emplace_back(static_cast<VertexId>(v), static_cast<LabelId>(l));
+      max_vertex = std::max(max_vertex, static_cast<VertexId>(v));
+      any_vertex = true;
+    } else if (kind == 'E') {
+      uint64_t u, v;
+      if (!(ls >> u >> v)) fail("expected 'E <u> <v>'");
+      edges.emplace_back(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    } else {
+      fail(std::string("unknown record kind '") + kind + "'");
+    }
+  }
+
+  const size_t n = any_vertex ? static_cast<size_t>(max_vertex) + 1 : 0;
+  std::vector<LabelId> labels(n, kInvalidLabel);
+  for (auto [v, l] : vertices) labels[v] = l;
+  for (size_t v = 0; v < n; ++v) {
+    if (labels[v] == kInvalidLabel) {
+      throw std::runtime_error("graph parse error: vertex " + std::to_string(v) +
+                               " missing (ids must be dense)");
+    }
+    builder.AddVertex(labels[v]);
+  }
+  for (auto [u, v] : edges) {
+    if (u >= n || v >= n) {
+      throw std::runtime_error("graph parse error: edge endpoint out of range");
+    }
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+void WriteGraphFile(const LabeledGraph& g, const LabelRegistry& registry,
+                    const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open for write: " + path);
+  WriteGraph(g, registry, os);
+}
+
+LabeledGraph ReadGraphFile(const std::string& path, LabelRegistry* registry) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open for read: " + path);
+  return ReadGraph(is, registry);
+}
+
+}  // namespace graph
+}  // namespace loom

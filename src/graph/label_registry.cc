@@ -1,0 +1,32 @@
+#include "graph/label_registry.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace loom {
+namespace graph {
+
+LabelId LabelRegistry::Intern(const std::string& name) {
+  auto it = ids_.find(name);
+  if (it != ids_.end()) return it->second;
+  if (names_.size() >= kInvalidLabel) {
+    throw std::length_error("LabelRegistry: label space exhausted");
+  }
+  LabelId id = static_cast<LabelId>(names_.size());
+  names_.push_back(name);
+  ids_.emplace(name, id);
+  return id;
+}
+
+LabelId LabelRegistry::Find(const std::string& name) const {
+  auto it = ids_.find(name);
+  return it == ids_.end() ? kInvalidLabel : it->second;
+}
+
+const std::string& LabelRegistry::Name(LabelId id) const {
+  assert(id < names_.size());
+  return names_[id];
+}
+
+}  // namespace graph
+}  // namespace loom

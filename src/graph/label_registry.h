@@ -1,0 +1,46 @@
+// Bidirectional mapping between human-readable label names ("Artist",
+// "Paper", ...) and dense LabelId values. One registry per dataset/schema.
+
+#ifndef LOOM_GRAPH_LABEL_REGISTRY_H_
+#define LOOM_GRAPH_LABEL_REGISTRY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace loom {
+namespace graph {
+
+/// Interns label names. Dense ids are assigned in insertion order, which
+/// makes label ids (and hence signature random values) deterministic when a
+/// schema registers its labels in a fixed order.
+class LabelRegistry {
+ public:
+  LabelRegistry() = default;
+
+  /// Returns the id for `name`, interning it if previously unseen.
+  LabelId Intern(const std::string& name);
+
+  /// Returns the id for `name`, or kInvalidLabel if never interned.
+  LabelId Find(const std::string& name) const;
+
+  /// Returns the name for `id`. Requires a valid, interned id.
+  const std::string& Name(LabelId id) const;
+
+  /// Number of distinct labels (the paper's |LV|).
+  size_t size() const { return names_.size(); }
+
+  /// All names in id order.
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, LabelId> ids_;
+};
+
+}  // namespace graph
+}  // namespace loom
+
+#endif  // LOOM_GRAPH_LABEL_REGISTRY_H_

@@ -1,0 +1,104 @@
+#include "graph/pattern_graph.h"
+
+#include <cassert>
+
+#include "util/string_util.h"
+
+namespace loom {
+namespace graph {
+
+VertexId PatternGraph::AddVertex(LabelId label) {
+  VertexId id = static_cast<VertexId>(labels_.size());
+  labels_.push_back(label);
+  adj_.emplace_back();
+  return id;
+}
+
+bool PatternGraph::AddEdge(VertexId u, VertexId v) {
+  assert(u < labels_.size() && v < labels_.size());
+  if (u == v) return false;
+  if (HasEdge(u, v)) return false;
+  edges_.emplace_back(u, v);
+  adj_[u].push_back(v);
+  adj_[v].push_back(u);
+  return true;
+}
+
+bool PatternGraph::HasEdge(VertexId u, VertexId v) const {
+  for (VertexId w : adj_[u]) {
+    if (w == v) return true;
+  }
+  return false;
+}
+
+bool PatternGraph::IsConnected() const {
+  if (labels_.size() <= 1) return true;
+  std::vector<bool> seen(labels_.size(), false);
+  std::vector<VertexId> stack = {0};
+  seen[0] = true;
+  size_t count = 1;
+  while (!stack.empty()) {
+    VertexId v = stack.back();
+    stack.pop_back();
+    for (VertexId w : adj_[v]) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++count;
+        stack.push_back(w);
+      }
+    }
+  }
+  return count == labels_.size();
+}
+
+PatternGraph PatternGraph::Path(const std::vector<LabelId>& labels) {
+  PatternGraph p;
+  VertexId prev = kInvalidVertex;
+  for (LabelId l : labels) {
+    VertexId v = p.AddVertex(l);
+    if (prev != kInvalidVertex) p.AddEdge(prev, v);
+    prev = v;
+  }
+  return p;
+}
+
+PatternGraph PatternGraph::Cycle(const std::vector<LabelId>& labels) {
+  assert(labels.size() >= 3);
+  PatternGraph p = Path(labels);
+  p.AddEdge(static_cast<VertexId>(labels.size() - 1), 0);
+  return p;
+}
+
+PatternGraph PatternGraph::Star(LabelId center, const std::vector<LabelId>& leaves) {
+  PatternGraph p;
+  VertexId c = p.AddVertex(center);
+  for (LabelId l : leaves) {
+    VertexId leaf = p.AddVertex(l);
+    p.AddEdge(c, leaf);
+  }
+  return p;
+}
+
+PatternGraph PatternGraph::ParsePath(const std::string& spec,
+                                     LabelRegistry* registry) {
+  std::vector<LabelId> labels;
+  for (const std::string& part : util::Split(spec, '-')) {
+    labels.push_back(registry->Intern(util::Trim(part)));
+  }
+  return Path(labels);
+}
+
+std::string PatternGraph::ToString(const LabelRegistry& registry) const {
+  std::string out = "[";
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (i) out += ", ";
+    out += registry.Name(labels_[edges_[i].u]);
+    out += "-";
+    out += registry.Name(labels_[edges_[i].v]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace graph
+}  // namespace loom

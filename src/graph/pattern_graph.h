@@ -1,0 +1,74 @@
+// Small labelled query/pattern graphs (the paper's q = (Vq, Eq)).
+//
+// Pattern graphs are tiny (the paper: "of the order of 10 edges"), so we use
+// simple vectors and O(degree) scans; clarity over asymptotics. They feed
+// both the TPSTry++ construction (Sec. 2) and the query executor (Sec. 5).
+
+#ifndef LOOM_GRAPH_PATTERN_GRAPH_H_
+#define LOOM_GRAPH_PATTERN_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/label_registry.h"
+#include "graph/types.h"
+
+namespace loom {
+namespace graph {
+
+/// A connected labelled pattern graph with dense vertex ids 0..n-1.
+class PatternGraph {
+ public:
+  PatternGraph() = default;
+
+  /// Adds a vertex with the given label; returns its id.
+  VertexId AddVertex(LabelId label);
+
+  /// Adds an undirected edge; both endpoints must exist, no self loops.
+  /// Duplicate edges are rejected (returns false).
+  bool AddEdge(VertexId u, VertexId v);
+
+  size_t NumVertices() const { return labels_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  LabelId label(VertexId v) const { return labels_[v]; }
+  const std::vector<LabelId>& labels() const { return labels_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  const Edge& edge(EdgeId e) const { return edges_[e]; }
+
+  /// Neighbour list of v (rebuilt lazily is avoided: maintained on insert).
+  const std::vector<VertexId>& Neighbors(VertexId v) const { return adj_[v]; }
+  size_t Degree(VertexId v) const { return adj_[v].size(); }
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// True if the pattern is connected (empty/1-vertex patterns count as
+  /// connected). The paper's queries are always connected.
+  bool IsConnected() const;
+
+  /// Builds a path pattern l0 - l1 - ... - lk (k edges).
+  static PatternGraph Path(const std::vector<LabelId>& labels);
+
+  /// Builds a cycle pattern over the given labels (>= 3 vertices).
+  static PatternGraph Cycle(const std::vector<LabelId>& labels);
+
+  /// Builds a star: `center` connected to each leaf label.
+  static PatternGraph Star(LabelId center, const std::vector<LabelId>& leaves);
+
+  /// Parses a path shorthand like "a-b-c" against `registry` (interning
+  /// missing labels). Convenience for tests and examples.
+  static PatternGraph ParsePath(const std::string& spec, LabelRegistry* registry);
+
+  /// Human-readable description, e.g. "[a-b, b-c]" using `registry` names.
+  std::string ToString(const LabelRegistry& registry) const;
+
+ private:
+  std::vector<LabelId> labels_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<VertexId>> adj_;
+};
+
+}  // namespace graph
+}  // namespace loom
+
+#endif  // LOOM_GRAPH_PATTERN_GRAPH_H_

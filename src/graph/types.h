@@ -1,0 +1,76 @@
+// Fundamental identifier types shared by every graph-handling module.
+//
+// Loom's paper model (Sec. 1.3): a labelled graph G = (V, E, LV, fl) with a
+// surjective vertex->label map. All graphs in this library are undirected;
+// the signature module notes inline how each technique extends to directed
+// edges, mirroring the paper.
+
+#ifndef LOOM_GRAPH_TYPES_H_
+#define LOOM_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace loom {
+namespace graph {
+
+/// Dense vertex identifier. Vertices are numbered 0..n-1 per graph.
+using VertexId = uint32_t;
+
+/// Dense edge identifier: index into a graph's (or stream's) edge list.
+using EdgeId = uint32_t;
+
+/// Dense label identifier managed by LabelRegistry. The paper's |LV| is
+/// small (3-15 across its datasets), so 16 bits is generous.
+using LabelId = uint16_t;
+
+/// Partition index in a k-way partitioning.
+using PartitionId = uint32_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+inline constexpr EdgeId kInvalidEdge = std::numeric_limits<EdgeId>::max();
+inline constexpr LabelId kInvalidLabel = std::numeric_limits<LabelId>::max();
+inline constexpr PartitionId kNoPartition = std::numeric_limits<PartitionId>::max();
+
+/// An undirected edge between two vertices. Never a self-loop in built
+/// graphs (builders reject/drop them). Stored un-normalised; use Normalized()
+/// when a canonical (min,max) orientation is needed for identity.
+struct Edge {
+  VertexId u = kInvalidVertex;
+  VertexId v = kInvalidVertex;
+
+  Edge() = default;
+  Edge(VertexId a, VertexId b) : u(a), v(b) {}
+
+  /// Canonical orientation with u <= v; undirected identity.
+  Edge Normalized() const { return u <= v ? Edge(u, v) : Edge(v, u); }
+
+  /// The endpoint that is not `w`. Requires w to be an endpoint.
+  VertexId Other(VertexId w) const { return w == u ? v : u; }
+
+  /// True if `w` is an endpoint.
+  bool Incident(VertexId w) const { return w == u || w == v; }
+
+  friend bool operator==(const Edge& a, const Edge& b) {
+    Edge na = a.Normalized(), nb = b.Normalized();
+    return na.u == nb.u && na.v == nb.v;
+  }
+};
+
+/// Hash over the normalised endpoint pair, so (u,v) and (v,u) collide.
+struct EdgeHash {
+  size_t operator()(const Edge& e) const {
+    Edge n = e.Normalized();
+    uint64_t key = (static_cast<uint64_t>(n.u) << 32) | n.v;
+    // SplitMix64 finaliser: cheap, well distributed.
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(key ^ (key >> 31));
+  }
+};
+
+}  // namespace graph
+}  // namespace loom
+
+#endif  // LOOM_GRAPH_TYPES_H_

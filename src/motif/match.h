@@ -1,0 +1,56 @@
+// A motif-matching sub-graph inside the sliding window (Sec. 3).
+//
+// The paper's matchList entries are pairs ⟨Ei, mi⟩: a set of window edges Ei
+// whose induced sub-graph has the same signature as motif mi. We add the
+// (derivable) vertex set because the allocator's bid function (Eq. 1) scores
+// matches by vertex overlap with partitions.
+
+#ifndef LOOM_MOTIF_MATCH_H_
+#define LOOM_MOTIF_MATCH_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace loom {
+namespace motif {
+
+/// One ⟨edge-set, motif⟩ pair. Immutable after construction except for the
+/// liveness flag (matches die when any constituent edge is assigned to a
+/// permanent partition and leaves the window).
+struct Match {
+  std::vector<graph::EdgeId> edges;      // sorted stream edge ids
+  std::vector<graph::VertexId> vertices; // sorted vertex ids
+  uint32_t node_id = 0;                  // TPSTry++ motif node
+  bool alive = true;
+
+  bool ContainsEdge(graph::EdgeId e) const {
+    return std::binary_search(edges.begin(), edges.end(), e);
+  }
+  bool ContainsVertex(graph::VertexId v) const {
+    return std::binary_search(vertices.begin(), vertices.end(), v);
+  }
+
+  /// Content key for de-duplication: hashes (node_id, edges). Two matches
+  /// with the same edge set and motif are the same match.
+  uint64_t Key() const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t x) {
+      h ^= x;
+      h *= 0x100000001b3ULL;
+    };
+    mix(node_id);
+    for (graph::EdgeId e : edges) mix(e + 1);
+    return h;
+  }
+};
+
+using MatchPtr = std::shared_ptr<Match>;
+
+}  // namespace motif
+}  // namespace loom
+
+#endif  // LOOM_MOTIF_MATCH_H_

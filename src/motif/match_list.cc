@@ -1,0 +1,86 @@
+#include "motif/match_list.h"
+
+namespace loom {
+namespace motif {
+
+bool MatchList::Add(const MatchPtr& m) {
+  const uint64_t key = m->Key();
+  if (!live_keys_.insert(key).second) return false;
+  for (graph::VertexId v : m->vertices) by_vertex_[v].push_back(m);
+  for (graph::EdgeId e : m->edges) by_edge_[e].push_back(m);
+  ++live_count_;
+  ++total_added_;
+  return true;
+}
+
+std::vector<MatchPtr> MatchList::LiveAt(graph::VertexId v) const {
+  std::vector<MatchPtr> out;
+  auto it = by_vertex_.find(v);
+  if (it == by_vertex_.end()) return out;
+  out.reserve(it->second.size());
+  for (const MatchPtr& m : it->second) {
+    if (m->alive) out.push_back(m);
+  }
+  return out;
+}
+
+bool MatchList::HasLiveAt(graph::VertexId v) const {
+  auto it = by_vertex_.find(v);
+  if (it == by_vertex_.end()) return false;
+  for (const MatchPtr& m : it->second) {
+    if (m->alive) return true;
+  }
+  return false;
+}
+
+std::vector<MatchPtr> MatchList::LiveWithEdge(graph::EdgeId e) const {
+  std::vector<MatchPtr> out;
+  auto it = by_edge_.find(e);
+  if (it == by_edge_.end()) return out;
+  out.reserve(it->second.size());
+  for (const MatchPtr& m : it->second) {
+    if (m->alive) out.push_back(m);
+  }
+  return out;
+}
+
+void MatchList::RemoveMatchesWithEdge(graph::EdgeId e) {
+  auto it = by_edge_.find(e);
+  if (it == by_edge_.end()) return;
+  for (const MatchPtr& m : it->second) {
+    if (m->alive) {
+      m->alive = false;
+      live_keys_.erase(m->Key());
+      --live_count_;
+    }
+  }
+  by_edge_.erase(it);
+}
+
+void MatchList::Compact() {
+  for (auto it = by_vertex_.begin(); it != by_vertex_.end();) {
+    auto& vec = it->second;
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [](const MatchPtr& m) { return !m->alive; }),
+              vec.end());
+    if (vec.empty()) {
+      it = by_vertex_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto it = by_edge_.begin(); it != by_edge_.end();) {
+    auto& vec = it->second;
+    vec.erase(std::remove_if(vec.begin(), vec.end(),
+                             [](const MatchPtr& m) { return !m->alive; }),
+              vec.end());
+    if (vec.empty()) {
+      it = by_edge_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace motif
+}  // namespace loom

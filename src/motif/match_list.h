@@ -1,0 +1,64 @@
+// The matchList map of Sec. 3: vertex -> set of motif-matching sub-graphs in
+// the window that contain that vertex, plus an edge index so matches can be
+// retired when their edges are assigned.
+//
+// Liveness is a flag on Match; vertex lists are compacted lazily, the edge
+// index eagerly. Duplicate (same edges, same motif) matches are rejected via
+// a content-hash set.
+
+#ifndef LOOM_MOTIF_MATCH_LIST_H_
+#define LOOM_MOTIF_MATCH_LIST_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "motif/match.h"
+
+namespace loom {
+namespace motif {
+
+class MatchList {
+ public:
+  MatchList() = default;
+
+  /// Registers a match. Returns false (and drops it) if an identical live
+  /// match already exists.
+  bool Add(const MatchPtr& m);
+
+  /// Live matches containing vertex v (snapshot copy; safe to Add/Remove
+  /// while iterating it).
+  std::vector<MatchPtr> LiveAt(graph::VertexId v) const;
+
+  /// True if any live match contains vertex v (cheaper than LiveAt).
+  bool HasLiveAt(graph::VertexId v) const;
+
+  /// Live matches containing the window edge `e` (snapshot copy).
+  std::vector<MatchPtr> LiveWithEdge(graph::EdgeId e) const;
+
+  /// Kills every match containing edge `e` (called when `e` is assigned to a
+  /// permanent partition and leaves Ptemp).
+  void RemoveMatchesWithEdge(graph::EdgeId e);
+
+  /// Number of currently live matches.
+  size_t NumLive() const { return live_count_; }
+
+  /// Total matches ever added (monotone; for stats).
+  size_t TotalAdded() const { return total_added_; }
+
+  /// Drops dead entries from all vertex lists (the edge index is already
+  /// eager). Called periodically by the matcher to bound memory.
+  void Compact();
+
+ private:
+  std::unordered_map<graph::VertexId, std::vector<MatchPtr>> by_vertex_;
+  std::unordered_map<graph::EdgeId, std::vector<MatchPtr>> by_edge_;
+  std::unordered_set<uint64_t> live_keys_;
+  size_t live_count_ = 0;
+  size_t total_added_ = 0;
+};
+
+}  // namespace motif
+}  // namespace loom
+
+#endif  // LOOM_MOTIF_MATCH_LIST_H_

@@ -1,0 +1,194 @@
+#include "motif/motif_matcher.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace loom {
+namespace motif {
+
+namespace {
+
+// Sorted-insert preserving uniqueness.
+void InsertSorted(std::vector<graph::EdgeId>* v, graph::EdgeId x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it == v->end() || *it != x) v->insert(it, x);
+}
+
+void InsertSortedVertex(std::vector<graph::VertexId>* v, graph::VertexId x) {
+  auto it = std::lower_bound(v->begin(), v->end(), x);
+  if (it == v->end() || *it != x) v->insert(it, x);
+}
+
+// Vertex set spanned by a window edge set.
+std::vector<graph::VertexId> VerticesOf(const std::vector<graph::EdgeId>& edges,
+                                        const stream::SlidingWindow& window) {
+  std::vector<graph::VertexId> out;
+  for (graph::EdgeId eid : edges) {
+    const stream::StreamEdge* se = window.Find(eid);
+    if (se == nullptr) continue;
+    InsertSortedVertex(&out, se->u);
+    InsertSortedVertex(&out, se->v);
+  }
+  return out;
+}
+
+}  // namespace
+
+MotifMatcher::MotifMatcher(const tpstry::Tpstry* trie,
+                           const signature::SignatureCalculator* calc,
+                           MatcherConfig config)
+    : trie_(trie), calc_(calc), config_(config) {}
+
+const tpstry::TpsNode* MotifMatcher::SingleEdgeMotif(
+    const stream::StreamEdge& e) const {
+  return trie_->FindSingleEdgeMotif(
+      calc_->SingleEdgeSignature(e.label_u, e.label_v));
+}
+
+uint32_t MotifMatcher::DegreeWithin(const std::vector<graph::EdgeId>& edges,
+                                    graph::VertexId v,
+                                    const stream::SlidingWindow& window) const {
+  uint32_t d = 0;
+  for (graph::EdgeId eid : edges) {
+    const stream::StreamEdge* se = window.Find(eid);
+    if (se != nullptr && se->Incident(v)) ++d;
+  }
+  return d;
+}
+
+MatchPtr MotifMatcher::TryExtend(const MatchPtr& m, const stream::StreamEdge& e,
+                                 const stream::SlidingWindow& window,
+                                 MatchList* ml) {
+  if (m->ContainsEdge(e.id)) return nullptr;
+  // Degrees of the new edge's endpoints inside m; +1 for the addition.
+  const uint32_t deg_u = DegreeWithin(m->edges, e.u, window);
+  const uint32_t deg_v = DegreeWithin(m->edges, e.v, window);
+  const signature::FactorDelta delta = calc_->FactorsForEdgeAddition(
+      e.label_u, deg_u + 1, e.label_v, deg_v + 1);
+  const tpstry::TpsNode* c = trie_->FindMotifChild(m->node_id, delta);
+  if (c == nullptr) return nullptr;
+
+  auto grown = std::make_shared<Match>();
+  grown->edges = m->edges;
+  InsertSorted(&grown->edges, e.id);
+  grown->vertices = m->vertices;
+  InsertSortedVertex(&grown->vertices, e.u);
+  InsertSortedVertex(&grown->vertices, e.v);
+  grown->node_id = c->id;
+  if (!ml->Add(grown)) return nullptr;  // duplicate
+  ++stats_.extension_matches;
+  return grown;
+}
+
+bool MotifMatcher::JoinRecurse(std::vector<graph::EdgeId>& edges,
+                               uint32_t node_id,
+                               std::vector<graph::EdgeId>& remaining,
+                               const stream::SlidingWindow& window,
+                               MatchList* ml) {
+  if (remaining.empty()) {
+    auto joined = std::make_shared<Match>();
+    joined->edges = edges;
+    joined->vertices = VerticesOf(edges, window);
+    joined->node_id = node_id;
+    if (ml->Add(joined)) ++stats_.join_matches;
+    // Either way the join succeeded structurally.
+    return true;
+  }
+  for (size_t i = 0; i < remaining.size(); ++i) {
+    const graph::EdgeId eid = remaining[i];
+    const stream::StreamEdge* se = window.Find(eid);
+    if (se == nullptr) return false;  // constituent edge left the window
+    const uint32_t deg_u = DegreeWithin(edges, se->u, window);
+    const uint32_t deg_v = DegreeWithin(edges, se->v, window);
+    if (deg_u == 0 && deg_v == 0) continue;  // not incident yet; defer
+    const signature::FactorDelta delta = calc_->FactorsForEdgeAddition(
+        se->label_u, deg_u + 1, se->label_v, deg_v + 1);
+    const tpstry::TpsNode* c = trie_->FindMotifChild(node_id, delta);
+    if (c == nullptr) continue;
+    // Tentatively absorb eid, recurse, undo on failure.
+    InsertSorted(&edges, eid);
+    remaining.erase(remaining.begin() + static_cast<ptrdiff_t>(i));
+    if (JoinRecurse(edges, c->id, remaining, window, ml)) return true;
+    remaining.insert(remaining.begin() + static_cast<ptrdiff_t>(i), eid);
+    edges.erase(std::lower_bound(edges.begin(), edges.end(), eid));
+  }
+  return false;
+}
+
+void MotifMatcher::TryJoin(const MatchPtr& base, const MatchPtr& smaller,
+                           const stream::SlidingWindow& window, MatchList* ml) {
+  std::vector<graph::EdgeId> remaining;
+  for (graph::EdgeId eid : smaller->edges) {
+    if (!base->ContainsEdge(eid)) remaining.push_back(eid);
+  }
+  if (remaining.empty()) return;  // smaller ⊆ base: nothing new
+  ++stats_.join_attempts;
+  std::vector<graph::EdgeId> edges = base->edges;
+  JoinRecurse(edges, base->node_id, remaining, window, ml);
+}
+
+void MotifMatcher::OnEdgeAdded(const stream::StreamEdge& e,
+                               const stream::SlidingWindow& window,
+                               MatchList* ml) {
+  const tpstry::TpsNode* single = SingleEdgeMotif(e);
+  assert(single != nullptr &&
+         "OnEdgeAdded requires an edge admitted by SingleEdgeMotif");
+  assert(window.Contains(e.id) && "push the edge into the window first");
+  ++stats_.edges_admitted;
+
+  // Step 0 — the single-edge match (Sec. 3: "we treat e as a sub-graph of a
+  // single edge, then add it to the matchList entries for both v1 and v2").
+  {
+    auto m0 = std::make_shared<Match>();
+    m0->edges = {e.id};
+    m0->vertices = {e.u, e.v};
+    std::sort(m0->vertices.begin(), m0->vertices.end());
+    m0->node_id = single->id;
+    if (ml->Add(m0)) ++stats_.single_edge_matches;
+  }
+
+  // Step 1 — extend existing matches connected to e (Alg. 2 lines 4-8).
+  {
+    std::vector<MatchPtr> snapshot = ml->LiveAt(e.u);
+    for (MatchPtr& m : ml->LiveAt(e.v)) {
+      bool dup = false;
+      for (const MatchPtr& s : snapshot) {
+        if (s.get() == m.get()) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) snapshot.push_back(std::move(m));
+    }
+    if (snapshot.size() > config_.max_matches_per_vertex * 2) {
+      snapshot.resize(config_.max_matches_per_vertex * 2);
+    }
+    for (const MatchPtr& m : snapshot) TryExtend(m, e, window, ml);
+  }
+
+  // Step 2 — pairwise joins across the two endpoints (Alg. 2 lines 9-18),
+  // over the refreshed lists (they now include e's own new matches).
+  {
+    std::vector<MatchPtr> ms1 = ml->LiveAt(e.u);
+    std::vector<MatchPtr> ms2 = ml->LiveAt(e.v);
+    if (ms1.size() > config_.max_matches_per_vertex) {
+      ms1.resize(config_.max_matches_per_vertex);
+    }
+    if (ms2.size() > config_.max_matches_per_vertex) {
+      ms2.resize(config_.max_matches_per_vertex);
+    }
+    for (const MatchPtr& m1 : ms1) {
+      for (const MatchPtr& m2 : ms2) {
+        if (m1.get() == m2.get()) continue;
+        // Absorb the smaller match into the larger (Sec. 3).
+        const MatchPtr& base = m1->edges.size() >= m2->edges.size() ? m1 : m2;
+        const MatchPtr& small = m1->edges.size() >= m2->edges.size() ? m2 : m1;
+        if (!base->alive || !small->alive) continue;
+        TryJoin(base, small, window, ml);
+      }
+    }
+  }
+}
+
+}  // namespace motif
+}  // namespace loom

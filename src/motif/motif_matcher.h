@@ -1,0 +1,98 @@
+// Streaming motif matching (Sec. 3, Alg. 2).
+//
+// For each edge admitted to the window the matcher discovers every new
+// motif-matching sub-graph the edge creates:
+//   1. the single-edge match itself,
+//   2. extensions: existing matches at either endpoint grown by the new edge
+//      (accepted when the factor-delta corresponds to a motif child in the
+//      TPSTry++), and
+//   3. joins: pairs of existing matches at the two endpoints merged by
+//      recursively absorbing the smaller match's edges into the larger
+//      (Alg. 2 lines 11-18).
+// Matching is purely signature-based: isomorphic sub-graphs always match
+// (no false negatives); rare non-isomorphic collisions are tolerated, as the
+// paper argues, because a false positive merely co-locates a sub-graph that
+// did not need it.
+
+#ifndef LOOM_MOTIF_MOTIF_MATCHER_H_
+#define LOOM_MOTIF_MOTIF_MATCHER_H_
+
+#include <cstdint>
+
+#include "motif/match_list.h"
+#include "signature/signature_calculator.h"
+#include "stream/sliding_window.h"
+#include "stream/stream_edge.h"
+#include "tpstry/tpstry.h"
+
+namespace loom {
+namespace motif {
+
+/// Tunables bounding worst-case work per edge.
+struct MatcherConfig {
+  /// Cap on live matches considered per endpoint when extending/joining.
+  /// Generous by default; prevents pathological quadratic blowups on hub
+  /// vertices in adversarial streams.
+  size_t max_matches_per_vertex = 64;
+};
+
+/// Running counters for reporting and tests.
+struct MatcherStats {
+  uint64_t edges_admitted = 0;
+  uint64_t single_edge_matches = 0;
+  uint64_t extension_matches = 0;
+  uint64_t join_matches = 0;
+  uint64_t join_attempts = 0;
+};
+
+class MotifMatcher {
+ public:
+  /// `trie` and `calc` must outlive the matcher.
+  MotifMatcher(const tpstry::Tpstry* trie,
+               const signature::SignatureCalculator* calc,
+               MatcherConfig config = {});
+
+  /// The admission test (Sec. 3): the single-edge motif `e` matches, or
+  /// nullptr if none — in which case `e` can never participate in any motif
+  /// match and should be assigned immediately without entering the window.
+  const tpstry::TpsNode* SingleEdgeMotif(const stream::StreamEdge& e) const;
+
+  /// Processes an edge that has just been pushed into `window` (it must
+  /// match a single-edge motif). Registers every newly formed match in `ml`.
+  void OnEdgeAdded(const stream::StreamEdge& e,
+                   const stream::SlidingWindow& window, MatchList* ml);
+
+  const MatcherStats& stats() const { return stats_; }
+
+ private:
+  /// Degree of `v` inside the sub-graph formed by `edges` (window lookups).
+  uint32_t DegreeWithin(const std::vector<graph::EdgeId>& edges,
+                        graph::VertexId v,
+                        const stream::SlidingWindow& window) const;
+
+  /// Attempts to extend match `m` by edge `e`; on success builds the grown
+  /// match and registers it. Returns the new match or nullptr.
+  MatchPtr TryExtend(const MatchPtr& m, const stream::StreamEdge& e,
+                     const stream::SlidingWindow& window, MatchList* ml);
+
+  /// Attempts to absorb all of `smaller`'s edges into `base` (Alg. 2 lines
+  /// 11-18), registering the joined match on success.
+  void TryJoin(const MatchPtr& base, const MatchPtr& smaller,
+               const stream::SlidingWindow& window, MatchList* ml);
+
+  /// Recursive work-horse of TryJoin: grows (edges, node) by any absorbable
+  /// edge from `remaining`; succeeds when `remaining` empties.
+  bool JoinRecurse(std::vector<graph::EdgeId>& edges, uint32_t node_id,
+                   std::vector<graph::EdgeId>& remaining,
+                   const stream::SlidingWindow& window, MatchList* ml);
+
+  const tpstry::Tpstry* trie_;
+  const signature::SignatureCalculator* calc_;
+  MatcherConfig config_;
+  MatcherStats stats_;
+};
+
+}  // namespace motif
+}  // namespace loom
+
+#endif  // LOOM_MOTIF_MOTIF_MATCHER_H_

@@ -1,0 +1,68 @@
+#include "partition/fennel_partitioner.h"
+
+#include <cmath>
+#include <vector>
+
+namespace loom {
+namespace partition {
+
+FennelPartitioner::FennelPartitioner(const PartitionerConfig& config,
+                                     double gamma)
+    : partitioning_(config.k, config.expected_vertices, config.max_imbalance),
+      seen_(config.expected_vertices),
+      gamma_(gamma) {
+  const double n = static_cast<double>(
+      config.expected_vertices > 0 ? config.expected_vertices : 1);
+  const double m = static_cast<double>(
+      config.expected_edges > 0 ? config.expected_edges : 1);
+  // α = m · k^(γ-1) / n^γ  (for γ=1.5 this is the paper's √k·m/n^1.5).
+  alpha_ = m * std::pow(static_cast<double>(config.k), gamma_ - 1.0) /
+           std::pow(n, gamma_);
+}
+
+graph::PartitionId FennelPartitioner::ChooseFor(graph::VertexId v) const {
+  const uint32_t k = partitioning_.k();
+  std::vector<uint32_t> counts(k, 0);
+  for (graph::VertexId w : seen_.Neighbors(v)) {
+    graph::PartitionId p = partitioning_.PartitionOf(w);
+    if (p != graph::kNoPartition) ++counts[p];
+  }
+  graph::PartitionId best = graph::kNoPartition;
+  double best_score = 0.0;
+  for (graph::PartitionId p = 0; p < k; ++p) {
+    if (partitioning_.AtCapacity(p)) continue;
+    const double load = static_cast<double>(partitioning_.Size(p));
+    const double score = static_cast<double>(counts[p]) -
+                         alpha_ * gamma_ * std::pow(load, gamma_ - 1.0);
+    if (best == graph::kNoPartition || score > best_score ||
+        (score == best_score &&
+         partitioning_.Size(p) < partitioning_.Size(best))) {
+      best = p;
+      best_score = score;
+    }
+  }
+  return best == graph::kNoPartition ? partitioning_.LeastLoaded() : best;
+}
+
+void FennelPartitioner::Ingest(const stream::StreamEdge& e) {
+  seen_.TouchVertex(e.u, e.label_u);
+  seen_.TouchVertex(e.v, e.label_v);
+  // Place endpoints one at a time so the second sees the first (interpolated
+  // greedy handles both-new edges by clustering them together).
+  if (!partitioning_.IsAssigned(e.u)) {
+    // Let u "see" v through this edge when v is already placed.
+    seen_.AddEdge(e.u, e.v);
+    partitioning_.Assign(e.u, ChooseFor(e.u));
+    if (!partitioning_.IsAssigned(e.v)) {
+      partitioning_.Assign(e.v, ChooseFor(e.v));
+    }
+    return;
+  }
+  seen_.AddEdge(e.u, e.v);
+  if (!partitioning_.IsAssigned(e.v)) {
+    partitioning_.Assign(e.v, ChooseFor(e.v));
+  }
+}
+
+}  // namespace partition
+}  // namespace loom

@@ -1,0 +1,31 @@
+// The naive baseline (Sec. 5.1): vertices are placed by hashing their id —
+// the default in several production graph databases, perfectly balanced,
+// entirely locality-blind.
+
+#ifndef LOOM_PARTITION_HASH_PARTITIONER_H_
+#define LOOM_PARTITION_HASH_PARTITIONER_H_
+
+#include "partition/partitioner.h"
+
+namespace loom {
+namespace partition {
+
+class HashPartitioner : public Partitioner {
+ public:
+  explicit HashPartitioner(const PartitionerConfig& config);
+
+  void Ingest(const stream::StreamEdge& e) override;
+  const Partitioning& partitioning() const override { return partitioning_; }
+  std::string name() const override { return "hash"; }
+
+  /// The stateless placement rule, exposed for tests.
+  graph::PartitionId HashPlace(graph::VertexId v) const;
+
+ private:
+  Partitioning partitioning_;
+};
+
+}  // namespace partition
+}  // namespace loom
+
+#endif  // LOOM_PARTITION_HASH_PARTITIONER_H_

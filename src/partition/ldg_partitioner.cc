@@ -1,0 +1,91 @@
+#include "partition/ldg_partitioner.h"
+
+#include <vector>
+
+namespace loom {
+namespace partition {
+
+namespace {
+
+// Shared argmax over count · residual-capacity scores.
+graph::PartitionId BestByWeightedCount(const std::vector<uint32_t>& counts,
+                                       const Partitioning& partitioning,
+                                       bool* had_signal = nullptr) {
+  const uint32_t k = partitioning.k();
+  const double capacity = static_cast<double>(partitioning.Capacity());
+  graph::PartitionId best = graph::kNoPartition;
+  double best_score = -1.0;
+  for (graph::PartitionId p = 0; p < k; ++p) {
+    if (partitioning.AtCapacity(p)) continue;
+    const double residual =
+        1.0 - static_cast<double>(partitioning.Size(p)) / capacity;
+    const double score = static_cast<double>(counts[p]) * residual;
+    if (score > best_score ||
+        (score == best_score && best != graph::kNoPartition &&
+         partitioning.Size(p) < partitioning.Size(best))) {
+      best = p;
+      best_score = score;
+    }
+  }
+  if (best == graph::kNoPartition || best_score == 0.0) {
+    if (had_signal != nullptr) *had_signal = false;
+    return partitioning.LeastLoaded();
+  }
+  if (had_signal != nullptr) *had_signal = true;
+  return best;
+}
+
+}  // namespace
+
+graph::PartitionId LdgHeuristic::ChooseForVertex(
+    graph::VertexId v, const graph::DynamicGraph& neighborhood,
+    const Partitioning& partitioning) {
+  std::vector<uint32_t> counts(partitioning.k(), 0);
+  for (graph::VertexId w : neighborhood.Neighbors(v)) {
+    graph::PartitionId p = partitioning.PartitionOf(w);
+    if (p != graph::kNoPartition) ++counts[p];
+  }
+  return BestByWeightedCount(counts, partitioning);
+}
+
+graph::PartitionId LdgHeuristic::Choose(const stream::StreamEdge& e,
+                                        const graph::DynamicGraph& neighborhood,
+                                        const Partitioning& partitioning,
+                                        bool* had_signal) {
+  std::vector<uint32_t> counts(partitioning.k(), 0);
+  for (graph::VertexId endpoint : {e.u, e.v}) {
+    for (graph::VertexId w : neighborhood.Neighbors(endpoint)) {
+      graph::PartitionId p = partitioning.PartitionOf(w);
+      if (p != graph::kNoPartition) ++counts[p];
+    }
+  }
+  return BestByWeightedCount(counts, partitioning, had_signal);
+}
+
+LdgPartitioner::LdgPartitioner(const PartitionerConfig& config)
+    // LDG's capacity constraint is the strict C = n/k (its residual weight
+    // reaches zero at perfect balance), which is why the paper observes only
+    // 1-3% imbalance for LDG vs Fennel's/Loom's ~10%.
+    : partitioning_(config.k, config.expected_vertices, /*nu=*/1.0),
+      seen_(config.expected_vertices) {}
+
+void LdgPartitioner::Ingest(const stream::StreamEdge& e) {
+  seen_.TouchVertex(e.u, e.label_u);
+  seen_.TouchVertex(e.v, e.label_v);
+  // Record the edge before deciding: the stream element carries its own
+  // adjacency, so each endpoint sees the other.
+  seen_.AddEdge(e.u, e.v);
+
+  // Place unassigned endpoints one at a time, each seeing the other.
+  if (!partitioning_.IsAssigned(e.u)) {
+    partitioning_.Assign(e.u,
+                         LdgHeuristic::ChooseForVertex(e.u, seen_, partitioning_));
+  }
+  if (!partitioning_.IsAssigned(e.v)) {
+    partitioning_.Assign(e.v,
+                         LdgHeuristic::ChooseForVertex(e.v, seen_, partitioning_));
+  }
+}
+
+}  // namespace partition
+}  // namespace loom

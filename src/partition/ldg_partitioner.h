@@ -1,0 +1,59 @@
+// Linear Deterministic Greedy (Stanton & Kliot [30]), edge-stream variant.
+//
+// LDG places a vertex in the partition holding the most of its neighbours,
+// discounted by how full that partition is:
+//   argmax_Si  |N(v) ∩ Si| · (1 - |V(Si)|/C)
+// with C the strict capacity n/k (hence the 1-3% imbalance the paper
+// reports). In the edge-stream variant each arriving edge places its
+// still-unassigned endpoints one at a time, each seeing the other through
+// the edge itself. Loom reuses this heuristic for edges that can never
+// match a motif (Sec. 4).
+
+#ifndef LOOM_PARTITION_LDG_PARTITIONER_H_
+#define LOOM_PARTITION_LDG_PARTITIONER_H_
+
+#include "graph/dynamic_graph.h"
+#include "partition/partitioner.h"
+
+namespace loom {
+namespace partition {
+
+/// Stateless scoring core, shared between the standalone LDG partitioner and
+/// Loom's immediate-assignment path.
+class LdgHeuristic {
+ public:
+  /// Picks the partition for a single vertex `v` given the streamed-so-far
+  /// adjacency. Ties break toward the smaller partition, then the lower id;
+  /// when every score is zero the least-loaded partition wins (keeps growth
+  /// balanced on cold starts).
+  static graph::PartitionId ChooseForVertex(graph::VertexId v,
+                                            const graph::DynamicGraph& neighborhood,
+                                            const Partitioning& partitioning);
+
+  /// Edge-level convenience used by Loom's immediate path: scores the union
+  /// of both endpoints' neighbourhoods (the edge is placed as one unit).
+  /// If `had_signal` is non-null it is set to false when every partition
+  /// scored zero (the choice degenerated to least-loaded).
+  static graph::PartitionId Choose(const stream::StreamEdge& e,
+                                   const graph::DynamicGraph& neighborhood,
+                                   const Partitioning& partitioning,
+                                   bool* had_signal = nullptr);
+};
+
+class LdgPartitioner : public Partitioner {
+ public:
+  explicit LdgPartitioner(const PartitionerConfig& config);
+
+  void Ingest(const stream::StreamEdge& e) override;
+  const Partitioning& partitioning() const override { return partitioning_; }
+  std::string name() const override { return "ldg"; }
+
+ private:
+  Partitioning partitioning_;
+  graph::DynamicGraph seen_;  // streamed-so-far adjacency
+};
+
+}  // namespace partition
+}  // namespace loom
+
+#endif  // LOOM_PARTITION_LDG_PARTITIONER_H_

@@ -1,0 +1,35 @@
+#include "partition/partition_metrics.h"
+
+namespace loom {
+namespace partition {
+
+size_t EdgeCut(const graph::LabeledGraph& g, const Partitioning& p) {
+  size_t cut = 0;
+  for (const graph::Edge& e : g.edges()) {
+    if (p.PartitionOf(e.u) != p.PartitionOf(e.v)) ++cut;
+  }
+  return cut;
+}
+
+double EdgeCutRatio(const graph::LabeledGraph& g, const Partitioning& p) {
+  if (g.NumEdges() == 0) return 0.0;
+  return static_cast<double>(EdgeCut(g, p)) /
+         static_cast<double>(g.NumEdges());
+}
+
+double Imbalance(const Partitioning& p) {
+  const size_t n = p.NumAssigned();
+  if (n == 0) return 0.0;
+  const double ideal = static_cast<double>(n) / p.k();
+  return static_cast<double>(p.MaxSize()) / ideal - 1.0;
+}
+
+bool FullyAssigned(const graph::LabeledGraph& g, const Partitioning& p) {
+  for (graph::VertexId v = 0; v < g.NumVertices(); ++v) {
+    if (!p.IsAssigned(v)) return false;
+  }
+  return true;
+}
+
+}  // namespace partition
+}  // namespace loom

@@ -1,0 +1,46 @@
+// The common interface every streaming partitioner implements: consume a
+// stream of labelled edges one at a time, finalize, expose the resulting
+// vertex partitioning.
+
+#ifndef LOOM_PARTITION_PARTITIONER_H_
+#define LOOM_PARTITION_PARTITIONER_H_
+
+#include <string>
+
+#include "partition/partitioning.h"
+#include "stream/stream_edge.h"
+
+namespace loom {
+namespace partition {
+
+/// Shared configuration. Streaming partitioners (LDG, Fennel and the paper's
+/// Loom evaluation) are parameterised by the expected totals n and m — a
+/// standard assumption for this family of algorithms.
+struct PartitionerConfig {
+  uint32_t k = 8;                    // number of partitions
+  size_t expected_vertices = 0;      // n
+  size_t expected_edges = 0;         // m
+  double max_imbalance = 1.1;        // ν: capacity = ν·n/k
+};
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Consumes the next stream element.
+  virtual void Ingest(const stream::StreamEdge& e) = 0;
+
+  /// Flushes buffered state (e.g. Loom's window). Idempotent.
+  virtual void Finalize() {}
+
+  /// The (possibly still partial, before Finalize) partitioning.
+  virtual const Partitioning& partitioning() const = 0;
+
+  /// Short name for reports ("hash", "ldg", "fennel", "loom").
+  virtual std::string name() const = 0;
+};
+
+}  // namespace partition
+}  // namespace loom
+
+#endif  // LOOM_PARTITION_PARTITIONER_H_

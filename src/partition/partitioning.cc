@@ -1,0 +1,52 @@
+#include "partition/partitioning.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace loom {
+namespace partition {
+
+Partitioning::Partitioning(uint32_t k, size_t expected_vertices, double nu)
+    : k_(k) {
+  assert(k >= 1);
+  assert(nu >= 1.0);
+  capacity_ = static_cast<size_t>(
+      std::ceil(nu * static_cast<double>(expected_vertices) / k));
+  if (capacity_ == 0) capacity_ = 1;
+  assignment_.assign(expected_vertices, graph::kNoPartition);
+  sizes_.assign(k, 0);
+}
+
+graph::PartitionId Partitioning::Assign(graph::VertexId v,
+                                        graph::PartitionId p) {
+  assert(p < k_);
+  if (v >= assignment_.size()) {
+    assignment_.resize(v + 1, graph::kNoPartition);
+  }
+  if (assignment_[v] != graph::kNoPartition) return assignment_[v];
+  if (AtCapacity(p)) p = LeastLoaded();
+  assignment_[v] = p;
+  ++sizes_[p];
+  ++num_assigned_;
+  return p;
+}
+
+size_t Partitioning::MinSize() const {
+  return *std::min_element(sizes_.begin(), sizes_.end());
+}
+
+size_t Partitioning::MaxSize() const {
+  return *std::max_element(sizes_.begin(), sizes_.end());
+}
+
+graph::PartitionId Partitioning::LeastLoaded() const {
+  graph::PartitionId best = 0;
+  for (graph::PartitionId p = 1; p < k_; ++p) {
+    if (sizes_[p] < sizes_[best]) best = p;
+  }
+  return best;
+}
+
+}  // namespace partition
+}  // namespace loom

@@ -1,0 +1,29 @@
+#include "query/query.h"
+
+#include <cassert>
+
+namespace loom {
+namespace query {
+
+void Workload::Add(std::string name, graph::PatternGraph pattern,
+                   double frequency) {
+  assert(frequency > 0.0);
+  assert(pattern.NumEdges() >= 1);
+  assert(pattern.IsConnected());
+  queries_.push_back({std::move(name), std::move(pattern), frequency});
+}
+
+double Workload::TotalFrequency() const {
+  double total = 0.0;
+  for (const Query& q : queries_) total += q.frequency;
+  return total;
+}
+
+void Workload::Normalize() {
+  const double total = TotalFrequency();
+  if (total <= 0.0) return;
+  for (Query& q : queries_) q.frequency /= total;
+}
+
+}  // namespace query
+}  // namespace loom

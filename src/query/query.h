@@ -1,0 +1,51 @@
+// Pattern-matching queries and workloads (Sec. 1.3).
+//
+// A workload Q is a multiset of pattern graphs with relative frequencies:
+// Q = {(q1, n1), ..., (qh, nh)}. Frequencies need not sum to 1 on input;
+// Normalize() rescales them (the TPSTry++ normalises supports internally
+// regardless).
+
+#ifndef LOOM_QUERY_QUERY_H_
+#define LOOM_QUERY_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/pattern_graph.h"
+
+namespace loom {
+namespace query {
+
+/// One workload entry: a connected pattern graph and its relative frequency.
+struct Query {
+  std::string name;
+  graph::PatternGraph pattern;
+  double frequency = 0.0;
+};
+
+/// A multiset of queries. Order is preserved (it is the deterministic
+/// iteration order everywhere).
+class Workload {
+ public:
+  Workload() = default;
+
+  void Add(std::string name, graph::PatternGraph pattern, double frequency);
+
+  const std::vector<Query>& queries() const { return queries_; }
+  size_t size() const { return queries_.size(); }
+  bool empty() const { return queries_.empty(); }
+
+  /// Sum of frequencies.
+  double TotalFrequency() const;
+
+  /// Rescales frequencies to sum to 1 (no-op on an empty workload).
+  void Normalize();
+
+ private:
+  std::vector<Query> queries_;
+};
+
+}  // namespace query
+}  // namespace loom
+
+#endif  // LOOM_QUERY_QUERY_H_

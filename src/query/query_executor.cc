@@ -1,0 +1,156 @@
+#include "query/query_executor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace loom {
+namespace query {
+
+QueryExecutor::QueryExecutor(const graph::LabeledGraph* g,
+                             ExecutorConfig config)
+    : g_(g), config_(config), label_counts_(g->LabelHistogram()) {}
+
+std::vector<QueryExecutor::PlanStep> QueryExecutor::BuildPlan(
+    const graph::PatternGraph& q) const {
+  assert(q.NumVertices() >= 2 && q.IsConnected());
+
+  // Anchor: the pattern vertex whose label is rarest in the data graph
+  // (fewest seed candidates); ties toward higher pattern degree, then id.
+  graph::VertexId anchor = 0;
+  auto rarity = [&](graph::VertexId v) -> size_t {
+    graph::LabelId l = q.label(v);
+    return l < label_counts_.size() ? label_counts_[l] : 0;
+  };
+  for (graph::VertexId v = 1; v < q.NumVertices(); ++v) {
+    if (rarity(v) < rarity(anchor) ||
+        (rarity(v) == rarity(anchor) && q.Degree(v) > q.Degree(anchor))) {
+      anchor = v;
+    }
+  }
+
+  // BFS order from the anchor; record parent + closure edges per step.
+  std::vector<PlanStep> plan;
+  std::vector<bool> placed(q.NumVertices(), false);
+  std::vector<graph::VertexId> order;
+  order.push_back(anchor);
+  placed[anchor] = true;
+  for (size_t head = 0; head < order.size(); ++head) {
+    for (graph::VertexId w : q.Neighbors(order[head])) {
+      if (!placed[w]) {
+        placed[w] = true;
+        order.push_back(w);
+      }
+    }
+  }
+  assert(order.size() == q.NumVertices());
+
+  std::vector<bool> mapped(q.NumVertices(), false);
+  for (graph::VertexId pv : order) {
+    PlanStep step;
+    step.pattern_vertex = pv;
+    for (graph::VertexId w : q.Neighbors(pv)) {
+      if (!mapped[w]) continue;
+      if (step.parent == graph::kInvalidVertex) {
+        step.parent = w;
+      } else {
+        step.closures.push_back(w);
+      }
+    }
+    mapped[pv] = true;
+    plan.push_back(std::move(step));
+  }
+  return plan;
+}
+
+void QueryExecutor::Backtrack(const graph::PatternGraph& q,
+                              const std::vector<PlanStep>& plan, size_t depth,
+                              std::vector<graph::VertexId>& mapping,
+                              const partition::Partitioning& p,
+                              uint64_t& budget,
+                              ExecutionResult* result) const {
+  if (budget == 0) return;
+  if (depth == plan.size()) {
+    ++result->matches;
+    --budget;
+    return;
+  }
+  const PlanStep& step = plan[depth];
+  const graph::VertexId parent_pv = step.parent;
+  assert(parent_pv != graph::kInvalidVertex);
+  const graph::VertexId parent_gv = mapping[parent_pv];
+  const graph::LabelId want = q.label(step.pattern_vertex);
+
+  for (graph::VertexId cand : g_->Neighbors(parent_gv)) {
+    if (budget == 0) return;
+    // Label filter first: GDBMS adjacency is label-indexed, so neighbours of
+    // the wrong label are skipped without dereferencing them. Expanding to a
+    // label-matching neighbour is one traversal; it costs an ipt when it
+    // crosses partitions.
+    if (g_->label(cand) != want) continue;
+    ++result->traversals;
+    if (p.PartitionOf(parent_gv) != p.PartitionOf(cand)) ++result->ipt;
+    // Injectivity.
+    bool used = false;
+    for (size_t d = 0; d < depth; ++d) {
+      if (mapping[plan[d].pattern_vertex] == cand) {
+        used = true;
+        break;
+      }
+    }
+    if (used) continue;
+
+    // Closure edges must exist; confirming one is a traversal too.
+    bool ok = true;
+    for (graph::VertexId closure_pv : step.closures) {
+      const graph::VertexId closure_gv = mapping[closure_pv];
+      if (!g_->HasEdge(cand, closure_gv)) {
+        ok = false;
+        break;
+      }
+      ++result->traversals;
+      if (p.PartitionOf(cand) != p.PartitionOf(closure_gv)) ++result->ipt;
+    }
+    if (!ok) continue;
+
+    mapping[step.pattern_vertex] = cand;
+    Backtrack(q, plan, depth + 1, mapping, p, budget, result);
+    mapping[step.pattern_vertex] = graph::kInvalidVertex;
+  }
+}
+
+ExecutionResult QueryExecutor::Execute(const graph::PatternGraph& q,
+                                       const partition::Partitioning& p) const {
+  ExecutionResult result;
+  if (q.NumEdges() == 0) return result;
+  const std::vector<PlanStep> plan = BuildPlan(q);
+  const graph::VertexId anchor = plan[0].pattern_vertex;
+  const graph::LabelId anchor_label = q.label(anchor);
+
+  // Seed candidates: all data vertices with the anchor label, subsampled by
+  // a deterministic stride when over the cap.
+  const size_t candidates = anchor_label < label_counts_.size()
+                                ? label_counts_[anchor_label]
+                                : 0;
+  if (candidates == 0) return result;
+  const size_t stride =
+      candidates > config_.max_seeds
+          ? (candidates + config_.max_seeds - 1) / config_.max_seeds
+          : 1;
+
+  std::vector<graph::VertexId> mapping(q.NumVertices(), graph::kInvalidVertex);
+  size_t seen = 0;
+  for (graph::VertexId v = 0; v < g_->NumVertices(); ++v) {
+    if (g_->label(v) != anchor_label) continue;
+    const bool take = (seen % stride) == 0;
+    ++seen;
+    if (!take) continue;
+    mapping[anchor] = v;
+    uint64_t budget = config_.max_matches_per_seed;
+    Backtrack(q, plan, 1, mapping, p, budget, &result);
+    mapping[anchor] = graph::kInvalidVertex;
+  }
+  return result;
+}
+
+}  // namespace query
+}  // namespace loom

@@ -1,0 +1,88 @@
+// Sub-graph pattern matching over a partitioned graph, counting
+// inter-partition traversals (ipt) — the paper's quality measure (Sec. 5).
+//
+// The executor performs label-and-adjacency-guided backtracking search (a
+// lightweight VF2-style matcher). Every time the search expands along a
+// graph edge, that counts as one traversal; if the edge's endpoints live in
+// different partitions it additionally counts as one ipt — exactly the
+// "expensive inter-partition traversals which occur while executing Q" the
+// paper counts. Crucially, the exploration order is independent of the
+// partitioning, so two partitionings are compared over the identical set of
+// traversals and differ only in how many of them cross partitions.
+
+#ifndef LOOM_QUERY_QUERY_EXECUTOR_H_
+#define LOOM_QUERY_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "graph/pattern_graph.h"
+#include "partition/partitioning.h"
+
+namespace loom {
+namespace query {
+
+/// Enumeration bounds. Both caps are applied identically across compared
+/// partitionings, so relative ipt stays a fair comparison while worst-case
+/// work stays polynomial.
+struct ExecutorConfig {
+  /// Max seed (anchor candidate) vertices per query; seeds beyond the cap
+  /// are skipped with a deterministic stride so coverage stays spread out.
+  size_t max_seeds = SIZE_MAX;
+  /// Max complete matches enumerated from a single seed before the search
+  /// moves to the next seed.
+  size_t max_matches_per_seed = 256;
+};
+
+/// Result of one query execution.
+struct ExecutionResult {
+  uint64_t matches = 0;      // complete embeddings found
+  uint64_t traversals = 0;   // graph-edge expansions + closure confirmations
+  uint64_t ipt = 0;          // traversals that crossed a partition boundary
+
+  ExecutionResult& operator+=(const ExecutionResult& o) {
+    matches += o.matches;
+    traversals += o.traversals;
+    ipt += o.ipt;
+    return *this;
+  }
+};
+
+class QueryExecutor {
+ public:
+  /// `g` must outlive the executor.
+  explicit QueryExecutor(const graph::LabeledGraph* g,
+                         ExecutorConfig config = {});
+
+  /// Executes pattern `q` over the graph, charging crossings against `p`.
+  /// Requires q connected with >= 1 edge.
+  ExecutionResult Execute(const graph::PatternGraph& q,
+                          const partition::Partitioning& p) const;
+
+ private:
+  struct PlanStep {
+    graph::VertexId pattern_vertex = graph::kInvalidVertex;
+    graph::VertexId parent = graph::kInvalidVertex;   // earlier pattern vertex
+    std::vector<graph::VertexId> closures;            // other earlier nbrs
+  };
+
+  /// Search plan: anchor = rarest-label pattern vertex, then BFS order; each
+  /// later vertex records the parent it is reached from plus closure edges.
+  std::vector<PlanStep> BuildPlan(const graph::PatternGraph& q) const;
+
+  void Backtrack(const graph::PatternGraph& q,
+                 const std::vector<PlanStep>& plan, size_t depth,
+                 std::vector<graph::VertexId>& mapping,
+                 const partition::Partitioning& p, uint64_t& budget,
+                 ExecutionResult* result) const;
+
+  const graph::LabeledGraph* g_;
+  ExecutorConfig config_;
+  std::vector<size_t> label_counts_;  // histogram of labels in g
+};
+
+}  // namespace query
+}  // namespace loom
+
+#endif  // LOOM_QUERY_QUERY_EXECUTOR_H_

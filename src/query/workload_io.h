@@ -1,0 +1,41 @@
+// Text serialisation of query workloads, so the CLI tools (and users) can
+// describe Q in a file.
+//
+// Format (line-oriented, '#' comments):
+//   <name> <frequency> path:<label>-<label>-...
+//   <name> <frequency> cycle:<label>-<label>-...
+//   <name> <frequency> star:<center>:<leaf>,<leaf>,...
+// Labels are interned into the registry on first sight. Frequencies need not
+// sum to 1 (consumers normalise).
+
+#ifndef LOOM_QUERY_WORKLOAD_IO_H_
+#define LOOM_QUERY_WORKLOAD_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/label_registry.h"
+#include "query/query.h"
+
+namespace loom {
+namespace query {
+
+/// Parses a workload; throws std::runtime_error on malformed input.
+Workload ReadWorkload(std::istream& is, graph::LabelRegistry* registry);
+
+/// Writes a workload in the same format (paths/cycles/stars are emitted as
+/// an explicit edge list using the generic `edges:` form below when the
+/// shape is not recoverable; all shapes produced by ReadWorkload round-trip).
+void WriteWorkload(const Workload& w, const graph::LabelRegistry& registry,
+                   std::ostream& os);
+
+/// File-path conveniences.
+Workload ReadWorkloadFile(const std::string& path,
+                          graph::LabelRegistry* registry);
+void WriteWorkloadFile(const Workload& w, const graph::LabelRegistry& registry,
+                       const std::string& path);
+
+}  // namespace query
+}  // namespace loom
+
+#endif  // LOOM_QUERY_WORKLOAD_IO_H_

@@ -1,0 +1,24 @@
+#include "query/workload_runner.h"
+
+namespace loom {
+namespace query {
+
+WorkloadResult RunWorkload(const graph::LabeledGraph& g,
+                           const partition::Partitioning& p, const Workload& w,
+                           ExecutorConfig config) {
+  Workload normalised = w;
+  normalised.Normalize();
+  QueryExecutor executor(&g, config);
+  WorkloadResult out;
+  for (const Query& q : normalised.queries()) {
+    ExecutionResult r = executor.Execute(q.pattern, p);
+    out.weighted_ipt += q.frequency * static_cast<double>(r.ipt);
+    out.weighted_traversals += q.frequency * static_cast<double>(r.traversals);
+    out.total_matches += r.matches;
+    out.per_query.push_back({q.name, q.frequency, r});
+  }
+  return out;
+}
+
+}  // namespace query
+}  // namespace loom

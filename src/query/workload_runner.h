@@ -1,0 +1,46 @@
+// Executes a whole workload Q over a partitioned graph and aggregates the
+// frequency-weighted ipt — the number the paper's Figs. 7-9 report (relative
+// to Hash).
+
+#ifndef LOOM_QUERY_WORKLOAD_RUNNER_H_
+#define LOOM_QUERY_WORKLOAD_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query.h"
+#include "query/query_executor.h"
+
+namespace loom {
+namespace query {
+
+struct QueryOutcome {
+  std::string name;
+  double frequency = 0.0;
+  ExecutionResult result;
+};
+
+struct WorkloadResult {
+  /// Σ frequency_i · ipt_i — the workload-weighted ipt count.
+  double weighted_ipt = 0.0;
+  /// Σ frequency_i · traversals_i.
+  double weighted_traversals = 0.0;
+  uint64_t total_matches = 0;
+  std::vector<QueryOutcome> per_query;
+
+  /// Fraction of traversals that crossed partitions, in [0, 1].
+  double IptRatio() const {
+    return weighted_traversals > 0 ? weighted_ipt / weighted_traversals : 0.0;
+  }
+};
+
+/// Runs every query of `w` (frequencies normalised internally) over `g`
+/// partitioned by `p`.
+WorkloadResult RunWorkload(const graph::LabeledGraph& g,
+                           const partition::Partitioning& p, const Workload& w,
+                           ExecutorConfig config = {});
+
+}  // namespace query
+}  // namespace loom
+
+#endif  // LOOM_QUERY_WORKLOAD_RUNNER_H_

@@ -1,0 +1,58 @@
+#include "signature/collision_model.h"
+
+#include <cmath>
+
+#include "util/binomial.h"
+#include "util/rng.h"
+
+namespace loom {
+namespace signature {
+
+double ProbAcceptableCollisions(uint32_t num_factors, double tolerance,
+                                uint32_t p) {
+  const double q = 2.0 / static_cast<double>(p);  // per-factor collision prob
+  const uint64_t c_max =
+      static_cast<uint64_t>(std::floor(tolerance * num_factors));
+  return util::BinomialCdf(num_factors, c_max, q > 1.0 ? 1.0 : q);
+}
+
+std::vector<double> CollisionCurve(uint32_t num_factors, double tolerance,
+                                   const std::vector<uint32_t>& primes) {
+  std::vector<double> out;
+  out.reserve(primes.size());
+  for (uint32_t p : primes) {
+    out.push_back(ProbAcceptableCollisions(num_factors, tolerance, p));
+  }
+  return out;
+}
+
+std::vector<uint32_t> PrimesUpTo(uint32_t limit) {
+  std::vector<uint32_t> primes;
+  if (limit < 2) return primes;
+  std::vector<bool> sieve(limit + 1, true);
+  for (uint32_t i = 2; i <= limit; ++i) {
+    if (!sieve[i]) continue;
+    primes.push_back(i);
+    for (uint64_t j = static_cast<uint64_t>(i) * i; j <= limit; j += i) {
+      sieve[j] = false;
+    }
+  }
+  return primes;
+}
+
+double EmpiricalFactorCollisionRate(uint32_t p, uint32_t trials, uint64_t seed) {
+  if (p < 3 || trials == 0) return 1.0;
+  util::Rng rng(seed);
+  uint32_t collisions = 0;
+  for (uint32_t t = 0; t < trials; ++t) {
+    uint32_t a = static_cast<uint32_t>(1 + rng.Uniform(p - 1));
+    uint32_t b = static_cast<uint32_t>(1 + rng.Uniform(p - 1));
+    if (a == b) ++collisions;
+  }
+  // The model's 2/p counts two scenarios; a direct draw-pair equality is
+  // 1/(p-1), so scale to the two-scenario rate for comparability.
+  return 2.0 * static_cast<double>(collisions) / static_cast<double>(trials);
+}
+
+}  // namespace signature
+}  // namespace loom

@@ -1,0 +1,38 @@
+// The Fig. 4 collision analysis (Sec. 2.3).
+//
+// Each factor is a uniform random variable on [1, p); a factor collides with
+// probability 2/p (two collision scenarios per factor class). A graph with
+// |E| edges carries 3|E| factors (Handshaking lemma), so the number of
+// colliding factors is Binomial(3|E|, 2/p); the paper plots
+// P(X <= C% * 3|E|) against p for various |E| and tolerances C.
+
+#ifndef LOOM_SIGNATURE_COLLISION_MODEL_H_
+#define LOOM_SIGNATURE_COLLISION_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace loom {
+namespace signature {
+
+/// P(no more than tolerance * num_factors of `num_factors` factors collide)
+/// for field prime p. `tolerance` is a ratio in [0, 1].
+double ProbAcceptableCollisions(uint32_t num_factors, double tolerance,
+                                uint32_t p);
+
+/// One Fig. 4 curve: the probability above for each p in `primes`.
+std::vector<double> CollisionCurve(uint32_t num_factors, double tolerance,
+                                   const std::vector<uint32_t>& primes);
+
+/// The primes <= limit, for sweeping p (Fig. 4 sweeps p in [2, 317]).
+std::vector<uint32_t> PrimesUpTo(uint32_t limit);
+
+/// Monte-Carlo cross-check: draws `trials` random factor pairs uniform on
+/// [1, p) and returns the observed per-factor collision rate (should be
+/// close to 2/p for p >> 1). Deterministic under `seed`.
+double EmpiricalFactorCollisionRate(uint32_t p, uint32_t trials, uint64_t seed);
+
+}  // namespace signature
+}  // namespace loom
+
+#endif  // LOOM_SIGNATURE_COLLISION_MODEL_H_

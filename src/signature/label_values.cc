@@ -1,0 +1,21 @@
+#include "signature/label_values.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace loom {
+namespace signature {
+
+LabelValues::LabelValues(size_t num_labels, uint32_t p, uint64_t seed) : p_(p) {
+  assert(p >= 3);
+  util::Rng rng(seed ^ (static_cast<uint64_t>(p) << 32));
+  values_.reserve(num_labels);
+  for (size_t i = 0; i < num_labels; ++i) {
+    // r(l) uniform in [1, p).
+    values_.push_back(static_cast<uint32_t>(1 + rng.Uniform(p - 1)));
+  }
+}
+
+}  // namespace signature
+}  // namespace loom

@@ -1,0 +1,41 @@
+// Random label values r(l) in [1, p) for the number-theoretic signatures of
+// Sec. 2.1. One instance is shared by the TPSTry++ builder and the stream
+// matcher so that factors computed in either place agree.
+
+#ifndef LOOM_SIGNATURE_LABEL_VALUES_H_
+#define LOOM_SIGNATURE_LABEL_VALUES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace loom {
+namespace signature {
+
+/// Default finite-field prime. The paper selects 251 ("when identifying and
+/// matching motifs, we use a p value of 251") via the Fig. 4 analysis.
+inline constexpr uint32_t kDefaultPrime = 251;
+
+/// Assigns each label a pseudo-random value r(l) in [1, p). Deterministic
+/// given (num_labels, p, seed).
+class LabelValues {
+ public:
+  /// Requires p >= 3 (so that [1, p) has at least two values).
+  LabelValues(size_t num_labels, uint32_t p, uint64_t seed = 0xC0FFEE);
+
+  uint32_t prime() const { return p_; }
+  size_t num_labels() const { return values_.size(); }
+
+  /// r(l) for label l. Requires l < num_labels.
+  uint32_t Value(graph::LabelId l) const { return values_[l]; }
+
+ private:
+  uint32_t p_;
+  std::vector<uint32_t> values_;
+};
+
+}  // namespace signature
+}  // namespace loom
+
+#endif  // LOOM_SIGNATURE_LABEL_VALUES_H_

@@ -1,0 +1,86 @@
+#include "signature/signature_calculator.h"
+
+#include <unordered_map>
+
+namespace loom {
+namespace signature {
+
+namespace {
+// Residue in [1, p]: the paper replaces 0 with p so factors are never zero.
+inline Factor NonZeroMod(int64_t x, uint32_t p) {
+  int64_t r = x % static_cast<int64_t>(p);
+  if (r < 0) r += p;
+  return r == 0 ? p : static_cast<Factor>(r);
+}
+}  // namespace
+
+Factor SignatureCalculator::EdgeFactor(graph::LabelId a, graph::LabelId b) const {
+  if (a > b) std::swap(a, b);  // consistent subtraction order
+  int64_t diff = static_cast<int64_t>(values_->Value(a)) -
+                 static_cast<int64_t>(values_->Value(b));
+  return NonZeroMod(diff, values_->prime());
+}
+
+Factor SignatureCalculator::DirectedEdgeFactor(graph::LabelId source,
+                                               graph::LabelId target) const {
+  int64_t diff = static_cast<int64_t>(values_->Value(source)) -
+                 static_cast<int64_t>(values_->Value(target));
+  return NonZeroMod(diff, values_->prime());
+}
+
+Factor SignatureCalculator::DegreeFactor(graph::LabelId l, uint32_t degree) const {
+  return NonZeroMod(static_cast<int64_t>(values_->Value(l)) + degree,
+                    values_->prime());
+}
+
+FactorDelta SignatureCalculator::FactorsForEdgeAddition(
+    graph::LabelId lu, uint32_t new_deg_u, graph::LabelId lv,
+    uint32_t new_deg_v) const {
+  return {EdgeFactor(lu, lv), DegreeFactor(lu, new_deg_u),
+          DegreeFactor(lv, new_deg_v)};
+}
+
+Signature SignatureCalculator::ComputeSignature(
+    const graph::PatternGraph& g) const {
+  std::vector<Factor> factors;
+  factors.reserve(3 * g.NumEdges());
+  for (const graph::Edge& e : g.edges()) {
+    factors.push_back(EdgeFactor(g.label(e.u), g.label(e.v)));
+  }
+  for (graph::VertexId v = 0; v < g.NumVertices(); ++v) {
+    const uint32_t deg = static_cast<uint32_t>(g.Degree(v));
+    for (uint32_t i = 1; i <= deg; ++i) {
+      factors.push_back(DegreeFactor(g.label(v), i));
+    }
+  }
+  return Signature(std::move(factors));
+}
+
+Signature SignatureCalculator::ComputeSignature(
+    std::span<const stream::StreamEdge> edges) const {
+  std::vector<Factor> factors;
+  factors.reserve(3 * edges.size());
+  std::unordered_map<graph::VertexId, std::pair<graph::LabelId, uint32_t>> deg;
+  for (const stream::StreamEdge& e : edges) {
+    factors.push_back(EdgeFactor(e.label_u, e.label_v));
+    ++deg[e.u].second;
+    deg[e.u].first = e.label_u;
+    ++deg[e.v].second;
+    deg[e.v].first = e.label_v;
+  }
+  for (const auto& [v, info] : deg) {
+    (void)v;
+    for (uint32_t i = 1; i <= info.second; ++i) {
+      factors.push_back(DegreeFactor(info.first, i));
+    }
+  }
+  return Signature(std::move(factors));
+}
+
+Signature SignatureCalculator::SingleEdgeSignature(graph::LabelId a,
+                                                   graph::LabelId b) const {
+  return Signature({EdgeFactor(a, b), DegreeFactor(a, 1), DegreeFactor(b, 1)});
+}
+
+}  // namespace signature
+}  // namespace loom

@@ -1,0 +1,25 @@
+#include "stream/edge_stream.h"
+
+#include <cassert>
+
+namespace loom {
+namespace stream {
+
+EdgeStream::EdgeStream(const graph::LabeledGraph& g,
+                       const std::vector<graph::EdgeId>& edge_order) {
+  assert(edge_order.size() == g.NumEdges());
+  edges_.reserve(edge_order.size());
+  for (size_t pos = 0; pos < edge_order.size(); ++pos) {
+    const graph::Edge& e = g.edge(edge_order[pos]);
+    StreamEdge se;
+    se.id = static_cast<graph::EdgeId>(pos);
+    se.u = e.u;
+    se.v = e.v;
+    se.label_u = g.label(e.u);
+    se.label_v = g.label(e.v);
+    edges_.push_back(se);
+  }
+}
+
+}  // namespace stream
+}  // namespace loom

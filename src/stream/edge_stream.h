@@ -1,0 +1,45 @@
+// Materialised edge streams over a LabeledGraph.
+//
+// Experiments stream a fully-generated graph from "disk" in a chosen order
+// (Sec. 5.1); EdgeStream captures that: a fixed permutation of a graph's
+// edges, iterable as StreamEdge elements with labels attached.
+
+#ifndef LOOM_STREAM_EDGE_STREAM_H_
+#define LOOM_STREAM_EDGE_STREAM_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/labeled_graph.h"
+#include "stream/stream_edge.h"
+
+namespace loom {
+namespace stream {
+
+/// A replayable stream of a graph's edges in a fixed order. StreamEdge ids
+/// are stream positions (0-based), not the underlying graph EdgeIds.
+class EdgeStream {
+ public:
+  EdgeStream() = default;
+
+  /// Builds a stream from `g` visiting edges in `edge_order` (a permutation
+  /// of g's edge ids; validated by assert in debug builds).
+  EdgeStream(const graph::LabeledGraph& g,
+             const std::vector<graph::EdgeId>& edge_order);
+
+  size_t size() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  const StreamEdge& operator[](size_t i) const { return edges_[i]; }
+
+  std::vector<StreamEdge>::const_iterator begin() const { return edges_.begin(); }
+  std::vector<StreamEdge>::const_iterator end() const { return edges_.end(); }
+
+ private:
+  std::vector<StreamEdge> edges_;
+};
+
+}  // namespace stream
+}  // namespace loom
+
+#endif  // LOOM_STREAM_EDGE_STREAM_H_

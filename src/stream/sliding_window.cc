@@ -1,0 +1,51 @@
+#include "stream/sliding_window.h"
+
+#include <cassert>
+
+namespace loom {
+namespace stream {
+
+void SlidingWindow::Push(const StreamEdge& e) {
+  assert(e.id != graph::kInvalidEdge);
+  assert(edges_.find(e.id) == edges_.end());
+  fifo_.push_back(e.id);
+  edges_.emplace(e.id, e);
+}
+
+const StreamEdge* SlidingWindow::Find(graph::EdgeId id) const {
+  auto it = edges_.find(id);
+  return it == edges_.end() ? nullptr : &it->second;
+}
+
+void SlidingWindow::SkimFrontMutable() {
+  while (!fifo_.empty() && edges_.find(fifo_.front()) == edges_.end()) {
+    fifo_.pop_front();
+  }
+}
+
+std::optional<StreamEdge> SlidingWindow::PopOldest() {
+  SkimFrontMutable();
+  if (fifo_.empty()) return std::nullopt;
+  graph::EdgeId id = fifo_.front();
+  fifo_.pop_front();
+  auto it = edges_.find(id);
+  StreamEdge e = it->second;
+  edges_.erase(it);
+  return e;
+}
+
+const StreamEdge* SlidingWindow::PeekOldest() const {
+  // const_cast-free skim: scan past dead ids without mutating.
+  for (graph::EdgeId id : fifo_) {
+    auto it = edges_.find(id);
+    if (it != edges_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+bool SlidingWindow::Remove(graph::EdgeId id) {
+  return edges_.erase(id) > 0;  // fifo entry is skimmed lazily
+}
+
+}  // namespace stream
+}  // namespace loom

@@ -1,0 +1,77 @@
+// The paper's Ptemp (Sec. 3): a fixed-capacity FIFO window over the edge
+// stream that also supports out-of-order removal (edges that are assigned
+// early as part of a motif-match cluster leave the window before they age
+// out).
+//
+// Implementation: FIFO deque of stream edge ids with lazy deletion, plus a
+// hash map for id -> edge lookup. All operations are O(1) amortised.
+
+#ifndef LOOM_STREAM_SLIDING_WINDOW_H_
+#define LOOM_STREAM_SLIDING_WINDOW_H_
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "stream/stream_edge.h"
+
+namespace loom {
+namespace stream {
+
+/// FIFO buffer of the most recent motif-relevant edges. Capacity is the
+/// paper's window size t; callers Push then drain with PopOldest while
+/// OverCapacity().
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(size_t capacity) : capacity_(capacity) {}
+
+  size_t capacity() const { return capacity_; }
+
+  /// Number of live (non-removed) edges.
+  size_t size() const { return edges_.size(); }
+  bool empty() const { return edges_.empty(); }
+
+  /// True once size() exceeds capacity — time to evict.
+  bool OverCapacity() const { return edges_.size() > capacity_; }
+
+  /// Adds an edge. Ids must be unique and increasing (stream positions).
+  void Push(const StreamEdge& e);
+
+  /// True if edge `id` is live in the window.
+  bool Contains(graph::EdgeId id) const { return edges_.count(id) > 0; }
+
+  /// Looks up a live edge by id; nullptr if absent/removed.
+  const StreamEdge* Find(graph::EdgeId id) const;
+
+  /// Removes and returns the oldest live edge; nullopt when empty.
+  std::optional<StreamEdge> PopOldest();
+
+  /// Returns the oldest live edge without removing it; nullptr when empty.
+  const StreamEdge* PeekOldest() const;
+
+  /// Removes an arbitrary live edge. Returns false if not present.
+  bool Remove(graph::EdgeId id);
+
+  /// Applies `fn` to every live edge, oldest first.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (graph::EdgeId id : fifo_) {
+      auto it = edges_.find(id);
+      if (it != edges_.end()) fn(it->second);
+    }
+  }
+
+ private:
+  // Drops removed ids from the front of the FIFO.
+  void SkimFront();
+  void SkimFrontMutable();
+
+  size_t capacity_;
+  std::deque<graph::EdgeId> fifo_;  // may contain removed ids (lazy deletion)
+  std::unordered_map<graph::EdgeId, StreamEdge> edges_;  // live edges only
+};
+
+}  // namespace stream
+}  // namespace loom
+
+#endif  // LOOM_STREAM_SLIDING_WINDOW_H_

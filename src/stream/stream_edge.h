@@ -1,0 +1,39 @@
+// The unit of an online graph: one labelled edge in arrival order.
+//
+// The paper (Sec. 1.3) views an online graph as a possibly-infinite sequence
+// of edge additions. Each stream element carries its endpoint labels so a
+// streaming partitioner never needs global graph state to interpret it.
+
+#ifndef LOOM_STREAM_STREAM_EDGE_H_
+#define LOOM_STREAM_STREAM_EDGE_H_
+
+#include "graph/types.h"
+
+namespace loom {
+namespace stream {
+
+/// One arriving edge. `id` is the position in the stream (unique, dense,
+/// monotonically increasing) and doubles as the edge's identity inside the
+/// sliding window and matchList.
+struct StreamEdge {
+  graph::EdgeId id = graph::kInvalidEdge;
+  graph::VertexId u = graph::kInvalidVertex;
+  graph::VertexId v = graph::kInvalidVertex;
+  graph::LabelId label_u = graph::kInvalidLabel;
+  graph::LabelId label_v = graph::kInvalidLabel;
+
+  /// The endpoint that is not `w`. Requires w to be an endpoint.
+  graph::VertexId Other(graph::VertexId w) const { return w == u ? v : u; }
+
+  /// Label of endpoint `w`. Requires w to be an endpoint.
+  graph::LabelId LabelOf(graph::VertexId w) const {
+    return w == u ? label_u : label_v;
+  }
+
+  bool Incident(graph::VertexId w) const { return w == u || w == v; }
+};
+
+}  // namespace stream
+}  // namespace loom
+
+#endif  // LOOM_STREAM_STREAM_EDGE_H_

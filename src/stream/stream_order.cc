@@ -1,0 +1,34 @@
+#include "stream/stream_order.h"
+
+#include "graph/graph_algos.h"
+#include "util/rng.h"
+
+namespace loom {
+namespace stream {
+
+std::string ToString(StreamOrder order) {
+  switch (order) {
+    case StreamOrder::kBreadthFirst: return "bfs";
+    case StreamOrder::kDepthFirst: return "dfs";
+    case StreamOrder::kRandom: return "random";
+  }
+  return "?";
+}
+
+EdgeStream MakeStream(const graph::LabeledGraph& g, StreamOrder order,
+                      uint64_t seed) {
+  switch (order) {
+    case StreamOrder::kBreadthFirst:
+      return EdgeStream(g, graph::BfsEdgeOrder(g));
+    case StreamOrder::kDepthFirst:
+      return EdgeStream(g, graph::DfsEdgeOrder(g));
+    case StreamOrder::kRandom: {
+      util::Rng rng(seed);
+      return EdgeStream(g, graph::RandomEdgeOrder(g, &rng));
+    }
+  }
+  return EdgeStream();
+}
+
+}  // namespace stream
+}  // namespace loom

@@ -1,0 +1,33 @@
+// Stream ordering policies used throughout the evaluation (Sec. 5.1):
+// breadth-first, depth-first and random permutations of a graph's edges.
+
+#ifndef LOOM_STREAM_STREAM_ORDER_H_
+#define LOOM_STREAM_STREAM_ORDER_H_
+
+#include <string>
+
+#include "graph/labeled_graph.h"
+#include "stream/edge_stream.h"
+
+namespace loom {
+namespace stream {
+
+/// The three arrival orders from the paper's evaluation.
+enum class StreamOrder {
+  kBreadthFirst,
+  kDepthFirst,
+  kRandom,
+};
+
+/// Name for reports ("bfs" / "dfs" / "random").
+std::string ToString(StreamOrder order);
+
+/// Materialises a stream of `g` under `order`. `seed` only matters for
+/// kRandom; BFS/DFS orders are fully determined by the graph.
+EdgeStream MakeStream(const graph::LabeledGraph& g, StreamOrder order,
+                      uint64_t seed = 0x10c5);
+
+}  // namespace stream
+}  // namespace loom
+
+#endif  // LOOM_STREAM_STREAM_ORDER_H_

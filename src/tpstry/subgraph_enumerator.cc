@@ -1,0 +1,82 @@
+#include "tpstry/subgraph_enumerator.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <map>
+
+namespace loom {
+namespace tpstry {
+
+bool IsConnectedSubset(const graph::PatternGraph& g, EdgeMask mask) {
+  if (mask == 0) return false;
+  // Union-find over the endpoints of the selected edges.
+  const size_t n = g.NumVertices();
+  std::vector<graph::VertexId> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = static_cast<graph::VertexId>(i);
+  auto find = [&](graph::VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  size_t touched_edges = 0;
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    if (!(mask & (EdgeMask{1} << e))) continue;
+    ++touched_edges;
+    graph::VertexId a = find(g.edge(static_cast<graph::EdgeId>(e)).u);
+    graph::VertexId b = find(g.edge(static_cast<graph::EdgeId>(e)).v);
+    if (a != b) parent[a] = b;
+  }
+  // Connected iff all selected edges' endpoints share one component:
+  // count distinct roots among touched vertices.
+  graph::VertexId root = graph::kInvalidVertex;
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    if (!(mask & (EdgeMask{1} << e))) continue;
+    for (graph::VertexId v :
+         {g.edge(static_cast<graph::EdgeId>(e)).u, g.edge(static_cast<graph::EdgeId>(e)).v}) {
+      graph::VertexId r = find(v);
+      if (root == graph::kInvalidVertex) root = r;
+      else if (r != root) return false;
+    }
+  }
+  return touched_edges > 0;
+}
+
+std::vector<EdgeMask> ConnectedEdgeSubsets(const graph::PatternGraph& g) {
+  const size_t m = g.NumEdges();
+  assert(m <= kMaxQueryEdges && "query graph too large for trie construction");
+  std::vector<EdgeMask> out;
+  const EdgeMask limit = m >= 32 ? ~EdgeMask{0} : ((EdgeMask{1} << m) - 1);
+  for (EdgeMask mask = 1; mask <= limit; ++mask) {
+    if (IsConnectedSubset(g, mask)) out.push_back(mask);
+    if (mask == limit) break;  // avoid overflow wrap when limit == max
+  }
+  std::sort(out.begin(), out.end(), [](EdgeMask a, EdgeMask b) {
+    int pa = std::popcount(a), pb = std::popcount(b);
+    return pa != pb ? pa < pb : a < b;
+  });
+  return out;
+}
+
+graph::PatternGraph SubgraphFromMask(const graph::PatternGraph& g, EdgeMask mask) {
+  graph::PatternGraph sub;
+  std::map<graph::VertexId, graph::VertexId> remap;  // ordered: stable ids
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    if (!(mask & (EdgeMask{1} << e))) continue;
+    const graph::Edge& edge = g.edge(static_cast<graph::EdgeId>(e));
+    remap.emplace(edge.u, graph::kInvalidVertex);
+    remap.emplace(edge.v, graph::kInvalidVertex);
+  }
+  for (auto& [orig, fresh] : remap) fresh = sub.AddVertex(g.label(orig));
+  for (size_t e = 0; e < g.NumEdges(); ++e) {
+    if (!(mask & (EdgeMask{1} << e))) continue;
+    const graph::Edge& edge = g.edge(static_cast<graph::EdgeId>(e));
+    sub.AddEdge(remap[edge.u], remap[edge.v]);
+  }
+  return sub;
+}
+
+}  // namespace tpstry
+}  // namespace loom

@@ -1,0 +1,43 @@
+// Enumeration of all connected edge-subsets of a (small) query graph.
+//
+// Alg. 1 of the paper recursively "rebuilds" each query graph edge-by-edge
+// from every starting edge; the set of sub-graphs it touches is exactly the
+// set of connected edge subsets. We enumerate those directly as bitmasks —
+// the result (and the TPSTry++ built from it) is identical, with simpler
+// de-duplication. Query graphs are tiny ("of the order of 10 edges"), so
+// 2^|Eq| enumeration is cheap; we enforce |Eq| <= kMaxQueryEdges.
+
+#ifndef LOOM_TPSTRY_SUBGRAPH_ENUMERATOR_H_
+#define LOOM_TPSTRY_SUBGRAPH_ENUMERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/pattern_graph.h"
+
+namespace loom {
+namespace tpstry {
+
+/// Largest supported query size (in edges) for trie construction.
+inline constexpr size_t kMaxQueryEdges = 20;
+
+/// An edge subset of a pattern graph, as a bitmask over its edge ids.
+using EdgeMask = uint32_t;
+
+/// Returns every non-empty, connected edge subset of `g`, sorted by
+/// ascending popcount (so parents enumerate before children). Requires
+/// g.NumEdges() <= kMaxQueryEdges.
+std::vector<EdgeMask> ConnectedEdgeSubsets(const graph::PatternGraph& g);
+
+/// True if the edges selected by `mask` form a connected sub-graph
+/// (single-edge masks are connected; the empty mask is not).
+bool IsConnectedSubset(const graph::PatternGraph& g, EdgeMask mask);
+
+/// The pattern sub-graph induced by `mask`, with vertices renumbered densely
+/// in ascending original-id order. Labels are preserved.
+graph::PatternGraph SubgraphFromMask(const graph::PatternGraph& g, EdgeMask mask);
+
+}  // namespace tpstry
+}  // namespace loom
+
+#endif  // LOOM_TPSTRY_SUBGRAPH_ENUMERATOR_H_

@@ -1,0 +1,128 @@
+// The Traversal Pattern Summary Trie (TPSTry++, Sec. 2).
+//
+// A DAG whose nodes are (signature-identified) connected sub-graphs of the
+// workload's query graphs. Every parent is a one-edge-smaller sub-graph of
+// each of its children; node support is the summed relative frequency of the
+// queries containing that sub-graph (counted once per query, so Fig. 2's
+// example yields motifs {a-b, b-c, a-b-c} at T = 40%). Nodes with normalised
+// support >= the threshold are motifs; by anti-monotonicity (a node's support
+// never exceeds its ancestors'), every ancestor of a motif is a motif.
+
+#ifndef LOOM_TPSTRY_TPSTRY_H_
+#define LOOM_TPSTRY_TPSTRY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/pattern_graph.h"
+#include "signature/signature.h"
+#include "signature/signature_calculator.h"
+#include "tpstry/subgraph_enumerator.h"
+
+namespace loom {
+namespace tpstry {
+
+/// Id of the root node (the empty graph).
+inline constexpr uint32_t kRootId = 0;
+
+/// One trie node: a distinct (by signature) connected sub-graph of some
+/// query graph.
+struct TpsNode {
+  uint32_t id = 0;
+  signature::Signature sig;         // factor multiset (empty for the root)
+  graph::PatternGraph rep;          // a representative concrete graph
+  uint32_t num_edges = 0;
+  double support = 0.0;             // accumulated workload frequency
+  std::vector<uint32_t> children;   // node ids, deduped
+  std::vector<uint32_t> parents;    // node ids, deduped
+};
+
+/// The trie. Construction is incremental per query (AddQuery); motif status
+/// is evaluated lazily against the support threshold, so the same structure
+/// serves evolving workloads.
+class Tpstry {
+ public:
+  /// `calc` must outlive the trie. `support_threshold` is the paper's T as a
+  /// ratio of total workload frequency (default 40%).
+  Tpstry(const signature::SignatureCalculator* calc, double support_threshold);
+
+  /// Indexes every connected sub-graph of `q`, merging isomorphic (by
+  /// signature) sub-graphs across queries, and adds `frequency` to the
+  /// support of each distinct sub-graph of q. Requires q connected with
+  /// 1..kMaxQueryEdges edges.
+  void AddQuery(const graph::PatternGraph& q, double frequency);
+
+  /// Scales every node's support (and the normalising total) by `factor` in
+  /// (0, 1]. Combined with AddQuery this implements the paper's Sec. 6
+  /// "workload change over time": exponential decay of old query mass, so a
+  /// drifting workload Q smoothly promotes/demotes motifs without rebuilding
+  /// the trie. Nodes themselves are never removed (they are tiny and may
+  /// regain support later).
+  void DecaySupports(double factor);
+
+  /// Total frequency over all added queries (supports are normalised by it).
+  double total_frequency() const { return total_frequency_; }
+
+  double support_threshold() const { return support_threshold_; }
+  void set_support_threshold(double t) { support_threshold_ = t; }
+
+  /// Number of nodes including the root.
+  size_t NumNodes() const { return nodes_.size(); }
+
+  const TpsNode& node(uint32_t id) const { return nodes_[id]; }
+
+  /// support / total_frequency, in [0, 1]. Root reports 1.
+  double NormalizedSupport(uint32_t id) const;
+
+  /// True for non-root nodes whose normalised support meets the threshold.
+  bool IsMotif(uint32_t id) const;
+
+  /// All motif node ids (ascending).
+  std::vector<uint32_t> MotifIds() const;
+
+  /// Edge count of the largest motif (0 if no motifs). Useful for window
+  /// sizing and bounding match growth.
+  uint32_t MaxMotifEdges() const;
+
+  /// Node with exactly this signature, or nullptr.
+  const TpsNode* FindBySignature(const signature::Signature& sig) const;
+
+  /// Single-edge *motif* whose signature equals `sig`, or nullptr. The
+  /// stream matcher's admission test (Sec. 3): an arriving edge that matches
+  /// no single-edge motif can never join any motif match.
+  const TpsNode* FindSingleEdgeMotif(const signature::Signature& sig) const;
+
+  /// Motif child c of `node_id` with c.sig == node.sig + delta (as
+  /// multisets), or nullptr. The child test of Alg. 2 (lines 7 and 15).
+  const TpsNode* FindMotifChild(uint32_t node_id,
+                                const signature::FactorDelta& delta) const;
+
+  /// Mask over label ids: true where the label occurs in at least one motif
+  /// (equivalently, in a single-edge motif — every motif's labels appear in
+  /// its single-edge ancestors). Vertices with unmasked labels can never be
+  /// part of any motif match.
+  std::vector<bool> MotifLabelMask(size_t num_labels) const;
+
+  /// Multi-line dump (supports + motif flags) for debugging, using
+  /// `registry` for label names.
+  std::string Dump(const graph::LabelRegistry& registry) const;
+
+ private:
+  uint32_t FindOrCreateNode(const signature::Signature& sig,
+                            const graph::PatternGraph& rep, uint32_t num_edges);
+  void Link(uint32_t parent, uint32_t child);
+
+  const signature::SignatureCalculator* calc_;
+  double support_threshold_;
+  double total_frequency_ = 0.0;
+  std::vector<TpsNode> nodes_;
+  std::unordered_map<signature::Signature, uint32_t, signature::SignatureHash>
+      by_signature_;
+};
+
+}  // namespace tpstry
+}  // namespace loom
+
+#endif  // LOOM_TPSTRY_TPSTRY_H_

@@ -1,0 +1,35 @@
+#include "util/binomial.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace loom {
+namespace util {
+
+double LogFactorial(uint64_t n) { return std::lgamma(static_cast<double>(n) + 1.0); }
+
+double LogBinomialCoefficient(uint64_t n, uint64_t k) {
+  assert(k <= n);
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double BinomialPmf(uint64_t n, uint64_t k, double p) {
+  assert(p >= 0.0 && p <= 1.0);
+  if (k > n) return 0.0;
+  if (p == 0.0) return k == 0 ? 1.0 : 0.0;
+  if (p == 1.0) return k == n ? 1.0 : 0.0;
+  double log_pmf = LogBinomialCoefficient(n, k) +
+                   static_cast<double>(k) * std::log(p) +
+                   static_cast<double>(n - k) * std::log1p(-p);
+  return std::exp(log_pmf);
+}
+
+double BinomialCdf(uint64_t n, uint64_t k, double p) {
+  if (k >= n) return 1.0;
+  double sum = 0.0;
+  for (uint64_t x = 0; x <= k; ++x) sum += BinomialPmf(n, x, p);
+  return sum > 1.0 ? 1.0 : sum;
+}
+
+}  // namespace util
+}  // namespace loom

@@ -1,0 +1,29 @@
+// Binomial tail probabilities used by the paper's Fig. 4 collision analysis
+// (Sec. 2.3): P(X <= c) for X ~ Binomial(n, q), evaluated in log space so the
+// result stays exact-ish for n up to a few hundred without overflow.
+
+#ifndef LOOM_UTIL_BINOMIAL_H_
+#define LOOM_UTIL_BINOMIAL_H_
+
+#include <cstdint>
+
+namespace loom {
+namespace util {
+
+/// log(n!) via lgamma.
+double LogFactorial(uint64_t n);
+
+/// log C(n, k). Requires k <= n.
+double LogBinomialCoefficient(uint64_t n, uint64_t k);
+
+/// P(X == k) for X ~ Binomial(n, p). p in [0,1].
+double BinomialPmf(uint64_t n, uint64_t k, double p);
+
+/// P(X <= k) for X ~ Binomial(n, p): the cumulative probability the paper
+/// sums over "acceptable outcomes" (Sec. 2.3).
+double BinomialCdf(uint64_t n, uint64_t k, double p);
+
+}  // namespace util
+}  // namespace loom
+
+#endif  // LOOM_UTIL_BINOMIAL_H_

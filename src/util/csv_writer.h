@@ -1,0 +1,33 @@
+// Minimal CSV emission for experiment results so series can be re-plotted
+// outside the harness.
+
+#ifndef LOOM_UTIL_CSV_WRITER_H_
+#define LOOM_UTIL_CSV_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace loom {
+namespace util {
+
+/// Writes RFC-4180-ish CSV: cells containing commas, quotes or newlines are
+/// quoted, embedded quotes doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& os) : os_(os) {}
+
+  /// Writes one row. No trailing comma; ends with '\n'.
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Escapes a single cell per the quoting rules above.
+  static std::string Escape(const std::string& cell);
+
+ private:
+  std::ostream& os_;
+};
+
+}  // namespace util
+}  // namespace loom
+
+#endif  // LOOM_UTIL_CSV_WRITER_H_

@@ -1,0 +1,107 @@
+#include "util/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace loom {
+namespace util {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.Next();
+  // Guard against the (astronomically unlikely) all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Rng::Next64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method: multiply-shift with rejection to remove modulo bias.
+  uint64_t x = Next64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < bound) {
+    uint64_t t = -bound % bound;
+    while (l < t) {
+      x = Next64();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return static_cast<uint64_t>(m >> 64);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range.
+  if (span == 0) return static_cast<int64_t>(Next64());
+  return lo + static_cast<int64_t>(Uniform(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += (w > 0 ? w : 0.0);
+  assert(total > 0.0);
+  double x = UniformDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0) continue;
+    acc += weights[i];
+    if (x < acc) return i;
+  }
+  // Floating point slack: return the last positive-weight index.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0) return i;
+  }
+  return 0;
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  assert(n > 0);
+  if (n == 1) return 0;
+  // Inverse-CDF on the continuous approximation of the Zipf mass function:
+  // the integral of x^-s over [1, n+1]. Exact enough for workload skew and
+  // far cheaper than building an alias table per call site.
+  const double x = UniformDouble();
+  if (s == 1.0) {
+    const double hn = std::log(static_cast<double>(n) + 1.0);
+    const double v = std::exp(x * hn);
+    uint64_t r = static_cast<uint64_t>(v) - 1;
+    return r >= n ? n - 1 : r;
+  }
+  const double one_minus_s = 1.0 - s;
+  const double top = std::pow(static_cast<double>(n) + 1.0, one_minus_s);
+  const double v = std::pow(x * (top - 1.0) + 1.0, 1.0 / one_minus_s);
+  uint64_t r = static_cast<uint64_t>(v) - 1;
+  return r >= n ? n - 1 : r;
+}
+
+}  // namespace util
+}  // namespace loom

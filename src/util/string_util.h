@@ -1,0 +1,30 @@
+// Small string helpers shared across IO and the harness.
+
+#ifndef LOOM_UTIL_STRING_UTIL_H_
+#define LOOM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace loom {
+namespace util {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// True if `s` begins with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// Human-readable count: 1234567 -> "1.2M", 12345 -> "12.3k".
+std::string HumanCount(uint64_t n);
+
+}  // namespace util
+}  // namespace loom
+
+#endif  // LOOM_UTIL_STRING_UTIL_H_

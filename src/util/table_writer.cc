@@ -1,0 +1,56 @@
+#include "util/table_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace loom {
+namespace util {
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TableWriter::AddRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TableWriter::Print(std::ostream& os) const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      if (c + 1 < row.size()) os << "  ";
+    }
+    os << "\n";
+  };
+  emit(header_);
+  std::string rule;
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule.append(width[c], '-');
+    if (c + 1 < header_.size()) rule.append("  ");
+  }
+  os << rule << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TableWriter::Fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string TableWriter::Pct(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f%%", digits, v * 100.0);
+  return buf;
+}
+
+}  // namespace util
+}  // namespace loom

@@ -1,0 +1,46 @@
+// Plain-text aligned table output, used by the benchmark harness to print
+// paper tables/figures as rows and series on stdout.
+
+#ifndef LOOM_UTIL_TABLE_WRITER_H_
+#define LOOM_UTIL_TABLE_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace loom {
+namespace util {
+
+/// Accumulates rows of string cells and renders them column-aligned.
+///
+/// Usage:
+///   TableWriter t({"Dataset", "ipt", "vs Hash"});
+///   t.AddRow({"dblp", "12345", "43%"});
+///   t.Print(std::cout);
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Appends one row. Rows shorter than the header are padded with "".
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table with a header underline and 2-space column gaps.
+  void Print(std::ostream& os) const;
+
+  /// Formats a double with `digits` decimal places.
+  static std::string Fmt(double v, int digits = 2);
+
+  /// Formats a percentage (v is a ratio; 0.42 -> "42.0%").
+  static std::string Pct(double v, int digits = 1);
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace util
+}  // namespace loom
+
+#endif  // LOOM_UTIL_TABLE_WRITER_H_

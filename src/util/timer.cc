@@ -1,0 +1,20 @@
+#include "util/timer.h"
+
+namespace loom {
+namespace util {
+
+void Timer::Start() { start_ = std::chrono::steady_clock::now(); }
+
+int64_t Timer::ElapsedUs() const {
+  auto d = std::chrono::steady_clock::now() - start_;
+  return std::chrono::duration_cast<std::chrono::microseconds>(d).count();
+}
+
+double Timer::ElapsedMs() const { return static_cast<double>(ElapsedUs()) / 1e3; }
+
+double Timer::ElapsedSeconds() const {
+  return static_cast<double>(ElapsedUs()) / 1e6;
+}
+
+}  // namespace util
+}  // namespace loom

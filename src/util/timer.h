@@ -1,0 +1,37 @@
+// Wall-clock timing helpers for the evaluation harness (Table 2 etc.).
+
+#ifndef LOOM_UTIL_TIMER_H_
+#define LOOM_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace loom {
+namespace util {
+
+/// Monotonic stopwatch. Start() resets; ElapsedMs()/ElapsedUs() read without
+/// stopping, so a single timer can bracket multiple phases.
+class Timer {
+ public:
+  Timer() { Start(); }
+
+  /// Resets the reference point to now.
+  void Start();
+
+  /// Microseconds since Start().
+  int64_t ElapsedUs() const;
+
+  /// Milliseconds (floating) since Start().
+  double ElapsedMs() const;
+
+  /// Seconds (floating) since Start().
+  double ElapsedSeconds() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace util
+}  // namespace loom
+
+#endif  // LOOM_UTIL_TIMER_H_

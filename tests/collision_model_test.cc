@@ -1,0 +1,82 @@
+#include "signature/collision_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace loom {
+namespace signature {
+namespace {
+
+TEST(CollisionModelTest, PrimesUpToKnownList) {
+  EXPECT_EQ(PrimesUpTo(1).size(), 0u);
+  EXPECT_EQ(PrimesUpTo(2), (std::vector<uint32_t>{2}));
+  EXPECT_EQ(PrimesUpTo(20),
+            (std::vector<uint32_t>{2, 3, 5, 7, 11, 13, 17, 19}));
+  // Fig. 4 sweeps p up to 317; 251 (the paper's choice) must be prime.
+  auto primes = PrimesUpTo(317);
+  EXPECT_NE(std::find(primes.begin(), primes.end(), 251u), primes.end());
+  EXPECT_EQ(primes.back(), 317u);
+}
+
+TEST(CollisionModelTest, ProbabilityIncreasesWithP) {
+  // Bigger field -> fewer collisions -> higher acceptance probability.
+  double prev = 0.0;
+  for (uint32_t p : {5u, 11u, 51u, 101u, 251u}) {
+    double prob = ProbAcceptableCollisions(48, 0.05, p);
+    EXPECT_GE(prob, prev);
+    prev = prob;
+  }
+  EXPECT_GT(prev, 0.9);  // p=251, 48 factors, 5% tolerance: near certainty
+}
+
+TEST(CollisionModelTest, ProbabilityDecreasesWithFactorCount) {
+  // More factors at fixed tolerance fraction -> roughly comparable, but at a
+  // fixed small p more factors means more chances to exceed the budget.
+  double p24 = ProbAcceptableCollisions(24, 0.05, 31);
+  double p48 = ProbAcceptableCollisions(48, 0.05, 31);
+  EXPECT_GE(p24, p48 - 0.15);  // same shape as Fig. 4's curve ordering
+}
+
+TEST(CollisionModelTest, ToleranceMonotone) {
+  for (uint32_t p : {11u, 31u, 101u}) {
+    double t5 = ProbAcceptableCollisions(36, 0.05, p);
+    double t10 = ProbAcceptableCollisions(36, 0.10, p);
+    double t20 = ProbAcceptableCollisions(36, 0.20, p);
+    EXPECT_LE(t5, t10);
+    EXPECT_LE(t10, t20);
+  }
+}
+
+TEST(CollisionModelTest, DegenerateField) {
+  // p = 2 makes every factor collide (q = 1): acceptance only if tolerance
+  // covers everything.
+  EXPECT_NEAR(ProbAcceptableCollisions(24, 1.0, 2), 1.0, 1e-9);
+  EXPECT_LT(ProbAcceptableCollisions(24, 0.05, 2), 1e-6);
+}
+
+TEST(CollisionModelTest, CurveMatchesPointwise) {
+  std::vector<uint32_t> primes = {11, 101, 251};
+  auto curve = CollisionCurve(36, 0.10, primes);
+  ASSERT_EQ(curve.size(), 3u);
+  for (size_t i = 0; i < primes.size(); ++i) {
+    EXPECT_DOUBLE_EQ(curve[i],
+                     ProbAcceptableCollisions(36, 0.10, primes[i]));
+  }
+}
+
+TEST(CollisionModelTest, EmpiricalRateNear2OverP) {
+  for (uint32_t p : {11u, 101u, 251u}) {
+    double rate = EmpiricalFactorCollisionRate(p, 200000, 7);
+    EXPECT_NEAR(rate, 2.0 / (p - 1), 2.0 / (p - 1) * 0.2 + 1e-3);
+  }
+}
+
+TEST(CollisionModelTest, EmpiricalRateDeterministic) {
+  EXPECT_DOUBLE_EQ(EmpiricalFactorCollisionRate(251, 10000, 3),
+                   EmpiricalFactorCollisionRate(251, 10000, 3));
+}
+
+}  // namespace
+}  // namespace signature
+}  // namespace loom

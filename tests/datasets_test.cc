@@ -1,0 +1,162 @@
+#include "datasets/dataset_registry.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_algos.h"
+#include "query/query_executor.h"
+
+namespace loom {
+namespace datasets {
+namespace {
+
+class DatasetTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(DatasetTest, GeneratesNonTrivialGraph) {
+  Dataset ds = MakeDataset(GetParam(), 0.05);
+  EXPECT_GT(ds.NumVertices(), 100u);
+  EXPECT_GT(ds.NumEdges(), 100u);
+  EXPECT_FALSE(ds.meta.name.empty());
+}
+
+TEST_P(DatasetTest, LabelAlphabetMatchesTable1) {
+  Dataset ds = MakeDataset(GetParam(), 0.05);
+  switch (GetParam()) {
+    case DatasetId::kDblp:
+      EXPECT_EQ(ds.NumLabels(), 8u);
+      break;
+    case DatasetId::kProvGen:
+      EXPECT_EQ(ds.NumLabels(), 3u);
+      break;
+    case DatasetId::kMusicBrainz:
+      EXPECT_EQ(ds.NumLabels(), 12u);
+      break;
+    case DatasetId::kLubm100:
+    case DatasetId::kLubm4000:
+      EXPECT_EQ(ds.NumLabels(), 15u);
+      break;
+  }
+}
+
+TEST_P(DatasetTest, EveryLabelIsUsed) {
+  Dataset ds = MakeDataset(GetParam(), 0.05);
+  auto hist = ds.graph.LabelHistogram();
+  ASSERT_EQ(hist.size(), ds.NumLabels());
+  for (size_t l = 0; l < hist.size(); ++l) {
+    EXPECT_GT(hist[l], 0u) << "label " << ds.registry.Name(
+        static_cast<graph::LabelId>(l)) << " unused";
+  }
+}
+
+TEST_P(DatasetTest, DeterministicGeneration) {
+  Dataset a = MakeDataset(GetParam(), 0.03);
+  Dataset b = MakeDataset(GetParam(), 0.03);
+  ASSERT_EQ(a.NumVertices(), b.NumVertices());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (size_t i = 0; i < a.graph.edges().size(); ++i) {
+    ASSERT_EQ(a.graph.edges()[i].u, b.graph.edges()[i].u);
+    ASSERT_EQ(a.graph.edges()[i].v, b.graph.edges()[i].v);
+  }
+}
+
+TEST_P(DatasetTest, ScaleGrowsTheGraph) {
+  Dataset small = MakeDataset(GetParam(), 0.02);
+  Dataset large = MakeDataset(GetParam(), 0.08);
+  EXPECT_GT(large.NumEdges(), small.NumEdges());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, DatasetTest,
+    ::testing::ValuesIn(AllDatasets()),
+    [](const ::testing::TestParamInfo<DatasetId>& info) {
+      std::string name = ToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+class QueryableDatasetTest : public ::testing::TestWithParam<DatasetId> {};
+
+TEST_P(QueryableDatasetTest, WorkloadQueriesAreWellFormed) {
+  Dataset ds = MakeDataset(GetParam(), 0.05);
+  EXPECT_GE(ds.workload.size(), 3u);
+  EXPECT_NEAR(ds.workload.TotalFrequency(), 1.0, 1e-9);
+  for (const auto& q : ds.workload.queries()) {
+    EXPECT_TRUE(q.pattern.IsConnected()) << q.name;
+    EXPECT_GE(q.pattern.NumEdges(), 1u) << q.name;
+    EXPECT_GT(q.frequency, 0.0) << q.name;
+    // All query labels exist in the dataset's registry and graph.
+    auto hist = ds.graph.LabelHistogram();
+    for (graph::LabelId l : q.pattern.labels()) {
+      ASSERT_LT(l, ds.NumLabels()) << q.name;
+      EXPECT_GT(hist[l], 0u) << q.name << " uses unused label";
+    }
+  }
+}
+
+TEST_P(QueryableDatasetTest, EveryQueryHasMatches) {
+  Dataset ds = MakeDataset(GetParam(), 0.05);
+  partition::Partitioning p(1, ds.NumVertices());
+  for (graph::VertexId v = 0; v < ds.NumVertices(); ++v) p.Assign(v, 0);
+  query::ExecutorConfig cfg;
+  cfg.max_seeds = 500;
+  query::QueryExecutor ex(&ds.graph, cfg);
+  for (const auto& q : ds.workload.queries()) {
+    auto r = ex.Execute(q.pattern, p);
+    EXPECT_GT(r.matches, 0u) << ToString(GetParam()) << "/" << q.name
+                             << ": workload query matches nothing";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Queryable, QueryableDatasetTest, ::testing::ValuesIn(QueryableDatasets()),
+    [](const ::testing::TestParamInfo<DatasetId>& info) {
+      std::string name = ToString(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+TEST(Figure1DatasetTest, MatchesThePaperFigure) {
+  Dataset ds = MakeFigure1Dataset();
+  EXPECT_EQ(ds.NumVertices(), 8u);
+  EXPECT_EQ(ds.NumEdges(), 10u);
+  EXPECT_EQ(ds.NumLabels(), 4u);
+  EXPECT_EQ(ds.workload.size(), 3u);
+  // One connected component (the lattice).
+  size_t components = 0;
+  graph::ConnectedComponents(ds.graph, &components);
+  EXPECT_EQ(components, 1u);
+}
+
+TEST(DatasetRegistryTest, NamesAreStable) {
+  EXPECT_EQ(ToString(DatasetId::kDblp), "dblp");
+  EXPECT_EQ(ToString(DatasetId::kProvGen), "provgen");
+  EXPECT_EQ(ToString(DatasetId::kMusicBrainz), "musicbrainz");
+  EXPECT_EQ(ToString(DatasetId::kLubm100), "lubm-100");
+  EXPECT_EQ(ToString(DatasetId::kLubm4000), "lubm-4000");
+}
+
+TEST(DatasetRegistryTest, InvalidScaleThrows) {
+  EXPECT_THROW(MakeDataset(DatasetId::kDblp, 0.0), std::invalid_argument);
+  EXPECT_THROW(MakeDataset(DatasetId::kDblp, -1.0), std::invalid_argument);
+}
+
+TEST(DatasetRegistryTest, SizeOrderingMirrorsTable1) {
+  // Paper's Table 1 edge-count ordering: provgen < dblp < lubm-100 <
+  // musicbrainz < lubm-4000 (at matched scale).
+  auto provgen = MakeDataset(DatasetId::kProvGen, 0.1);
+  auto dblp = MakeDataset(DatasetId::kDblp, 0.1);
+  auto lubm = MakeDataset(DatasetId::kLubm100, 0.1);
+  auto mb = MakeDataset(DatasetId::kMusicBrainz, 0.1);
+  auto lubm4k = MakeDataset(DatasetId::kLubm4000, 0.1);
+  EXPECT_LT(provgen.NumEdges(), dblp.NumEdges());
+  EXPECT_LT(dblp.NumEdges(), lubm.NumEdges());
+  EXPECT_LT(lubm.NumEdges(), mb.NumEdges());
+  EXPECT_LT(mb.NumEdges(), lubm4k.NumEdges());
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace loom

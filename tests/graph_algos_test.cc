@@ -1,0 +1,146 @@
+#include "graph/graph_algos.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+#include <set>
+
+#include "datasets/dataset_registry.h"
+
+namespace loom {
+namespace graph {
+namespace {
+
+LabeledGraph Path(size_t n) {
+  LabeledGraph::Builder b;
+  for (size_t i = 0; i < n; ++i) b.AddVertex(0);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    b.AddEdge(static_cast<VertexId>(i), static_cast<VertexId>(i + 1));
+  }
+  return b.Build();
+}
+
+LabeledGraph TwoComponents() {
+  LabeledGraph::Builder b;
+  for (int i = 0; i < 6; ++i) b.AddVertex(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(3, 4);
+  b.AddEdge(4, 5);
+  return b.Build();
+}
+
+bool IsPermutationOfAllEdges(const LabeledGraph& g,
+                             const std::vector<EdgeId>& order) {
+  if (order.size() != g.NumEdges()) return false;
+  std::set<EdgeId> seen(order.begin(), order.end());
+  return seen.size() == g.NumEdges() && *seen.rbegin() == g.NumEdges() - 1;
+}
+
+TEST(GraphAlgosTest, BfsOrderIsEdgePermutation) {
+  LabeledGraph g = TwoComponents();
+  EXPECT_TRUE(IsPermutationOfAllEdges(g, BfsEdgeOrder(g)));
+}
+
+TEST(GraphAlgosTest, DfsOrderIsEdgePermutation) {
+  LabeledGraph g = TwoComponents();
+  EXPECT_TRUE(IsPermutationOfAllEdges(g, DfsEdgeOrder(g)));
+}
+
+TEST(GraphAlgosTest, RandomOrderIsEdgePermutation) {
+  LabeledGraph g = TwoComponents();
+  util::Rng rng(1);
+  EXPECT_TRUE(IsPermutationOfAllEdges(g, RandomEdgeOrder(g, &rng)));
+}
+
+TEST(GraphAlgosTest, BfsOnPathIsSequential) {
+  LabeledGraph g = Path(10);
+  auto order = BfsEdgeOrder(g);
+  // On a path rooted at vertex 0, BFS discovers edges in chain order.
+  for (size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_LT(order[i], order[i + 1]);
+  }
+}
+
+TEST(GraphAlgosTest, BfsPrefixIsConnectedSubgraph) {
+  // Streaming property the evaluation relies on: every prefix of a BFS edge
+  // order within one component forms a connected sub-graph.
+  datasets::Dataset ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  const LabeledGraph& g = ds.graph;
+  auto order = BfsEdgeOrder(g);
+  // Union-find over prefix; count components among touched vertices.
+  std::vector<VertexId> parent(g.NumVertices());
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<VertexId(VertexId)> find = [&](VertexId x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  // Components can only merge or be *rooted* fresh (new BFS root), never
+  // split. Track that each new edge touches at least one previously-seen
+  // vertex unless it starts a new component root.
+  std::vector<bool> seen(g.NumVertices(), false);
+  size_t fresh_roots = 0;
+  for (EdgeId eid : order) {
+    const Edge& e = g.edge(eid);
+    if (!seen[e.u] && !seen[e.v]) ++fresh_roots;
+    seen[e.u] = seen[e.v] = true;
+    parent[find(e.u)] = find(e.v);
+  }
+  size_t num_components;
+  ConnectedComponents(g, &num_components);
+  EXPECT_LE(fresh_roots, num_components);
+}
+
+TEST(GraphAlgosTest, DeterministicOrders) {
+  LabeledGraph g = TwoComponents();
+  EXPECT_EQ(BfsEdgeOrder(g), BfsEdgeOrder(g));
+  EXPECT_EQ(DfsEdgeOrder(g), DfsEdgeOrder(g));
+  util::Rng r1(7), r2(7);
+  EXPECT_EQ(RandomEdgeOrder(g, &r1), RandomEdgeOrder(g, &r2));
+}
+
+TEST(GraphAlgosTest, ConnectedComponentsCounts) {
+  LabeledGraph g = TwoComponents();
+  size_t n = 0;
+  auto comp = ConnectedComponents(g, &n);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[5]);
+  EXPECT_NE(comp[0], comp[3]);
+}
+
+TEST(GraphAlgosTest, SingletonVerticesAreComponents) {
+  LabeledGraph::Builder b;
+  b.AddVertex(0);
+  b.AddVertex(0);
+  LabeledGraph g = b.Build();
+  size_t n = 0;
+  ConnectedComponents(g, &n);
+  EXPECT_EQ(n, 2u);
+}
+
+TEST(GraphAlgosTest, DegreeStats) {
+  LabeledGraph g = Path(5);
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 2u);
+  EXPECT_NEAR(s.mean, 2.0 * 4 / 5, 1e-12);
+}
+
+TEST(GraphAlgosTest, DegreeStatsEmptyGraph) {
+  LabeledGraph g;
+  DegreeStats s = ComputeDegreeStats(g);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace loom

@@ -1,0 +1,92 @@
+#include "graph/graph_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "datasets/dataset_registry.h"
+
+namespace loom {
+namespace graph {
+namespace {
+
+TEST(GraphIoTest, RoundTripSmallGraph) {
+  LabelRegistry reg;
+  reg.Intern("a");
+  reg.Intern("b");
+  LabeledGraph::Builder b;
+  VertexId v0 = b.AddVertex(0);
+  VertexId v1 = b.AddVertex(1);
+  VertexId v2 = b.AddVertex(0);
+  b.AddEdge(v0, v1);
+  b.AddEdge(v1, v2);
+  LabeledGraph g = b.Build();
+
+  std::stringstream ss;
+  WriteGraph(g, reg, ss);
+
+  LabelRegistry reg2;
+  LabeledGraph g2 = ReadGraph(ss, &reg2);
+  EXPECT_EQ(g2.NumVertices(), g.NumVertices());
+  EXPECT_EQ(g2.NumEdges(), g.NumEdges());
+  EXPECT_EQ(reg2.size(), reg.size());
+  EXPECT_EQ(reg2.Name(0), "a");
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    EXPECT_EQ(g2.label(v), g.label(v));
+  }
+  EXPECT_TRUE(g2.HasEdge(0, 1));
+  EXPECT_TRUE(g2.HasEdge(1, 2));
+  EXPECT_FALSE(g2.HasEdge(0, 2));
+}
+
+TEST(GraphIoTest, RoundTripFigure1Dataset) {
+  datasets::Dataset ds = datasets::MakeFigure1Dataset();
+  std::stringstream ss;
+  WriteGraph(ds.graph, ds.registry, ss);
+  LabelRegistry reg2;
+  LabeledGraph g2 = ReadGraph(ss, &reg2);
+  EXPECT_EQ(g2.NumVertices(), ds.graph.NumVertices());
+  EXPECT_EQ(g2.NumEdges(), ds.graph.NumEdges());
+}
+
+TEST(GraphIoTest, IgnoresCommentsAndBlankLines) {
+  std::stringstream ss("# comment\n\nL a\nV 0 0\nV 1 0\nE 0 1\n");
+  LabelRegistry reg;
+  LabeledGraph g = ReadGraph(ss, &reg);
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphIoTest, RejectsUnknownRecordKind) {
+  std::stringstream ss("X nonsense\n");
+  LabelRegistry reg;
+  EXPECT_THROW(ReadGraph(ss, &reg), std::runtime_error);
+}
+
+TEST(GraphIoTest, RejectsLabelOutOfRange) {
+  std::stringstream ss("L a\nV 0 3\n");
+  LabelRegistry reg;
+  EXPECT_THROW(ReadGraph(ss, &reg), std::runtime_error);
+}
+
+TEST(GraphIoTest, RejectsSparseVertexIds) {
+  std::stringstream ss("L a\nV 0 0\nV 2 0\nE 0 2\n");
+  LabelRegistry reg;
+  EXPECT_THROW(ReadGraph(ss, &reg), std::runtime_error);
+}
+
+TEST(GraphIoTest, RejectsEdgeEndpointOutOfRange) {
+  std::stringstream ss("L a\nV 0 0\nE 0 5\n");
+  LabelRegistry reg;
+  EXPECT_THROW(ReadGraph(ss, &reg), std::runtime_error);
+}
+
+TEST(GraphIoTest, MissingFileThrows) {
+  LabelRegistry reg;
+  EXPECT_THROW(ReadGraphFile("/nonexistent/path/graph.txt", &reg),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace loom

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/dynamic_graph.h"
+#include "graph/label_registry.h"
+#include "graph/labeled_graph.h"
+
+namespace loom {
+namespace graph {
+namespace {
+
+// ---------------------------------------------------------- label registry
+
+TEST(LabelRegistryTest, InternAssignsDenseIdsInOrder) {
+  LabelRegistry reg;
+  EXPECT_EQ(reg.Intern("a"), 0);
+  EXPECT_EQ(reg.Intern("b"), 1);
+  EXPECT_EQ(reg.Intern("a"), 0);  // idempotent
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.Name(0), "a");
+  EXPECT_EQ(reg.Name(1), "b");
+}
+
+TEST(LabelRegistryTest, FindMissingReturnsInvalid) {
+  LabelRegistry reg;
+  reg.Intern("x");
+  EXPECT_EQ(reg.Find("x"), 0);
+  EXPECT_EQ(reg.Find("nope"), kInvalidLabel);
+}
+
+// -------------------------------------------------------------------- edge
+
+TEST(EdgeTest, NormalizedAndEquality) {
+  Edge a(3, 1), b(1, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Normalized().u, 1u);
+  EXPECT_EQ(a.Normalized().v, 3u);
+  EXPECT_EQ(EdgeHash{}(a), EdgeHash{}(b));
+}
+
+TEST(EdgeTest, OtherAndIncident) {
+  Edge e(4, 9);
+  EXPECT_EQ(e.Other(4), 9u);
+  EXPECT_EQ(e.Other(9), 4u);
+  EXPECT_TRUE(e.Incident(4));
+  EXPECT_FALSE(e.Incident(5));
+}
+
+// ----------------------------------------------------------- labeled graph
+
+LabeledGraph TriangleWithTail() {
+  LabeledGraph::Builder b;
+  VertexId v0 = b.AddVertex(0);
+  VertexId v1 = b.AddVertex(1);
+  VertexId v2 = b.AddVertex(0);
+  VertexId v3 = b.AddVertex(2);
+  b.AddEdge(v0, v1);
+  b.AddEdge(v1, v2);
+  b.AddEdge(v2, v0);
+  b.AddEdge(v2, v3);
+  return b.Build();
+}
+
+TEST(LabeledGraphTest, BasicCounts) {
+  LabeledGraph g = TriangleWithTail();
+  EXPECT_EQ(g.NumVertices(), 4u);
+  EXPECT_EQ(g.NumEdges(), 4u);
+  EXPECT_EQ(g.label(0), 0);
+  EXPECT_EQ(g.label(3), 2);
+}
+
+TEST(LabeledGraphTest, AdjacencyIsSymmetric) {
+  LabeledGraph g = TriangleWithTail();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    for (VertexId w : g.Neighbors(v)) {
+      auto nbrs = g.Neighbors(w);
+      EXPECT_NE(std::find(nbrs.begin(), nbrs.end(), v), nbrs.end())
+          << v << " <-> " << w;
+    }
+  }
+}
+
+TEST(LabeledGraphTest, DegreesMatchAdjacency) {
+  LabeledGraph g = TriangleWithTail();
+  EXPECT_EQ(g.Degree(0), 2u);
+  EXPECT_EQ(g.Degree(2), 3u);
+  EXPECT_EQ(g.Degree(3), 1u);
+  size_t total = 0;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) total += g.Degree(v);
+  EXPECT_EQ(total, 2 * g.NumEdges());  // handshaking lemma
+}
+
+TEST(LabeledGraphTest, BuilderDropsSelfLoopsAndDuplicates) {
+  LabeledGraph::Builder b;
+  VertexId v0 = b.AddVertex(0);
+  VertexId v1 = b.AddVertex(0);
+  b.AddEdge(v0, v1);
+  b.AddEdge(v1, v0);  // duplicate (reversed)
+  b.AddEdge(v0, v1);  // duplicate
+  b.AddEdge(v0, v0);  // self loop
+  LabeledGraph g = b.Build();
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(LabeledGraphTest, HasEdge) {
+  LabeledGraph g = TriangleWithTail();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_TRUE(g.HasEdge(2, 3));
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+TEST(LabeledGraphTest, IncidentEdgesAlignWithNeighbors) {
+  LabeledGraph g = TriangleWithTail();
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    auto nbrs = g.Neighbors(v);
+    auto eids = g.IncidentEdges(v);
+    ASSERT_EQ(nbrs.size(), eids.size());
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const Edge& e = g.edge(eids[i]);
+      EXPECT_TRUE(e.Incident(v));
+      EXPECT_EQ(e.Other(v), nbrs[i]);
+    }
+  }
+}
+
+TEST(LabeledGraphTest, LabelHistogram) {
+  LabeledGraph g = TriangleWithTail();
+  auto hist = g.LabelHistogram();
+  ASSERT_EQ(hist.size(), 3u);
+  EXPECT_EQ(hist[0], 2u);
+  EXPECT_EQ(hist[1], 1u);
+  EXPECT_EQ(hist[2], 1u);
+}
+
+TEST(LabeledGraphTest, EmptyGraph) {
+  LabeledGraph::Builder b;
+  LabeledGraph g = b.Build();
+  EXPECT_EQ(g.NumVertices(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.LabelHistogram().empty());
+}
+
+// ----------------------------------------------------------- dynamic graph
+
+TEST(DynamicGraphTest, TouchAndAddEdge) {
+  DynamicGraph g;
+  g.TouchVertex(0, 5);
+  g.TouchVertex(2, 7);
+  EXPECT_TRUE(g.Known(0));
+  EXPECT_FALSE(g.Known(1));
+  EXPECT_TRUE(g.Known(2));
+  EXPECT_EQ(g.NumVertices(), 2u);
+  EXPECT_EQ(g.label(0), 5);
+
+  g.AddEdge(0, 2);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Degree(0), 1u);
+  ASSERT_EQ(g.Neighbors(2).size(), 1u);
+  EXPECT_EQ(g.Neighbors(2)[0], 0u);
+}
+
+TEST(DynamicGraphTest, TouchIsIdempotent) {
+  DynamicGraph g;
+  g.TouchVertex(3, 1);
+  g.TouchVertex(3, 1);
+  EXPECT_EQ(g.NumVertices(), 1u);
+}
+
+TEST(DynamicGraphTest, GrowsToLargestId) {
+  DynamicGraph g;
+  g.TouchVertex(100, 0);
+  EXPECT_EQ(g.NumSlots(), 101u);
+  EXPECT_EQ(g.NumVertices(), 1u);
+  EXPECT_TRUE(g.Neighbors(50).empty());
+  EXPECT_EQ(g.Degree(999), 0u);  // out of range is degree 0
+}
+
+TEST(DynamicGraphTest, ParallelEdgesCounted) {
+  DynamicGraph g;
+  g.TouchVertex(0, 0);
+  g.TouchVertex(1, 0);
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(0), 2u);
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace loom

@@ -1,0 +1,117 @@
+#include "motif/match_list.h"
+
+#include <gtest/gtest.h>
+
+namespace loom {
+namespace motif {
+namespace {
+
+MatchPtr MakeMatch(std::vector<graph::EdgeId> edges,
+                   std::vector<graph::VertexId> vertices, uint32_t node) {
+  auto m = std::make_shared<Match>();
+  m->edges = std::move(edges);
+  m->vertices = std::move(vertices);
+  m->node_id = node;
+  return m;
+}
+
+TEST(MatchTest, ContainsChecks) {
+  auto m = MakeMatch({2, 5, 9}, {1, 3}, 7);
+  EXPECT_TRUE(m->ContainsEdge(5));
+  EXPECT_FALSE(m->ContainsEdge(4));
+  EXPECT_TRUE(m->ContainsVertex(3));
+  EXPECT_FALSE(m->ContainsVertex(2));
+}
+
+TEST(MatchTest, KeyIsContentBased) {
+  auto a = MakeMatch({1, 2}, {0, 1, 2}, 3);
+  auto b = MakeMatch({1, 2}, {0, 1, 2}, 3);
+  auto c = MakeMatch({1, 2}, {0, 1, 2}, 4);  // different motif
+  auto d = MakeMatch({1, 3}, {0, 1, 2}, 3);  // different edges
+  EXPECT_EQ(a->Key(), b->Key());
+  EXPECT_NE(a->Key(), c->Key());
+  EXPECT_NE(a->Key(), d->Key());
+}
+
+TEST(MatchListTest, AddAndLookup) {
+  MatchList ml;
+  auto m = MakeMatch({0}, {10, 11}, 1);
+  EXPECT_TRUE(ml.Add(m));
+  EXPECT_EQ(ml.NumLive(), 1u);
+  EXPECT_EQ(ml.LiveAt(10).size(), 1u);
+  EXPECT_EQ(ml.LiveAt(11).size(), 1u);
+  EXPECT_EQ(ml.LiveAt(12).size(), 0u);
+  EXPECT_EQ(ml.LiveWithEdge(0).size(), 1u);
+  EXPECT_EQ(ml.LiveWithEdge(1).size(), 0u);
+  EXPECT_TRUE(ml.HasLiveAt(10));
+  EXPECT_FALSE(ml.HasLiveAt(12));
+}
+
+TEST(MatchListTest, DuplicateRejected) {
+  MatchList ml;
+  EXPECT_TRUE(ml.Add(MakeMatch({0, 1}, {5, 6, 7}, 2)));
+  EXPECT_FALSE(ml.Add(MakeMatch({0, 1}, {5, 6, 7}, 2)));
+  EXPECT_EQ(ml.NumLive(), 1u);
+  EXPECT_EQ(ml.TotalAdded(), 1u);
+}
+
+TEST(MatchListTest, SameEdgesDifferentMotifCoexist) {
+  MatchList ml;
+  EXPECT_TRUE(ml.Add(MakeMatch({0, 1}, {5, 6, 7}, 2)));
+  EXPECT_TRUE(ml.Add(MakeMatch({0, 1}, {5, 6, 7}, 3)));
+  EXPECT_EQ(ml.NumLive(), 2u);
+}
+
+TEST(MatchListTest, RemoveMatchesWithEdgeKillsAllContaining) {
+  MatchList ml;
+  auto m1 = MakeMatch({0}, {5, 6}, 1);
+  auto m2 = MakeMatch({0, 1}, {5, 6, 7}, 2);
+  auto m3 = MakeMatch({1}, {6, 7}, 1);
+  ml.Add(m1);
+  ml.Add(m2);
+  ml.Add(m3);
+  ml.RemoveMatchesWithEdge(0);
+  EXPECT_FALSE(m1->alive);
+  EXPECT_FALSE(m2->alive);
+  EXPECT_TRUE(m3->alive);
+  EXPECT_EQ(ml.NumLive(), 1u);
+  EXPECT_EQ(ml.LiveAt(5).size(), 0u);
+  EXPECT_EQ(ml.LiveAt(6).size(), 1u);
+  EXPECT_EQ(ml.LiveWithEdge(1).size(), 1u);
+}
+
+TEST(MatchListTest, DeadMatchCanBeReAdded) {
+  MatchList ml;
+  ml.Add(MakeMatch({0}, {5, 6}, 1));
+  ml.RemoveMatchesWithEdge(0);
+  // Same content is allowed again once the original died.
+  EXPECT_TRUE(ml.Add(MakeMatch({0}, {5, 6}, 1)));
+  EXPECT_EQ(ml.NumLive(), 1u);
+}
+
+TEST(MatchListTest, CompactPurgesDeadEntries) {
+  MatchList ml;
+  for (graph::EdgeId e = 0; e < 10; ++e) {
+    ml.Add(MakeMatch({e}, {e * 2, e * 2 + 1}, 1));
+  }
+  for (graph::EdgeId e = 0; e < 5; ++e) ml.RemoveMatchesWithEdge(e);
+  ml.Compact();
+  EXPECT_EQ(ml.NumLive(), 5u);
+  for (graph::EdgeId e = 0; e < 5; ++e) {
+    EXPECT_TRUE(ml.LiveAt(e * 2).empty());
+  }
+  for (graph::EdgeId e = 5; e < 10; ++e) {
+    EXPECT_EQ(ml.LiveAt(e * 2).size(), 1u);
+  }
+}
+
+TEST(MatchListTest, RemoveUnknownEdgeIsNoop) {
+  MatchList ml;
+  ml.Add(MakeMatch({3}, {0, 1}, 1));
+  ml.RemoveMatchesWithEdge(99);
+  EXPECT_EQ(ml.NumLive(), 1u);
+}
+
+}  // namespace
+}  // namespace motif
+}  // namespace loom

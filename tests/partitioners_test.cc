@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "datasets/dataset_registry.h"
+#include "partition/fennel_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "partition/ldg_partitioner.h"
+#include "partition/partition_metrics.h"
+#include "stream/stream_order.h"
+
+namespace loom {
+namespace partition {
+namespace {
+
+PartitionerConfig ConfigFor(const datasets::Dataset& ds, uint32_t k) {
+  PartitionerConfig cfg;
+  cfg.k = k;
+  cfg.expected_vertices = ds.NumVertices();
+  cfg.expected_edges = ds.NumEdges();
+  return cfg;
+}
+
+void RunAll(Partitioner* p, const stream::EdgeStream& es) {
+  for (const stream::StreamEdge& e : es) p->Ingest(e);
+  p->Finalize();
+}
+
+// ---------------------------------------------------------------- hash
+
+TEST(HashPartitionerTest, DeterministicPlacement) {
+  auto ds = datasets::MakeFigure1Dataset();
+  HashPartitioner a(ConfigFor(ds, 4)), b(ConfigFor(ds, 4));
+  for (graph::VertexId v = 0; v < 100; ++v) {
+    EXPECT_EQ(a.HashPlace(v), b.HashPlace(v));
+    EXPECT_LT(a.HashPlace(v), 4u);
+  }
+}
+
+TEST(HashPartitionerTest, RoughlyBalancedOnLargeInput) {
+  auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.1);
+  HashPartitioner p(ConfigFor(ds, 8));
+  auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  RunAll(&p, es);
+  EXPECT_TRUE(FullyAssigned(ds.graph, p.partitioning()));
+  EXPECT_LT(Imbalance(p.partitioning()), 0.10);
+}
+
+// ----------------------------------------------------------------- ldg
+
+TEST(LdgPartitionerTest, NearPerfectBalance) {
+  auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.1);
+  LdgPartitioner p(ConfigFor(ds, 8));
+  auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  RunAll(&p, es);
+  EXPECT_TRUE(FullyAssigned(ds.graph, p.partitioning()));
+  // Strict C = n/k keeps LDG within a few percent (paper: 1-3%).
+  EXPECT_LT(Imbalance(p.partitioning()), 0.05);
+}
+
+TEST(LdgPartitionerTest, BeatsHashOnEdgeCut) {
+  auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.1);
+  auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  LdgPartitioner ldg(ConfigFor(ds, 8));
+  HashPartitioner hash(ConfigFor(ds, 8));
+  RunAll(&ldg, es);
+  RunAll(&hash, es);
+  EXPECT_LT(EdgeCut(ds.graph, ldg.partitioning()),
+            EdgeCut(ds.graph, hash.partitioning()));
+}
+
+TEST(LdgHeuristicTest, FollowsNeighbourMajority) {
+  graph::DynamicGraph seen;
+  Partitioning part(2, 10);
+  for (graph::VertexId v = 0; v < 5; ++v) seen.TouchVertex(v, 0);
+  // Vertices 1, 2 in partition 1; vertex 0 connects to them.
+  seen.AddEdge(0, 1);
+  seen.AddEdge(0, 2);
+  part.Assign(1, 1);
+  part.Assign(2, 1);
+  EXPECT_EQ(LdgHeuristic::ChooseForVertex(0, seen, part), 1u);
+}
+
+TEST(LdgHeuristicTest, ZeroSignalGoesLeastLoaded) {
+  graph::DynamicGraph seen;
+  Partitioning part(3, 30);
+  seen.TouchVertex(0, 0);
+  part.Assign(10, 0);  // make partition 0 bigger
+  bool had_signal = true;
+  stream::StreamEdge e;
+  e.u = 0;
+  e.v = 0;
+  e.label_u = e.label_v = 0;
+  graph::PartitionId chosen = LdgHeuristic::Choose(e, seen, part, &had_signal);
+  EXPECT_FALSE(had_signal);
+  EXPECT_NE(chosen, 0u);  // least-loaded is 1 or 2
+}
+
+TEST(LdgHeuristicTest, ResidualCapacityDiscountsFullPartitions) {
+  graph::DynamicGraph seen;
+  Partitioning part(2, 8, 1.0);  // capacity 4
+  for (graph::VertexId v = 0; v < 8; ++v) seen.TouchVertex(v, 0);
+  // Partition 0 nearly full with 3 of vertex 0's neighbours; partition 1 has
+  // 2 neighbours but lots of room.
+  seen.AddEdge(0, 1);
+  seen.AddEdge(0, 2);
+  seen.AddEdge(0, 3);
+  seen.AddEdge(0, 4);
+  seen.AddEdge(0, 5);
+  part.Assign(1, 0);
+  part.Assign(2, 0);
+  part.Assign(3, 0);
+  part.Assign(6, 0);  // filler -> partition 0 at capacity 4
+  part.Assign(4, 1);
+  part.Assign(5, 1);
+  // Partition 0 is AtCapacity -> excluded; partition 1 wins.
+  EXPECT_EQ(LdgHeuristic::ChooseForVertex(0, seen, part), 1u);
+}
+
+// -------------------------------------------------------------- fennel
+
+TEST(FennelPartitionerTest, AlphaMatchesFormula) {
+  auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  FennelPartitioner p(ConfigFor(ds, 8));
+  const double n = static_cast<double>(ds.NumVertices());
+  const double m = static_cast<double>(ds.NumEdges());
+  EXPECT_NEAR(p.alpha(), std::sqrt(8.0) * m / std::pow(n, 1.5), 1e-9);
+  EXPECT_DOUBLE_EQ(p.gamma(), 1.5);
+}
+
+TEST(FennelPartitionerTest, FullyAssignsAndRespectsImbalance) {
+  auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.1);
+  FennelPartitioner p(ConfigFor(ds, 8));
+  auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  RunAll(&p, es);
+  EXPECT_TRUE(FullyAssigned(ds.graph, p.partitioning()));
+  EXPECT_LT(Imbalance(p.partitioning()), 0.11);
+}
+
+TEST(FennelPartitionerTest, BeatsLdgOnEdgeCut) {
+  // The paper (citing [31]): Fennel cuts fewer edges than LDG at k = 8.
+  auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.15);
+  auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  FennelPartitioner fennel(ConfigFor(ds, 8));
+  LdgPartitioner ldg(ConfigFor(ds, 8));
+  RunAll(&fennel, es);
+  RunAll(&ldg, es);
+  EXPECT_LT(EdgeCut(ds.graph, fennel.partitioning()),
+            EdgeCut(ds.graph, ldg.partitioning()));
+}
+
+// ------------------------------------- cross-system parameterised sweep
+
+using SweepParam =
+    std::tuple<datasets::DatasetId, stream::StreamOrder, uint32_t /*k*/>;
+
+class PartitionerSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PartitionerSweepTest, AllSystemsFullyAssignWithinBalance) {
+  auto [dataset, order, k] = GetParam();
+  auto ds = datasets::MakeDataset(dataset, 0.05);
+  auto es = stream::MakeStream(ds.graph, order, 0x5eed);
+  PartitionerConfig cfg = ConfigFor(ds, k);
+
+  HashPartitioner hash(cfg);
+  LdgPartitioner ldg(cfg);
+  FennelPartitioner fennel(cfg);
+  for (Partitioner* p :
+       std::initializer_list<Partitioner*>{&hash, &ldg, &fennel}) {
+    RunAll(p, es);
+    EXPECT_TRUE(FullyAssigned(ds.graph, p->partitioning()))
+        << p->name() << " on " << datasets::ToString(dataset);
+    if (p->name() != "hash") {
+      EXPECT_LT(Imbalance(p->partitioning()), 0.12) << p->name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionerSweepTest,
+    ::testing::Combine(
+        ::testing::Values(datasets::DatasetId::kDblp,
+                          datasets::DatasetId::kProvGen,
+                          datasets::DatasetId::kLubm100),
+        ::testing::Values(stream::StreamOrder::kBreadthFirst,
+                          stream::StreamOrder::kDepthFirst,
+                          stream::StreamOrder::kRandom),
+        ::testing::Values(2u, 8u, 32u)));
+
+}  // namespace
+}  // namespace partition
+}  // namespace loom

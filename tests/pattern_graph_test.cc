@@ -1,0 +1,93 @@
+#include "graph/pattern_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace loom {
+namespace graph {
+namespace {
+
+TEST(PatternGraphTest, PathConstruction) {
+  PatternGraph p = PatternGraph::Path({0, 1, 2});
+  EXPECT_EQ(p.NumVertices(), 3u);
+  EXPECT_EQ(p.NumEdges(), 2u);
+  EXPECT_TRUE(p.HasEdge(0, 1));
+  EXPECT_TRUE(p.HasEdge(1, 2));
+  EXPECT_FALSE(p.HasEdge(0, 2));
+  EXPECT_TRUE(p.IsConnected());
+}
+
+TEST(PatternGraphTest, CycleConstruction) {
+  PatternGraph c = PatternGraph::Cycle({0, 1, 0, 1});
+  EXPECT_EQ(c.NumVertices(), 4u);
+  EXPECT_EQ(c.NumEdges(), 4u);
+  for (VertexId v = 0; v < 4; ++v) EXPECT_EQ(c.Degree(v), 2u);
+  EXPECT_TRUE(c.IsConnected());
+}
+
+TEST(PatternGraphTest, StarConstruction) {
+  PatternGraph s = PatternGraph::Star(5, {1, 2, 3});
+  EXPECT_EQ(s.NumVertices(), 4u);
+  EXPECT_EQ(s.NumEdges(), 3u);
+  EXPECT_EQ(s.Degree(0), 3u);
+  EXPECT_EQ(s.label(0), 5);
+  EXPECT_TRUE(s.IsConnected());
+}
+
+TEST(PatternGraphTest, RejectsSelfLoopsAndDuplicates) {
+  PatternGraph p;
+  VertexId a = p.AddVertex(0);
+  VertexId b = p.AddVertex(1);
+  EXPECT_TRUE(p.AddEdge(a, b));
+  EXPECT_FALSE(p.AddEdge(a, b));  // duplicate
+  EXPECT_FALSE(p.AddEdge(b, a));  // reversed duplicate
+  EXPECT_FALSE(p.AddEdge(a, a));  // self loop
+  EXPECT_EQ(p.NumEdges(), 1u);
+}
+
+TEST(PatternGraphTest, DisconnectedDetected) {
+  PatternGraph p;
+  p.AddVertex(0);
+  p.AddVertex(1);
+  p.AddVertex(2);
+  p.AddEdge(0, 1);
+  EXPECT_FALSE(p.IsConnected());
+  p.AddEdge(1, 2);
+  EXPECT_TRUE(p.IsConnected());
+}
+
+TEST(PatternGraphTest, EmptyAndSingletonAreConnected) {
+  PatternGraph p;
+  EXPECT_TRUE(p.IsConnected());
+  p.AddVertex(0);
+  EXPECT_TRUE(p.IsConnected());
+}
+
+TEST(PatternGraphTest, ParsePathInternsLabels) {
+  LabelRegistry reg;
+  PatternGraph p = PatternGraph::ParsePath("Author-Paper-Author", &reg);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(p.NumVertices(), 3u);
+  EXPECT_EQ(p.NumEdges(), 2u);
+  EXPECT_EQ(p.label(0), p.label(2));
+  EXPECT_NE(p.label(0), p.label(1));
+}
+
+TEST(PatternGraphTest, ToStringListsEdges) {
+  LabelRegistry reg;
+  PatternGraph p = PatternGraph::ParsePath("a-b", &reg);
+  EXPECT_EQ(p.ToString(reg), "[a-b]");
+}
+
+TEST(PatternGraphTest, NeighborsAreMutual) {
+  PatternGraph p = PatternGraph::Cycle({0, 1, 2});
+  for (VertexId v = 0; v < p.NumVertices(); ++v) {
+    for (VertexId w : p.Neighbors(v)) {
+      const auto& back = p.Neighbors(w);
+      EXPECT_NE(std::find(back.begin(), back.end(), v), back.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace graph
+}  // namespace loom

@@ -1,0 +1,280 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/pattern_graph.h"
+#include "signature/label_values.h"
+#include "signature/signature.h"
+#include "signature/signature_calculator.h"
+#include "util/rng.h"
+
+namespace loom {
+namespace signature {
+namespace {
+
+using graph::LabelId;
+using graph::PatternGraph;
+using graph::VertexId;
+
+// ------------------------------------------------------------ label values
+
+TEST(LabelValuesTest, ValuesInRangeAndDeterministic) {
+  LabelValues a(16, 251, 1), b(16, 251, 1), c(16, 251, 2);
+  bool any_diff = false;
+  for (LabelId l = 0; l < 16; ++l) {
+    EXPECT_GE(a.Value(l), 1u);
+    EXPECT_LT(a.Value(l), 251u);
+    EXPECT_EQ(a.Value(l), b.Value(l));
+    any_diff |= a.Value(l) != c.Value(l);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+// -------------------------------------------------------- factor multisets
+
+TEST(SignatureTest, ConstructionSortsFactors) {
+  Signature s({5, 1, 3});
+  EXPECT_EQ(s.factors(), (std::vector<Factor>{1, 3, 5}));
+}
+
+TEST(SignatureTest, AddKeepsOrder) {
+  Signature s;
+  s.Add(4);
+  s.Add(2);
+  s.Add(9);
+  s.Add(2);
+  EXPECT_EQ(s.factors(), (std::vector<Factor>{2, 2, 4, 9}));
+}
+
+TEST(SignatureTest, EqualityIsContentBased) {
+  EXPECT_EQ(Signature({1, 2, 3}), Signature({3, 2, 1}));
+  EXPECT_FALSE(Signature({1, 2}) == Signature({1, 2, 2}));
+}
+
+TEST(SignatureTest, MultisetSemanticsDistinguishProducts) {
+  // The paper's motivating example: {6,2}, {4,3} and {12} all multiply to 12
+  // but are distinct signatures.
+  Signature a({6, 2}), b({4, 3}), c({12});
+  EXPECT_FALSE(a == b);
+  EXPECT_FALSE(b == c);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(SignatureTest, HashAgreesWithEquality) {
+  EXPECT_EQ(Signature({7, 7, 2}).Hash(), Signature({2, 7, 7}).Hash());
+  EXPECT_NE(Signature({1}).Hash(), Signature({2}).Hash());
+}
+
+TEST(SignatureTest, ExtendedAddsFactors) {
+  Signature s({5});
+  Signature t = s.Extended({2, 9});
+  EXPECT_EQ(t.factors(), (std::vector<Factor>{2, 5, 9}));
+  EXPECT_EQ(s.size(), 1u);  // original untouched
+}
+
+TEST(SignatureTest, DifferenceToComputesMultisetDelta) {
+  Signature parent({3, 5});
+  Signature child({3, 3, 5, 8});
+  auto diff = parent.DifferenceTo(child);
+  ASSERT_TRUE(diff.has_value());
+  std::sort(diff->begin(), diff->end());
+  EXPECT_EQ(*diff, (FactorDelta{3, 8}));
+}
+
+TEST(SignatureTest, DifferenceToRejectsNonSuperset) {
+  Signature parent({3, 5});
+  EXPECT_FALSE(parent.DifferenceTo(Signature({3})).has_value());
+  EXPECT_FALSE(parent.DifferenceTo(Signature({3, 6, 7})).has_value());
+}
+
+TEST(SignatureTest, ExtendsByExactMatch) {
+  Signature parent({3, 5});
+  Signature child({3, 4, 5, 9});
+  EXPECT_TRUE(parent.ExtendsBy({9, 4}, child));
+  EXPECT_FALSE(parent.ExtendsBy({9}, child));
+  EXPECT_FALSE(parent.ExtendsBy({9, 5}, child));
+  // Multiplicity matters: delta {4,4} != {4,9}.
+  EXPECT_FALSE(parent.ExtendsBy({4, 4}, child));
+}
+
+TEST(SignatureTest, ToStringReadable) {
+  EXPECT_EQ(Signature({2, 1}).ToString(), "{1,2}");
+  EXPECT_EQ(Signature().ToString(), "{}");
+}
+
+// -------------------------------------------------------------- calculator
+
+class CalculatorTest : public ::testing::Test {
+ protected:
+  CalculatorTest() : values_(8, 251, 0xC0FFEE), calc_(&values_) {}
+  LabelValues values_;
+  SignatureCalculator calc_;
+};
+
+TEST_F(CalculatorTest, FactorsNeverZero) {
+  for (LabelId a = 0; a < 8; ++a) {
+    for (LabelId b = 0; b < 8; ++b) {
+      Factor f = calc_.EdgeFactor(a, b);
+      EXPECT_GE(f, 1u);
+      EXPECT_LE(f, 251u);
+    }
+    for (uint32_t d = 1; d < 300; ++d) {
+      Factor f = calc_.DegreeFactor(a, d);
+      EXPECT_GE(f, 1u);
+      EXPECT_LE(f, 251u);
+    }
+  }
+}
+
+TEST_F(CalculatorTest, EdgeFactorSymmetric) {
+  for (LabelId a = 0; a < 8; ++a) {
+    for (LabelId b = 0; b < 8; ++b) {
+      EXPECT_EQ(calc_.EdgeFactor(a, b), calc_.EdgeFactor(b, a));
+    }
+  }
+}
+
+TEST_F(CalculatorTest, PaperWorkedExampleQ1) {
+  // Sec 2.1: p = 11, r(a) = 3, r(b) = 10. edgeFac(a-b) = (3-10) mod 11 = 4
+  // ... the paper says 7 because it subtracts r(b) - r(a) or maps -7 -> 4?
+  // (-7 mod 11) = 4, but the paper states 7; they computed (3-10) mod 11
+  // with the convention that the result is taken as a positive residue of
+  // the *absolute* order they chose. We verify our own convention is
+  // self-consistent instead: the single-edge signature has 3 factors and is
+  // stable across recomputation.
+  Signature s1 = calc_.SingleEdgeSignature(0, 1);
+  Signature s2 = calc_.SingleEdgeSignature(1, 0);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), 3u);
+}
+
+TEST_F(CalculatorTest, SignatureHas3EPerEdgeFactors) {
+  // Handshaking lemma: 3|E| factors total.
+  PatternGraph p = PatternGraph::Cycle({0, 1, 2, 3});
+  EXPECT_EQ(calc_.ComputeSignature(p).size(), 3 * p.NumEdges());
+  PatternGraph q = PatternGraph::Path({0, 1, 2});
+  EXPECT_EQ(calc_.ComputeSignature(q).size(), 3 * q.NumEdges());
+}
+
+TEST_F(CalculatorTest, IncrementalMatchesFullRecompute) {
+  // Build a-b-c by adding b-c to a-b; factors must compose exactly.
+  PatternGraph ab = PatternGraph::Path({0, 1});
+  PatternGraph abc = PatternGraph::Path({0, 1, 2});
+  Signature base = calc_.ComputeSignature(ab);
+  // Adding edge (b,c): b reaches degree 2, c degree 1.
+  FactorDelta delta = calc_.FactorsForEdgeAddition(1, 2, 2, 1);
+  EXPECT_EQ(base.Extended(delta), calc_.ComputeSignature(abc));
+}
+
+TEST_F(CalculatorTest, StreamEdgeSignatureMatchesPatternSignature) {
+  // Same labelled structure via the two APIs.
+  std::vector<stream::StreamEdge> edges(2);
+  edges[0] = {0, 10, 11, /*label_u=*/0, /*label_v=*/1};
+  edges[1] = {1, 11, 12, /*label_u=*/1, /*label_v=*/2};
+  Signature via_stream = calc_.ComputeSignature(edges);
+  Signature via_pattern = calc_.ComputeSignature(PatternGraph::Path({0, 1, 2}));
+  EXPECT_EQ(via_stream, via_pattern);
+}
+
+// Property: isomorphic graphs ALWAYS share a signature (no false negatives).
+// We generate random connected patterns, relabel vertices by a random
+// permutation, and verify signature equality.
+class IsomorphismInvarianceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IsomorphismInvarianceTest, PermutedGraphHasSameSignature) {
+  util::Rng rng(GetParam());
+  LabelValues values(6, 251, 42);
+  SignatureCalculator calc(&values);
+
+  // Random connected graph: spanning-tree + extra edges.
+  const size_t n = 2 + rng.Uniform(6);
+  std::vector<LabelId> labels(n);
+  for (auto& l : labels) l = static_cast<LabelId>(rng.Uniform(6));
+
+  PatternGraph g;
+  for (LabelId l : labels) g.AddVertex(l);
+  for (VertexId v = 1; v < n; ++v) {
+    g.AddEdge(v, static_cast<VertexId>(rng.Uniform(v)));
+  }
+  const size_t extra = rng.Uniform(4);
+  for (size_t i = 0; i < extra; ++i) {
+    VertexId a = static_cast<VertexId>(rng.Uniform(n));
+    VertexId b = static_cast<VertexId>(rng.Uniform(n));
+    if (a != b) g.AddEdge(a, b);
+  }
+
+  // Random permutation of vertex ids.
+  std::vector<VertexId> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  rng.Shuffle(&perm);
+  PatternGraph h;
+  std::vector<VertexId> fresh(n);
+  for (VertexId v = 0; v < n; ++v) fresh[perm[v]] = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    (void)v;
+  }
+  // Add vertices in permuted order with matching labels.
+  std::vector<LabelId> permuted_labels(n);
+  for (VertexId v = 0; v < n; ++v) permuted_labels[perm[v]] = g.label(v);
+  for (VertexId v = 0; v < n; ++v) h.AddVertex(permuted_labels[v]);
+  // Add edges in a shuffled order.
+  std::vector<graph::Edge> edges = g.edges();
+  rng.Shuffle(&edges);
+  for (const graph::Edge& e : edges) h.AddEdge(perm[e.u], perm[e.v]);
+
+  EXPECT_EQ(calc.ComputeSignature(g), calc.ComputeSignature(h))
+      << "isomorphic graphs must collide (no false negatives)";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IsomorphismInvarianceTest,
+                         ::testing::Range<uint64_t>(0, 50));
+
+
+TEST_F(CalculatorTest, DirectedEdgeFactorIsOrderSensitive) {
+  // The paper's directed extension subtracts target from source; for labels
+  // with distinct random values the two orientations differ (they sum to p
+  // modulo the field), while same-label edges are orientation-free.
+  bool any_asymmetric = false;
+  for (graph::LabelId a = 0; a < 8; ++a) {
+    for (graph::LabelId b = 0; b < 8; ++b) {
+      Factor ab = calc_.DirectedEdgeFactor(a, b);
+      Factor ba = calc_.DirectedEdgeFactor(b, a);
+      EXPECT_GE(ab, 1u);
+      EXPECT_LE(ab, 251u);
+      if (a == b) {
+        EXPECT_EQ(ab, ba);
+        EXPECT_EQ(ab, 251u);  // zero residue maps to p
+      } else if (ab != ba) {
+        any_asymmetric = true;
+        // Complementary residues: ab + ba == p (mod p), with 0 -> p.
+        EXPECT_EQ((ab + ba) % 251u, 0u);
+      }
+    }
+  }
+  EXPECT_TRUE(any_asymmetric);
+}
+
+TEST_F(CalculatorTest, UndirectedFactorMatchesOneOrientation) {
+  for (graph::LabelId a = 0; a < 8; ++a) {
+    for (graph::LabelId b = 0; b < 8; ++b) {
+      Factor undirected = calc_.EdgeFactor(a, b);
+      EXPECT_TRUE(undirected == calc_.DirectedEdgeFactor(a, b) ||
+                  undirected == calc_.DirectedEdgeFactor(b, a));
+    }
+  }
+}
+
+TEST_F(CalculatorTest, DifferentLabelsUsuallyDiffer) {
+  // Not guaranteed (collisions exist) but with p=251 and this seed the
+  // canonical small cases must differ.
+  Signature ab = calc_.SingleEdgeSignature(0, 1);
+  Signature ac = calc_.SingleEdgeSignature(0, 2);
+  Signature abc = calc_.ComputeSignature(PatternGraph::Path({0, 1, 2}));
+  EXPECT_FALSE(ab == ac);
+  EXPECT_FALSE(ab == abc);  // different sizes, trivially
+}
+
+}  // namespace
+}  // namespace signature
+}  // namespace loom

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datasets/dataset_registry.h"
+#include "stream/edge_stream.h"
+#include "stream/sliding_window.h"
+#include "stream/stream_order.h"
+
+namespace loom {
+namespace stream {
+namespace {
+
+graph::LabeledGraph SmallGraph() {
+  graph::LabeledGraph::Builder b;
+  for (int i = 0; i < 4; ++i) b.AddVertex(static_cast<graph::LabelId>(i % 2));
+  b.AddEdge(0, 1);
+  b.AddEdge(1, 2);
+  b.AddEdge(2, 3);
+  return b.Build();
+}
+
+// ------------------------------------------------------------- edge stream
+
+TEST(EdgeStreamTest, CarriesLabelsAndPositions) {
+  graph::LabeledGraph g = SmallGraph();
+  EdgeStream es(g, {0, 1, 2});
+  ASSERT_EQ(es.size(), 3u);
+  for (size_t i = 0; i < es.size(); ++i) {
+    EXPECT_EQ(es[i].id, i);
+    EXPECT_EQ(es[i].label_u, g.label(es[i].u));
+    EXPECT_EQ(es[i].label_v, g.label(es[i].v));
+  }
+}
+
+TEST(EdgeStreamTest, RespectsPermutation) {
+  graph::LabeledGraph g = SmallGraph();
+  EdgeStream es(g, {2, 0, 1});
+  EXPECT_EQ(es[0].u, g.edge(2).u);
+  EXPECT_EQ(es[0].v, g.edge(2).v);
+}
+
+TEST(StreamEdgeTest, Accessors) {
+  StreamEdge e{0, 5, 9, 1, 2};
+  EXPECT_EQ(e.Other(5), 9u);
+  EXPECT_EQ(e.Other(9), 5u);
+  EXPECT_EQ(e.LabelOf(5), 1);
+  EXPECT_EQ(e.LabelOf(9), 2);
+  EXPECT_TRUE(e.Incident(5));
+  EXPECT_FALSE(e.Incident(6));
+}
+
+// ------------------------------------------------------------ stream order
+
+TEST(StreamOrderTest, AllOrdersCoverAllEdges) {
+  auto ds = datasets::MakeFigure1Dataset();
+  for (auto order : {StreamOrder::kBreadthFirst, StreamOrder::kDepthFirst,
+                     StreamOrder::kRandom}) {
+    EdgeStream es = MakeStream(ds.graph, order);
+    EXPECT_EQ(es.size(), ds.graph.NumEdges()) << ToString(order);
+    std::set<graph::Edge, bool (*)(const graph::Edge&, const graph::Edge&)> seen(
+        +[](const graph::Edge& a, const graph::Edge& b) {
+          graph::Edge na = a.Normalized(), nb = b.Normalized();
+          return na.u != nb.u ? na.u < nb.u : na.v < nb.v;
+        });
+    for (const StreamEdge& e : es) seen.insert(graph::Edge(e.u, e.v));
+    EXPECT_EQ(seen.size(), ds.graph.NumEdges());
+  }
+}
+
+TEST(StreamOrderTest, RandomSeedChangesOrder) {
+  auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  EdgeStream a = MakeStream(ds.graph, StreamOrder::kRandom, 1);
+  EdgeStream b = MakeStream(ds.graph, StreamOrder::kRandom, 2);
+  bool differs = false;
+  for (size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].u != b[i].u || a[i].v != b[i].v;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(StreamOrderTest, Names) {
+  EXPECT_EQ(ToString(StreamOrder::kBreadthFirst), "bfs");
+  EXPECT_EQ(ToString(StreamOrder::kDepthFirst), "dfs");
+  EXPECT_EQ(ToString(StreamOrder::kRandom), "random");
+}
+
+// ---------------------------------------------------------- sliding window
+
+StreamEdge MakeEdge(graph::EdgeId id) {
+  StreamEdge e;
+  e.id = id;
+  e.u = id * 2;
+  e.v = id * 2 + 1;
+  e.label_u = 0;
+  e.label_v = 0;
+  return e;
+}
+
+TEST(SlidingWindowTest, FifoSemantics) {
+  SlidingWindow w(2);
+  w.Push(MakeEdge(0));
+  w.Push(MakeEdge(1));
+  EXPECT_FALSE(w.OverCapacity());
+  w.Push(MakeEdge(2));
+  EXPECT_TRUE(w.OverCapacity());
+  auto oldest = w.PopOldest();
+  ASSERT_TRUE(oldest.has_value());
+  EXPECT_EQ(oldest->id, 0u);
+  EXPECT_FALSE(w.OverCapacity());
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(SlidingWindowTest, FindAndContains) {
+  SlidingWindow w(4);
+  w.Push(MakeEdge(7));
+  EXPECT_TRUE(w.Contains(7));
+  EXPECT_FALSE(w.Contains(8));
+  const StreamEdge* e = w.Find(7);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->u, 14u);
+  EXPECT_EQ(w.Find(8), nullptr);
+}
+
+TEST(SlidingWindowTest, RemoveArbitrary) {
+  SlidingWindow w(4);
+  for (graph::EdgeId i = 0; i < 4; ++i) w.Push(MakeEdge(i));
+  EXPECT_TRUE(w.Remove(1));
+  EXPECT_FALSE(w.Remove(1));  // already gone
+  EXPECT_EQ(w.size(), 3u);
+  // Removal of a middle element must not disturb FIFO order of the rest.
+  EXPECT_EQ(w.PopOldest()->id, 0u);
+  EXPECT_EQ(w.PopOldest()->id, 2u);
+  EXPECT_EQ(w.PopOldest()->id, 3u);
+  EXPECT_FALSE(w.PopOldest().has_value());
+}
+
+TEST(SlidingWindowTest, RemoveHeadThenPop) {
+  SlidingWindow w(4);
+  w.Push(MakeEdge(0));
+  w.Push(MakeEdge(1));
+  w.Remove(0);
+  auto e = w.PopOldest();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->id, 1u);
+}
+
+TEST(SlidingWindowTest, PeekOldestSkipsRemoved) {
+  SlidingWindow w(4);
+  w.Push(MakeEdge(0));
+  w.Push(MakeEdge(1));
+  w.Remove(0);
+  const StreamEdge* e = w.PeekOldest();
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->id, 1u);
+  EXPECT_EQ(w.size(), 2u - 1u);
+}
+
+TEST(SlidingWindowTest, ForEachVisitsLiveInOrder) {
+  SlidingWindow w(8);
+  for (graph::EdgeId i = 0; i < 5; ++i) w.Push(MakeEdge(i));
+  w.Remove(2);
+  std::vector<graph::EdgeId> ids;
+  w.ForEach([&](const StreamEdge& e) { ids.push_back(e.id); });
+  EXPECT_EQ(ids, (std::vector<graph::EdgeId>{0, 1, 3, 4}));
+}
+
+TEST(SlidingWindowTest, EmptyWindow) {
+  SlidingWindow w(3);
+  EXPECT_TRUE(w.empty());
+  EXPECT_FALSE(w.PopOldest().has_value());
+  EXPECT_EQ(w.PeekOldest(), nullptr);
+}
+
+}  // namespace
+}  // namespace stream
+}  // namespace loom

@@ -1,0 +1,243 @@
+#include "tpstry/tpstry.h"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "datasets/dataset_registry.h"
+#include "datasets/workloads.h"
+#include "tpstry/subgraph_enumerator.h"
+
+namespace loom {
+namespace tpstry {
+namespace {
+
+using graph::LabelRegistry;
+using graph::PatternGraph;
+
+// ---------------------------------------------------- subgraph enumeration
+
+TEST(SubgraphEnumeratorTest, PathSubsets) {
+  // a-b-c path: connected subsets = {e0}, {e1}, {e0,e1}.
+  PatternGraph p = PatternGraph::Path({0, 1, 2});
+  auto masks = ConnectedEdgeSubsets(p);
+  EXPECT_EQ(masks, (std::vector<EdgeMask>{1, 2, 3}));
+}
+
+TEST(SubgraphEnumeratorTest, TriangleSubsets) {
+  PatternGraph t = PatternGraph::Cycle({0, 1, 2});
+  auto masks = ConnectedEdgeSubsets(t);
+  // All 7 non-empty subsets of a triangle are connected.
+  EXPECT_EQ(masks.size(), 7u);
+}
+
+TEST(SubgraphEnumeratorTest, DisconnectedSubsetsExcluded) {
+  // Path a-b-c-d: {e0, e2} (the two end edges) is disconnected.
+  PatternGraph p = PatternGraph::Path({0, 1, 2, 3});
+  auto masks = ConnectedEdgeSubsets(p);
+  EXPECT_EQ(std::count(masks.begin(), masks.end(), EdgeMask{0b101}), 0);
+  // 1,2,4 (singles), 3,6 (pairs), 7 (all) = 6 connected subsets.
+  EXPECT_EQ(masks.size(), 6u);
+}
+
+TEST(SubgraphEnumeratorTest, SortedByPopcount) {
+  PatternGraph p = PatternGraph::Cycle({0, 1, 2, 3});
+  auto masks = ConnectedEdgeSubsets(p);
+  for (size_t i = 0; i + 1 < masks.size(); ++i) {
+    EXPECT_LE(std::popcount(masks[i]), std::popcount(masks[i + 1]));
+  }
+}
+
+TEST(SubgraphEnumeratorTest, IsConnectedSubsetBasics) {
+  PatternGraph p = PatternGraph::Path({0, 1, 2, 3});
+  EXPECT_FALSE(IsConnectedSubset(p, 0));
+  EXPECT_TRUE(IsConnectedSubset(p, 0b001));
+  EXPECT_TRUE(IsConnectedSubset(p, 0b011));
+  EXPECT_FALSE(IsConnectedSubset(p, 0b101));
+  EXPECT_TRUE(IsConnectedSubset(p, 0b111));
+}
+
+TEST(SubgraphEnumeratorTest, SubgraphFromMaskRenumbersDensely) {
+  PatternGraph p = PatternGraph::Path({7, 8, 9});
+  PatternGraph sub = SubgraphFromMask(p, 0b10);  // edge (1,2) only
+  EXPECT_EQ(sub.NumVertices(), 2u);
+  EXPECT_EQ(sub.NumEdges(), 1u);
+  EXPECT_EQ(sub.label(0), 8);
+  EXPECT_EQ(sub.label(1), 9);
+  EXPECT_TRUE(sub.HasEdge(0, 1));
+}
+
+// ------------------------------------------------------------------- trie
+
+class Fig1TrieTest : public ::testing::Test {
+ protected:
+  Fig1TrieTest()
+      : values_(4, 251, 0xC0FFEE), calc_(&values_), trie_(&calc_, 0.4) {
+    workload_ = datasets::Figure1Workload(&registry_);
+    for (const auto& q : workload_.queries()) {
+      trie_.AddQuery(q.pattern, q.frequency);
+    }
+  }
+
+  LabelRegistry registry_;
+  query::Workload workload_;
+  signature::LabelValues values_;
+  signature::SignatureCalculator calc_;
+  Tpstry trie_;
+};
+
+TEST_F(Fig1TrieTest, NodeCountMatchesFig2) {
+  // Fig. 2 structure: root + {a-b, b-c, c-d} + {a-b-a, b-a-b, a-b-c, b-c-d}
+  // + {aba-b path, a-b-c-d} + {abab square} = 11 nodes.
+  EXPECT_EQ(trie_.NumNodes(), 11u);
+}
+
+TEST_F(Fig1TrieTest, MotifsAtFortyPercentMatchFig2) {
+  // T = 40%: motifs are a-b (100%), b-c (70%), a-b-c (70%).
+  auto motifs = trie_.MotifIds();
+  EXPECT_EQ(motifs.size(), 3u);
+  std::multiset<uint32_t> edge_counts;
+  for (uint32_t id : motifs) edge_counts.insert(trie_.node(id).num_edges);
+  EXPECT_EQ(edge_counts, (std::multiset<uint32_t>{1, 1, 2}));
+  EXPECT_EQ(trie_.MaxMotifEdges(), 2u);
+}
+
+TEST_F(Fig1TrieTest, SupportsAreAntiMonotone) {
+  for (uint32_t id = 1; id < trie_.NumNodes(); ++id) {
+    const TpsNode& n = trie_.node(id);
+    for (uint32_t cid : n.children) {
+      EXPECT_LE(trie_.NormalizedSupport(cid) - 1e-9,
+                trie_.NormalizedSupport(id))
+          << "child " << cid << " of " << id;
+    }
+  }
+}
+
+TEST_F(Fig1TrieTest, RootChildrenAreSingleEdges) {
+  for (uint32_t cid : trie_.node(kRootId).children) {
+    EXPECT_EQ(trie_.node(cid).num_edges, 1u);
+  }
+  EXPECT_EQ(trie_.node(kRootId).children.size(), 3u);  // a-b, b-c, c-d
+}
+
+TEST_F(Fig1TrieTest, DagNodeHasTwoParents) {
+  // The 3-edge path a-b-a-b can be formed from both 2-edge paths; its trie
+  // node therefore has two parents (the DAG property of TPSTry++).
+  bool found = false;
+  for (uint32_t id = 1; id < trie_.NumNodes(); ++id) {
+    const TpsNode& n = trie_.node(id);
+    if (n.num_edges == 3 && n.parents.size() >= 2) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(Fig1TrieTest, FindSingleEdgeMotif) {
+  const graph::LabelId a = registry_.Find("a");
+  const graph::LabelId b = registry_.Find("b");
+  const graph::LabelId c = registry_.Find("c");
+  const graph::LabelId d = registry_.Find("d");
+  EXPECT_NE(trie_.FindSingleEdgeMotif(calc_.SingleEdgeSignature(a, b)), nullptr);
+  EXPECT_NE(trie_.FindSingleEdgeMotif(calc_.SingleEdgeSignature(b, c)), nullptr);
+  // c-d exists in the trie but has support 10% < 40% -> not a motif.
+  EXPECT_EQ(trie_.FindSingleEdgeMotif(calc_.SingleEdgeSignature(c, d)), nullptr);
+  // a-d never occurs at all.
+  EXPECT_EQ(trie_.FindSingleEdgeMotif(calc_.SingleEdgeSignature(a, d)), nullptr);
+}
+
+TEST_F(Fig1TrieTest, FindMotifChildFollowsFactorDelta) {
+  const graph::LabelId a = registry_.Find("a");
+  const graph::LabelId b = registry_.Find("b");
+  const graph::LabelId c = registry_.Find("c");
+  const TpsNode* ab =
+      trie_.FindSingleEdgeMotif(calc_.SingleEdgeSignature(a, b));
+  ASSERT_NE(ab, nullptr);
+  // Adding a b-c edge to a-b: b reaches degree 2, c degree 1 -> a-b-c motif.
+  auto delta = calc_.FactorsForEdgeAddition(b, 2, c, 1);
+  const TpsNode* abc = trie_.FindMotifChild(ab->id, delta);
+  ASSERT_NE(abc, nullptr);
+  EXPECT_EQ(abc->num_edges, 2u);
+  // Adding an a-b edge to a-b yields a-b-a or b-a-b: support 30% -> not a
+  // motif, so FindMotifChild must reject it.
+  auto delta2 = calc_.FactorsForEdgeAddition(a, 1, b, 2);
+  EXPECT_EQ(trie_.FindMotifChild(ab->id, delta2), nullptr);
+}
+
+TEST_F(Fig1TrieTest, MotifLabelMask) {
+  auto mask = trie_.MotifLabelMask(4);
+  // Motifs {a-b, b-c, a-b-c} touch labels a, b, c but never d.
+  EXPECT_TRUE(mask[registry_.Find("a")]);
+  EXPECT_TRUE(mask[registry_.Find("b")]);
+  EXPECT_TRUE(mask[registry_.Find("c")]);
+  EXPECT_FALSE(mask[registry_.Find("d")]);
+}
+
+TEST_F(Fig1TrieTest, ThresholdIsAdjustable) {
+  trie_.set_support_threshold(0.05);
+  EXPECT_EQ(trie_.MotifIds().size(), trie_.NumNodes() - 1);  // all but root
+  trie_.set_support_threshold(0.99);
+  EXPECT_EQ(trie_.MotifIds().size(), 1u);  // only a-b at 100%
+}
+
+TEST_F(Fig1TrieTest, DumpMentionsMotifs) {
+  std::string dump = trie_.Dump(registry_);
+  EXPECT_NE(dump.find("[motif]"), std::string::npos);
+  EXPECT_NE(dump.find("root"), std::string::npos);
+}
+
+TEST(TpstryTest, IsomorphicQuerySubgraphsMerge) {
+  // a-b-c and c-b-a are the same graph; adding both must not duplicate
+  // nodes, and supports must accumulate.
+  LabelRegistry reg;
+  const graph::LabelId a = reg.Intern("a");
+  const graph::LabelId b = reg.Intern("b");
+  const graph::LabelId c = reg.Intern("c");
+  signature::LabelValues values(3, 251, 1);
+  signature::SignatureCalculator calc(&values);
+  Tpstry trie(&calc, 0.4);
+  trie.AddQuery(PatternGraph::Path({a, b, c}), 0.5);
+  size_t nodes_after_first = trie.NumNodes();
+  trie.AddQuery(PatternGraph::Path({c, b, a}), 0.5);
+  EXPECT_EQ(trie.NumNodes(), nodes_after_first);
+  const auto* node = trie.FindBySignature(
+      calc.ComputeSignature(PatternGraph::Path({a, b, c})));
+  ASSERT_NE(node, nullptr);
+  EXPECT_NEAR(trie.NormalizedSupport(node->id), 1.0, 1e-9);
+}
+
+TEST(TpstryTest, SingleEdgeQuery) {
+  signature::LabelValues values(2, 251, 1);
+  signature::SignatureCalculator calc(&values);
+  Tpstry trie(&calc, 0.4);
+  trie.AddQuery(PatternGraph::Path({0, 1}), 1.0);
+  EXPECT_EQ(trie.NumNodes(), 2u);  // root + a-b
+  EXPECT_EQ(trie.MotifIds().size(), 1u);
+  EXPECT_EQ(trie.MaxMotifEdges(), 1u);
+}
+
+TEST(TpstryTest, NoQueriesMeansNoMotifs) {
+  signature::LabelValues values(2, 251, 1);
+  signature::SignatureCalculator calc(&values);
+  Tpstry trie(&calc, 0.4);
+  EXPECT_EQ(trie.MotifIds().size(), 0u);
+  EXPECT_EQ(trie.MaxMotifEdges(), 0u);
+  EXPECT_EQ(trie.NormalizedSupport(kRootId), 1.0);
+}
+
+TEST(TpstryTest, EveryDatasetWorkloadBuilds) {
+  for (auto id : datasets::QueryableDatasets()) {
+    auto ds = datasets::MakeDataset(id, 0.02);
+    signature::LabelValues values(ds.registry.size(), 251, 1);
+    signature::SignatureCalculator calc(&values);
+    Tpstry trie(&calc, 0.4);
+    for (const auto& q : ds.workload.queries()) {
+      trie.AddQuery(q.pattern, q.frequency);
+    }
+    EXPECT_GT(trie.NumNodes(), 1u) << datasets::ToString(id);
+    EXPECT_GT(trie.MotifIds().size(), 0u) << datasets::ToString(id);
+  }
+}
+
+}  // namespace
+}  // namespace tpstry
+}  // namespace loom

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/binomial.h"
+#include "util/csv_writer.h"
+#include "util/string_util.h"
+#include "util/table_writer.h"
+#include "util/timer.h"
+
+namespace loom {
+namespace util {
+namespace {
+
+// ---------------------------------------------------------------- binomial
+
+TEST(BinomialTest, LogFactorialBasics) {
+  EXPECT_NEAR(LogFactorial(0), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(1), 0.0, 1e-12);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-9);
+}
+
+TEST(BinomialTest, CoefficientMatchesPascal) {
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(5, 2)), 10.0, 1e-6);
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(10, 0)), 1.0, 1e-6);
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(10, 10)), 1.0, 1e-6);
+  EXPECT_NEAR(std::exp(LogBinomialCoefficient(52, 5)), 2598960.0, 1.0);
+}
+
+TEST(BinomialTest, PmfEdgeCases) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(10, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(10, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(10, 10, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(10, 9, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 6, 0.5), 0.0);  // k > n
+}
+
+TEST(BinomialTest, PmfSumsToOne) {
+  for (double p : {0.1, 0.5, 0.9}) {
+    double sum = 0;
+    for (uint64_t k = 0; k <= 30; ++k) sum += BinomialPmf(30, k, p);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(BinomialTest, PmfMatchesClosedFormSmall) {
+  // Binomial(4, 0.5): P(X=2) = 6/16.
+  EXPECT_NEAR(BinomialPmf(4, 2, 0.5), 0.375, 1e-12);
+}
+
+TEST(BinomialTest, CdfMonotoneInK) {
+  double prev = -1;
+  for (uint64_t k = 0; k <= 20; ++k) {
+    double c = BinomialCdf(20, k, 0.3);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_NEAR(prev, 1.0, 1e-9);
+}
+
+TEST(BinomialTest, CdfFullRangeIsOne) {
+  EXPECT_DOUBLE_EQ(BinomialCdf(10, 10, 0.7), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(10, 25, 0.7), 1.0);
+}
+
+// ------------------------------------------------------------ table writer
+
+TEST(TableWriterTest, AlignsAndUnderlines) {
+  TableWriter t({"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer-name", "22"});
+  std::ostringstream os;
+  t.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableWriterTest, ShortRowsPadded) {
+  TableWriter t({"a", "b", "c"});
+  t.AddRow({"only"});
+  std::ostringstream os;
+  t.Print(os);
+  EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+TEST(TableWriterTest, Formatting) {
+  EXPECT_EQ(TableWriter::Fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TableWriter::Fmt(2.0, 0), "2");
+  EXPECT_EQ(TableWriter::Pct(0.4215, 1), "42.1%");
+  EXPECT_EQ(TableWriter::Pct(1.0, 0), "100%");
+}
+
+// -------------------------------------------------------------- csv writer
+
+TEST(CsvWriterTest, EscapesSpecials) {
+  EXPECT_EQ(CsvWriter::Escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::Escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::Escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, WritesRows) {
+  std::ostringstream os;
+  CsvWriter w(os);
+  w.WriteRow({"a", "b,c", "d"});
+  EXPECT_EQ(os.str(), "a,\"b,c\",d\n");
+}
+
+// ------------------------------------------------------------- string util
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a-b-c", '-'), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a--b", '-'), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", '-'), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("\ta b\n"), "a b");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(StartsWith("hello", ""));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, HumanCount) {
+  EXPECT_EQ(HumanCount(999), "999");
+  EXPECT_EQ(HumanCount(1200), "1.2k");
+  EXPECT_EQ(HumanCount(2500000), "2.5M");
+  EXPECT_EQ(HumanCount(1300000000ULL), "1.3B");
+}
+
+// ------------------------------------------------------------------- timer
+
+TEST(TimerTest, MonotoneNonNegative) {
+  Timer t;
+  int64_t a = t.ElapsedUs();
+  int64_t b = t.ElapsedUs();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  EXPECT_GE(t.ElapsedMs(), 0.0);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimerTest, StartResets) {
+  Timer t;
+  // Burn a little time.
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  (void)x;
+  int64_t before = t.ElapsedUs();
+  t.Start();
+  EXPECT_LE(t.ElapsedUs(), before + 1000000);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace loom

@@ -1,0 +1,84 @@
+#include "query/workload_runner.h"
+
+#include <gtest/gtest.h>
+
+#include "datasets/dataset_registry.h"
+
+namespace loom {
+namespace query {
+namespace {
+
+TEST(WorkloadTest, AddAndTotals) {
+  graph::LabelRegistry reg;
+  Workload w;
+  w.Add("q1", graph::PatternGraph::ParsePath("a-b", &reg), 3.0);
+  w.Add("q2", graph::PatternGraph::ParsePath("b-c", &reg), 1.0);
+  EXPECT_EQ(w.size(), 2u);
+  EXPECT_DOUBLE_EQ(w.TotalFrequency(), 4.0);
+  w.Normalize();
+  EXPECT_NEAR(w.TotalFrequency(), 1.0, 1e-12);
+  EXPECT_NEAR(w.queries()[0].frequency, 0.75, 1e-12);
+}
+
+TEST(WorkloadTest, NormalizeEmptyIsNoop) {
+  Workload w;
+  w.Normalize();
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(WorkloadRunnerTest, WeightingMatchesManualSum) {
+  auto ds = datasets::MakeFigure1Dataset();
+  partition::Partitioning p(2, 8);
+  for (graph::VertexId v = 0; v < 8; ++v) p.Assign(v, v % 2);
+
+  WorkloadResult result = RunWorkload(ds.graph, p, ds.workload);
+  ASSERT_EQ(result.per_query.size(), ds.workload.size());
+
+  double manual_ipt = 0, manual_trav = 0;
+  uint64_t manual_matches = 0;
+  for (const QueryOutcome& q : result.per_query) {
+    manual_ipt += q.frequency * static_cast<double>(q.result.ipt);
+    manual_trav += q.frequency * static_cast<double>(q.result.traversals);
+    manual_matches += q.result.matches;
+  }
+  EXPECT_DOUBLE_EQ(result.weighted_ipt, manual_ipt);
+  EXPECT_DOUBLE_EQ(result.weighted_traversals, manual_trav);
+  EXPECT_EQ(result.total_matches, manual_matches);
+}
+
+TEST(WorkloadRunnerTest, FrequenciesAreNormalisedInternally) {
+  auto ds = datasets::MakeFigure1Dataset();
+  partition::Partitioning p(2, 8);
+  for (graph::VertexId v = 0; v < 8; ++v) p.Assign(v, v % 2);
+  // Scale all frequencies by 100: normalised results must be identical.
+  query::Workload scaled;
+  for (const Query& q : ds.workload.queries()) {
+    scaled.Add(q.name, q.pattern, q.frequency * 100.0);
+  }
+  auto a = RunWorkload(ds.graph, p, ds.workload);
+  auto b = RunWorkload(ds.graph, p, scaled);
+  EXPECT_NEAR(a.weighted_ipt, b.weighted_ipt, 1e-9);
+}
+
+TEST(WorkloadRunnerTest, IptRatioInUnitRange) {
+  auto ds = datasets::MakeFigure1Dataset();
+  partition::Partitioning p(2, 8);
+  for (graph::VertexId v = 0; v < 8; ++v) p.Assign(v, v % 2);
+  auto r = RunWorkload(ds.graph, p, ds.workload);
+  EXPECT_GE(r.IptRatio(), 0.0);
+  EXPECT_LE(r.IptRatio(), 1.0);
+}
+
+TEST(WorkloadRunnerTest, EmptyWorkload) {
+  auto ds = datasets::MakeFigure1Dataset();
+  partition::Partitioning p(2, 8);
+  Workload empty;
+  auto r = RunWorkload(ds.graph, p, empty);
+  EXPECT_EQ(r.weighted_ipt, 0.0);
+  EXPECT_EQ(r.total_matches, 0u);
+  EXPECT_EQ(r.IptRatio(), 0.0);
+}
+
+}  // namespace
+}  // namespace query
+}  // namespace loom
