@@ -1,10 +1,13 @@
 // Micro-benchmarks for streaming ingestion: edges/second through each
-// partitioner on a pre-materialised provgen stream. This is Table 2's
-// measure expressed as throughput, suitable for regression tracking.
+// partitioner on a pre-materialised provgen stream (Table 2's measure
+// expressed as throughput, suitable for regression tracking), plus isolated
+// hot-path benches for the Alg. 2 matcher (window + matchList only, no
+// partitioner) and the sliding-window ring buffer.
 
 #include <benchmark/benchmark.h>
 
 #include "datasets/dataset_registry.h"
+#include "datasets/workloads.h"
 #include "eval/experiment.h"
 #include "stream/stream_order.h"
 
@@ -56,5 +59,76 @@ BENCHMARK(BM_IngestHash)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IngestLdg)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IngestFennel)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_IngestLoom)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------- matcher only
+// Window + matchList + Alg. 2, without partitioning/assignment: the exact
+// paths the ring buffer, MatchPool and incremental degrees rebuilt.
+void BM_MatcherOnly(benchmark::State& state) {
+  Fixture& f = GetFixture();
+  const size_t window_size = static_cast<size_t>(state.range(0));
+  signature::LabelValues values(f.ds.registry.size(),
+                                signature::kDefaultPrime, 0xC0FFEE);
+  signature::SignatureCalculator calc(&values);
+  tpstry::Tpstry trie(&calc, 0.4);
+  for (const auto& q : f.ds.workload.queries()) {
+    trie.AddQuery(q.pattern, q.frequency);
+  }
+  uint64_t admitted = 0, fresh = 0, reused = 0;
+  for (auto _ : state) {
+    motif::MotifMatcher matcher(&trie, &calc);
+    stream::SlidingWindow window(window_size);
+    motif::MatchList ml;
+    ml.ReserveEdgeSpan(window_size + 1);
+    uint64_t edges_since_compact = 0;
+    for (const auto& e : f.es) {
+      if (matcher.SingleEdgeMotif(e) == nullptr) continue;
+      window.Push(e);
+      matcher.OnEdgeAdded(e, window, &ml);
+      while (window.OverCapacity()) {
+        auto oldest = window.PopOldest();
+        ml.RemoveMatchesWithEdge(oldest->id);
+      }
+      if (++edges_since_compact >= 1024) {
+        ml.Compact();
+        edges_since_compact = 0;
+      }
+    }
+    admitted = matcher.stats().edges_admitted;
+    fresh = ml.pool().fresh_allocations();
+    reused = ml.pool().reused_allocations();
+    benchmark::DoNotOptimize(ml.NumLive());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(admitted));
+  state.counters["allocs_fresh"] = static_cast<double>(fresh);
+  state.counters["allocs_reused"] = static_cast<double>(reused);
+}
+
+BENCHMARK(BM_MatcherOnly)->Arg(2000)->Arg(10000)->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------------- window ring ops
+// Steady-state Push / Find / PopOldest cycle at the paper window.
+void BM_WindowOps(benchmark::State& state) {
+  const size_t window_size = static_cast<size_t>(state.range(0));
+  stream::SlidingWindow w(window_size);
+  stream::StreamEdge e;
+  e.label_u = e.label_v = 0;
+  graph::EdgeId next = 0;
+  uint64_t sink = 0;
+  for (auto _ : state) {
+    e.id = next;
+    e.u = next * 2;
+    e.v = next * 2 + 1;
+    w.Push(e);
+    const stream::StreamEdge* f = w.Find(next - next % (window_size / 2));
+    if (f != nullptr) sink += f->u;
+    if (w.OverCapacity()) sink += w.PopOldest()->id;
+    ++next;
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+BENCHMARK(BM_WindowOps)->Arg(10000);
 
 }  // namespace

@@ -24,7 +24,7 @@
 #include <vector>
 
 #include "graph/dynamic_graph.h"
-#include "motif/match.h"
+#include "motif/match_list.h"
 #include "partition/partitioning.h"
 #include "tpstry/tpstry.h"
 
@@ -52,10 +52,11 @@ struct EqualOpportunismConfig {
 /// What to do with the evictee's match cluster.
 struct AllocationDecision {
   graph::PartitionId partition = graph::kNoPartition;
-  /// The support-ordered prefix of Me the winner bid on; exactly these
-  /// matches' edges are assigned to `partition`. Remaining matches are
-  /// implicitly dropped (their shared edge e is leaving the window).
-  std::vector<motif::MatchPtr> matches;
+  /// Length of the support-ordered prefix of Me the winner bid on (Decide
+  /// sorts the caller's cluster in place); exactly those matches' edges are
+  /// assigned to `partition`. Remaining matches are implicitly dropped
+  /// (their shared edge e is leaving the window).
+  size_t take = 0;
 };
 
 class EqualOpportunism {
@@ -70,24 +71,57 @@ class EqualOpportunism {
   /// The rationing function l(Si) in [0, 1].
   double Ration(graph::PartitionId si, const partition::Partitioning& p) const;
 
-  /// Decides the winning partition and the matches it takes. `me` is the
-  /// (unordered) set of live matches containing the evicted edge; it is
-  /// sorted by support internally. Never returns kNoPartition: when every
-  /// bid is zero (cold start, or none of the cluster's vertices are resident
-  /// anywhere yet) `fallback` wins — callers pass an LDG-style choice for
-  /// the evictee so cluster seeding still uses neighbourhood information.
-  AllocationDecision Decide(std::vector<motif::MatchPtr> me,
+  /// Decides the winning partition and the prefix of matches it takes. `me`
+  /// is the (unordered) set of live match handles (resolved through `ml`)
+  /// containing the evicted edge; it is sorted support-descending IN PLACE
+  /// (no copy — eviction is the partitioner's second-hottest path). Never
+  /// returns kNoPartition: when every bid is zero (cold start, or none of
+  /// the cluster's vertices are resident anywhere yet) `fallback` wins —
+  /// callers pass an LDG-style choice for the evictee so cluster seeding
+  /// still uses neighbourhood information.
+  AllocationDecision Decide(const motif::MatchList& ml,
+                            std::vector<motif::MatchHandle>& me,
                             const partition::Partitioning& p,
                             graph::PartitionId fallback) const;
 
+  /// Decide without the fallback step: partition stays kNoPartition when no
+  /// positive bid exists, so the caller can compute its (expensive,
+  /// adjacency-scanning) fallback lazily. Sorts `me` like Decide.
+  AllocationDecision DecideBids(const motif::MatchList& ml,
+                                std::vector<motif::MatchHandle>& me,
+                                const partition::Partitioning& p) const;
+
  private:
   /// Eq. 1: vertex overlap, residual-capacity weighted, support weighted.
+  /// Kept for tests/ablations; Decide uses the batched per-partition tally
+  /// below (bit-identical arithmetic, one adjacency pass per match instead
+  /// of one per (partition, match) pair).
   double Bid(graph::PartitionId si, const motif::Match& match,
              const partition::Partitioning& p) const;
+
+  /// Ration with Smin and the b-cutoff's average hoisted out (Decide
+  /// computes them once per eviction instead of once per partition).
+  double RationWith(double size, double smin, double avg) const;
 
   const tpstry::Tpstry* trie_;
   const graph::DynamicGraph* neighborhood_;
   EqualOpportunismConfig config_;
+
+  /// Per-eviction scratch (Decide is on the eviction hot path).
+  struct SortKey {
+    double support;
+    size_t num_edges;
+    uint64_t key;
+    motif::MatchHandle handle;
+  };
+  mutable std::vector<SortKey> sort_scratch_;
+  mutable std::vector<double> overlap_scratch_;  // me.size() x k tallies
+  // Per-vertex neighbour tallies, cached across the cluster's matches (they
+  // share hub vertices; each vertex's adjacency is scanned at most once per
+  // eviction instead of once per containing match).
+  mutable std::vector<graph::VertexId> nbr_cached_vertices_;
+  mutable std::vector<uint32_t> nbr_rows_;  // k counts per cached vertex
+  mutable std::vector<uint32_t> nbr_match_tally_;  // per-match accumulator
 };
 
 }  // namespace core

@@ -28,10 +28,12 @@ LoomPartitioner::LoomPartitioner(const LoomOptions& options,
                                                    options.matcher);
   allocator_ = std::make_unique<EqualOpportunism>(trie_.get(), &seen_,
                                                   options.equal_opportunism);
-  motif_label_ = trie_->MotifLabelMask(num_labels);
+  const std::vector<bool> mask = trie_->MotifLabelMask(num_labels);
+  motif_label_.assign(mask.begin(), mask.end());
+  match_list_.ReserveEdgeSpan(options.window_size + 1);
 }
 
-bool LoomPartitioner::IsDeferred(graph::VertexId v, graph::LabelId label) const {
+bool LoomPartitioner::IsDeferred(graph::VertexId v, graph::LabelId label) {
   if (partitioning_.IsAssigned(v)) return false;
   // Vertices that participate in live motif matches — or whose label means
   // they *could*, once their motif edges arrive — are deferred: their
@@ -41,44 +43,23 @@ bool LoomPartitioner::IsDeferred(graph::VertexId v, graph::LabelId label) const 
   // void the later cluster co-location, since vertex assignment is
   // first-writer-wins. Deferred vertices that never join a cluster are swept
   // up by Finalize with full neighbourhood information.
-  if (label < motif_label_.size() && motif_label_[label]) return true;
-  if (satellites_.count(v) > 0) return true;
+  if (label < motif_label_.size() && motif_label_[label] != 0) return true;
   return match_list_.HasLiveAt(v);
 }
 
 void LoomPartitioner::AssignVertex(graph::VertexId v, graph::PartitionId p) {
   partitioning_.Assign(v, p);
-  satellites_.erase(v);
-  // Cascade: satellites registered against v follow it into its partition
-  // (transitively — a Work waiting on a Recording waiting on an Album).
-  auto it = pending_satellites_.find(v);
-  if (it == pending_satellites_.end()) return;
-  std::vector<graph::VertexId> todo = std::move(it->second);
-  pending_satellites_.erase(it);
-  for (graph::VertexId w : todo) {
-    if (partitioning_.IsAssigned(w)) continue;
-    // Re-score the satellite now that its anchor (and possibly more of its
-    // neighbourhood) has landed — better than blindly copying the anchor's
-    // partition when the satellite is shared between several anchors.
-    AssignVertex(
-        w, partition::LdgHeuristic::ChooseForVertex(w, seen_, partitioning_));
-  }
 }
 
 void LoomPartitioner::AssignImmediately(const stream::StreamEdge& e) {
-  const bool u_deferred = IsDeferred(e.u, e.label_u);
-  const bool v_deferred = IsDeferred(e.v, e.label_v);
-  const bool place_u = !partitioning_.IsAssigned(e.u) && !u_deferred;
-  const bool place_v = !partitioning_.IsAssigned(e.v) && !v_deferred;
-
   // Design note: we also tried registering a placeable endpoint whose
   // partner is deferred as a "satellite" that waits for the partner's
   // cluster before being (re-)scored — both unconditionally and only when
   // LDG had zero placement signal. Both variants degrade quality on 3 of 4
   // datasets (mass deferral starves the streaming heuristics of placed
   // neighbours); immediate LDG placement wins. See EXPERIMENTS.md.
-  (void)u_deferred;
-  (void)v_deferred;
+  const bool place_u = !partitioning_.IsAssigned(e.u) && !IsDeferred(e.u, e.label_u);
+  const bool place_v = !partitioning_.IsAssigned(e.v) && !IsDeferred(e.v, e.label_v);
   if (!place_u && !place_v) return;
   const graph::PartitionId p =
       partition::LdgHeuristic::Choose(e, seen_, partitioning_);
@@ -117,32 +98,45 @@ void LoomPartitioner::EvictOldest() {
   ++stats_.edges_via_window;
 
   // Me: live matches containing the evictee.
-  std::vector<motif::MatchPtr> me = match_list_.LiveWithEdge(evictee->id);
-  if (me.empty()) {
+  me_scratch_.clear();
+  match_list_.CollectLiveWithEdge(evictee->id, &me_scratch_);
+  if (me_scratch_.empty()) {
     // Every match the edge belonged to already lost some other edge.
     AssignImmediately(*evictee);
     match_list_.RemoveMatchesWithEdge(evictee->id);
     return;
   }
 
-  // Fallback for zero-bid clusters: LDG's neighbourhood choice for the
-  // evictee, so cold-start clusters still land near their assigned
-  // neighbours instead of scattering round-robin.
-  const graph::PartitionId fallback =
-      partition::LdgHeuristic::Choose(*evictee, seen_, partitioning_);
-  const AllocationDecision decision =
-      allocator_->Decide(std::move(me), partitioning_, fallback);
+  AllocationDecision decision =
+      allocator_->DecideBids(match_list_, me_scratch_, partitioning_);
+  if (decision.partition == graph::kNoPartition) {
+    // Zero-bid cluster: fall back to LDG's neighbourhood choice for the
+    // evictee, so cold-start clusters still land near their assigned
+    // neighbours instead of scattering round-robin. Computed lazily — the
+    // LDG scan walks both endpoints' full adjacency (hubs are expensive)
+    // and is wasted whenever a positive bid wins.
+    const graph::PartitionId fallback =
+        partition::LdgHeuristic::Choose(*evictee, seen_, partitioning_);
+    decision.partition = partitioning_.AtCapacity(fallback)
+                             ? partitioning_.LeastLoaded()
+                             : fallback;
+    decision.take = me_scratch_.size();
+  }
   ++stats_.clusters_allocated;
 
-  // Gather the union of edges across the matches the winner takes. The
-  // evictee is in every match of Me, so it is always included.
-  std::vector<graph::EdgeId> to_assign;
-  for (const motif::MatchPtr& m : decision.matches) {
-    for (graph::EdgeId eid : m->edges) {
-      auto it = std::lower_bound(to_assign.begin(), to_assign.end(), eid);
-      if (it == to_assign.end() || *it != eid) to_assign.insert(it, eid);
-    }
+  // Gather the union of edges across the matches the winner takes — concat
+  // then sort+unique, not a per-edge sorted insert (which was quadratic in
+  // the cluster's edge count). The evictee is in every match of Me, so it is
+  // always included.
+  std::vector<graph::EdgeId>& to_assign = assign_scratch_;
+  to_assign.clear();
+  for (size_t i = 0; i < decision.take; ++i) {
+    const motif::Match& m = match_list_.match(me_scratch_[i]);
+    to_assign.insert(to_assign.end(), m.edges.begin(), m.edges.end());
   }
+  std::sort(to_assign.begin(), to_assign.end());
+  to_assign.erase(std::unique(to_assign.begin(), to_assign.end()),
+                  to_assign.end());
   assert(!to_assign.empty());
 
   for (graph::EdgeId eid : to_assign) {
@@ -174,7 +168,11 @@ void LoomPartitioner::UpdateWorkload(const query::Workload& workload,
   for (const query::Query& q : normalised.queries()) {
     trie_->AddQuery(q.pattern, q.frequency * new_mass);
   }
-  motif_label_ = trie_->MotifLabelMask(motif_label_.size());
+  const std::vector<bool> mask = trie_->MotifLabelMask(motif_label_.size());
+  motif_label_.assign(mask.begin(), mask.end());
+  // The admission memo caches motif status per label pair; the drifted
+  // supports may have promoted or demoted single-edge motifs.
+  matcher_->InvalidateMotifCache();
 }
 
 void LoomPartitioner::Finalize() {

@@ -19,8 +19,6 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "core/equal_opportunism.h"
 #include "graph/dynamic_graph.h"
@@ -95,22 +93,24 @@ class LoomPartitioner : public partition::Partitioner {
   const LoomStats& stats() const { return stats_; }
   const motif::MatcherStats& matcher_stats() const { return matcher_->stats(); }
 
+  /// Pool behind the matchList, for allocation-reuse stats in reports.
+  const motif::MatchPool& match_pool() const { return match_list_.pool(); }
+
+  /// Live slot span of the sliding window's ring buffer (for stats).
+  size_t WindowSlots() const { return window_.NumSlots(); }
+
   /// Live window occupancy (the Ptemp size), for tests/monitoring.
   size_t WindowSize() const { return window_.size(); }
 
  private:
-  /// True if v's placement is being withheld pending a motif cluster (or an
-  /// anchor vertex that is): unassigned and motif-labelled, in live matches,
-  /// or registered as a satellite.
-  bool IsDeferred(graph::VertexId v, graph::LabelId label) const;
+  /// True if v's placement is being withheld pending a motif cluster:
+  /// unassigned and motif-labelled, or in live matches.
+  bool IsDeferred(graph::VertexId v, graph::LabelId label);
 
-  /// Assigns v to p and cascades to any satellites waiting on v.
+  /// Assigns v to p.
   void AssignVertex(graph::VertexId v, graph::PartitionId p);
 
   /// Immediate LDG assignment for edges outside the motif machinery.
-  /// Endpoints whose partner is deferred become satellites: they are placed
-  /// with the partner when its cluster is finally allocated, instead of
-  /// being pinned blind now.
   void AssignImmediately(const stream::StreamEdge& e);
 
   /// Evicts the oldest window edge, allocating its match cluster.
@@ -128,13 +128,14 @@ class LoomPartitioner : public partition::Partitioner {
 
   stream::SlidingWindow window_;
   motif::MatchList match_list_;
-  std::vector<bool> motif_label_;  // labels that occur in some motif
-  /// anchor vertex -> satellites placed alongside it when it is assigned.
-  std::unordered_map<graph::VertexId, std::vector<graph::VertexId>>
-      pending_satellites_;
-  std::unordered_set<graph::VertexId> satellites_;
+  std::vector<uint8_t> motif_label_;  // labels that occur in some motif (byte,
+                                      // not vector<bool>: probed per edge)
   LoomStats stats_;
   uint64_t edges_since_compact_ = 0;
+
+  // Eviction-path scratch, reused so allocation stays off the hot path.
+  std::vector<motif::MatchHandle> me_scratch_;
+  std::vector<graph::EdgeId> assign_scratch_;
 };
 
 }  // namespace core

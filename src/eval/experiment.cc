@@ -24,6 +24,16 @@ std::vector<System> AllSystems() {
   return {System::kHash, System::kLdg, System::kFennel, System::kLoom};
 }
 
+uint64_t HashAssignment(const partition::Partitioning& p,
+                        size_t num_vertices) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (graph::VertexId v = 0; v < num_vertices; ++v) {
+    h ^= static_cast<uint64_t>(p.PartitionOf(v)) + 0x9e37 + v;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 const SystemResult* ComparisonResult::Find(System s) const {
   for (const SystemResult& r : systems) {
     if (r.system == s) return &r;
@@ -78,9 +88,19 @@ SystemResult RunCommon(System system, const datasets::Dataset& ds,
                  : result.partition_ms * 10000.0 /
                        static_cast<double>(es.size());
 
+  result.edges_per_sec = result.partition_ms > 0.0
+                             ? 1000.0 * static_cast<double>(es.size()) /
+                                   result.partition_ms
+                             : 0.0;
+
   const partition::Partitioning& partitioning = p->partitioning();
   result.edge_cut = partition::EdgeCut(ds.graph, partitioning);
   result.imbalance = partition::Imbalance(partitioning);
+  result.assignment_hash = HashAssignment(partitioning, ds.NumVertices());
+  if (const auto* loom = dynamic_cast<const core::LoomPartitioner*>(p.get())) {
+    result.match_allocs_fresh = loom->match_pool().fresh_allocations();
+    result.match_allocs_reused = loom->match_pool().reused_allocations();
+  }
 
   if (run_queries) {
     query::WorkloadResult wr = query::RunWorkload(ds.graph, partitioning,

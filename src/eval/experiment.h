@@ -50,7 +50,19 @@ struct SystemResult {
   double imbalance = 0.0;
   double partition_ms = 0.0;      // wall time to consume the whole stream
   double ms_per_10k_edges = 0.0;  // Table 2's measure
+  double edges_per_sec = 0.0;     // ingest throughput (stream edges / wall s)
+  /// FNV-1a over the per-vertex assignment — lets perf regressions prove
+  /// they changed nothing about partition quality on fixed seeds.
+  uint64_t assignment_hash = 0;
+  /// Loom-only pooled-match stats (0 for other systems): slab slots created
+  /// from scratch vs recycled (each recycle is a shared_ptr-era allocation
+  /// avoided).
+  uint64_t match_allocs_fresh = 0;
+  uint64_t match_allocs_reused = 0;
 };
+
+/// FNV-1a over the first `num_vertices` assignments.
+uint64_t HashAssignment(const partition::Partitioning& p, size_t num_vertices);
 
 struct ComparisonResult {
   std::string dataset;

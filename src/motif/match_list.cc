@@ -1,85 +1,281 @@
 #include "motif/match_list.h"
 
+#include <algorithm>
+#include <cassert>
+
+#include "util/bits.h"
+
 namespace loom {
 namespace motif {
 
-bool MatchList::Add(const MatchPtr& m) {
-  const uint64_t key = m->Key();
-  if (!live_keys_.insert(key).second) return false;
-  for (graph::VertexId v : m->vertices) by_vertex_[v].push_back(m);
-  for (graph::EdgeId e : m->edges) by_edge_[e].push_back(m);
+using util::NextPow2;
+
+// ----------------------------------------------------------- edge ring
+
+void MatchList::ReserveEdgeSpan(size_t span) {
+  max_edge_slots_ = std::max(
+      max_edge_slots_,
+      NextPow2(std::min<size_t>(std::max<size_t>(span * 16, size_t{1024}),
+                                size_t{1} << 22)));
+  const size_t target = NextPow2(std::min(span, max_edge_slots_));
+  if (target > by_edge_.size()) ResizeEdgeRing(target);
+}
+
+void MatchList::ResizeEdgeRing(size_t new_size) {
+  std::vector<PostingList> grown(new_size);
+  const size_t new_mask = new_size - 1;
+  // Each slot knows its owning key, so growth re-places by scanning the old
+  // slot array — not the (gap-riddled) live id span.
+  for (PostingList& pl : by_edge_) {
+    if (pl.key == graph::kInvalidEdge) continue;
+    grown[pl.key & new_mask] = std::move(pl);
+  }
+  by_edge_ = std::move(grown);
+  edge_mask_ = new_mask;
+}
+
+MatchList::PostingList* MatchList::EnsureEdgeSlot(graph::EdgeId e) {
+  if (!edge_overflow_.empty()) {
+    // A spilled key keeps its overflow list for life — checked before any
+    // ring-span restart so a drained ring can't shadow it with a duplicate
+    // ring slot.
+    auto it = edge_overflow_.find(e);
+    if (it != edge_overflow_.end()) return &it->second;
+  }
+  if (!edge_any_ || edge_head_ == edge_tail_) {
+    // Empty ring (fresh, or every key freed): restart the span at e.
+    edge_any_ = true;
+    edge_head_ = edge_tail_ = e;
+  }
+  if (e < edge_head_) {
+    // A key that fell behind the ring's coverage (its window edge lingered
+    // long enough that the span was capped): file it in the overflow map.
+    return &edge_overflow_[e];
+  }
+  if (e >= edge_tail_) {
+    const size_t need = static_cast<size_t>(e - edge_head_) + 1;
+    if (need > by_edge_.size()) {
+      // Factor 4, same reasoning as SlidingWindow::Grow: the ring's key
+      // span is the window's id span, a large multiple of its live
+      // population when most stream ids bypass the window.
+      size_t target = NextPow2(std::max({need, by_edge_.size() * 4}));
+      if (target > max_edge_slots_) {
+        target = max_edge_slots_;
+        if (need > max_edge_slots_) {
+          // The key span itself exceeds the cap: spill keys that fall out
+          // of [e + 1 - cap, e] and advance. need > cap guarantees
+          // e + 1 > cap, so no underflow.
+          const graph::EdgeId new_head =
+              e + 1 - static_cast<graph::EdgeId>(max_edge_slots_);
+          const graph::EdgeId spill_end = std::min(edge_tail_, new_head);
+          for (graph::EdgeId id = edge_head_; id < spill_end; ++id) {
+            PostingList& pl = by_edge_[EdgeSlotOf(id)];
+            if (pl.key != id) continue;
+            edge_overflow_.emplace(id, std::move(pl));
+            pl.items.clear();
+            pl.dead = 0;
+            pl.key = graph::kInvalidEdge;
+          }
+          edge_head_ = std::max(edge_head_, new_head);
+          if (edge_tail_ < edge_head_) edge_tail_ = edge_head_;
+        }
+      }
+      if (target > by_edge_.size()) ResizeEdgeRing(target);
+    }
+    edge_tail_ = e + 1;
+  }
+  PostingList& pl = by_edge_[EdgeSlotOf(e)];
+  if (pl.key != e) {
+    // Recycle the previous tenant's slot (a freed key from a full ring-length
+    // ago, or a never-activated slot); the items vector keeps its capacity.
+    pl.items.clear();
+    pl.dead = 0;
+    pl.key = e;
+  }
+  return &pl;
+}
+
+MatchList::PostingList* MatchList::FindEdgeList(graph::EdgeId e) {
+  if (edge_any_ && e >= edge_head_ && e < edge_tail_) {
+    PostingList* pl = &by_edge_[EdgeSlotOf(e)];
+    if (pl->key == e) return pl;
+    // fall through: a spilled key can sit inside a restarted ring's span
+  }
+  if (!edge_overflow_.empty()) {
+    auto it = edge_overflow_.find(e);
+    if (it != edge_overflow_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+const MatchList::PostingList* MatchList::FindEdgeList(graph::EdgeId e) const {
+  if (edge_any_ && e >= edge_head_ && e < edge_tail_) {
+    const PostingList* pl = &by_edge_[EdgeSlotOf(e)];
+    if (pl->key == e) return pl;
+    // fall through: a spilled key can sit inside a restarted ring's span
+  }
+  if (!edge_overflow_.empty()) {
+    auto it = edge_overflow_.find(e);
+    if (it != edge_overflow_.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+// -------------------------------------------------------------- pruning
+
+void MatchList::Prune(PostingList* pl) {
+  auto& items = pl->items;
+  items.erase(std::remove_if(items.begin(), items.end(),
+                             [this](MatchHandle h) { return !pool_.IsLive(h); }),
+              items.end());
+  pl->dead = 0;
+}
+
+void MatchList::PruneIfStale(PostingList* pl) {
+  if (pl->dead > 0 && static_cast<size_t>(pl->dead) * 2 >= pl->items.size()) {
+    Prune(pl);
+  }
+}
+
+// ------------------------------------------------------------- mutation
+
+bool MatchList::Commit(MatchHandle h) {
+  Match& m = pool_.Get(h);
+  assert(std::is_sorted(m.edges.begin(), m.edges.end()));
+  assert(std::is_sorted(m.vertices.begin(), m.vertices.end()));
+  const uint64_t key = m.Key();
+  if (!live_keys_.Insert(key)) {
+    pool_.Release(h);
+    return false;
+  }
+  for (graph::VertexId v : m.vertices) {
+    if (v >= by_vertex_.size()) by_vertex_.resize(v + 1);
+    by_vertex_[v].items.push_back(h);
+  }
+  for (graph::EdgeId e : m.edges) {
+    EnsureEdgeSlot(e)->items.push_back(h);
+  }
   ++live_count_;
   ++total_added_;
   return true;
 }
 
-std::vector<MatchPtr> MatchList::LiveAt(graph::VertexId v) const {
-  std::vector<MatchPtr> out;
-  auto it = by_vertex_.find(v);
-  if (it == by_vertex_.end()) return out;
-  out.reserve(it->second.size());
-  for (const MatchPtr& m : it->second) {
-    if (m->alive) out.push_back(m);
+void MatchList::Kill(MatchHandle h) {
+  const Match& m = pool_.Get(h);
+  live_keys_.Erase(m.Key());
+  --live_count_;
+  for (graph::VertexId v : m.vertices) {
+    if (++by_vertex_[v].dead == 1) dirty_vertices_.push_back(v);
+  }
+  for (graph::EdgeId e : m.edges) {
+    PostingList* pl = FindEdgeList(e);
+    if (pl != nullptr && ++pl->dead == 1) dirty_edges_.push_back(e);
+  }
+  pool_.Release(h);
+}
+
+void MatchList::RemoveMatchesWithEdge(graph::EdgeId e) {
+  if (!edge_overflow_.empty()) {
+    auto it = edge_overflow_.find(e);
+    if (it != edge_overflow_.end()) {
+      for (MatchHandle h : it->second.items) {
+        if (pool_.IsLive(h)) Kill(h);
+      }
+      edge_overflow_.erase(it);
+      return;
+    }
+  }
+  PostingList* pl = FindEdgeList(e);
+  if (pl == nullptr) return;
+  for (MatchHandle h : pl->items) {
+    if (pool_.IsLive(h)) Kill(h);
+  }
+  pl->items.clear();
+  pl->dead = 0;
+  pl->key = graph::kInvalidEdge;
+  // The ring's head chases the oldest still-active key (bypassed id gaps
+  // and freed keys are stepped over exactly once each).
+  while (edge_head_ < edge_tail_ &&
+         by_edge_[EdgeSlotOf(edge_head_)].key != edge_head_) {
+    ++edge_head_;
+  }
+}
+
+// -------------------------------------------------------------- queries
+
+void MatchList::CollectLiveAt(graph::VertexId v,
+                              std::vector<MatchHandle>* out) {
+  if (v >= by_vertex_.size()) return;
+  PostingList& pl = by_vertex_[v];
+  PruneIfStale(&pl);
+  const size_t bound = pl.items.size();  // appends during iteration excluded
+  for (size_t i = 0; i < bound; ++i) {
+    if (pool_.IsLive(pl.items[i])) out->push_back(pl.items[i]);
+  }
+}
+
+void MatchList::CollectLiveWithEdge(graph::EdgeId e,
+                                    std::vector<MatchHandle>* out) {
+  PostingList* pl = FindEdgeList(e);
+  if (pl == nullptr) return;
+  PruneIfStale(pl);
+  const size_t bound = pl->items.size();
+  for (size_t i = 0; i < bound; ++i) {
+    if (pool_.IsLive(pl->items[i])) out->push_back(pl->items[i]);
+  }
+}
+
+std::vector<MatchHandle> MatchList::LiveAt(graph::VertexId v) const {
+  std::vector<MatchHandle> out;
+  if (v >= by_vertex_.size()) return out;
+  for (MatchHandle h : by_vertex_[v].items) {
+    if (pool_.IsLive(h)) out.push_back(h);
+  }
+  return out;
+}
+
+std::vector<MatchHandle> MatchList::LiveWithEdge(graph::EdgeId e) const {
+  std::vector<MatchHandle> out;
+  const PostingList* pl = FindEdgeList(e);
+  if (pl == nullptr) return out;
+  for (MatchHandle h : pl->items) {
+    if (pool_.IsLive(h)) out.push_back(h);
   }
   return out;
 }
 
 bool MatchList::HasLiveAt(graph::VertexId v) const {
-  auto it = by_vertex_.find(v);
-  if (it == by_vertex_.end()) return false;
-  for (const MatchPtr& m : it->second) {
-    if (m->alive) return true;
+  if (v >= by_vertex_.size()) return false;
+  for (MatchHandle h : by_vertex_[v].items) {
+    if (pool_.IsLive(h)) return true;
   }
   return false;
 }
 
-std::vector<MatchPtr> MatchList::LiveWithEdge(graph::EdgeId e) const {
-  std::vector<MatchPtr> out;
-  auto it = by_edge_.find(e);
-  if (it == by_edge_.end()) return out;
-  out.reserve(it->second.size());
-  for (const MatchPtr& m : it->second) {
-    if (m->alive) out.push_back(m);
+bool MatchList::HasLiveAt(graph::VertexId v) {
+  if (v >= by_vertex_.size()) return false;
+  PostingList& pl = by_vertex_[v];
+  PruneIfStale(&pl);
+  for (MatchHandle h : pl.items) {
+    if (pool_.IsLive(h)) return true;
   }
-  return out;
-}
-
-void MatchList::RemoveMatchesWithEdge(graph::EdgeId e) {
-  auto it = by_edge_.find(e);
-  if (it == by_edge_.end()) return;
-  for (const MatchPtr& m : it->second) {
-    if (m->alive) {
-      m->alive = false;
-      live_keys_.erase(m->Key());
-      --live_count_;
-    }
-  }
-  by_edge_.erase(it);
+  return false;
 }
 
 void MatchList::Compact() {
-  for (auto it = by_vertex_.begin(); it != by_vertex_.end();) {
-    auto& vec = it->second;
-    vec.erase(std::remove_if(vec.begin(), vec.end(),
-                             [](const MatchPtr& m) { return !m->alive; }),
-              vec.end());
-    if (vec.empty()) {
-      it = by_vertex_.erase(it);
-    } else {
-      ++it;
-    }
+  // Dirty list instead of a full sweep; opportunistic pruning may have
+  // already cleaned an entry (Prune is idempotent) and a vertex may appear
+  // twice (re-dirtied after a prune) — both are harmless.
+  for (graph::VertexId v : dirty_vertices_) {
+    PostingList& pl = by_vertex_[v];
+    if (pl.dead > 0) Prune(&pl);
   }
-  for (auto it = by_edge_.begin(); it != by_edge_.end();) {
-    auto& vec = it->second;
-    vec.erase(std::remove_if(vec.begin(), vec.end(),
-                             [](const MatchPtr& m) { return !m->alive; }),
-              vec.end());
-    if (vec.empty()) {
-      it = by_edge_.erase(it);
-    } else {
-      ++it;
-    }
+  dirty_vertices_.clear();
+  for (graph::EdgeId e : dirty_edges_) {
+    PostingList* pl = FindEdgeList(e);
+    if (pl != nullptr && pl->dead > 0) Prune(pl);
   }
+  dirty_edges_.clear();
 }
 
 }  // namespace motif

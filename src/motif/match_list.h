@@ -1,19 +1,32 @@
-// The matchList map of Sec. 3: vertex -> set of motif-matching sub-graphs in
-// the window that contain that vertex, plus an edge index so matches can be
+// The matchList map of Sec. 3: vertex -> motif-matching sub-graphs in the
+// window that contain that vertex, plus an edge index so matches can be
 // retired when their edges are assigned.
 //
-// Liveness is a flag on Match; vertex lists are compacted lazily, the edge
-// index eagerly. Duplicate (same edges, same motif) matches are rejected via
-// a content-hash set.
+// Representation: matches live in a MatchPool (32-bit generational handles);
+// the per-vertex index is a flat array of posting lists indexed by vertex id
+// (vertex ids are dense), and the per-edge index is a ring of posting lists
+// indexed by edge id — edge ids are monotonically increasing and an edge's
+// list can only be appended to while the edge is in the sliding window, so
+// the ring's live key span tracks the window's and slots are recycled as
+// edges are assigned. Posting lists hold 4-byte handles (not 16-byte
+// shared_ptrs) and handles of dead matches are skipped via the pool's
+// generation check.
+//
+// Dead handles are pruned opportunistically: each posting list counts its
+// dead entries and compacts itself in place the next time it is iterated
+// past a 50% dead ratio, so memory stays bounded between the matcher's
+// periodic full Compact() calls. Duplicate (same edges, same motif) matches
+// are rejected at Commit via a content-hash set.
 
 #ifndef LOOM_MOTIF_MATCH_LIST_H_
 #define LOOM_MOTIF_MATCH_LIST_H_
 
-#include <unordered_map>
-#include <unordered_set>
+#include <map>
 #include <vector>
 
 #include "motif/match.h"
+#include "motif/match_pool.h"
+#include "util/flat_set64.h"
 
 namespace loom {
 namespace motif {
@@ -22,38 +35,121 @@ class MatchList {
  public:
   MatchList() = default;
 
-  /// Registers a match. Returns false (and drops it) if an identical live
-  /// match already exists.
-  bool Add(const MatchPtr& m);
+  // ----------------------------------------------------------- match access
 
-  /// Live matches containing vertex v (snapshot copy; safe to Add/Remove
-  /// while iterating it).
-  std::vector<MatchPtr> LiveAt(graph::VertexId v) const;
+  Match& match(MatchHandle h) { return pool_.Get(h); }
+  const Match& match(MatchHandle h) const { return pool_.Get(h); }
+  bool IsLive(MatchHandle h) const { return pool_.IsLive(h); }
+  const MatchPool& pool() const { return pool_; }
 
-  /// True if any live match contains vertex v (cheaper than LiveAt).
+  // ----------------------------------------------------- building matches
+
+  /// Allocates a blank pooled record for the caller to fill via match(h).
+  MatchHandle Acquire() { return pool_.Allocate(); }
+
+  /// Registers a filled record. Returns false — and recycles the record,
+  /// invalidating `h` — if an identical live match already exists.
+  bool Commit(MatchHandle h);
+
+  /// Discards a record acquired but not committed.
+  void Abort(MatchHandle h) { pool_.Release(h); }
+
+  // ------------------------------------------------------------- iteration
+
+  /// Appends every live match containing vertex `v` to `out` (insertion
+  /// order preserved; `out` is not cleared). Prunes the posting list first
+  /// when it is at least half dead. Safe to Commit/Remove while walking the
+  /// collected handles.
+  void CollectLiveAt(graph::VertexId v, std::vector<MatchHandle>* out);
+
+  /// Same for matches containing window edge `e`.
+  void CollectLiveWithEdge(graph::EdgeId e, std::vector<MatchHandle>* out);
+
+  /// Convenience snapshot (allocates; tests and cold paths only).
+  std::vector<MatchHandle> LiveAt(graph::VertexId v) const;
+  std::vector<MatchHandle> LiveWithEdge(graph::EdgeId e) const;
+
+  /// True if any live match contains vertex v (cheaper than LiveAt). The
+  /// non-const overload prunes a mostly-dead list before scanning — hub
+  /// vertices are probed per bypassed edge and would otherwise rescan their
+  /// dead handles until the next Compact.
   bool HasLiveAt(graph::VertexId v) const;
-
-  /// Live matches containing the window edge `e` (snapshot copy).
-  std::vector<MatchPtr> LiveWithEdge(graph::EdgeId e) const;
+  bool HasLiveAt(graph::VertexId v);
 
   /// Kills every match containing edge `e` (called when `e` is assigned to a
-  /// permanent partition and leaves Ptemp).
+  /// permanent partition and leaves Ptemp). The edge's ring slot is freed:
+  /// `e` can never re-enter the window.
   void RemoveMatchesWithEdge(graph::EdgeId e);
+
+  /// Pre-sizes the edge ring for an expected live id span (e.g. the sliding
+  /// window's capacity) to skip early growth re-placements, and raises the
+  /// ring's growth cap to ~16x that span (lingering keys beyond the cap
+  /// spill into an ordered overflow map, mirroring SlidingWindow).
+  void ReserveEdgeSpan(size_t span);
 
   /// Number of currently live matches.
   size_t NumLive() const { return live_count_; }
 
-  /// Total matches ever added (monotone; for stats).
+  /// Total matches ever committed (monotone; for stats).
   size_t TotalAdded() const { return total_added_; }
 
-  /// Drops dead entries from all vertex lists (the edge index is already
-  /// eager). Called periodically by the matcher to bound memory.
+  /// Drops dead handles from every posting list. Called periodically by the
+  /// matcher to bound memory (opportunistic pruning covers hot lists in
+  /// between).
   void Compact();
 
+  /// Total (live + not-yet-pruned dead) entries in v's posting list; for
+  /// tests asserting the opportunistic-pruning memory bound.
+  size_t IndexEntriesAt(graph::VertexId v) const {
+    return v < by_vertex_.size() ? by_vertex_[v].items.size() : 0;
+  }
+
  private:
-  std::unordered_map<graph::VertexId, std::vector<MatchPtr>> by_vertex_;
-  std::unordered_map<graph::EdgeId, std::vector<MatchPtr>> by_edge_;
-  std::unordered_set<uint64_t> live_keys_;
+  struct PostingList {
+    std::vector<MatchHandle> items;
+    uint32_t dead = 0;  // dead handles still in `items`
+    /// Edge-ring slots only: the edge id currently owning this slot, or
+    /// kInvalidEdge when the slot is free (never activated, or its edge was
+    /// retired). Lets slot recycling skip any walk over bypassed id gaps.
+    graph::EdgeId key = graph::kInvalidEdge;
+  };
+
+  /// Compacts `pl` in place when at least half its entries are dead.
+  void PruneIfStale(PostingList* pl);
+  void Prune(PostingList* pl);
+
+  /// Kills a live match: erases its dedup key, bumps the dead counters of
+  /// every posting list that holds it, and releases the pooled record.
+  void Kill(MatchHandle h);
+
+  // Edge-ring addressing (see class comment).
+  size_t EdgeSlotOf(graph::EdgeId e) const { return e & edge_mask_; }
+  /// Extends the ring to cover edge id `e` (growing / recycling slots,
+  /// spilling keys that fall behind the capped coverage) and returns its
+  /// (activated) posting list.
+  PostingList* EnsureEdgeSlot(graph::EdgeId e);
+  void ResizeEdgeRing(size_t new_size);
+  PostingList* FindEdgeList(graph::EdgeId e);
+  const PostingList* FindEdgeList(graph::EdgeId e) const;
+
+  MatchPool pool_;
+  std::vector<PostingList> by_vertex_;  // flat, indexed by vertex id
+  /// Vertices/edges whose posting list gained its first dead handle since
+  /// the last Compact — so Compact visits only dirty lists instead of
+  /// sweeping the whole vertex space / edge ring.
+  std::vector<graph::VertexId> dirty_vertices_;
+  std::vector<graph::EdgeId> dirty_edges_;
+  std::vector<PostingList> by_edge_;    // power-of-two ring, indexed by edge id
+  size_t edge_mask_ = 0;
+  size_t max_edge_slots_ = size_t{1} << 18;  // ring growth cap
+  graph::EdgeId edge_head_ = 0;  // oldest possibly-active ring key
+  graph::EdgeId edge_tail_ = 0;  // one past the newest edge key
+  bool edge_any_ = false;
+  /// Posting lists for active keys that fell behind the ring's (capped)
+  /// coverage; every key is < edge_head_. At most one entry per live match
+  /// edge, so memory stays bounded by the window population.
+  std::map<graph::EdgeId, PostingList> edge_overflow_;
+  util::FlatSet64 live_keys_;
   size_t live_count_ = 0;
   size_t total_added_ = 0;
 };

@@ -1,0 +1,40 @@
+#include "motif/match_pool.h"
+
+namespace loom {
+namespace motif {
+
+MatchHandle MatchPool::Allocate() {
+  uint32_t idx;
+  if (!free_.empty()) {
+    idx = free_.back();
+    free_.pop_back();
+    ++reused_;
+  } else {
+    idx = next_index_++;
+    assert(idx <= kMatchIndexMask && "match pool exhausted");
+    if ((idx >> kChunkBits) >= chunks_.size()) {
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    }
+    ++fresh_;
+  }
+  Slot& s = slot(idx);
+  s.live = true;
+  s.match.Reset();
+  ++live_;
+  return (s.generation << kMatchIndexBits) | idx;
+}
+
+void MatchPool::Release(MatchHandle h) {
+  assert(IsLive(h));
+  const uint32_t idx = MatchIndexOf(h);
+  Slot& s = slot(idx);
+  s.live = false;
+  --live_;
+  // Bump the generation so retained copies of `h` read as stale. A slot that
+  // exhausts its generation space is retired instead of recycled (ABA-proof;
+  // needs 1024 reuses of one slot to ever happen).
+  if (++s.generation < kMatchGenerationLimit) free_.push_back(idx);
+}
+
+}  // namespace motif
+}  // namespace loom

@@ -13,13 +13,23 @@
 // (no false negatives); rare non-isomorphic collisions are tolerated, as the
 // paper argues, because a false positive merely co-locates a sub-graph that
 // did not need it.
+//
+// Hot-path design: matches are pooled records addressed by 32-bit handles
+// (match_pool.h); endpoint degrees are tracked inside each record, so
+// factor deltas never rescan a match's edges against the window; the
+// admission test is memoised per label pair (the trie/signature machinery
+// runs once per distinct pair, not once per edge); and all per-edge
+// working sets live in reusable scratch buffers — steady-state matching
+// performs no heap allocation beyond growth of committed match records.
 
 #ifndef LOOM_MOTIF_MOTIF_MATCHER_H_
 #define LOOM_MOTIF_MOTIF_MATCHER_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "motif/match_list.h"
+#include "util/flat_map64.h"
 #include "signature/signature_calculator.h"
 #include "stream/sliding_window.h"
 #include "stream/stream_edge.h"
@@ -55,7 +65,13 @@ class MotifMatcher {
   /// The admission test (Sec. 3): the single-edge motif `e` matches, or
   /// nullptr if none — in which case `e` can never participate in any motif
   /// match and should be assigned immediately without entering the window.
+  /// Memoised per (label_u, label_v); call InvalidateMotifCache after the
+  /// trie's supports change.
   const tpstry::TpsNode* SingleEdgeMotif(const stream::StreamEdge& e) const;
+
+  /// Drops the memoised admission table. Must be called whenever the trie's
+  /// motif set may have changed (workload drift / threshold updates).
+  void InvalidateMotifCache();
 
   /// Processes an edge that has just been pushed into `window` (it must
   /// match a single-edge motif). Registers every newly formed match in `ml`.
@@ -65,31 +81,60 @@ class MotifMatcher {
   const MatcherStats& stats() const { return stats_; }
 
  private:
-  /// Degree of `v` inside the sub-graph formed by `edges` (window lookups).
-  uint32_t DegreeWithin(const std::vector<graph::EdgeId>& edges,
-                        graph::VertexId v,
-                        const stream::SlidingWindow& window) const;
-
-  /// Attempts to extend match `m` by edge `e`; on success builds the grown
-  /// match and registers it. Returns the new match or nullptr.
-  MatchPtr TryExtend(const MatchPtr& m, const stream::StreamEdge& e,
-                     const stream::SlidingWindow& window, MatchList* ml);
+  /// Attempts to extend match `mh` by edge `e`; on success builds the grown
+  /// match and registers it. Returns the new handle or kNullMatch.
+  MatchHandle TryExtend(MatchHandle mh, const stream::StreamEdge& e,
+                        MatchList* ml);
 
   /// Attempts to absorb all of `smaller`'s edges into `base` (Alg. 2 lines
   /// 11-18), registering the joined match on success.
-  void TryJoin(const MatchPtr& base, const MatchPtr& smaller,
+  void TryJoin(MatchHandle base, MatchHandle smaller,
                const stream::SlidingWindow& window, MatchList* ml);
 
-  /// Recursive work-horse of TryJoin: grows (edges, node) by any absorbable
-  /// edge from `remaining`; succeeds when `remaining` empties.
-  bool JoinRecurse(std::vector<graph::EdgeId>& edges, uint32_t node_id,
-                   std::vector<graph::EdgeId>& remaining,
+  /// Recursive work-horse of TryJoin: grows the candidate in `cand_` (node
+  /// `node_id`) by any absorbable edge from `remaining`; succeeds when
+  /// `remaining` empties.
+  bool JoinRecurse(uint32_t node_id, std::vector<graph::EdgeId>& remaining,
                    const stream::SlidingWindow& window, MatchList* ml);
 
   const tpstry::Tpstry* trie_;
   const signature::SignatureCalculator* calc_;
   MatcherConfig config_;
   MatcherStats stats_;
+
+  /// Admission memo: label-pair -> single-edge motif node (nullable), laid
+  /// out as a dense num_labels x num_labels table with a known-bit per cell.
+  mutable std::vector<const tpstry::TpsNode*> admission_;
+  mutable std::vector<uint8_t> admission_known_;
+  size_t admission_side_ = 0;
+
+  /// Motif-child memo: (node, canonical factor delta) -> child (nullable).
+  /// FindMotifChild runs several multiset comparisons plus a support check
+  /// per child; the matcher asks it millions of times for a handful of
+  /// distinct (node, delta) pairs. Keys pack the node id and the three
+  /// sorted delta factors into 64 bits; inputs that don't fit (prime or trie
+  /// beyond 16 bits — never the paper's configurations) bypass the memo.
+  const tpstry::TpsNode* FindMotifChildMemo(uint32_t node_id);
+  void RefreshExtendability();
+  util::FlatMap64<const tpstry::TpsNode*> child_memo_;
+
+  /// Cached trie.MaxMotifEdges() (refreshed with the motif caches): any
+  /// extension or join whose result would exceed it can never be a motif
+  /// child chain, so those attempts are pruned before touching signatures.
+  uint32_t max_motif_edges_ = 0;
+
+  /// Per-trie-node flag: does the node have ANY motif child? Most live
+  /// matches sit at leaf/maximal motifs, where every extend/join attempt is
+  /// doomed — this skips them before computing factor deltas.
+  std::vector<uint8_t> node_extendable_;
+
+  // Reusable per-edge scratch (see class comment).
+  std::vector<MatchHandle> snap_u_;
+  std::vector<MatchHandle> snap_v_;
+  std::vector<MatchHandle> snap_sorted_;
+  signature::FactorDelta delta_;
+  Match cand_;  // join candidate accumulator
+  std::vector<graph::EdgeId> remaining_;
 };
 
 }  // namespace motif

@@ -1,5 +1,6 @@
 #include "partition/ldg_partitioner.h"
 
+#include <algorithm>
 #include <vector>
 
 namespace loom {
@@ -7,8 +8,27 @@ namespace partition {
 
 namespace {
 
+/// Stack-allocated per-partition counters for the common k; Choose runs for
+/// every bypassed edge, so a heap allocation per call is real money.
+constexpr uint32_t kStackK = 64;
+
+struct CountsBuffer {
+  uint32_t stack[kStackK];
+  std::vector<uint32_t> heap;
+
+  /// Zeroed counters for k partitions, stack-backed when k fits.
+  uint32_t* Prepare(uint32_t k) {
+    if (k <= kStackK) {
+      std::fill_n(stack, k, 0u);
+      return stack;
+    }
+    heap.assign(k, 0);
+    return heap.data();
+  }
+};
+
 // Shared argmax over count · residual-capacity scores.
-graph::PartitionId BestByWeightedCount(const std::vector<uint32_t>& counts,
+graph::PartitionId BestByWeightedCount(const uint32_t* counts,
                                        const Partitioning& partitioning,
                                        bool* had_signal = nullptr) {
   const uint32_t k = partitioning.k();
@@ -40,7 +60,8 @@ graph::PartitionId BestByWeightedCount(const std::vector<uint32_t>& counts,
 graph::PartitionId LdgHeuristic::ChooseForVertex(
     graph::VertexId v, const graph::DynamicGraph& neighborhood,
     const Partitioning& partitioning) {
-  std::vector<uint32_t> counts(partitioning.k(), 0);
+  CountsBuffer buf;
+  uint32_t* counts = buf.Prepare(partitioning.k());
   for (graph::VertexId w : neighborhood.Neighbors(v)) {
     graph::PartitionId p = partitioning.PartitionOf(w);
     if (p != graph::kNoPartition) ++counts[p];
@@ -52,7 +73,8 @@ graph::PartitionId LdgHeuristic::Choose(const stream::StreamEdge& e,
                                         const graph::DynamicGraph& neighborhood,
                                         const Partitioning& partitioning,
                                         bool* had_signal) {
-  std::vector<uint32_t> counts(partitioning.k(), 0);
+  CountsBuffer buf;
+  uint32_t* counts = buf.Prepare(partitioning.k());
   for (graph::VertexId endpoint : {e.u, e.v}) {
     for (graph::VertexId w : neighborhood.Neighbors(endpoint)) {
       graph::PartitionId p = partitioning.PartitionOf(w);

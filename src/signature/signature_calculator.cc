@@ -40,6 +40,17 @@ FactorDelta SignatureCalculator::FactorsForEdgeAddition(
           DegreeFactor(lv, new_deg_v)};
 }
 
+void SignatureCalculator::FactorsForEdgeAddition(graph::LabelId lu,
+                                                 uint32_t new_deg_u,
+                                                 graph::LabelId lv,
+                                                 uint32_t new_deg_v,
+                                                 FactorDelta* out) const {
+  out->clear();
+  out->push_back(EdgeFactor(lu, lv));
+  out->push_back(DegreeFactor(lu, new_deg_u));
+  out->push_back(DegreeFactor(lv, new_deg_v));
+}
+
 Signature SignatureCalculator::ComputeSignature(
     const graph::PatternGraph& g) const {
   std::vector<Factor> factors;

@@ -30,6 +30,9 @@ class SignatureCalculator {
 
   uint32_t prime() const { return values_->prime(); }
 
+  /// Size of the label space the shared LabelValues covers.
+  size_t num_labels() const { return values_->num_labels(); }
+
   /// Edge factor for an edge between labels a and b:
   /// (r(min(a,b)) - r(max(a,b))) mod p, zero mapped to p.
   Factor EdgeFactor(graph::LabelId a, graph::LabelId b) const;
@@ -49,6 +52,12 @@ class SignatureCalculator {
   /// {EdgeFactor, DegreeFactor(u), DegreeFactor(v)}.
   FactorDelta FactorsForEdgeAddition(graph::LabelId lu, uint32_t new_deg_u,
                                      graph::LabelId lv, uint32_t new_deg_v) const;
+
+  /// Allocation-free variant for the matcher's hot path: clears and refills
+  /// `out` (which keeps its capacity across calls).
+  void FactorsForEdgeAddition(graph::LabelId lu, uint32_t new_deg_u,
+                              graph::LabelId lv, uint32_t new_deg_v,
+                              FactorDelta* out) const;
 
   /// Full signature of a pattern graph: one edge factor per edge plus degree
   /// factors 1..deg(v) per vertex (3|E| factors total).

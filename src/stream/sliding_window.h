@@ -3,15 +3,30 @@
 // early as part of a motif-match cluster leave the window before they age
 // out).
 //
-// Implementation: FIFO deque of stream edge ids with lazy deletion, plus a
-// hash map for id -> edge lookup. All operations are O(1) amortised.
+// Implementation: a dense ring buffer exploiting the fact that stream edge
+// ids are unique and monotonically increasing. An edge with id `i` lives in
+// slot `i & mask` of a power-of-two slot array; a tombstone bitmap records
+// which slots hold live edges. Find/Contains/Remove are a single indexed
+// load, Push is an indexed store (amortised: the buffer doubles when the live
+// id span outgrows it, e.g. because many admitted ids are interleaved with
+// bypassed ones), and PopOldest/PeekOldest advance a lazy head cursor past
+// tombstones — each tombstone is skipped exactly once, so the old O(n)
+// PeekOldest rescan is gone. No per-edge heap allocation anywhere.
+//
+// Memory bound: the ring covers an id span of at most ~16x the window
+// capacity. When admission is so rare that a lingering old edge would
+// stretch the span beyond that (stream ids race ahead while the window
+// never fills), the stragglers spill into a small ordered overflow map —
+// the overflow holds at most `size()` entries, so total memory is bounded
+// by the capacity, not by the stream's id range. External behaviour is
+// unchanged; only long-lingering edges pay a map lookup.
 
 #ifndef LOOM_STREAM_SLIDING_WINDOW_H_
 #define LOOM_STREAM_SLIDING_WINDOW_H_
 
-#include <deque>
+#include <map>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "stream/stream_edge.h"
 
@@ -23,30 +38,45 @@ namespace stream {
 /// OverCapacity().
 class SlidingWindow {
  public:
-  explicit SlidingWindow(size_t capacity) : capacity_(capacity) {}
+  explicit SlidingWindow(size_t capacity);
 
   size_t capacity() const { return capacity_; }
 
   /// Number of live (non-removed) edges.
-  size_t size() const { return edges_.size(); }
-  bool empty() const { return edges_.empty(); }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
 
   /// True once size() exceeds capacity — time to evict.
-  bool OverCapacity() const { return edges_.size() > capacity_; }
+  bool OverCapacity() const { return size_ > capacity_; }
 
-  /// Adds an edge. Ids must be unique and increasing (stream positions).
+  /// Adds an edge. Ids must be unique and increasing (stream positions);
+  /// gaps are fine (bypassed edges consume stream ids without entering).
   void Push(const StreamEdge& e);
 
   /// True if edge `id` is live in the window.
-  bool Contains(graph::EdgeId id) const { return edges_.count(id) > 0; }
+  bool Contains(graph::EdgeId id) const {
+    if (InSpan(id)) return LiveBit(SlotOf(id));
+    return !overflow_.empty() && overflow_.count(id) > 0;
+  }
 
-  /// Looks up a live edge by id; nullptr if absent/removed.
-  const StreamEdge* Find(graph::EdgeId id) const;
+  /// Looks up a live edge by id; nullptr if absent/removed. The pointer is
+  /// invalidated by the next Push (the buffer may grow).
+  const StreamEdge* Find(graph::EdgeId id) const {
+    if (InSpan(id)) {
+      return LiveBit(SlotOf(id)) ? &slots_[SlotOf(id)] : nullptr;
+    }
+    if (!overflow_.empty()) {
+      auto it = overflow_.find(id);
+      if (it != overflow_.end()) return &it->second;
+    }
+    return nullptr;
+  }
 
   /// Removes and returns the oldest live edge; nullopt when empty.
   std::optional<StreamEdge> PopOldest();
 
   /// Returns the oldest live edge without removing it; nullptr when empty.
+  /// Same invalidation rule as Find.
   const StreamEdge* PeekOldest() const;
 
   /// Removes an arbitrary live edge. Returns false if not present.
@@ -55,20 +85,48 @@ class SlidingWindow {
   /// Applies `fn` to every live edge, oldest first.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (graph::EdgeId id : fifo_) {
-      auto it = edges_.find(id);
-      if (it != edges_.end()) fn(it->second);
+    for (const auto& [id, e] : overflow_) {  // all overflow ids are < head_
+      (void)id;
+      fn(e);
+    }
+    for (graph::EdgeId id = head_; id < tail_; ++id) {
+      if (LiveBit(SlotOf(id))) fn(slots_[SlotOf(id)]);
     }
   }
 
+  /// Current slot-array size (for tests and capacity-growth stats).
+  size_t NumSlots() const { return slots_.size(); }
+
  private:
-  // Drops removed ids from the front of the FIFO.
-  void SkimFront();
-  void SkimFrontMutable();
+  size_t SlotOf(graph::EdgeId id) const { return id & mask_; }
+  bool InSpan(graph::EdgeId id) const { return id >= head_ && id < tail_; }
+  bool LiveBit(size_t slot) const {
+    return (live_[slot >> 6] >> (slot & 63)) & 1u;
+  }
+  void SetLiveBit(size_t slot) { live_[slot >> 6] |= uint64_t{1} << (slot & 63); }
+  void ClearLiveBit(size_t slot) {
+    live_[slot >> 6] &= ~(uint64_t{1} << (slot & 63));
+  }
+
+  /// Doubles the slot array until it covers ids [head_, upto], re-placing
+  /// live edges under the new mask.
+  void Grow(graph::EdgeId upto);
+
+  /// Moves head_ to the oldest live id. Requires size_ > 0. Lazy (mutable):
+  /// each tombstone is stepped over exactly once across the window's life.
+  void AdvanceHead() const;
 
   size_t capacity_;
-  std::deque<graph::EdgeId> fifo_;  // may contain removed ids (lazy deletion)
-  std::unordered_map<graph::EdgeId, StreamEdge> edges_;  // live edges only
+  std::vector<StreamEdge> slots_;  // power-of-two ring, indexed by id & mask_
+  std::vector<uint64_t> live_;     // tombstone bitmap, one bit per slot
+  size_t mask_ = 0;
+  size_t max_slots_ = 0;            // ring growth cap (see class comment)
+  mutable graph::EdgeId head_ = 0;  // no ring-live id is < head_
+  graph::EdgeId tail_ = 0;          // one past the newest pushed id
+  size_t size_ = 0;                 // live count (ring + overflow)
+  /// Lingering live edges whose ids fell behind the ring's coverage; every
+  /// key is < head_. Ordered so the oldest is begin().
+  std::map<graph::EdgeId, StreamEdge> overflow_;
 };
 
 }  // namespace stream

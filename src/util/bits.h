@@ -1,0 +1,31 @@
+// Small bit-twiddling helpers shared by the flat containers and ring
+// buffers (one definition, so overflow guards / hash tweaks can't drift
+// between copies).
+
+#ifndef LOOM_UTIL_BITS_H_
+#define LOOM_UTIL_BITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace loom {
+namespace util {
+
+/// Smallest power of two >= n (n = 0 or 1 gives 1).
+inline size_t NextPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// SplitMix64 finaliser: cheap, well-distributed 64-bit mix.
+inline uint64_t Mix64(uint64_t key) {
+  key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+  return key ^ (key >> 31);
+}
+
+}  // namespace util
+}  // namespace loom
+
+#endif  // LOOM_UTIL_BITS_H_

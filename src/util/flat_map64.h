@@ -1,0 +1,92 @@
+// Open-addressing uint64 -> T map (no erase), companion to FlatSet64.
+//
+// Used for memo tables probed millions of times per second on the matcher's
+// hot path, where std::unordered_map's node allocation and pointer chase per
+// find dominate. Keys are stored inline with linear probing; the whole table
+// supports only Insert/Find/Clear, which is exactly what a memo needs.
+
+#ifndef LOOM_UTIL_FLAT_MAP64_H_
+#define LOOM_UTIL_FLAT_MAP64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace loom {
+namespace util {
+
+template <typename T>
+class FlatMap64 {
+ public:
+  FlatMap64() { Rehash(kMinSlots); }
+
+  size_t size() const { return size_; }
+
+  /// Pointer to the value for `key`, or nullptr if absent.
+  const T* Find(uint64_t key) const {
+    size_t i = Mix(key) & mask_;
+    while (full_[i]) {
+      if (keys_[i] == key) return &values_[i];
+      i = (i + 1) & mask_;
+    }
+    return nullptr;
+  }
+
+  /// Inserts (or overwrites) key -> value.
+  void Insert(uint64_t key, T value) {
+    if ((size_ + 1) * 10 >= keys_.size() * 7) Rehash(keys_.size() * 2);
+    size_t i = Mix(key) & mask_;
+    while (full_[i]) {
+      if (keys_[i] == key) {
+        values_[i] = value;
+        return;
+      }
+      i = (i + 1) & mask_;
+    }
+    keys_[i] = key;
+    values_[i] = value;
+    full_[i] = 1;
+    ++size_;
+  }
+
+  void Clear() {
+    std::fill(full_.begin(), full_.end(), uint8_t{0});
+    size_ = 0;
+  }
+
+ private:
+  static constexpr size_t kMinSlots = 64;
+
+  static uint64_t Mix(uint64_t key) { return Mix64(key); }
+
+  void Rehash(size_t new_slots) {
+    std::vector<uint64_t> old_keys = std::move(keys_);
+    std::vector<T> old_values = std::move(values_);
+    std::vector<uint8_t> old_full = std::move(full_);
+    keys_.assign(new_slots, 0);
+    values_.assign(new_slots, T{});
+    full_.assign(new_slots, 0);
+    mask_ = new_slots - 1;
+    for (size_t j = 0; j < old_keys.size(); ++j) {
+      if (!old_full[j]) continue;
+      size_t i = Mix(old_keys[j]) & mask_;
+      while (full_[i]) i = (i + 1) & mask_;
+      keys_[i] = old_keys[j];
+      values_[i] = old_values[j];
+      full_[i] = 1;
+    }
+  }
+
+  std::vector<uint64_t> keys_;
+  std::vector<T> values_;
+  std::vector<uint8_t> full_;
+  size_t mask_ = 0;
+  size_t size_ = 0;
+};
+
+}  // namespace util
+}  // namespace loom
+
+#endif  // LOOM_UTIL_FLAT_MAP64_H_

@@ -1,0 +1,116 @@
+// Open-addressing hash set of uint64 keys.
+//
+// std::unordered_set allocates a node per insert and chases a pointer per
+// probe; on Loom's match-dedup path (one insert per committed match, one
+// erase per retired match) that is a heap allocation at stream rate. This
+// set stores keys inline in a power-of-two table with linear probing and a
+// parallel state byte (empty/full/tombstone), so inserts are amortised
+// store-only. Grows at 70% load (counting tombstones).
+
+#ifndef LOOM_UTIL_FLAT_SET64_H_
+#define LOOM_UTIL_FLAT_SET64_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace loom {
+namespace util {
+
+class FlatSet64 {
+ public:
+  FlatSet64() { Rehash(kMinSlots); }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts `key`; false if already present.
+  bool Insert(uint64_t key) {
+    if ((used_ + 1) * 10 >= slots_.size() * 7) {
+      // Rebuild at the size that fits the LIVE set (×4 headroom): a churny
+      // table (inserts balanced by erases) stays bounded instead of doubling
+      // forever on tombstone pressure.
+      Rehash(std::max(kMinSlots, NextPow2((size_ + 1) * 4)));
+    }
+    size_t i = Mix(key) & mask_;
+    size_t first_tomb = kNone;
+    while (true) {
+      if (state_[i] == kEmpty) {
+        const size_t dst = first_tomb != kNone ? first_tomb : i;
+        slots_[dst] = key;
+        state_[dst] = kFull;
+        ++size_;
+        if (dst == i) ++used_;  // tombstone reuse doesn't raise load
+        return true;
+      }
+      if (state_[i] == kFull && slots_[i] == key) return false;
+      if (state_[i] == kTombstone && first_tomb == kNone) first_tomb = i;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool Contains(uint64_t key) const {
+    size_t i = Mix(key) & mask_;
+    while (state_[i] != kEmpty) {
+      if (state_[i] == kFull && slots_[i] == key) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  /// Erases `key`; false if absent.
+  bool Erase(uint64_t key) {
+    size_t i = Mix(key) & mask_;
+    while (state_[i] != kEmpty) {
+      if (state_[i] == kFull && slots_[i] == key) {
+        state_[i] = kTombstone;
+        --size_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  void Clear() {
+    std::fill(state_.begin(), state_.end(), kEmpty);
+    size_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  static constexpr size_t kMinSlots = 16;
+  static constexpr size_t kNone = ~size_t{0};
+  static constexpr uint8_t kEmpty = 0, kFull = 1, kTombstone = 2;
+
+  static uint64_t Mix(uint64_t key) { return Mix64(key); }
+
+  void Rehash(size_t new_slots) {
+    std::vector<uint64_t> old_slots = std::move(slots_);
+    std::vector<uint8_t> old_state = std::move(state_);
+    slots_.assign(new_slots, 0);
+    state_.assign(new_slots, kEmpty);
+    mask_ = new_slots - 1;
+    used_ = size_;
+    for (size_t j = 0; j < old_slots.size(); ++j) {
+      if (old_state[j] != kFull) continue;
+      size_t i = Mix(old_slots[j]) & mask_;
+      while (state_[i] != kEmpty) i = (i + 1) & mask_;
+      slots_[i] = old_slots[j];
+      state_[i] = kFull;
+    }
+  }
+
+  std::vector<uint64_t> slots_;
+  std::vector<uint8_t> state_;
+  size_t mask_ = 0;
+  size_t size_ = 0;  // full slots
+  size_t used_ = 0;  // full + freshly consumed empty slots since rehash
+};
+
+}  // namespace util
+}  // namespace loom
+
+#endif  // LOOM_UTIL_FLAT_SET64_H_

@@ -32,14 +32,17 @@ class EqualOpportunismTest : public ::testing::Test {
     for (graph::VertexId v = 0; v < 32; ++v) seen_.TouchVertex(v, 0);
   }
 
-  motif::MatchPtr MakeMatch(std::vector<graph::EdgeId> edges,
-                            std::vector<graph::VertexId> vertices,
-                            uint32_t node) {
-    auto m = std::make_shared<motif::Match>();
-    m->edges = std::move(edges);
-    m->vertices = std::move(vertices);
-    m->node_id = node;
-    return m;
+  motif::MatchHandle MakeMatch(std::vector<graph::EdgeId> edges,
+                               std::vector<graph::VertexId> vertices,
+                               uint32_t node) {
+    motif::MatchHandle h = ml_.Acquire();
+    motif::Match& m = ml_.match(h);
+    m.edges = std::move(edges);
+    m.vertices = std::move(vertices);
+    m.degrees.assign(m.vertices.size(), 1);
+    m.node_id = node;
+    EXPECT_TRUE(ml_.Commit(h));
+    return h;
   }
 
   graph::LabelRegistry registry_;
@@ -47,6 +50,7 @@ class EqualOpportunismTest : public ::testing::Test {
   signature::SignatureCalculator calc_;
   tpstry::Tpstry trie_;
   graph::DynamicGraph seen_;
+  motif::MatchList ml_;
   uint32_t ab_node_ = 0, bc_node_ = 0, abc_node_ = 0;
 };
 
@@ -98,10 +102,11 @@ TEST_F(EqualOpportunismTest, DecideFollowsVertexOverlap) {
   p.Assign(10, 1);  // vertex 10 lives in partition 1
   p.Assign(20, 0);  // balance the sizes so rations are equal
   auto m = MakeMatch({0}, {10, 11}, ab_node_);
-  auto decision = eo.Decide({m}, p, /*fallback=*/0);
+  std::vector<motif::MatchHandle> me{m};
+  auto decision = eo.Decide(ml_, me, p, /*fallback=*/0);
   EXPECT_EQ(decision.partition, 1u);
-  ASSERT_EQ(decision.matches.size(), 1u);
-  EXPECT_EQ(decision.matches[0].get(), m.get());
+  ASSERT_EQ(decision.take, 1u);
+  EXPECT_EQ(me[0], m);
 }
 
 TEST_F(EqualOpportunismTest, DecideFallsBackWhenNoOverlap) {
@@ -110,10 +115,11 @@ TEST_F(EqualOpportunismTest, DecideFallsBackWhenNoOverlap) {
   EqualOpportunism eo(&trie_, &seen_, cfg);
   partition::Partitioning p(4, 100);
   auto m = MakeMatch({0}, {10, 11}, ab_node_);
-  auto decision = eo.Decide({m}, p, /*fallback=*/3);
+  std::vector<motif::MatchHandle> me{m};
+  auto decision = eo.Decide(ml_, me, p, /*fallback=*/3);
   EXPECT_EQ(decision.partition, 3u);
   // Fallback takes the whole cluster.
-  EXPECT_EQ(decision.matches.size(), 1u);
+  EXPECT_EQ(decision.take, 1u);
 }
 
 TEST_F(EqualOpportunismTest, NeighborBidAttractsClusters) {
@@ -127,7 +133,8 @@ TEST_F(EqualOpportunismTest, NeighborBidAttractsClusters) {
   p.Assign(5, 1);
   p.Assign(6, 0);
   auto m = MakeMatch({0}, {10, 11}, ab_node_);
-  auto decision = eo.Decide({m}, p, /*fallback=*/0);
+  std::vector<motif::MatchHandle> me{m};
+  auto decision = eo.Decide(ml_, me, p, /*fallback=*/0);
   EXPECT_EQ(decision.partition, 1u);
 }
 
@@ -140,17 +147,19 @@ TEST_F(EqualOpportunismTest, SupportOrderingPrioritisesHighSupport) {
   // of the a-b-c pair (support 0.7).
   auto low = MakeMatch({0, 1}, {10, 11, 12}, abc_node_);
   auto high = MakeMatch({0}, {10, 11}, ab_node_);
-  auto decision = eo.Decide({low, high}, p, 0);
-  ASSERT_GE(decision.matches.size(), 1u);
-  EXPECT_EQ(decision.matches[0].get(), high.get());
+  std::vector<motif::MatchHandle> me{low, high};
+  auto decision = eo.Decide(ml_, me, p, 0);
+  ASSERT_GE(decision.take, 1u);
+  EXPECT_EQ(me[0], high);
 }
 
 TEST_F(EqualOpportunismTest, EmptyClusterUsesFallback) {
   EqualOpportunism eo(&trie_, &seen_, {});
   partition::Partitioning p(2, 100);
-  auto decision = eo.Decide({}, p, 1);
+  std::vector<motif::MatchHandle> me;
+  auto decision = eo.Decide(ml_, me, p, 1);
   EXPECT_EQ(decision.partition, 1u);
-  EXPECT_TRUE(decision.matches.empty());
+  EXPECT_EQ(decision.take, 0u);
 }
 
 TEST_F(EqualOpportunismTest, PaperWorkedExampleRationHalfish) {

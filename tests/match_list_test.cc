@@ -6,37 +6,46 @@ namespace loom {
 namespace motif {
 namespace {
 
-MatchPtr MakeMatch(std::vector<graph::EdgeId> edges,
-                   std::vector<graph::VertexId> vertices, uint32_t node) {
-  auto m = std::make_shared<Match>();
-  m->edges = std::move(edges);
-  m->vertices = std::move(vertices);
-  m->node_id = node;
+Match MakeRecord(std::vector<graph::EdgeId> edges,
+                 std::vector<graph::VertexId> vertices, uint32_t node) {
+  Match m;
+  m.edges = std::move(edges);
+  m.vertices = std::move(vertices);
+  m.degrees.assign(m.vertices.size(), 1);
+  m.node_id = node;
   return m;
 }
 
+/// Acquires, fills and commits; kNullMatch when rejected as duplicate.
+MatchHandle AddMatch(MatchList& ml, std::vector<graph::EdgeId> edges,
+                     std::vector<graph::VertexId> vertices, uint32_t node) {
+  MatchHandle h = ml.Acquire();
+  ml.match(h).CopyFrom(MakeRecord(std::move(edges), std::move(vertices), node));
+  return ml.Commit(h) ? h : kNullMatch;
+}
+
 TEST(MatchTest, ContainsChecks) {
-  auto m = MakeMatch({2, 5, 9}, {1, 3}, 7);
-  EXPECT_TRUE(m->ContainsEdge(5));
-  EXPECT_FALSE(m->ContainsEdge(4));
-  EXPECT_TRUE(m->ContainsVertex(3));
-  EXPECT_FALSE(m->ContainsVertex(2));
+  Match m = MakeRecord({2, 5, 9}, {1, 3}, 7);
+  EXPECT_TRUE(m.ContainsEdge(5));
+  EXPECT_FALSE(m.ContainsEdge(4));
+  EXPECT_TRUE(m.ContainsVertex(3));
+  EXPECT_FALSE(m.ContainsVertex(2));
 }
 
 TEST(MatchTest, KeyIsContentBased) {
-  auto a = MakeMatch({1, 2}, {0, 1, 2}, 3);
-  auto b = MakeMatch({1, 2}, {0, 1, 2}, 3);
-  auto c = MakeMatch({1, 2}, {0, 1, 2}, 4);  // different motif
-  auto d = MakeMatch({1, 3}, {0, 1, 2}, 3);  // different edges
-  EXPECT_EQ(a->Key(), b->Key());
-  EXPECT_NE(a->Key(), c->Key());
-  EXPECT_NE(a->Key(), d->Key());
+  Match a = MakeRecord({1, 2}, {0, 1, 2}, 3);
+  Match b = MakeRecord({1, 2}, {0, 1, 2}, 3);
+  Match c = MakeRecord({1, 2}, {0, 1, 2}, 4);  // different motif
+  Match d = MakeRecord({1, 3}, {0, 1, 2}, 3);  // different edges
+  EXPECT_EQ(a.Key(), b.Key());
+  EXPECT_NE(a.Key(), c.Key());
+  EXPECT_NE(a.Key(), d.Key());
 }
 
 TEST(MatchListTest, AddAndLookup) {
   MatchList ml;
-  auto m = MakeMatch({0}, {10, 11}, 1);
-  EXPECT_TRUE(ml.Add(m));
+  MatchHandle m = AddMatch(ml, {0}, {10, 11}, 1);
+  EXPECT_NE(m, kNullMatch);
   EXPECT_EQ(ml.NumLive(), 1u);
   EXPECT_EQ(ml.LiveAt(10).size(), 1u);
   EXPECT_EQ(ml.LiveAt(11).size(), 1u);
@@ -49,31 +58,28 @@ TEST(MatchListTest, AddAndLookup) {
 
 TEST(MatchListTest, DuplicateRejected) {
   MatchList ml;
-  EXPECT_TRUE(ml.Add(MakeMatch({0, 1}, {5, 6, 7}, 2)));
-  EXPECT_FALSE(ml.Add(MakeMatch({0, 1}, {5, 6, 7}, 2)));
+  EXPECT_NE(AddMatch(ml, {0, 1}, {5, 6, 7}, 2), kNullMatch);
+  EXPECT_EQ(AddMatch(ml, {0, 1}, {5, 6, 7}, 2), kNullMatch);
   EXPECT_EQ(ml.NumLive(), 1u);
   EXPECT_EQ(ml.TotalAdded(), 1u);
 }
 
 TEST(MatchListTest, SameEdgesDifferentMotifCoexist) {
   MatchList ml;
-  EXPECT_TRUE(ml.Add(MakeMatch({0, 1}, {5, 6, 7}, 2)));
-  EXPECT_TRUE(ml.Add(MakeMatch({0, 1}, {5, 6, 7}, 3)));
+  EXPECT_NE(AddMatch(ml, {0, 1}, {5, 6, 7}, 2), kNullMatch);
+  EXPECT_NE(AddMatch(ml, {0, 1}, {5, 6, 7}, 3), kNullMatch);
   EXPECT_EQ(ml.NumLive(), 2u);
 }
 
 TEST(MatchListTest, RemoveMatchesWithEdgeKillsAllContaining) {
   MatchList ml;
-  auto m1 = MakeMatch({0}, {5, 6}, 1);
-  auto m2 = MakeMatch({0, 1}, {5, 6, 7}, 2);
-  auto m3 = MakeMatch({1}, {6, 7}, 1);
-  ml.Add(m1);
-  ml.Add(m2);
-  ml.Add(m3);
+  MatchHandle m1 = AddMatch(ml, {0}, {5, 6}, 1);
+  MatchHandle m2 = AddMatch(ml, {0, 1}, {5, 6, 7}, 2);
+  MatchHandle m3 = AddMatch(ml, {1}, {6, 7}, 1);
   ml.RemoveMatchesWithEdge(0);
-  EXPECT_FALSE(m1->alive);
-  EXPECT_FALSE(m2->alive);
-  EXPECT_TRUE(m3->alive);
+  EXPECT_FALSE(ml.IsLive(m1));
+  EXPECT_FALSE(ml.IsLive(m2));
+  EXPECT_TRUE(ml.IsLive(m3));
   EXPECT_EQ(ml.NumLive(), 1u);
   EXPECT_EQ(ml.LiveAt(5).size(), 0u);
   EXPECT_EQ(ml.LiveAt(6).size(), 1u);
@@ -82,23 +88,24 @@ TEST(MatchListTest, RemoveMatchesWithEdgeKillsAllContaining) {
 
 TEST(MatchListTest, DeadMatchCanBeReAdded) {
   MatchList ml;
-  ml.Add(MakeMatch({0}, {5, 6}, 1));
+  AddMatch(ml, {0}, {5, 6}, 1);
   ml.RemoveMatchesWithEdge(0);
   // Same content is allowed again once the original died.
-  EXPECT_TRUE(ml.Add(MakeMatch({0}, {5, 6}, 1)));
+  EXPECT_NE(AddMatch(ml, {0}, {5, 6}, 1), kNullMatch);
   EXPECT_EQ(ml.NumLive(), 1u);
 }
 
 TEST(MatchListTest, CompactPurgesDeadEntries) {
   MatchList ml;
   for (graph::EdgeId e = 0; e < 10; ++e) {
-    ml.Add(MakeMatch({e}, {e * 2, e * 2 + 1}, 1));
+    AddMatch(ml, {e}, {e * 2, e * 2 + 1}, 1);
   }
   for (graph::EdgeId e = 0; e < 5; ++e) ml.RemoveMatchesWithEdge(e);
   ml.Compact();
   EXPECT_EQ(ml.NumLive(), 5u);
   for (graph::EdgeId e = 0; e < 5; ++e) {
     EXPECT_TRUE(ml.LiveAt(e * 2).empty());
+    EXPECT_EQ(ml.IndexEntriesAt(e * 2), 0u);
   }
   for (graph::EdgeId e = 5; e < 10; ++e) {
     EXPECT_EQ(ml.LiveAt(e * 2).size(), 1u);
@@ -107,8 +114,121 @@ TEST(MatchListTest, CompactPurgesDeadEntries) {
 
 TEST(MatchListTest, RemoveUnknownEdgeIsNoop) {
   MatchList ml;
-  ml.Add(MakeMatch({3}, {0, 1}, 1));
+  AddMatch(ml, {3}, {0, 1}, 1);
   ml.RemoveMatchesWithEdge(99);
+  EXPECT_EQ(ml.NumLive(), 1u);
+}
+
+TEST(MatchListTest, IterationPrunesMostlyDeadLists) {
+  // Vertex 5 accumulates 32 matches; killing 31 of them leaves dead handles
+  // in the posting list, which the next iteration must prune in place —
+  // memory stays bounded without waiting for a full Compact().
+  MatchList ml;
+  for (graph::EdgeId e = 0; e < 32; ++e) {
+    ASSERT_NE(AddMatch(ml, {e}, {5, 100 + e}, 1), kNullMatch);
+  }
+  EXPECT_EQ(ml.IndexEntriesAt(5), 32u);
+  for (graph::EdgeId e = 0; e < 31; ++e) ml.RemoveMatchesWithEdge(e);
+  EXPECT_EQ(ml.IndexEntriesAt(5), 32u);  // dead handles still parked
+  std::vector<MatchHandle> live;
+  ml.CollectLiveAt(5, &live);
+  ASSERT_EQ(live.size(), 1u);
+  EXPECT_EQ(ml.match(live[0]).edges, (std::vector<graph::EdgeId>{31}));
+  EXPECT_EQ(ml.IndexEntriesAt(5), 1u);  // pruned during iteration
+}
+
+TEST(MatchListTest, CollectAppendsInInsertionOrder) {
+  MatchList ml;
+  MatchHandle a = AddMatch(ml, {0}, {9}, 1);
+  MatchHandle b = AddMatch(ml, {1}, {9}, 1);
+  MatchHandle c = AddMatch(ml, {2}, {9}, 1);
+  std::vector<MatchHandle> out;
+  ml.CollectLiveAt(9, &out);
+  EXPECT_EQ(out, (std::vector<MatchHandle>{a, b, c}));
+}
+
+TEST(MatchListTest, EdgeRingSurvivesSparseGrowingIds) {
+  // Edge ids with large gaps (bypassed stream positions) force the edge ring
+  // to grow and re-place its posting lists.
+  MatchList ml;
+  std::vector<MatchHandle> handles;
+  for (graph::EdgeId i = 0; i < 50; ++i) {
+    handles.push_back(AddMatch(ml, {i * 97}, {i, i + 1}, 1));
+    ASSERT_NE(handles.back(), kNullMatch);
+  }
+  for (graph::EdgeId i = 0; i < 50; ++i) {
+    ASSERT_EQ(ml.LiveWithEdge(i * 97).size(), 1u) << i;
+  }
+  // Retire in arbitrary order; the ring head chases the oldest active key.
+  for (graph::EdgeId i : {7u, 0u, 49u, 23u}) {
+    ml.RemoveMatchesWithEdge(i * 97);
+    EXPECT_FALSE(ml.IsLive(handles[i]));
+  }
+  EXPECT_EQ(ml.NumLive(), 46u);
+}
+
+TEST(MatchListTest, EdgeRingGrowthStepAboveCapWithSpanBelowCapKeepsKeys) {
+  // Regression: x4 ring growth overshooting the 2^18 cap while the key span
+  // still fits must clamp, not spill (the spill new-head would underflow
+  // and strand the newest key's posting list).
+  MatchList ml;
+  MatchHandle a = AddMatch(ml, {0}, {1, 2}, 1);
+  MatchHandle b = AddMatch(ml, {100000}, {2, 3}, 1);  // ring at 131072
+  MatchHandle c = AddMatch(ml, {200000}, {3, 4}, 1);  // x4 > cap, span fits
+  ASSERT_NE(a, kNullMatch);
+  ASSERT_NE(b, kNullMatch);
+  ASSERT_NE(c, kNullMatch);
+  EXPECT_EQ(ml.LiveWithEdge(0).size(), 1u);
+  EXPECT_EQ(ml.LiveWithEdge(100000).size(), 1u);
+  ASSERT_EQ(ml.LiveWithEdge(200000).size(), 1u);
+  ml.RemoveMatchesWithEdge(200000);
+  EXPECT_FALSE(ml.IsLive(c));
+  EXPECT_EQ(ml.NumLive(), 2u);
+}
+
+TEST(MatchListTest, DrainedRingRestartDoesNotShadowSpilledKey) {
+  // Regression: after a spill, retiring every ring key drains the ring;
+  // a later match on the spilled key must extend its overflow list, not
+  // create a duplicate ring slot that RemoveMatchesWithEdge would miss.
+  MatchList ml;
+  MatchHandle old_match = AddMatch(ml, {0}, {1, 2}, 1);
+  MatchHandle far = AddMatch(ml, {400000}, {2, 3}, 1);  // spills key 0
+  ASSERT_NE(old_match, kNullMatch);
+  ASSERT_NE(far, kNullMatch);
+  ml.RemoveMatchesWithEdge(400000);  // drains the ring (head == tail)
+  MatchHandle again = AddMatch(ml, {0}, {1, 2}, 2);  // same spilled edge
+  ASSERT_NE(again, kNullMatch);
+  EXPECT_EQ(ml.LiveWithEdge(0).size(), 2u);
+  ml.RemoveMatchesWithEdge(0);
+  EXPECT_FALSE(ml.IsLive(old_match));
+  EXPECT_FALSE(ml.IsLive(again));
+  EXPECT_TRUE(ml.LiveWithEdge(0).empty());
+  EXPECT_EQ(ml.NumLive(), 0u);
+}
+
+TEST(MatchListTest, EdgeRingSpillsLingeringKeysBeyondCap) {
+  // The edge ring caps its growth (default 2^18 slots); a key left far
+  // behind by the advancing id span spills to the overflow map and must
+  // remain fully functional there.
+  MatchList ml;
+  MatchHandle old_match = AddMatch(ml, {0}, {1, 2}, 1);
+  ASSERT_NE(old_match, kNullMatch);
+  MatchHandle new_match = AddMatch(ml, {400000}, {2, 3}, 1);
+  ASSERT_NE(new_match, kNullMatch);
+  // Key 0 now lives behind the ring's coverage; lookups still find it.
+  ASSERT_EQ(ml.LiveWithEdge(0).size(), 1u);
+  EXPECT_EQ(ml.LiveWithEdge(0)[0], old_match);
+  ASSERT_EQ(ml.LiveWithEdge(400000).size(), 1u);
+  // A later match can still reference the spilled edge.
+  MatchHandle joint = AddMatch(ml, {0, 400000}, {1, 2, 3}, 2);
+  ASSERT_NE(joint, kNullMatch);
+  EXPECT_EQ(ml.LiveWithEdge(0).size(), 2u);
+  // Retiring the spilled edge kills every match containing it.
+  ml.RemoveMatchesWithEdge(0);
+  EXPECT_FALSE(ml.IsLive(old_match));
+  EXPECT_FALSE(ml.IsLive(joint));
+  EXPECT_TRUE(ml.IsLive(new_match));
+  EXPECT_TRUE(ml.LiveWithEdge(0).empty());
   EXPECT_EQ(ml.NumLive(), 1u);
 }
 

@@ -118,12 +118,13 @@ TEST_P(ExhaustiveMatchTest, MatcherFindsEveryWindowResidentMotifMatch) {
 
     // The matchList must contain exactly this edge set with this motif.
     bool present = false;
-    for (const MatchPtr& match : ml.LiveWithEdge(subset[0].id)) {
-      if (match->node_id != node->id) continue;
-      if (match->edges.size() != subset.size()) continue;
+    for (MatchHandle h : ml.LiveWithEdge(subset[0].id)) {
+      const Match& match = ml.match(h);
+      if (match.node_id != node->id) continue;
+      if (match.edges.size() != subset.size()) continue;
       bool same = true;
       for (const auto& e : subset) {
-        if (!match->ContainsEdge(e.id)) same = false;
+        if (!match.ContainsEdge(e.id)) same = false;
       }
       if (same) present = true;
     }

@@ -74,7 +74,7 @@ TEST_F(MatcherTest, SingleEdgeMatchRegistered) {
   EXPECT_EQ(ml_.NumLive(), 1u);
   auto at1 = ml_.LiveAt(1);
   ASSERT_EQ(at1.size(), 1u);
-  EXPECT_EQ(at1[0]->edges, (std::vector<graph::EdgeId>{0}));
+  EXPECT_EQ(ml_.match(at1[0]).edges, (std::vector<graph::EdgeId>{0}));
   EXPECT_EQ(matcher_->stats().single_edge_matches, 1u);
 }
 
@@ -86,8 +86,8 @@ TEST_F(MatcherTest, ExtensionFormsTwoEdgeMotif) {
   EXPECT_EQ(matcher_->stats().extension_matches, 1u);
   auto at3 = ml_.LiveAt(3);
   bool found_abc = false;
-  for (const auto& m : at3) {
-    if (m->edges.size() == 2) found_abc = true;
+  for (MatchHandle h : at3) {
+    if (ml_.match(h).edges.size() == 2) found_abc = true;
   }
   EXPECT_TRUE(found_abc);
 }
@@ -135,8 +135,8 @@ TEST_F(JoinMatcherTest, BridgingEdgeJoinsTwoMatches) {
   EXPECT_GE(matcher_->stats().extension_matches, 2u);
   EXPECT_GE(matcher_->stats().join_matches, 1u);
   bool found_three = false;
-  for (const auto& m : ml_.LiveAt(2)) {
-    if (m->edges.size() == 3) found_three = true;
+  for (MatchHandle h : ml_.LiveAt(2)) {
+    if (ml_.match(h).edges.size() == 3) found_three = true;
   }
   EXPECT_TRUE(found_three);
 }
@@ -148,8 +148,8 @@ TEST_F(JoinMatcherTest, SquareCompletesViaAllFourEdges) {
   Feed(E(2, 3, a_, 4, b_));
   Feed(E(3, 4, b_, 1, a_));
   bool found_square = false;
-  for (const auto& m : ml_.LiveAt(1)) {
-    if (m->edges.size() == 4) found_square = true;
+  for (MatchHandle h : ml_.LiveAt(1)) {
+    if (ml_.match(h).edges.size() == 4) found_square = true;
   }
   EXPECT_TRUE(found_square) << "the 4-edge square motif must be matched";
 }
@@ -165,12 +165,13 @@ TEST_F(JoinMatcherTest, MatchesNeverExceedLargestMotif) {
     Feed(E(i, i, lu, i + 1, lv));
   }
   for (graph::VertexId v = 0; v <= 12; ++v) {
-    for (const auto& m : ml_.LiveAt(v)) {
-      EXPECT_LE(m->edges.size(), max_edges);
+    for (MatchHandle h : ml_.LiveAt(v)) {
+      const Match& m = ml_.match(h);
+      EXPECT_LE(m.edges.size(), max_edges);
       // Paths of length 4 are not sub-graphs of q1/q2/q3.
-      if (m->edges.size() == 4) {
+      if (m.edges.size() == 4) {
         // Must be the square (4 vertices), not a path (5 vertices).
-        EXPECT_EQ(m->vertices.size(), 4u);
+        EXPECT_EQ(m.vertices.size(), 4u);
       }
     }
   }

@@ -5,6 +5,8 @@
 
 #include "util/binomial.h"
 #include "util/csv_writer.h"
+#include "util/flat_map64.h"
+#include "util/flat_set64.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
 #include "util/timer.h"
@@ -154,6 +156,62 @@ TEST(TimerTest, MonotoneNonNegative) {
   EXPECT_GE(b, a);
   EXPECT_GE(t.ElapsedMs(), 0.0);
   EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+// ------------------------------------------------------------ flat set/map
+
+TEST(FlatSet64Test, InsertContainsErase) {
+  FlatSet64 s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.Insert(42));
+  EXPECT_FALSE(s.Insert(42));  // duplicate
+  EXPECT_TRUE(s.Contains(42));
+  EXPECT_FALSE(s.Contains(43));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.Erase(42));
+  EXPECT_FALSE(s.Erase(42));
+  EXPECT_FALSE(s.Contains(42));
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(FlatSet64Test, SurvivesGrowthAndChurn) {
+  FlatSet64 s;
+  // Heavy insert/erase churn with a small live set: the table must stay
+  // correct across rehashes and tombstone recycling.
+  for (uint64_t round = 0; round < 50; ++round) {
+    for (uint64_t i = 0; i < 100; ++i) {
+      EXPECT_TRUE(s.Insert(round * 1000 + i));
+    }
+    for (uint64_t i = 0; i < 100; ++i) {
+      EXPECT_TRUE(s.Contains(round * 1000 + i));
+    }
+    for (uint64_t i = 0; i < 95; ++i) {
+      EXPECT_TRUE(s.Erase(round * 1000 + i));
+    }
+  }
+  EXPECT_EQ(s.size(), 50u * 5u);
+  EXPECT_TRUE(s.Contains(49 * 1000 + 97));
+  EXPECT_FALSE(s.Contains(49 * 1000 + 3));
+}
+
+TEST(FlatMap64Test, InsertFindOverwriteClear) {
+  FlatMap64<int> m;
+  EXPECT_EQ(m.Find(7), nullptr);
+  m.Insert(7, 70);
+  m.Insert(9, 90);
+  ASSERT_NE(m.Find(7), nullptr);
+  EXPECT_EQ(*m.Find(7), 70);
+  m.Insert(7, 71);  // overwrite
+  EXPECT_EQ(*m.Find(7), 71);
+  EXPECT_EQ(m.size(), 2u);
+  for (uint64_t i = 100; i < 400; ++i) m.Insert(i, static_cast<int>(i));
+  for (uint64_t i = 100; i < 400; ++i) {
+    ASSERT_NE(m.Find(i), nullptr) << i;
+    EXPECT_EQ(*m.Find(i), static_cast<int>(i));
+  }
+  m.Clear();
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Find(7), nullptr);
 }
 
 TEST(TimerTest, StartResets) {

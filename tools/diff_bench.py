@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Diff a fresh BENCH_throughput.json against the committed baseline.
+
+Partition-quality fields (edge_cut, imbalance, assignment_hash) are
+deterministic on fixed seeds and must match EXACTLY — a mismatch means a
+"perf" change altered partitioning behaviour and the script exits non-zero.
+Timing fields (ms, eps) are machine/load dependent: they are reported as
+ratios, with a warning (not a failure) on large throughput regressions.
+
+Usage: diff_bench.py BASELINE.json NEW.json [--max-regression 0.7]
+"""
+
+import argparse
+import json
+import sys
+
+
+def index_systems(doc):
+    """(dataset, system) -> record, over the main table and the
+    paper-window loom section."""
+    out = {}
+    for d in doc.get("datasets", []):
+        for s in d.get("systems", []):
+            out[(d["dataset"], s["system"])] = s
+    for d in doc.get("loom_paper_window", {}).get("datasets", []):
+        out[(d["dataset"], "loom@t10k")] = d["loom"]
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("new")
+    ap.add_argument("--max-regression", type=float, default=0.7,
+                    help="warn when new eps falls below this fraction "
+                         "of baseline")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.new) as f:
+        new = json.load(f)
+
+    base_idx = index_systems(base)
+    new_idx = index_systems(new)
+
+    failures, warnings = [], []
+    print(f"{'dataset':<14} {'system':<10} {'base eps':>12} {'new eps':>12} "
+          f"{'ratio':>7}  quality")
+    for key in sorted(base_idx):
+        if key not in new_idx:
+            failures.append(f"{key}: missing from new results")
+            continue
+        b, n = base_idx[key], new_idx[key]
+        quality_ok = True
+        for field in ("edge_cut", "imbalance", "assignment_hash"):
+            if b.get(field) != n.get(field):
+                quality_ok = False
+                failures.append(
+                    f"{key}: {field} changed {b.get(field)} -> {n.get(field)}")
+        ratio = (n["eps"] / b["eps"]) if b.get("eps") else float("nan")
+        if b.get("eps") and ratio < args.max_regression:
+            warnings.append(f"{key}: throughput regressed to {ratio:.2f}x")
+        print(f"{key[0]:<14} {key[1]:<10} {b.get('eps', 0):>12.0f} "
+              f"{n.get('eps', 0):>12.0f} {ratio:>6.2f}x  "
+              f"{'ok' if quality_ok else 'CHANGED'}")
+
+    for w in warnings:
+        print(f"WARNING: {w}", file=sys.stderr)
+    if failures:
+        for f_ in failures:
+            print(f"FAIL: {f_}", file=sys.stderr)
+        print("\npartition quality drifted — a perf change must not alter "
+              "assignments on fixed seeds", file=sys.stderr)
+        return 1
+    print("\npartition quality identical to baseline"
+          + (f"; {len(warnings)} throughput warning(s)" if warnings else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

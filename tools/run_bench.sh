@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Build Release, run the throughput benches, and diff the fresh
+# BENCH_throughput.json against the committed baseline.
+#
+#   tools/run_bench.sh            # full: table2 + micro_matcher + diff
+#   tools/run_bench.sh --fast     # skip the google-benchmark micro suite
+#
+# Env knobs (see bench/bench_common.h): LOOM_BENCH_SCALE, LOOM_BENCH_WINDOW.
+# The diff FAILS if partition quality (edge-cut / imbalance / assignment
+# hash) differs from the baseline; throughput changes only warn.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${LOOM_BENCH_BUILD_DIR:-build-bench}
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release > /dev/null
+cmake --build "$BUILD_DIR" -j --target table2_throughput micro_matcher
+
+NEW_JSON=$BUILD_DIR/BENCH_throughput.new.json
+LOOM_BENCH_JSON="$NEW_JSON" "./$BUILD_DIR/table2_throughput"
+
+if [[ $FAST -eq 0 ]]; then
+  echo
+  "./$BUILD_DIR/micro_matcher" --benchmark_min_time=0.1
+fi
+
+echo
+if [[ -f BENCH_throughput.json ]]; then
+  python3 tools/diff_bench.py BENCH_throughput.json "$NEW_JSON"
+else
+  echo "no committed BENCH_throughput.json baseline; seeding it from this run"
+  cp "$NEW_JSON" BENCH_throughput.json
+fi
