@@ -26,10 +26,10 @@ int main() {
   util::TableWriter t({"window t", "midstream ipt (with Ptemp)",
                        "avg Ptemp share", "end-of-stream ipt"});
   for (size_t window : {100u, 1000u, 4000u, 10000u, 20000u}) {
-    core::LoomOptions options;
-    options.base.k = 8;
-    options.base.expected_vertices = ds.NumVertices();
-    options.base.expected_edges = ds.NumEdges();
+    engine::EngineOptions options;
+    options.k = 8;
+    options.expected_vertices = ds.NumVertices();
+    options.expected_edges = ds.NumEdges();
     options.window_size = window;
 
     eval::MidstreamResult mid = eval::RunLoomMidstream(ds, es, options);

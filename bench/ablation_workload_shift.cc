@@ -16,7 +16,9 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/loom_partitioner.h"
 #include "datasets/dataset_registry.h"
+#include "engine/engine.h"
 #include "eval/experiment.h"
 #include "query/workload_runner.h"
 #include "util/table_writer.h"
@@ -42,23 +44,32 @@ query::Workload InitialWorkload(graph::LabelRegistry* reg) {
 double RunVariant(const datasets::Dataset& ds, const stream::EdgeStream& es,
                   const query::Workload& initial,
                   const query::Workload& final_w, bool adapt, bool oracle) {
-  core::LoomOptions options;
-  options.base.k = 8;
-  options.base.expected_vertices = ds.NumVertices();
-  options.base.expected_edges = ds.NumEdges();
+  engine::EngineOptions options;
+  options.k = 8;
+  options.expected_vertices = ds.NumVertices();
+  options.expected_edges = ds.NumEdges();
   options.window_size = bench::BenchWindow();
 
-  core::LoomPartitioner loom(options, oracle ? final_w : initial,
-                             ds.registry.size());
+  const query::Workload& start_w = oracle ? final_w : initial;
+  std::string error;
+  auto p = engine::PartitionerRegistry::Global().Create(
+      "loom", options, {&start_w, ds.registry.size()}, &error);
+  if (p == nullptr) {
+    std::cerr << "engine: " << error << "\n";
+    std::exit(1);
+  }
+  // Workload drift is a Loom-specific capability, reached through the
+  // concrete type; construction still goes through the registry.
+  auto* loom = dynamic_cast<core::LoomPartitioner*>(p.get());
   const size_t half = es.size() / 2;
   for (size_t i = 0; i < es.size(); ++i) {
-    if (i == half && adapt) loom.UpdateWorkload(final_w, /*decay=*/0.2);
-    loom.Ingest(es[i]);
+    if (i == half && adapt) loom->UpdateWorkload(final_w, /*decay=*/0.2);
+    p->Ingest(es[i]);
   }
-  loom.Finalize();
+  p->Finalize();
   query::ExecutorConfig ex;
   ex.max_seeds = 4000;
-  return query::RunWorkload(ds.graph, loom.partitioning(), final_w, ex)
+  return query::RunWorkload(ds.graph, p->partitioning(), final_w, ex)
       .weighted_ipt;
 }
 

@@ -6,21 +6,32 @@
 // (path overridable via LOOM_BENCH_JSON): per dataset/system ingest
 // throughput, partition quality (edge-cut, imbalance, assignment hash on
 // fixed seeds), Loom's match-pool allocation-reuse counters, a Loom-only
-// ingest section at the paper-default window t = 10000 (LoomOptions'
+// ingest section at the paper-default window t = 10000 (EngineOptions'
 // default; the acceptance metric for perf PRs), and sliding-window
 // micro-latencies. tools/run_bench.sh diffs it against the committed
 // baseline so partition quality can never silently drift while chasing
 // throughput.
+//
+// Backend selection: set LOOM_BENCH_SYSTEMS to a ';'-separated list of
+// registry specs (e.g. "fennel;loom:window_size=2000,alpha=0.5") to time
+// arbitrary engine backends/configurations instead of the default four
+// paper systems. Custom selections skip the paper-window section and are
+// not comparable to the committed baseline (run_bench.sh skips the diff).
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "datasets/dataset_registry.h"
+#include "engine/engine.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
 #include "stream/sliding_window.h"
+#include "util/string_util.h"
 #include "util/table_writer.h"
 #include "util/timer.h"
 
@@ -28,9 +39,21 @@ namespace {
 
 using namespace loom;
 
+/// LOOM_BENCH_SYSTEMS split on ';' (empty = the default four systems).
+std::vector<std::string> BackendSpecs() {
+  std::vector<std::string> specs;
+  const char* env = std::getenv("LOOM_BENCH_SYSTEMS");
+  if (env == nullptr) return specs;
+  for (std::string& spec : util::Split(env, ';')) {
+    if (!spec.empty()) specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
 void WriteSystemJson(bench::JsonWriter& jw, const eval::SystemResult& r) {
   jw.BeginObject();
-  jw.Key("system").Value(eval::ToString(r.system));
+  jw.Key("system").Value(r.label.empty() ? eval::ToString(r.system)
+                                         : r.label);
   jw.Key("ms").Value(r.partition_ms);
   jw.Key("ms_per_10k_edges").Value(r.ms_per_10k_edges);
   jw.Key("eps").Value(r.edges_per_sec);
@@ -90,44 +113,77 @@ int main() {
   using namespace loom;
   bench::Banner("Table 2 — time to partition 10k edges", "Table 2");
 
+  const std::vector<std::string> specs = BackendSpecs();
+
   std::vector<eval::ComparisonResult> results;
   for (auto id : datasets::AllDatasets()) {
     datasets::Dataset ds = datasets::MakeDataset(id, bench::BenchScale());
     eval::ExperimentConfig cfg;
     cfg.order = stream::StreamOrder::kBreadthFirst;
     cfg.window_size = bench::BenchWindow();
-    const stream::EdgeStream es =
-        stream::MakeStream(ds.graph, cfg.order, cfg.stream_seed);
+    auto source = engine::MakeEdgeSource(ds, cfg.order, cfg.stream_seed);
 
     eval::ComparisonResult cmp;
     cmp.dataset = ds.meta.name;
     cmp.k = cfg.k;
-    cmp.stream_edges = es.size();
-    for (auto s : eval::AllSystems()) {
-      cmp.systems.push_back(eval::RunSystemTimingOnly(s, ds, es, cfg));
+    cmp.stream_edges = source->SizeHint();
+    if (specs.empty()) {
+      for (auto s : eval::AllSystems()) {
+        cmp.systems.push_back(eval::RunSystemTimingOnly(s, ds, *source, cfg));
+      }
+    } else {
+      for (const std::string& spec : specs) {
+        std::string error;
+        auto r = eval::RunBackendTimingOnly(spec, ds, *source, cfg, &error);
+        if (!r.has_value()) {
+          std::cerr << "LOOM_BENCH_SYSTEMS: " << error << "\n";
+          return 2;
+        }
+        cmp.systems.push_back(std::move(*r));
+      }
     }
     results.push_back(std::move(cmp));
   }
-  eval::PrintTimingTable(results, std::cout);
 
-  // Loom's slowdown factor vs Fennel (paper: avg 2-3x, range 1.5-7.1).
-  std::cout << "\nLoom / Fennel slowdown factors: ";
-  for (const auto& r : results) {
-    const auto* loom = r.Find(eval::System::kLoom);
-    const auto* fennel = r.Find(eval::System::kFennel);
-    std::cout << r.dataset << "="
-              << util::TableWriter::Fmt(
-                     loom->ms_per_10k_edges /
-                         std::max(fennel->ms_per_10k_edges, 1e-9),
-                     1)
-              << "x ";
+  if (!specs.empty()) {
+    // Custom backend selection: generic per-spec table, then the JSON dump.
+    util::TableWriter t({"dataset", "backend", "ms / 10k edges", "eps",
+                         "edge cut", "imbalance"});
+    for (const auto& r : results) {
+      for (const auto& s : r.systems) {
+        t.AddRow({r.dataset, s.label,
+                  util::TableWriter::Fmt(s.ms_per_10k_edges, 1),
+                  util::TableWriter::Fmt(s.edges_per_sec, 0),
+                  std::to_string(s.edge_cut),
+                  util::TableWriter::Pct(s.imbalance)});
+      }
+    }
+    t.Print(std::cout);
+  } else {
+    eval::PrintTimingTable(results, std::cout);
+
+    // Loom's slowdown factor vs Fennel (paper: avg 2-3x, range 1.5-7.1).
+    std::cout << "\nLoom / Fennel slowdown factors: ";
+    for (const auto& r : results) {
+      const auto* loom = r.Find(eval::System::kLoom);
+      const auto* fennel = r.Find(eval::System::kFennel);
+      std::cout << r.dataset << "="
+                << util::TableWriter::Fmt(
+                       loom->ms_per_10k_edges /
+                           std::max(fennel->ms_per_10k_edges, 1e-9),
+                       1)
+                << "x ";
+    }
+    std::cout << "\n\nExpected shape (paper): Hash fastest; LDG ~ Fennel; Loom "
+                 "2-3x slower on average\n(the paper reports 129-240 ms per "
+                 "10k on 2016 hardware; absolute numbers differ).\n";
   }
-  std::cout << "\n\nExpected shape (paper): Hash fastest; LDG ~ Fennel; Loom "
-               "2-3x slower on average\n(the paper reports 129-240 ms per "
-               "10k on 2016 hardware; absolute numbers differ).\n";
 
   // ------------------------------------------------------------- JSON dump
-  const std::string json_path = bench::BenchJsonPath("BENCH_throughput.json");
+  // Custom backend selections are not baseline-comparable: never let them
+  // default onto the committed BENCH_throughput.json.
+  const std::string json_path = bench::BenchJsonPath(
+      specs.empty() ? "BENCH_throughput.json" : "BENCH_throughput.custom.json");
   std::ofstream jf(json_path);
   if (!jf) {
     std::cerr << "cannot write " << json_path << "\n";
@@ -155,34 +211,36 @@ int main() {
 
   // Loom-only ingest throughput at the paper-default window (t = 10000):
   // the acceptance metric for perf PRs. Best of 3 to damp scheduler noise.
-  jw.Key("loom_paper_window").BeginObject();
-  jw.Key("window").Value(uint64_t{10000});
-  jw.Key("runs").Value(3);
-  jw.Key("datasets").BeginArray();
-  for (auto id :
-       {datasets::DatasetId::kLubm100, datasets::DatasetId::kMusicBrainz,
-        datasets::DatasetId::kProvGen, datasets::DatasetId::kDblp}) {
-    datasets::Dataset ds = datasets::MakeDataset(id, bench::BenchScale());
-    eval::ExperimentConfig cfg;
-    cfg.order = stream::StreamOrder::kBreadthFirst;
-    cfg.window_size = 10000;
-    const stream::EdgeStream es =
-        stream::MakeStream(ds.graph, cfg.order, cfg.stream_seed);
-    eval::SystemResult best;
-    for (int run = 0; run < 3; ++run) {
-      eval::SystemResult r =
-          eval::RunSystemTimingOnly(eval::System::kLoom, ds, es, cfg);
-      if (run == 0 || r.partition_ms < best.partition_ms) best = r;
+  // Skipped for custom LOOM_BENCH_SYSTEMS selections (not baseline-diffable).
+  if (specs.empty()) {
+    jw.Key("loom_paper_window").BeginObject();
+    jw.Key("window").Value(uint64_t{10000});
+    jw.Key("runs").Value(3);
+    jw.Key("datasets").BeginArray();
+    for (auto id :
+         {datasets::DatasetId::kLubm100, datasets::DatasetId::kMusicBrainz,
+          datasets::DatasetId::kProvGen, datasets::DatasetId::kDblp}) {
+      datasets::Dataset ds = datasets::MakeDataset(id, bench::BenchScale());
+      eval::ExperimentConfig cfg;
+      cfg.order = stream::StreamOrder::kBreadthFirst;
+      cfg.window_size = 10000;
+      auto source = engine::MakeEdgeSource(ds, cfg.order, cfg.stream_seed);
+      eval::SystemResult best;
+      for (int run = 0; run < 3; ++run) {
+        eval::SystemResult r =
+            eval::RunSystemTimingOnly(eval::System::kLoom, ds, *source, cfg);
+        if (run == 0 || r.partition_ms < best.partition_ms) best = r;
+      }
+      jw.BeginObject();
+      jw.Key("dataset").Value(ds.meta.name);
+      jw.Key("edges").Value(static_cast<uint64_t>(source->SizeHint()));
+      jw.Key("loom");
+      WriteSystemJson(jw, best);
+      jw.EndObject();
     }
-    jw.BeginObject();
-    jw.Key("dataset").Value(ds.meta.name);
-    jw.Key("edges").Value(static_cast<uint64_t>(es.size()));
-    jw.Key("loom");
-    WriteSystemJson(jw, best);
+    jw.EndArray();
     jw.EndObject();
   }
-  jw.EndArray();
-  jw.EndObject();
 
   WriteWindowOpsJson(jw);
   jw.EndObject();

@@ -8,8 +8,9 @@
 // and show (a) Loom's matcher finding the motif instances online and (b) the
 // resulting partitioning keeping rings intact within partitions.
 //
-// This example exercises the *library API directly* (no dataset registry):
-// it is the template for bringing your own schema + workload.
+// This example brings its own schema + workload (no dataset registry) and
+// builds the partitioner through the engine facade — the template for
+// plugging a custom domain into loom::engine.
 //
 // Run:  ./example_fraud_ring [num_accounts]
 
@@ -17,10 +18,10 @@
 #include <iostream>
 
 #include "core/loom_partitioner.h"
+#include "engine/engine.h"
 #include "graph/labeled_graph.h"
 #include "partition/partition_metrics.h"
 #include "query/workload_runner.h"
-#include "stream/stream_order.h"
 #include "util/rng.h"
 #include "util/table_writer.h"
 
@@ -85,18 +86,25 @@ int main(int argc, char** argv) {
   workload.Add("shared-device",
                graph::PatternGraph::Path({account, device, account}), 0.20);
 
-  // --- 3. Partition the stream with Loom ------------------------------
-  core::LoomOptions options;
-  options.base.k = 8;
-  options.base.expected_vertices = g.NumVertices();
-  options.base.expected_edges = g.NumEdges();
+  // --- 3. Partition the stream with Loom (via the engine facade) ------
+  engine::EngineOptions options;
+  options.k = 8;
+  options.expected_vertices = g.NumVertices();
+  options.expected_edges = g.NumEdges();
   options.window_size = 4000;
-  core::LoomPartitioner loom(options, workload, reg.size());
+  std::string error;
+  auto partitioner = engine::BuildPartitioner(
+      "loom", options, {&workload, reg.size()}, &error);
+  if (partitioner == nullptr) {
+    std::cerr << "engine: " << error << "\n";
+    return 1;
+  }
+  core::LoomPartitioner& loom =
+      *dynamic_cast<core::LoomPartitioner*>(partitioner.get());
 
-  stream::EdgeStream es = stream::MakeStream(g, stream::StreamOrder::kRandom,
-                                             /*seed=*/0xF4A1D);
-  for (const stream::StreamEdge& e : es) loom.Ingest(e);
-  loom.Finalize();
+  auto source =
+      engine::MakeEdgeSource(g, stream::StreamOrder::kRandom, /*seed=*/0xF4A1D);
+  engine::Drive(partitioner.get(), source.get());
 
   std::cout << "\nMotifs derived from the workload (T = 40%): "
             << loom.trie().MotifIds().size() << " of "
@@ -124,6 +132,6 @@ int main(int argc, char** argv) {
   t.Print(std::cout);
   std::cout << "\nPartition imbalance: "
             << util::TableWriter::Pct(partition::Imbalance(loom.partitioning()))
-            << " across " << options.base.k << " partitions.\n";
+            << " across " << options.k << " partitions.\n";
   return 0;
 }

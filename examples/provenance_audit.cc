@@ -4,7 +4,8 @@
 //
 // Demonstrates the per-query view: which query patterns benefit most from
 // Loom's motif-aware placement, and how the motif machinery behaved
-// (admissions, matches, cluster allocations).
+// (admissions, matches, cluster allocations) — the latter observed through
+// the engine's EngineObserver events rather than backend-specific getters.
 //
 // Run:  ./example_provenance_audit [scale]
 
@@ -13,6 +14,7 @@
 
 #include "core/loom_partitioner.h"
 #include "datasets/dataset_registry.h"
+#include "engine/engine.h"
 #include "eval/experiment.h"
 #include "query/workload_runner.h"
 #include "util/table_writer.h"
@@ -29,30 +31,45 @@ int main(int argc, char** argv) {
   eval::ExperimentConfig cfg;
   cfg.k = 8;
   cfg.window_size = 4000;
-  stream::EdgeStream es =
-      stream::MakeStream(ds.graph, cfg.order, cfg.stream_seed);
 
-  // Loom, with access to its internals for reporting.
-  auto loom_p = eval::MakePartitioner(eval::System::kLoom, ds, cfg);
-  for (const auto& e : es) loom_p->Ingest(e);
-  loom_p->Finalize();
-  auto* loom = static_cast<core::LoomPartitioner*>(loom_p.get());
+  // Both backends come out of the registry; the stream is pulled lazily
+  // from an EdgeSource and replayed for the second system.
+  engine::EngineOptions options = eval::ToEngineOptions(cfg, ds);
+  engine::BuildContext context{&ds.workload, ds.registry.size()};
+  auto source = engine::MakeEdgeSource(ds, cfg.order, cfg.stream_seed);
+  std::string error;
 
-  auto fennel_p = eval::MakePartitioner(eval::System::kFennel, ds, cfg);
-  for (const auto& e : es) fennel_p->Ingest(e);
-  fennel_p->Finalize();
+  auto loom_p = engine::PartitionerRegistry::Global().Create("loom", options,
+                                                             context, &error);
+  auto fennel_p = engine::PartitionerRegistry::Global().Create(
+      "fennel", options, context, &error);
+  if (loom_p == nullptr || fennel_p == nullptr) {
+    std::cerr << "engine: " << error << "\n";
+    return 1;
+  }
 
-  std::cout << "Loom's motif machinery:\n"
+  engine::StatsObserver events;  // structured decision events, not getters
+  engine::Drive(loom_p.get(), source.get(), &events);
+  auto* loom = dynamic_cast<core::LoomPartitioner*>(loom_p.get());
+
+  source->Reset();
+  engine::Drive(fennel_p.get(), source.get());
+
+  const engine::StatsObserver::Totals& t_ev = events.totals();
+  const engine::ProgressEvent& final_progress = t_ev.last_progress;
+  std::cout << "Loom's motif machinery (via EngineObserver):\n"
             << "  edges bypassing the window (never motif-matchable): "
-            << loom->stats().edges_bypassed << "\n"
+            << final_progress.edges_bypassed << "\n"
             << "  edges admitted to Ptemp: "
-            << loom->matcher_stats().edges_admitted << "\n"
+            << final_progress.edges_ingested - final_progress.edges_bypassed
+            << "\n"
             << "  multi-edge motif matches found: "
             << loom->matcher_stats().extension_matches +
                    loom->matcher_stats().join_matches
             << "\n"
-            << "  match clusters allocated: "
-            << loom->stats().clusters_allocated << "\n\n";
+            << "  match clusters allocated: " << t_ev.cluster_decisions
+            << " (" << t_ev.fallback_decisions << " via LDG fallback, "
+            << t_ev.cluster_edges_assigned << " edges co-located)\n\n";
 
   query::WorkloadResult lw =
       query::RunWorkload(ds.graph, loom_p->partitioning(), ds.workload);

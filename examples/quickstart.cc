@@ -1,9 +1,11 @@
-// Quickstart: the paper's Fig. 1 example, end to end.
+// Quickstart: the paper's Fig. 1 example, end to end, on the engine facade.
 //
 // Builds the 8-vertex graph G with labels a/b/c/d, declares the workload
 // Q = {q1: a-b square 30%, q2: a-b-c path 60%, q3: a-b-c-d path 10%},
-// inspects the TPSTry++ and its motifs, partitions the stream with Loom and
-// with the baselines, and compares workload ipt.
+// constructs Loom through engine::PartitionerRegistry (string-addressable
+// options, the same path every tool and bench uses), inspects the TPSTry++
+// and its motifs, streams G through a pull-based EdgeSource, and compares
+// workload ipt against the Hash/LDG/Fennel baselines.
 //
 // Run:  ./example_quickstart
 
@@ -11,10 +13,10 @@
 
 #include "core/loom_partitioner.h"
 #include "datasets/dataset_registry.h"
+#include "engine/engine.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
 #include "query/workload_runner.h"
-#include "stream/stream_order.h"
 
 int main() {
   using namespace loom;
@@ -29,37 +31,54 @@ int main() {
               << " @ " << q.frequency * 100 << "%\n";
   }
 
-  // 2. Build Loom and inspect the trie it derives from Q (Sec. 2).
-  core::LoomOptions options;
-  options.base.k = 2;
-  options.base.expected_vertices = ds.NumVertices();
-  options.base.expected_edges = ds.NumEdges();
-  options.window_size = 6;
-  core::LoomPartitioner loom(options, ds.workload, ds.registry.size());
+  // 2. Build Loom through the engine facade. Options are typed fields that
+  //    are also addressable as key=value strings — the same overrides a CLI
+  //    or bench config would pass.
+  engine::EngineOptions options;
+  options.expected_vertices = ds.NumVertices();
+  options.expected_edges = ds.NumEdges();
+  std::string error;
+  if (!options.ApplyOverrides({"k=2", "window_size=6"}, &error)) {
+    std::cerr << "options: " << error << "\n";
+    return 1;
+  }
+  engine::BuildContext context{&ds.workload, ds.registry.size()};
+  auto partitioner = engine::PartitionerRegistry::Global().Create(
+      "loom", options, context, &error);
+  if (partitioner == nullptr) {
+    std::cerr << "engine: " << error << "\n";
+    return 1;
+  }
+
+  // Inspect the trie Loom derived from Q (Sec. 2) via the concrete type.
+  auto* loom_p = dynamic_cast<core::LoomPartitioner*>(partitioner.get());
   std::cout << "\nTPSTry++ built from Q (T = 40%):\n"
-            << loom.trie().Dump(ds.registry);
+            << loom_p->trie().Dump(ds.registry);
 
-  // 3. Stream G breadth-first through Loom (Sec. 3-4).
-  stream::EdgeStream es =
-      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
-  for (const stream::StreamEdge& e : es) loom.Ingest(e);
-  loom.Finalize();
+  // 3. Stream G breadth-first through the engine (Sec. 3-4): batches are
+  //    pulled from an EdgeSource; an observer watches the decisions.
+  engine::StatsObserver stats;
+  auto source = engine::MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst);
+  engine::Drive(partitioner.get(), source.get(), &stats);
 
-  std::cout << "\nLoom's 2-way partitioning of G:\n";
+  std::cout << "\nLoom's 2-way partitioning of G ("
+            << stats.totals().vertices_assigned << " vertices assigned, "
+            << stats.totals().cluster_decisions << " match clusters):\n";
   for (graph::VertexId v = 0; v < ds.NumVertices(); ++v) {
     std::cout << "  vertex " << v + 1 << " (" /* 1-based like the paper */
               << ds.registry.Name(ds.graph.label(v)) << ") -> partition "
-              << loom.partitioning().PartitionOf(v) << "\n";
+              << partitioner->partitioning().PartitionOf(v) << "\n";
   }
 
   // 4. Execute the workload and count inter-partition traversals.
   query::WorkloadResult loom_result =
-      query::RunWorkload(ds.graph, loom.partitioning(), ds.workload);
+      query::RunWorkload(ds.graph, partitioner->partitioning(), ds.workload);
   std::cout << "\nLoom: weighted ipt = " << loom_result.weighted_ipt
             << " over " << loom_result.weighted_traversals
             << " weighted traversals\n";
 
-  // 5. Compare against Hash / LDG / Fennel on the same stream.
+  // 5. Compare against Hash / LDG / Fennel on the same stream (the eval
+  //    harness drives every backend through the same registry).
   eval::ExperimentConfig cfg;
   cfg.k = 2;
   cfg.window_size = 6;

@@ -5,7 +5,9 @@
 // We grow a DBLP-like graph edge by edge (papers arriving with their author
 // and citation edges), partition it online with Loom vs Fennel, and report
 // how many inter-partition traversals a co-authorship recommendation
-// workload incurs on each partitioning.
+// workload incurs on each partitioning. eval::RunComparison drives all four
+// backends through engine::PartitionerRegistry over one replayed pull-based
+// EdgeSource — the same facade quickstart.cc uses directly.
 //
 // Run:  ./example_social_recommendation [scale]
 

@@ -48,7 +48,7 @@ bool LoomPartitioner::IsDeferred(graph::VertexId v, graph::LabelId label) {
 }
 
 void LoomPartitioner::AssignVertex(graph::VertexId v, graph::PartitionId p) {
-  partitioning_.Assign(v, p);
+  AssignAndNotify(&partitioning_, v, p);
 }
 
 void LoomPartitioner::AssignImmediately(const stream::StreamEdge& e) {
@@ -68,12 +68,31 @@ void LoomPartitioner::AssignImmediately(const stream::StreamEdge& e) {
 }
 
 void LoomPartitioner::Ingest(const stream::StreamEdge& e) {
+  IngestWithAdmission(e, matcher_->SingleEdgeMotif(e) != nullptr);
+}
+
+void LoomPartitioner::IngestBatch(std::span<const stream::StreamEdge> batch) {
+  // Hoisted admission probes: the test is a pure function of the label pair
+  // (memoised per pair) and the trie, which cannot change mid-batch, so one
+  // tight pass over the memo table decides the whole batch before any
+  // window/matcher work touches the caches.
+  admit_scratch_.resize(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    admit_scratch_[i] = matcher_->SingleEdgeMotif(batch[i]) != nullptr;
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    IngestWithAdmission(batch[i], admit_scratch_[i] != 0);
+  }
+}
+
+void LoomPartitioner::IngestWithAdmission(const stream::StreamEdge& e,
+                                          bool admitted) {
   ++stats_.edges_ingested;
   seen_.TouchVertex(e.u, e.label_u);
   seen_.TouchVertex(e.v, e.label_v);
   seen_.AddEdge(e.u, e.v);  // before any placement: endpoints see each other
 
-  if (matcher_->SingleEdgeMotif(e) == nullptr) {
+  if (!admitted) {
     // Sec. 3: e can never participate in a motif match — place it now and
     // "behave as if the edge was never added to the window".
     ++stats_.edges_bypassed;
@@ -92,6 +111,14 @@ void LoomPartitioner::Ingest(const stream::StreamEdge& e) {
   }
 }
 
+void LoomPartitioner::FillProgress(engine::ProgressEvent* progress) const {
+  // Lifetime totals, so edges_ingested and edges_bypassed stay mutually
+  // consistent even when the stream resumes after a Finalize checkpoint.
+  progress->edges_ingested = stats_.edges_ingested;
+  progress->edges_bypassed = stats_.edges_bypassed;
+  progress->window_population = window_.size();
+}
+
 void LoomPartitioner::EvictOldest() {
   std::optional<stream::StreamEdge> evictee = window_.PopOldest();
   if (!evictee.has_value()) return;
@@ -100,6 +127,9 @@ void LoomPartitioner::EvictOldest() {
   // Me: live matches containing the evictee.
   me_scratch_.clear();
   match_list_.CollectLiveWithEdge(evictee->id, &me_scratch_);
+  if (observer() != nullptr) {
+    observer()->OnEviction({evictee->id, me_scratch_.size()});
+  }
   if (me_scratch_.empty()) {
     // Every match the edge belonged to already lost some other edge.
     AssignImmediately(*evictee);
@@ -109,7 +139,8 @@ void LoomPartitioner::EvictOldest() {
 
   AllocationDecision decision =
       allocator_->DecideBids(match_list_, me_scratch_, partitioning_);
-  if (decision.partition == graph::kNoPartition) {
+  const bool used_fallback = decision.partition == graph::kNoPartition;
+  if (used_fallback) {
     // Zero-bid cluster: fall back to LDG's neighbourhood choice for the
     // evictee, so cold-start clusters still land near their assigned
     // neighbours instead of scattering round-robin. Computed lazily — the
@@ -139,6 +170,7 @@ void LoomPartitioner::EvictOldest() {
                   to_assign.end());
   assert(!to_assign.empty());
 
+  uint64_t edges_assigned = 0;
   for (graph::EdgeId eid : to_assign) {
     const stream::StreamEdge* se =
         eid == evictee->id ? &*evictee : window_.Find(eid);
@@ -146,11 +178,18 @@ void LoomPartitioner::EvictOldest() {
     AssignVertex(se->u, decision.partition);
     AssignVertex(se->v, decision.partition);
     window_.Remove(eid);
-    ++stats_.cluster_edges_assigned;
+    ++edges_assigned;
   }
+  stats_.cluster_edges_assigned += edges_assigned;
   // Retire every match that lost a constituent edge — including the losing
   // bids in Me (they all contained the evictee).
   for (graph::EdgeId eid : to_assign) match_list_.RemoveMatchesWithEdge(eid);
+
+  if (observer() != nullptr) {
+    observer()->OnClusterDecision({decision.partition, me_scratch_.size(),
+                                   decision.take, edges_assigned,
+                                   used_fallback});
+  }
 }
 
 void LoomPartitioner::UpdateWorkload(const query::Workload& workload,

@@ -76,7 +76,13 @@ class LoomPartitioner : public partition::Partitioner {
                   size_t num_labels);
 
   void Ingest(const stream::StreamEdge& e) override;
+  /// Batch entry point: hoists the admission-mask probe (memoised per label
+  /// pair) for the whole batch before running the per-edge pipeline, so the
+  /// admission memo is walked in one tight pass. Results are bit-identical
+  /// to per-edge Ingest.
+  void IngestBatch(std::span<const stream::StreamEdge> batch) override;
   void Finalize() override;
+  void FillProgress(engine::ProgressEvent* progress) const override;
 
   /// Workload drift (paper Sec. 6): decays the existing trie supports to
   /// `decay` of their mass and mixes in `workload` (normalised) with weight
@@ -103,6 +109,10 @@ class LoomPartitioner : public partition::Partitioner {
   size_t WindowSize() const { return window_.size(); }
 
  private:
+  /// Shared Ingest body with the admission test hoisted out (the batch path
+  /// precomputes it).
+  void IngestWithAdmission(const stream::StreamEdge& e, bool admitted);
+
   /// True if v's placement is being withheld pending a motif cluster:
   /// unassigned and motif-labelled, or in live matches.
   bool IsDeferred(graph::VertexId v, graph::LabelId label);
@@ -136,6 +146,7 @@ class LoomPartitioner : public partition::Partitioner {
   // Eviction-path scratch, reused so allocation stays off the hot path.
   std::vector<motif::MatchHandle> me_scratch_;
   std::vector<graph::EdgeId> assign_scratch_;
+  std::vector<uint8_t> admit_scratch_;  // per-batch admission bits
 };
 
 }  // namespace core

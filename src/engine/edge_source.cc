@@ -1,0 +1,50 @@
+#include "engine/edge_source.h"
+
+#include <cassert>
+
+namespace loom {
+namespace engine {
+
+GraphEdgeSource::GraphEdgeSource(const graph::LabeledGraph& graph,
+                                 std::vector<graph::EdgeId> edge_order)
+    : graph_(graph), order_(std::move(edge_order)) {
+  assert(order_.size() == graph_.NumEdges());
+}
+
+size_t GraphEdgeSource::NextBatch(std::span<stream::StreamEdge> out) {
+  size_t produced = 0;
+  while (produced < out.size() && pos_ < order_.size()) {
+    const graph::Edge& e = graph_.edge(order_[pos_]);
+    stream::StreamEdge& se = out[produced++];
+    se.id = static_cast<graph::EdgeId>(pos_++);
+    se.u = e.u;
+    se.v = e.v;
+    se.label_u = graph_.label(e.u);
+    se.label_v = graph_.label(e.v);
+  }
+  return produced;
+}
+
+size_t EdgeStreamSource::NextBatch(std::span<stream::StreamEdge> out) {
+  size_t produced = 0;
+  while (produced < out.size() && pos_ < es_.size()) {
+    out[produced++] = es_[pos_++];
+  }
+  return produced;
+}
+
+std::unique_ptr<EdgeSource> MakeEdgeSource(const graph::LabeledGraph& graph,
+                                           stream::StreamOrder order,
+                                           uint64_t seed) {
+  return std::make_unique<GraphEdgeSource>(
+      graph, stream::EdgeOrderFor(graph, order, seed));
+}
+
+std::unique_ptr<EdgeSource> MakeEdgeSource(const datasets::Dataset& ds,
+                                           stream::StreamOrder order,
+                                           uint64_t seed) {
+  return MakeEdgeSource(ds.graph, order, seed);
+}
+
+}  // namespace engine
+}  // namespace loom

@@ -1,0 +1,190 @@
+#include "engine/engine.h"
+
+#include <algorithm>
+
+#include "core/loom_partitioner.h"
+#include "partition/fennel_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "partition/ldg_partitioner.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace loom {
+namespace engine {
+
+namespace {
+
+core::LoomOptions ToLoomOptions(const EngineOptions& o) {
+  core::LoomOptions lo;
+  lo.base = o.BaseConfig();
+  lo.window_size = static_cast<size_t>(o.window_size);
+  lo.support_threshold = o.support_threshold;
+  lo.prime = o.prime;
+  lo.signature_seed = o.signature_seed;
+  lo.equal_opportunism.alpha = o.alpha;
+  lo.equal_opportunism.balance_b = o.balance_b;
+  lo.equal_opportunism.neighbor_bid_weight = o.neighbor_bid_weight;
+  lo.equal_opportunism.disable_rationing = o.disable_rationing;
+  lo.matcher.max_matches_per_vertex =
+      static_cast<size_t>(o.max_matches_per_vertex);
+  lo.compact_interval = static_cast<size_t>(o.compact_interval);
+  return lo;
+}
+
+void RegisterBuiltins(PartitionerRegistry* r) {
+  r->Register("hash", [](const EngineOptions& o, const BuildContext&,
+                         std::string*) -> std::unique_ptr<partition::Partitioner> {
+    return std::make_unique<partition::HashPartitioner>(o.BaseConfig());
+  });
+  r->Register("ldg", [](const EngineOptions& o, const BuildContext&,
+                        std::string*) -> std::unique_ptr<partition::Partitioner> {
+    return std::make_unique<partition::LdgPartitioner>(o.BaseConfig());
+  });
+  r->Register("fennel", [](const EngineOptions& o, const BuildContext&,
+                           std::string*) -> std::unique_ptr<partition::Partitioner> {
+    return std::make_unique<partition::FennelPartitioner>(o.BaseConfig(),
+                                                          o.fennel_gamma);
+  });
+  r->Register("loom", [](const EngineOptions& o, const BuildContext& ctx,
+                         std::string* error) -> std::unique_ptr<partition::Partitioner> {
+    if (ctx.workload == nullptr) {
+      if (error != nullptr) {
+        *error = "backend 'loom' needs a workload: pass a BuildContext with "
+                 "context.workload set (the TPSTry++ is derived from it)";
+      }
+      return nullptr;
+    }
+    return std::make_unique<core::LoomPartitioner>(
+        ToLoomOptions(o), *ctx.workload, ctx.num_labels);
+  });
+}
+
+}  // namespace
+
+PartitionerRegistry& PartitionerRegistry::Global() {
+  static PartitionerRegistry* registry = [] {
+    auto* r = new PartitionerRegistry();
+    RegisterBuiltins(r);
+    return r;
+  }();
+  return *registry;
+}
+
+bool PartitionerRegistry::Register(const std::string& name, Factory factory) {
+  if (Contains(name)) return false;
+  factories_.emplace_back(name, std::move(factory));
+  return true;
+}
+
+bool PartitionerRegistry::Contains(std::string_view name) const {
+  for (const auto& [n, f] : factories_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> PartitionerRegistry::Names() const {
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [n, f] : factories_) out.push_back(n);
+  return out;
+}
+
+std::unique_ptr<partition::Partitioner> PartitionerRegistry::Create(
+    std::string_view name, const EngineOptions& options,
+    const BuildContext& context, std::string* error) const {
+  for (const auto& [n, factory] : factories_) {
+    if (n != name) continue;
+    return factory(options, context, error);
+  }
+  if (error != nullptr) {
+    std::string known;
+    for (const auto& [n, f] : factories_) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    *error = "unknown partitioner backend '" + std::string(name) +
+             "'; registered backends: " + known;
+  }
+  return nullptr;
+}
+
+bool ParseBackendSpec(std::string_view spec, BackendSpec* out,
+                      std::string* error) {
+  out->name.clear();
+  out->overrides.clear();
+  const size_t colon = spec.find(':');
+  out->name = std::string(spec.substr(0, colon));
+  if (out->name.empty()) {
+    if (error != nullptr) {
+      *error = "empty backend name in spec '" + std::string(spec) +
+               "' (expected name or name:key=value,...)";
+    }
+    return false;
+  }
+  if (colon == std::string_view::npos) return true;
+  for (std::string& kv :
+       util::Split(std::string(spec.substr(colon + 1)), ',')) {
+    if (!kv.empty()) out->overrides.push_back(std::move(kv));
+  }
+  return true;
+}
+
+std::unique_ptr<partition::Partitioner> BuildPartitioner(
+    std::string_view spec, EngineOptions base, const BuildContext& context,
+    std::string* error) {
+  BackendSpec parsed;
+  if (!ParseBackendSpec(spec, &parsed, error)) return nullptr;
+  if (!base.ApplyOverrides(parsed.overrides, error)) return nullptr;
+  return PartitionerRegistry::Global().Create(parsed.name, base, context,
+                                              error);
+}
+
+DriveResult Drive(partition::Partitioner* partitioner, EdgeSource* source,
+                  EngineObserver* observer, const DriveConfig& config) {
+  DriveResult result;
+  EngineObserver* previous = partitioner->observer();
+  if (observer != nullptr) partitioner->SetObserver(observer);
+  // Progress goes to whoever is subscribed: the drive's own observer, or
+  // one the caller attached via SetObserver beforehand.
+  EngineObserver* progress_to =
+      observer != nullptr ? observer : previous;
+
+  std::vector<stream::StreamEdge> batch(std::max<size_t>(config.batch_size, 1));
+  size_t next_progress =
+      config.progress_interval > 0 ? config.progress_interval : 0;
+
+  auto emit_progress = [&](bool finalizing) {
+    ProgressEvent p;
+    // Default to this drive's count; backends that track lifetime totals
+    // (Loom) override it in FillProgress so the event stays internally
+    // consistent across resumed drives (Finalize is a checkpoint).
+    p.edges_ingested = result.edges;
+    p.finalizing = finalizing;
+    partitioner->FillProgress(&p);
+    progress_to->OnProgress(p);
+  };
+
+  util::Timer timer;
+  for (;;) {
+    const size_t n = source->NextBatch(batch);
+    if (n == 0) break;
+    partitioner->IngestBatch(std::span<const stream::StreamEdge>(
+        batch.data(), n));
+    result.edges += n;
+    if (next_progress != 0 && result.edges >= next_progress &&
+        progress_to != nullptr) {
+      next_progress += config.progress_interval;
+      emit_progress(/*finalizing=*/false);
+    }
+  }
+  if (config.finalize) partitioner->Finalize();
+  result.ms = timer.ElapsedMs();
+
+  if (progress_to != nullptr) emit_progress(/*finalizing=*/true);
+  if (observer != nullptr) partitioner->SetObserver(previous);
+  return result;
+}
+
+}  // namespace engine
+}  // namespace loom

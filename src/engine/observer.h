@@ -1,0 +1,125 @@
+// Structured event hooks for partitioner instrumentation.
+//
+// Before the engine facade, every consumer pulled behavioural counters
+// through backend-specific getters (LoomStats here, MatcherStats there,
+// match-pool counters somewhere else) — each new report meant another
+// getter. EngineObserver inverts that: partitioners emit a small set of
+// structured events at their decision points and any number of subscribers
+// (eval harness, progress bars, tests) accumulate what they care about,
+// uniformly across backends.
+//
+// Events are fired synchronously on the ingest path, so implementations
+// must be cheap; a null observer costs one predictable branch. Baseline
+// backends (hash/ldg/fennel) emit only on_assign and on_progress; Loom
+// additionally emits on_eviction and on_cluster_decision.
+//
+// This header deliberately depends only on graph/types.h so every layer
+// (partition, core, eval) can include it without cycles.
+
+#ifndef LOOM_ENGINE_OBSERVER_H_
+#define LOOM_ENGINE_OBSERVER_H_
+
+#include <cstdint>
+
+#include "graph/types.h"
+
+namespace loom {
+namespace engine {
+
+/// A vertex received its permanent partition. Fired once per vertex (vertex
+/// assignment is first-writer-wins); `partition` is the placement actually
+/// used after capacity diversion.
+struct AssignEvent {
+  graph::VertexId vertex = graph::kInvalidVertex;
+  graph::PartitionId partition = graph::kNoPartition;
+};
+
+/// An edge left Loom's sliding window by aging out (not by being claimed
+/// early as part of another edge's cluster).
+struct EvictionEvent {
+  graph::EdgeId edge = graph::kInvalidEdge;
+  /// Live matches containing the evictee at eviction time (0 = its matches
+  /// all died earlier; the edge falls back to immediate LDG placement).
+  uint64_t cluster_size = 0;
+};
+
+/// Equal opportunism allocated an evictee's match cluster (Sec. 4, Eq. 3).
+struct ClusterDecisionEvent {
+  graph::PartitionId partition = graph::kNoPartition;
+  /// |Me|: live matches containing the evicted edge.
+  uint64_t cluster_size = 0;
+  /// Length of the support-ordered prefix the winner took.
+  uint64_t take = 0;
+  /// Window edges assigned (and removed) by this decision.
+  uint64_t edges_assigned = 0;
+  /// True when every bid was zero and the LDG fallback picked the partition.
+  bool used_fallback = false;
+};
+
+/// Periodic ingest progress (fired by engine::Drive at a coarse interval
+/// and once after Finalize with the final totals).
+struct ProgressEvent {
+  /// Backends that track lifetime totals (Loom) report edges ingested
+  /// across their whole life — consistent with edges_bypassed even when a
+  /// stream resumes after a Finalize checkpoint; for stateless baselines
+  /// this is the current drive's count.
+  uint64_t edges_ingested = 0;
+  /// Edges that failed the admission test and bypassed the window (always 0
+  /// for the baseline backends, which buffer nothing).
+  uint64_t edges_bypassed = 0;
+  /// Current window population (Loom's |Ptemp|; 0 for baselines).
+  uint64_t window_population = 0;
+  bool finalizing = false;
+};
+
+/// Subscriber interface. Default implementations ignore every event, so
+/// observers override only what they need.
+class EngineObserver {
+ public:
+  virtual ~EngineObserver() = default;
+
+  virtual void OnAssign(const AssignEvent&) {}
+  virtual void OnEviction(const EvictionEvent&) {}
+  virtual void OnClusterDecision(const ClusterDecisionEvent&) {}
+  virtual void OnProgress(const ProgressEvent&) {}
+};
+
+/// Ready-made accumulator: counts every event category and keeps the last
+/// progress snapshot. What RunComparison and the examples subscribe instead
+/// of reaching into backend-specific getters.
+class StatsObserver : public EngineObserver {
+ public:
+  struct Totals {
+    uint64_t vertices_assigned = 0;
+    uint64_t evictions = 0;
+    uint64_t empty_cluster_evictions = 0;  // evictee had no live matches
+    uint64_t cluster_decisions = 0;
+    uint64_t fallback_decisions = 0;
+    uint64_t cluster_edges_assigned = 0;
+    ProgressEvent last_progress;
+  };
+
+  void OnAssign(const AssignEvent&) override { ++totals_.vertices_assigned; }
+  void OnEviction(const EvictionEvent& e) override {
+    ++totals_.evictions;
+    if (e.cluster_size == 0) ++totals_.empty_cluster_evictions;
+  }
+  void OnClusterDecision(const ClusterDecisionEvent& e) override {
+    ++totals_.cluster_decisions;
+    if (e.used_fallback) ++totals_.fallback_decisions;
+    totals_.cluster_edges_assigned += e.edges_assigned;
+  }
+  void OnProgress(const ProgressEvent& e) override {
+    totals_.last_progress = e;
+  }
+
+  const Totals& totals() const { return totals_; }
+
+ private:
+  Totals totals_;
+};
+
+}  // namespace engine
+}  // namespace loom
+
+#endif  // LOOM_ENGINE_OBSERVER_H_

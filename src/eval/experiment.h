@@ -1,16 +1,22 @@
 // The experiment harness behind every paper figure/table: stream a dataset
 // in a chosen order through each partitioner, then execute the dataset's
 // workload over the finished partitioning and count ipt.
+//
+// All construction goes through engine::PartitionerRegistry and ingest goes
+// through engine::Drive over a pull-based EdgeSource — the harness is a
+// client of the facade, not a fifth construction path.
 
 #ifndef LOOM_EVAL_EXPERIMENT_H_
 #define LOOM_EVAL_EXPERIMENT_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/loom_partitioner.h"
 #include "datasets/schema.h"
+#include "engine/engine.h"
 #include "partition/partitioner.h"
 #include "query/query_executor.h"
 #include "stream/stream_order.h"
@@ -43,6 +49,9 @@ struct ExperimentConfig {
 /// Outcome of one (dataset, order, k, system) cell.
 struct SystemResult {
   System system = System::kHash;
+  /// Backend label: the partitioner's name() for the four paper systems, or
+  /// the full registry spec for RunBackendTimingOnly cells.
+  std::string label;
   double weighted_ipt = 0.0;
   double ipt_vs_hash = 1.0;  // filled by RunComparison (1.0 for hash itself)
   uint64_t matches = 0;
@@ -74,25 +83,53 @@ struct ComparisonResult {
   const SystemResult* Find(System s) const;
 };
 
-/// Instantiates a partitioner for `system`, sized for `ds`.
+/// Maps an ExperimentConfig + dataset sizing onto the engine's unified
+/// option set (the single source for every backend's knobs).
+engine::EngineOptions ToEngineOptions(const ExperimentConfig& config,
+                                      const datasets::Dataset& ds);
+
+/// Instantiates a partitioner for `system`, sized for `ds`, through the
+/// global PartitionerRegistry.
 std::unique_ptr<partition::Partitioner> MakePartitioner(
     System system, const datasets::Dataset& ds, const ExperimentConfig& config);
 
-/// Streams `es` through `system`'s partitioner (timed), finalizes, measures
-/// edge-cut/imbalance and executes the dataset workload for ipt.
+/// Pulls `source` dry through `system`'s partitioner (timed, batched),
+/// finalizes, measures edge-cut/imbalance and executes the dataset workload
+/// for ipt. Resets the source first, so one source serves all systems.
+SystemResult RunSystem(System system, const datasets::Dataset& ds,
+                       engine::EdgeSource& source,
+                       const ExperimentConfig& config);
+
+/// Bridge overload for call sites holding a materialised EdgeStream.
 SystemResult RunSystem(System system, const datasets::Dataset& ds,
                        const stream::EdgeStream& es,
                        const ExperimentConfig& config);
 
-/// Runs all four systems over the same stream and fills ipt_vs_hash.
+/// Runs all four systems over the same (replayed) stream and fills
+/// ipt_vs_hash. Streams lazily via engine::MakeEdgeSource — the edge
+/// sequence is never materialised.
 ComparisonResult RunComparison(const datasets::Dataset& ds,
                                const ExperimentConfig& config);
 
-/// Variant measuring only partitioning throughput (no query execution);
+/// Variants measuring only partitioning throughput (no query execution);
 /// used by Table 2 where LUBM-4000 is partitioned but never queried.
+SystemResult RunSystemTimingOnly(System system, const datasets::Dataset& ds,
+                                 engine::EdgeSource& source,
+                                 const ExperimentConfig& config);
 SystemResult RunSystemTimingOnly(System system, const datasets::Dataset& ds,
                                  const stream::EdgeStream& es,
                                  const ExperimentConfig& config);
+
+/// Registry-spec variant: times any registered backend, e.g.
+/// "loom:window_size=2000,alpha=0.5" (how run_bench.sh selects backends).
+/// The result's `system` is the matching enum when the spec names a paper
+/// system, else kHash; `label` always carries the spec. Returns nullopt and
+/// fills `*error` for unknown backends / bad overrides.
+std::optional<SystemResult> RunBackendTimingOnly(const std::string& spec,
+                                                 const datasets::Dataset& ds,
+                                                 engine::EdgeSource& source,
+                                                 const ExperimentConfig& config,
+                                                 std::string* error);
 
 }  // namespace eval
 }  // namespace loom

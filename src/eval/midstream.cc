@@ -48,18 +48,22 @@ partition::Partitioning WithPtemp(const partition::Partitioning& p,
 
 MidstreamResult RunLoomMidstream(const datasets::Dataset& ds,
                                  const stream::EdgeStream& es,
-                                 const core::LoomOptions& options,
+                                 const engine::EngineOptions& options,
                                  const MidstreamConfig& config) {
   MidstreamResult result;
   if (es.empty() || config.num_checkpoints == 0) return result;
 
-  core::LoomPartitioner loom(options, ds.workload, ds.registry.size());
+  std::string error;
+  const engine::BuildContext context{&ds.workload, ds.registry.size()};
+  std::unique_ptr<partition::Partitioner> loom =
+      engine::PartitionerRegistry::Global().Create("loom", options, context,
+                                                   &error);
   const size_t stride =
       std::max<size_t>(es.size() / config.num_checkpoints, 1);
 
   size_t next_checkpoint = stride;
   for (size_t i = 0; i < es.size(); ++i) {
-    loom.Ingest(es[i]);
+    loom->Ingest(es[i]);
     const bool at_stride = i + 1 == next_checkpoint;
     const bool at_end =
         i + 1 == es.size() &&
@@ -70,7 +74,7 @@ MidstreamResult RunLoomMidstream(const datasets::Dataset& ds,
       graph::LabeledGraph prefix = PrefixGraph(ds, es, i + 1);
       size_t in_ptemp = 0, touched = 0;
       partition::Partitioning view =
-          WithPtemp(loom.partitioning(), prefix, &in_ptemp, &touched);
+          WithPtemp(loom->partitioning(), prefix, &in_ptemp, &touched);
       query::WorkloadResult wr =
           query::RunWorkload(prefix, view, ds.workload, config.executor);
       CheckpointResult cp;

@@ -15,8 +15,8 @@
 
 #include <vector>
 
-#include "core/loom_partitioner.h"
 #include "datasets/schema.h"
+#include "engine/engine.h"
 #include "query/query_executor.h"
 #include "stream/edge_stream.h"
 
@@ -46,11 +46,12 @@ struct MidstreamResult {
   double mean_weighted_ipt = 0.0;
 };
 
-/// Streams `es` through a fresh Loom configured by `options`, evaluating at
-/// checkpoints. `ds` supplies labels and the workload.
+/// Streams `es` through a fresh registry-built Loom configured by
+/// `options`, evaluating at checkpoints. `ds` supplies labels and the
+/// workload.
 MidstreamResult RunLoomMidstream(const datasets::Dataset& ds,
                                  const stream::EdgeStream& es,
-                                 const core::LoomOptions& options,
+                                 const engine::EngineOptions& options,
                                  const MidstreamConfig& config = {});
 
 }  // namespace eval

@@ -3,122 +3,27 @@
 #include <algorithm>
 #include <cassert>
 
-#include "util/bits.h"
-
 namespace loom {
 namespace motif {
-
-using util::NextPow2;
 
 // ----------------------------------------------------------- edge ring
 
 void MatchList::ReserveEdgeSpan(size_t span) {
-  max_edge_slots_ = std::max(
-      max_edge_slots_,
-      NextPow2(std::min<size_t>(std::max<size_t>(span * 16, size_t{1024}),
-                                size_t{1} << 22)));
-  const size_t target = NextPow2(std::min(span, max_edge_slots_));
-  if (target > by_edge_.size()) ResizeEdgeRing(target);
-}
-
-void MatchList::ResizeEdgeRing(size_t new_size) {
-  std::vector<PostingList> grown(new_size);
-  const size_t new_mask = new_size - 1;
-  // Each slot knows its owning key, so growth re-places by scanning the old
-  // slot array — not the (gap-riddled) live id span.
-  for (PostingList& pl : by_edge_) {
-    if (pl.key == graph::kInvalidEdge) continue;
-    grown[pl.key & new_mask] = std::move(pl);
-  }
-  by_edge_ = std::move(grown);
-  edge_mask_ = new_mask;
+  by_edge_.SetGrowthCap(
+      std::max(by_edge_.GrowthCap(), util::RingGrowthCap(span)));
+  by_edge_.Presize(span);
 }
 
 MatchList::PostingList* MatchList::EnsureEdgeSlot(graph::EdgeId e) {
-  if (!edge_overflow_.empty()) {
-    // A spilled key keeps its overflow list for life — checked before any
-    // ring-span restart so a drained ring can't shadow it with a duplicate
-    // ring slot.
-    auto it = edge_overflow_.find(e);
-    if (it != edge_overflow_.end()) return &it->second;
+  bool created = false;
+  PostingList* pl = by_edge_.GetOrCreate(e, &created);
+  if (created) {
+    // Recycled slot (a freed key from a full ring-length ago, or a
+    // never-activated one): the items vector keeps its capacity.
+    pl->items.clear();
+    pl->dead = 0;
   }
-  if (!edge_any_ || edge_head_ == edge_tail_) {
-    // Empty ring (fresh, or every key freed): restart the span at e.
-    edge_any_ = true;
-    edge_head_ = edge_tail_ = e;
-  }
-  if (e < edge_head_) {
-    // A key that fell behind the ring's coverage (its window edge lingered
-    // long enough that the span was capped): file it in the overflow map.
-    return &edge_overflow_[e];
-  }
-  if (e >= edge_tail_) {
-    const size_t need = static_cast<size_t>(e - edge_head_) + 1;
-    if (need > by_edge_.size()) {
-      // Factor 4, same reasoning as SlidingWindow::Grow: the ring's key
-      // span is the window's id span, a large multiple of its live
-      // population when most stream ids bypass the window.
-      size_t target = NextPow2(std::max({need, by_edge_.size() * 4}));
-      if (target > max_edge_slots_) {
-        target = max_edge_slots_;
-        if (need > max_edge_slots_) {
-          // The key span itself exceeds the cap: spill keys that fall out
-          // of [e + 1 - cap, e] and advance. need > cap guarantees
-          // e + 1 > cap, so no underflow.
-          const graph::EdgeId new_head =
-              e + 1 - static_cast<graph::EdgeId>(max_edge_slots_);
-          const graph::EdgeId spill_end = std::min(edge_tail_, new_head);
-          for (graph::EdgeId id = edge_head_; id < spill_end; ++id) {
-            PostingList& pl = by_edge_[EdgeSlotOf(id)];
-            if (pl.key != id) continue;
-            edge_overflow_.emplace(id, std::move(pl));
-            pl.items.clear();
-            pl.dead = 0;
-            pl.key = graph::kInvalidEdge;
-          }
-          edge_head_ = std::max(edge_head_, new_head);
-          if (edge_tail_ < edge_head_) edge_tail_ = edge_head_;
-        }
-      }
-      if (target > by_edge_.size()) ResizeEdgeRing(target);
-    }
-    edge_tail_ = e + 1;
-  }
-  PostingList& pl = by_edge_[EdgeSlotOf(e)];
-  if (pl.key != e) {
-    // Recycle the previous tenant's slot (a freed key from a full ring-length
-    // ago, or a never-activated slot); the items vector keeps its capacity.
-    pl.items.clear();
-    pl.dead = 0;
-    pl.key = e;
-  }
-  return &pl;
-}
-
-MatchList::PostingList* MatchList::FindEdgeList(graph::EdgeId e) {
-  if (edge_any_ && e >= edge_head_ && e < edge_tail_) {
-    PostingList* pl = &by_edge_[EdgeSlotOf(e)];
-    if (pl->key == e) return pl;
-    // fall through: a spilled key can sit inside a restarted ring's span
-  }
-  if (!edge_overflow_.empty()) {
-    auto it = edge_overflow_.find(e);
-    if (it != edge_overflow_.end()) return &it->second;
-  }
-  return nullptr;
-}
-
-const MatchList::PostingList* MatchList::FindEdgeList(graph::EdgeId e) const {
-  if (edge_any_ && e >= edge_head_ && e < edge_tail_) {
-    const PostingList* pl = &by_edge_[EdgeSlotOf(e)];
-    if (pl->key == e) return pl;
-    // fall through: a spilled key can sit inside a restarted ring's span
-  }
-  if (!edge_overflow_.empty()) {
-    auto it = edge_overflow_.find(e);
-    if (it != edge_overflow_.end()) return &it->second;
-  }
-  return nullptr;
+  return pl;
 }
 
 // -------------------------------------------------------------- pruning
@@ -168,37 +73,23 @@ void MatchList::Kill(MatchHandle h) {
     if (++by_vertex_[v].dead == 1) dirty_vertices_.push_back(v);
   }
   for (graph::EdgeId e : m.edges) {
-    PostingList* pl = FindEdgeList(e);
+    PostingList* pl = by_edge_.Find(e);
     if (pl != nullptr && ++pl->dead == 1) dirty_edges_.push_back(e);
   }
   pool_.Release(h);
 }
 
 void MatchList::RemoveMatchesWithEdge(graph::EdgeId e) {
-  if (!edge_overflow_.empty()) {
-    auto it = edge_overflow_.find(e);
-    if (it != edge_overflow_.end()) {
-      for (MatchHandle h : it->second.items) {
-        if (pool_.IsLive(h)) Kill(h);
-      }
-      edge_overflow_.erase(it);
-      return;
-    }
-  }
-  PostingList* pl = FindEdgeList(e);
+  PostingList* pl = by_edge_.Find(e);
   if (pl == nullptr) return;
   for (MatchHandle h : pl->items) {
     if (pool_.IsLive(h)) Kill(h);
   }
   pl->items.clear();
   pl->dead = 0;
-  pl->key = graph::kInvalidEdge;
-  // The ring's head chases the oldest still-active key (bypassed id gaps
-  // and freed keys are stepped over exactly once each).
-  while (edge_head_ < edge_tail_ &&
-         by_edge_[EdgeSlotOf(edge_head_)].key != edge_head_) {
-    ++edge_head_;
-  }
+  // Frees the key (ring slots keep the cleared vector's capacity for the
+  // next tenant; overflow entries are destroyed outright).
+  by_edge_.Erase(e);
 }
 
 // -------------------------------------------------------------- queries
@@ -216,7 +107,7 @@ void MatchList::CollectLiveAt(graph::VertexId v,
 
 void MatchList::CollectLiveWithEdge(graph::EdgeId e,
                                     std::vector<MatchHandle>* out) {
-  PostingList* pl = FindEdgeList(e);
+  PostingList* pl = by_edge_.Find(e);
   if (pl == nullptr) return;
   PruneIfStale(pl);
   const size_t bound = pl->items.size();
@@ -236,7 +127,7 @@ std::vector<MatchHandle> MatchList::LiveAt(graph::VertexId v) const {
 
 std::vector<MatchHandle> MatchList::LiveWithEdge(graph::EdgeId e) const {
   std::vector<MatchHandle> out;
-  const PostingList* pl = FindEdgeList(e);
+  const PostingList* pl = by_edge_.Find(e);
   if (pl == nullptr) return out;
   for (MatchHandle h : pl->items) {
     if (pool_.IsLive(h)) out.push_back(h);
@@ -272,7 +163,7 @@ void MatchList::Compact() {
   }
   dirty_vertices_.clear();
   for (graph::EdgeId e : dirty_edges_) {
-    PostingList* pl = FindEdgeList(e);
+    PostingList* pl = by_edge_.Find(e);
     if (pl != nullptr && pl->dead > 0) Prune(pl);
   }
   dirty_edges_.clear();

@@ -4,13 +4,14 @@
 //
 // Representation: matches live in a MatchPool (32-bit generational handles);
 // the per-vertex index is a flat array of posting lists indexed by vertex id
-// (vertex ids are dense), and the per-edge index is a ring of posting lists
-// indexed by edge id — edge ids are monotonically increasing and an edge's
-// list can only be appended to while the edge is in the sliding window, so
-// the ring's live key span tracks the window's and slots are recycled as
-// edges are assigned. Posting lists hold 4-byte handles (not 16-byte
-// shared_ptrs) and handles of dead matches are skipped via the pool's
-// generation check.
+// (vertex ids are dense), and the per-edge index is a util::MonotoneRing of
+// posting lists keyed by edge id — edge ids are monotonically increasing and
+// an edge's list can only be appended to while the edge is in the sliding
+// window, so the ring's live key span tracks the window's and slots are
+// recycled as edges are assigned (the ring mechanics — capped x4 growth,
+// overflow-map spill, head-chasing — are shared with stream::SlidingWindow).
+// Posting lists hold 4-byte handles (not 16-byte shared_ptrs) and handles of
+// dead matches are skipped via the pool's generation check.
 //
 // Dead handles are pruned opportunistically: each posting list counts its
 // dead entries and compacts itself in place the next time it is iterated
@@ -21,12 +22,12 @@
 #ifndef LOOM_MOTIF_MATCH_LIST_H_
 #define LOOM_MOTIF_MATCH_LIST_H_
 
-#include <map>
 #include <vector>
 
 #include "motif/match.h"
 #include "motif/match_pool.h"
 #include "util/flat_set64.h"
+#include "util/monotone_ring.h"
 
 namespace loom {
 namespace motif {
@@ -108,10 +109,6 @@ class MatchList {
   struct PostingList {
     std::vector<MatchHandle> items;
     uint32_t dead = 0;  // dead handles still in `items`
-    /// Edge-ring slots only: the edge id currently owning this slot, or
-    /// kInvalidEdge when the slot is free (never activated, or its edge was
-    /// retired). Lets slot recycling skip any walk over bypassed id gaps.
-    graph::EdgeId key = graph::kInvalidEdge;
   };
 
   /// Compacts `pl` in place when at least half its entries are dead.
@@ -122,15 +119,10 @@ class MatchList {
   /// every posting list that holds it, and releases the pooled record.
   void Kill(MatchHandle h);
 
-  // Edge-ring addressing (see class comment).
-  size_t EdgeSlotOf(graph::EdgeId e) const { return e & edge_mask_; }
-  /// Extends the ring to cover edge id `e` (growing / recycling slots,
+  /// Extends the edge ring to cover edge id `e` (growing / recycling slots,
   /// spilling keys that fall behind the capped coverage) and returns its
   /// (activated) posting list.
   PostingList* EnsureEdgeSlot(graph::EdgeId e);
-  void ResizeEdgeRing(size_t new_size);
-  PostingList* FindEdgeList(graph::EdgeId e);
-  const PostingList* FindEdgeList(graph::EdgeId e) const;
 
   MatchPool pool_;
   std::vector<PostingList> by_vertex_;  // flat, indexed by vertex id
@@ -139,16 +131,9 @@ class MatchList {
   /// sweeping the whole vertex space / edge ring.
   std::vector<graph::VertexId> dirty_vertices_;
   std::vector<graph::EdgeId> dirty_edges_;
-  std::vector<PostingList> by_edge_;    // power-of-two ring, indexed by edge id
-  size_t edge_mask_ = 0;
-  size_t max_edge_slots_ = size_t{1} << 18;  // ring growth cap
-  graph::EdgeId edge_head_ = 0;  // oldest possibly-active ring key
-  graph::EdgeId edge_tail_ = 0;  // one past the newest edge key
-  bool edge_any_ = false;
-  /// Posting lists for active keys that fell behind the ring's (capped)
-  /// coverage; every key is < edge_head_. At most one entry per live match
-  /// edge, so memory stays bounded by the window population.
-  std::map<graph::EdgeId, PostingList> edge_overflow_;
+  /// Per-edge posting lists, keyed by edge id (capped ring + overflow spill;
+  /// mechanics shared with the sliding window via util::MonotoneRing).
+  util::MonotoneRing<PostingList, graph::EdgeId> by_edge_;
   util::FlatSet64 live_keys_;
   size_t live_count_ = 0;
   size_t total_added_ = 0;

@@ -52,15 +52,15 @@ void FennelPartitioner::Ingest(const stream::StreamEdge& e) {
   if (!partitioning_.IsAssigned(e.u)) {
     // Let u "see" v through this edge when v is already placed.
     seen_.AddEdge(e.u, e.v);
-    partitioning_.Assign(e.u, ChooseFor(e.u));
+    AssignAndNotify(&partitioning_, e.u, ChooseFor(e.u));
     if (!partitioning_.IsAssigned(e.v)) {
-      partitioning_.Assign(e.v, ChooseFor(e.v));
+      AssignAndNotify(&partitioning_, e.v, ChooseFor(e.v));
     }
     return;
   }
   seen_.AddEdge(e.u, e.v);
   if (!partitioning_.IsAssigned(e.v)) {
-    partitioning_.Assign(e.v, ChooseFor(e.v));
+    AssignAndNotify(&partitioning_, e.v, ChooseFor(e.v));
   }
 }
 

@@ -22,8 +22,8 @@ graph::PartitionId HashPartitioner::HashPlace(graph::VertexId v) const {
 }
 
 void HashPartitioner::Ingest(const stream::StreamEdge& e) {
-  partitioning_.Assign(e.u, HashPlace(e.u));
-  partitioning_.Assign(e.v, HashPlace(e.v));
+  AssignAndNotify(&partitioning_, e.u, HashPlace(e.u));
+  AssignAndNotify(&partitioning_, e.v, HashPlace(e.v));
 }
 
 }  // namespace partition

@@ -100,12 +100,12 @@ void LdgPartitioner::Ingest(const stream::StreamEdge& e) {
 
   // Place unassigned endpoints one at a time, each seeing the other.
   if (!partitioning_.IsAssigned(e.u)) {
-    partitioning_.Assign(e.u,
-                         LdgHeuristic::ChooseForVertex(e.u, seen_, partitioning_));
+    AssignAndNotify(&partitioning_, e.u,
+                    LdgHeuristic::ChooseForVertex(e.u, seen_, partitioning_));
   }
   if (!partitioning_.IsAssigned(e.v)) {
-    partitioning_.Assign(e.v,
-                         LdgHeuristic::ChooseForVertex(e.v, seen_, partitioning_));
+    AssignAndNotify(&partitioning_, e.v,
+                    LdgHeuristic::ChooseForVertex(e.v, seen_, partitioning_));
   }
 }
 

@@ -1,12 +1,19 @@
 // The common interface every streaming partitioner implements: consume a
-// stream of labelled edges one at a time, finalize, expose the resulting
-// vertex partitioning.
+// stream of labelled edges (one at a time or in batches), finalize, expose
+// the resulting vertex partitioning, and report decisions to an optional
+// engine::EngineObserver.
+//
+// Construction goes through engine::PartitionerRegistry ("hash", "ldg",
+// "fennel", "loom" + any user-registered backend) for everything outside
+// src/ internals and unit tests; see engine/engine.h.
 
 #ifndef LOOM_PARTITION_PARTITIONER_H_
 #define LOOM_PARTITION_PARTITIONER_H_
 
+#include <span>
 #include <string>
 
+#include "engine/observer.h"
 #include "partition/partitioning.h"
 #include "stream/stream_edge.h"
 
@@ -15,7 +22,9 @@ namespace partition {
 
 /// Shared configuration. Streaming partitioners (LDG, Fennel and the paper's
 /// Loom evaluation) are parameterised by the expected totals n and m — a
-/// standard assumption for this family of algorithms.
+/// standard assumption for this family of algorithms. (Callers normally
+/// express this through engine::EngineOptions, whose BaseConfig() produces
+/// one of these.)
 struct PartitionerConfig {
   uint32_t k = 8;                    // number of partitions
   size_t expected_vertices = 0;      // n
@@ -30,7 +39,24 @@ class Partitioner {
   /// Consumes the next stream element.
   virtual void Ingest(const stream::StreamEdge& e) = 0;
 
-  /// Flushes buffered state (e.g. Loom's window). Idempotent.
+  /// Consumes a batch of consecutive stream elements. Semantically identical
+  /// to calling Ingest per edge (the default does exactly that); backends
+  /// override to hoist batch-wide work — Loom probes the admission mask for
+  /// the whole batch up front, and future SIMD / sharded backends get a wide
+  /// entry point.
+  virtual void IngestBatch(std::span<const stream::StreamEdge> batch) {
+    for (const stream::StreamEdge& e : batch) Ingest(e);
+  }
+
+  /// Flushes buffered state (e.g. Loom's window) so partitioning() covers
+  /// every vertex seen so far.
+  ///
+  /// Contract (all backends): Finalize is IDEMPOTENT — calling it again
+  /// with no intervening Ingest leaves the partitioning bit-identical and
+  /// fires no further observer events. It is also not terminal: Ingest may
+  /// be called after Finalize (an online stream has no real end; finalize
+  /// is a checkpoint), after which the backend resumes buffering and a
+  /// later Finalize drains again. Pinned by PartitionerContractTest.
   virtual void Finalize() {}
 
   /// The (possibly still partial, before Finalize) partitioning.
@@ -38,6 +64,32 @@ class Partitioner {
 
   /// Short name for reports ("hash", "ldg", "fennel", "loom").
   virtual std::string name() const = 0;
+
+  /// Subscribes `observer` to this partitioner's decision events (nullptr
+  /// to unsubscribe). Not owned; must outlive the partitioner or be reset.
+  void SetObserver(engine::EngineObserver* observer) { observer_ = observer; }
+  engine::EngineObserver* observer() const { return observer_; }
+
+  /// Fills backend-specific ProgressEvent fields (bypassed edges, window
+  /// population); engine::Drive stamps edges_ingested and fires the event.
+  /// Baselines track nothing extra and keep the zeros.
+  virtual void FillProgress(engine::ProgressEvent*) const {}
+
+ protected:
+  /// First-writer-wins assignment that reports the placement actually used
+  /// (after capacity diversion) to the observer. All backends route their
+  /// vertex placements through this so OnAssign fires exactly once per
+  /// vertex, uniformly.
+  graph::PartitionId AssignAndNotify(Partitioning* p, graph::VertexId v,
+                                     graph::PartitionId target) {
+    if (p->IsAssigned(v)) return p->PartitionOf(v);
+    const graph::PartitionId actual = p->Assign(v, target);
+    if (observer_ != nullptr) observer_->OnAssign({v, actual});
+    return actual;
+  }
+
+ private:
+  engine::EngineObserver* observer_ = nullptr;
 };
 
 }  // namespace partition

@@ -1,129 +1,26 @@
 #include "stream/sliding_window.h"
 
+#include <algorithm>
 #include <cassert>
-
-#include "util/bits.h"
 
 namespace loom {
 namespace stream {
 
-using util::NextPow2;
-
 SlidingWindow::SlidingWindow(size_t capacity) : capacity_(capacity) {
   // Pre-size for the configured capacity (bounded): bypass-heavy streams
   // leave id gaps that make the live span a multiple of the live count, and
-  // every Grow re-places all live edges — start at the window size rather
-  // than paying several early doublings per run.
-  const size_t slots = NextPow2(std::min<size_t>(capacity + 1, size_t{1} << 20));
-  slots_.resize(slots);
-  live_.resize((slots + 63) / 64, 0);
-  mask_ = slots - 1;
-  // Growth cap: ~16x the capacity's id span (see class comment); beyond it
-  // lingering edges spill into overflow_ instead of inflating the ring.
-  max_slots_ = NextPow2(std::min<size_t>(
-      std::max<size_t>((capacity + 1) * 16, 1024), size_t{1} << 22));
-}
-
-void SlidingWindow::Grow(graph::EdgeId upto) {
-  // Factor 4: growth re-places every live edge and zero-fills the new
-  // arrays, so fewer, larger steps beat doubling on bypass-heavy streams
-  // whose id span is a large multiple of the window size.
-  const size_t need = static_cast<size_t>(upto - head_) + 1;
-  size_t new_size = NextPow2(std::max(need, slots_.size() * 4));
-  if (new_size > max_slots_) {
-    new_size = max_slots_;
-    if (need > max_slots_) {
-      // The id span itself exceeds the cap (not just the x4 growth step):
-      // spill the lingering old live edges so the ring keeps covering the
-      // hot tail [upto + 1 - max_slots_, upto] at bounded size. need >
-      // max_slots_ guarantees upto + 1 > max_slots_, so no underflow.
-      const graph::EdgeId new_head =
-          upto + 1 - static_cast<graph::EdgeId>(max_slots_);
-      const graph::EdgeId spill_end = std::min(tail_, new_head);
-      for (graph::EdgeId id = head_; id < spill_end; ++id) {
-        const size_t slot = SlotOf(id);
-        if (!LiveBit(slot)) continue;
-        overflow_.emplace(id, slots_[slot]);
-        ClearLiveBit(slot);
-      }
-      head_ = std::max(head_, new_head);
-      if (tail_ < head_) tail_ = head_;
-    }
-  }
-  if (new_size <= slots_.size()) return;  // span now fits after the spill
-  std::vector<StreamEdge> new_slots(new_size);
-  std::vector<uint64_t> new_live((new_size + 63) / 64, 0);
-  const size_t new_mask = new_size - 1;
-  for (graph::EdgeId id = head_; id < tail_; ++id) {
-    const size_t old_slot = SlotOf(id);
-    if (!LiveBit(old_slot)) continue;
-    const size_t new_slot = id & new_mask;
-    new_slots[new_slot] = slots_[old_slot];
-    new_live[new_slot >> 6] |= uint64_t{1} << (new_slot & 63);
-  }
-  slots_ = std::move(new_slots);
-  live_ = std::move(new_live);
-  mask_ = new_mask;
+  // every growth step re-places all live edges — start at the window size
+  // rather than paying several early doublings per run.
+  ring_.SetGrowthCap(util::RingGrowthCap(capacity + 1));
+  ring_.Presize(std::min<size_t>(capacity + 1, size_t{1} << 20));
 }
 
 void SlidingWindow::Push(const StreamEdge& e) {
   assert(e.id != graph::kInvalidEdge);
-  assert((empty() && tail_ == 0 && head_ == 0) || e.id >= tail_);
-  if (size_ == 0) {
-    // Reset the span so tombstone gaps from a drained window don't count.
-    head_ = tail_ = e.id;
-  }
-  if (static_cast<size_t>(e.id - head_) >= slots_.size()) Grow(e.id);
-  const size_t slot = SlotOf(e.id);
-  assert(!LiveBit(slot));
-  slots_[slot] = e;
-  SetLiveBit(slot);
-  tail_ = e.id + 1;
-  ++size_;
-}
-
-void SlidingWindow::AdvanceHead() const {
-  assert(size_ > overflow_.size());
-  while (!LiveBit(SlotOf(head_))) ++head_;
-}
-
-std::optional<StreamEdge> SlidingWindow::PopOldest() {
-  if (size_ == 0) return std::nullopt;
-  if (!overflow_.empty()) {  // overflow ids predate every ring id
-    auto it = overflow_.begin();
-    StreamEdge e = it->second;
-    overflow_.erase(it);
-    --size_;
-    return e;
-  }
-  AdvanceHead();
-  const size_t slot = SlotOf(head_);
-  StreamEdge e = slots_[slot];
-  ClearLiveBit(slot);
-  ++head_;
-  --size_;
-  return e;
-}
-
-const StreamEdge* SlidingWindow::PeekOldest() const {
-  if (size_ == 0) return nullptr;
-  if (!overflow_.empty()) return &overflow_.begin()->second;
-  AdvanceHead();
-  return &slots_[SlotOf(head_)];
-}
-
-bool SlidingWindow::Remove(graph::EdgeId id) {
-  if (InSpan(id)) {
-    if (!LiveBit(SlotOf(id))) return false;
-    ClearLiveBit(SlotOf(id));
-    --size_;
-    return true;
-  }
-  if (!overflow_.empty() && overflow_.erase(id) > 0) {
-    --size_;
-    return true;
-  }
-  return false;
+  // Stream positions are unique and increasing (a drained window may
+  // restart its span anywhere).
+  assert(ring_.empty() || e.id >= ring_.tail());
+  *ring_.Append(e.id) = e;
 }
 
 }  // namespace stream

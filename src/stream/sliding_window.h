@@ -3,32 +3,23 @@
 // early as part of a motif-match cluster leave the window before they age
 // out).
 //
-// Implementation: a dense ring buffer exploiting the fact that stream edge
-// ids are unique and monotonically increasing. An edge with id `i` lives in
-// slot `i & mask` of a power-of-two slot array; a tombstone bitmap records
-// which slots hold live edges. Find/Contains/Remove are a single indexed
-// load, Push is an indexed store (amortised: the buffer doubles when the live
-// id span outgrows it, e.g. because many admitted ids are interleaved with
-// bypassed ones), and PopOldest/PeekOldest advance a lazy head cursor past
-// tombstones — each tombstone is skipped exactly once, so the old O(n)
-// PeekOldest rescan is gone. No per-edge heap allocation anywhere.
-//
-// Memory bound: the ring covers an id span of at most ~16x the window
-// capacity. When admission is so rare that a lingering old edge would
-// stretch the span beyond that (stream ids race ahead while the window
-// never fills), the stragglers spill into a small ordered overflow map —
-// the overflow holds at most `size()` entries, so total memory is bounded
-// by the capacity, not by the stream's id range. External behaviour is
-// unchanged; only long-lingering edges pay a map lookup.
+// Implementation: a thin capacity policy over util::MonotoneRing, which owns
+// the ring mechanics (stream edge ids are unique and monotonically
+// increasing, so an edge with id `i` lives in slot `i & mask` of a
+// power-of-two slot array; Find/Contains/Remove are a single indexed load;
+// growth is x4-stepped and capped at ~16x the window capacity, with
+// long-lingering stragglers spilling into a bounded ordered overflow map;
+// PopOldest/PeekOldest chase a lazy head cursor past tombstones). No
+// per-edge heap allocation anywhere. See util/monotone_ring.h for the
+// invariants; they are shared with motif::MatchList's edge ring.
 
 #ifndef LOOM_STREAM_SLIDING_WINDOW_H_
 #define LOOM_STREAM_SLIDING_WINDOW_H_
 
-#include <map>
 #include <optional>
-#include <vector>
 
 #include "stream/stream_edge.h"
+#include "util/monotone_ring.h"
 
 namespace loom {
 namespace stream {
@@ -43,90 +34,45 @@ class SlidingWindow {
   size_t capacity() const { return capacity_; }
 
   /// Number of live (non-removed) edges.
-  size_t size() const { return size_; }
-  bool empty() const { return size_ == 0; }
+  size_t size() const { return ring_.size(); }
+  bool empty() const { return ring_.empty(); }
 
   /// True once size() exceeds capacity — time to evict.
-  bool OverCapacity() const { return size_ > capacity_; }
+  bool OverCapacity() const { return ring_.size() > capacity_; }
 
   /// Adds an edge. Ids must be unique and increasing (stream positions);
   /// gaps are fine (bypassed edges consume stream ids without entering).
   void Push(const StreamEdge& e);
 
   /// True if edge `id` is live in the window.
-  bool Contains(graph::EdgeId id) const {
-    if (InSpan(id)) return LiveBit(SlotOf(id));
-    return !overflow_.empty() && overflow_.count(id) > 0;
-  }
+  bool Contains(graph::EdgeId id) const { return ring_.Contains(id); }
 
   /// Looks up a live edge by id; nullptr if absent/removed. The pointer is
   /// invalidated by the next Push (the buffer may grow).
-  const StreamEdge* Find(graph::EdgeId id) const {
-    if (InSpan(id)) {
-      return LiveBit(SlotOf(id)) ? &slots_[SlotOf(id)] : nullptr;
-    }
-    if (!overflow_.empty()) {
-      auto it = overflow_.find(id);
-      if (it != overflow_.end()) return &it->second;
-    }
-    return nullptr;
-  }
+  const StreamEdge* Find(graph::EdgeId id) const { return ring_.Find(id); }
 
   /// Removes and returns the oldest live edge; nullopt when empty.
-  std::optional<StreamEdge> PopOldest();
+  std::optional<StreamEdge> PopOldest() { return ring_.PopOldest(); }
 
   /// Returns the oldest live edge without removing it; nullptr when empty.
   /// Same invalidation rule as Find.
-  const StreamEdge* PeekOldest() const;
+  const StreamEdge* PeekOldest() const { return ring_.PeekOldest(); }
 
   /// Removes an arbitrary live edge. Returns false if not present.
-  bool Remove(graph::EdgeId id);
+  bool Remove(graph::EdgeId id) { return ring_.Erase(id); }
 
   /// Applies `fn` to every live edge, oldest first.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (const auto& [id, e] : overflow_) {  // all overflow ids are < head_
-      (void)id;
-      fn(e);
-    }
-    for (graph::EdgeId id = head_; id < tail_; ++id) {
-      if (LiveBit(SlotOf(id))) fn(slots_[SlotOf(id)]);
-    }
+    ring_.ForEach([&fn](graph::EdgeId, const StreamEdge& e) { fn(e); });
   }
 
   /// Current slot-array size (for tests and capacity-growth stats).
-  size_t NumSlots() const { return slots_.size(); }
+  size_t NumSlots() const { return ring_.NumSlots(); }
 
  private:
-  size_t SlotOf(graph::EdgeId id) const { return id & mask_; }
-  bool InSpan(graph::EdgeId id) const { return id >= head_ && id < tail_; }
-  bool LiveBit(size_t slot) const {
-    return (live_[slot >> 6] >> (slot & 63)) & 1u;
-  }
-  void SetLiveBit(size_t slot) { live_[slot >> 6] |= uint64_t{1} << (slot & 63); }
-  void ClearLiveBit(size_t slot) {
-    live_[slot >> 6] &= ~(uint64_t{1} << (slot & 63));
-  }
-
-  /// Doubles the slot array until it covers ids [head_, upto], re-placing
-  /// live edges under the new mask.
-  void Grow(graph::EdgeId upto);
-
-  /// Moves head_ to the oldest live id. Requires size_ > 0. Lazy (mutable):
-  /// each tombstone is stepped over exactly once across the window's life.
-  void AdvanceHead() const;
-
   size_t capacity_;
-  std::vector<StreamEdge> slots_;  // power-of-two ring, indexed by id & mask_
-  std::vector<uint64_t> live_;     // tombstone bitmap, one bit per slot
-  size_t mask_ = 0;
-  size_t max_slots_ = 0;            // ring growth cap (see class comment)
-  mutable graph::EdgeId head_ = 0;  // no ring-live id is < head_
-  graph::EdgeId tail_ = 0;          // one past the newest pushed id
-  size_t size_ = 0;                 // live count (ring + overflow)
-  /// Lingering live edges whose ids fell behind the ring's coverage; every
-  /// key is < head_. Ordered so the oldest is begin().
-  std::map<graph::EdgeId, StreamEdge> overflow_;
+  util::MonotoneRing<StreamEdge, graph::EdgeId> ring_;
 };
 
 }  // namespace stream

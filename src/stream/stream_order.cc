@@ -15,19 +15,24 @@ std::string ToString(StreamOrder order) {
   return "?";
 }
 
-EdgeStream MakeStream(const graph::LabeledGraph& g, StreamOrder order,
-                      uint64_t seed) {
+std::vector<graph::EdgeId> EdgeOrderFor(const graph::LabeledGraph& g,
+                                        StreamOrder order, uint64_t seed) {
   switch (order) {
     case StreamOrder::kBreadthFirst:
-      return EdgeStream(g, graph::BfsEdgeOrder(g));
+      return graph::BfsEdgeOrder(g);
     case StreamOrder::kDepthFirst:
-      return EdgeStream(g, graph::DfsEdgeOrder(g));
+      return graph::DfsEdgeOrder(g);
     case StreamOrder::kRandom: {
       util::Rng rng(seed);
-      return EdgeStream(g, graph::RandomEdgeOrder(g, &rng));
+      return graph::RandomEdgeOrder(g, &rng);
     }
   }
-  return EdgeStream();
+  return {};
+}
+
+EdgeStream MakeStream(const graph::LabeledGraph& g, StreamOrder order,
+                      uint64_t seed) {
+  return EdgeStream(g, EdgeOrderFor(g, order, seed));
 }
 
 }  // namespace stream

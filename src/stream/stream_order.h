@@ -22,8 +22,15 @@ enum class StreamOrder {
 /// Name for reports ("bfs" / "dfs" / "random").
 std::string ToString(StreamOrder order);
 
-/// Materialises a stream of `g` under `order`. `seed` only matters for
-/// kRandom; BFS/DFS orders are fully determined by the graph.
+/// The arrival permutation of g's edge ids under `order`. `seed` only
+/// matters for kRandom; BFS/DFS orders are fully determined by the graph.
+/// Single source of the order -> permutation mapping, shared by MakeStream
+/// and engine::MakeEdgeSource so their streams stay bit-identical.
+std::vector<graph::EdgeId> EdgeOrderFor(const graph::LabeledGraph& g,
+                                        StreamOrder order,
+                                        uint64_t seed = 0x10c5);
+
+/// Materialises a stream of `g` under `order`.
 EdgeStream MakeStream(const graph::LabeledGraph& g, StreamOrder order,
                       uint64_t seed = 0x10c5);
 

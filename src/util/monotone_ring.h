@@ -1,0 +1,301 @@
+// A capped ring over monotonically-increasing ids, extracted from the two
+// hand-rolled copies that used to live in stream::SlidingWindow and
+// motif::MatchList's edge ring (ROADMAP refactor-debt item).
+//
+// The shape both call sites share: ids are unique and (mostly) increasing,
+// so an entry with id `i` lives in slot `i & mask` of a power-of-two slot
+// array covering the live span [head, tail). Find/Contains/Erase are one
+// indexed load; appends claim a slot and advance the tail. When the live id
+// span outgrows the slots (bypassed stream positions leave gaps, so the span
+// is a multiple of the live count) the array grows by x4 — fewer, larger
+// steps beat doubling because every growth re-places all claimed slots.
+// Growth is capped: when the span itself exceeds the cap, entries that fell
+// behind the hot tail spill into a small ordered overflow map, so memory is
+// bounded by the cap + the live population, never by the stream's id range.
+// The head lazily chases the oldest claimed id, stepping over each freed or
+// never-claimed id exactly once.
+//
+// Invariants the template owns (previously duplicated, subtly, twice):
+//   * span coverage: tail - head <= slots.size() for every claimed id, so
+//     two in-span ids never share a slot;
+//   * spill ordering: ids are only spilled when they fall behind the capped
+//     coverage, and a spilled id keeps its overflow entry until erased —
+//     GetOrCreate consults the overflow first so a drained-and-restarted
+//     ring can never shadow a spilled id with a duplicate slot;
+//   * span restart: when the ring part empties, the next insert restarts the
+//     span at its id, so tombstone gaps from a drained ring are not counted
+//     against the coverage.
+//
+// Oldest-first operations (PopOldest/PeekOldest/ForEach) assume overflow ids
+// predate every ring id — true whenever ids are inserted in increasing order
+// (the sliding-window discipline). Clients that insert out of order (the
+// matchList commits a match's edges against ids that may already have been
+// spilled) must not rely on them.
+
+#ifndef LOOM_UTIL_MONOTONE_RING_H_
+#define LOOM_UTIL_MONOTONE_RING_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/bits.h"
+
+namespace loom {
+namespace util {
+
+/// The shared growth-cap rule: ~16x the expected live id span, clamped to
+/// [1024, 2^22] slots. Both the sliding window and the matchList edge ring
+/// use it (pinned by their tests).
+inline size_t RingGrowthCap(size_t span) {
+  return NextPow2(
+      std::min<size_t>(std::max<size_t>(span * 16, 1024), size_t{1} << 22));
+}
+
+/// Ring of V keyed by monotone ids. V must be default-constructible and
+/// movable. Ids of erased slots keep their V in place (capacity reuse for
+/// vector-valued payloads); callers reset recycled payloads via the
+/// `created` out-param of GetOrCreate.
+template <typename V, typename Id = uint32_t>
+class MonotoneRing {
+ public:
+  static constexpr Id kFreeKey = std::numeric_limits<Id>::max();
+
+  MonotoneRing() = default;
+
+  /// Hard ceiling on the slot array (ids spilling past it go to overflow).
+  void SetGrowthCap(size_t cap) { max_slots_ = NextPow2(cap); }
+  size_t GrowthCap() const { return max_slots_; }
+
+  /// Pre-sizes the slot array to cover an id span of `span` (clamped to the
+  /// growth cap), skipping early growth re-placements.
+  void Presize(size_t span) {
+    const size_t target = NextPow2(std::min(std::max<size_t>(span, 1), max_slots_));
+    if (target > slots_.size()) Rehash(target);
+  }
+
+  /// Live entries (ring + overflow).
+  size_t size() const { return ring_live_ + overflow_.size(); }
+  bool empty() const { return size() == 0; }
+
+  /// Current slot-array size (tests / growth stats).
+  size_t NumSlots() const { return slots_.size(); }
+  size_t OverflowSize() const { return overflow_.size(); }
+
+  /// One past the newest claimed id (stale after a drain until the next
+  /// insert restarts the span); for client-side ordering asserts.
+  Id tail() const { return tail_; }
+
+  bool Contains(Id id) const { return Find(id) != nullptr; }
+
+  const V* Find(Id id) const {
+    if (InSpan(id)) {
+      const Slot& s = slots_[SlotOf(id)];
+      if (s.key == id) return &s.value;
+      // fall through: a spilled id can sit inside a restarted ring's span
+    }
+    if (!overflow_.empty()) {
+      auto it = overflow_.find(id);
+      if (it != overflow_.end()) return &it->second;
+    }
+    return nullptr;
+  }
+  V* Find(Id id) {
+    return const_cast<V*>(static_cast<const MonotoneRing*>(this)->Find(id));
+  }
+
+  /// Returns the entry for `id`, creating it if absent. Sets `*created` when
+  /// the returned payload is new (a recycled slot or a fresh overflow entry)
+  /// so the caller can reset it — recycled slots intentionally keep their
+  /// previous payload's allocations.
+  V* GetOrCreate(Id id, bool* created) {
+    assert(id != kFreeKey);
+    *created = false;
+    if (!overflow_.empty()) {
+      // A spilled id keeps its overflow entry for life — checked before any
+      // span restart so a drained ring can't shadow it.
+      auto it = overflow_.find(id);
+      if (it != overflow_.end()) return &it->second;
+    }
+    if (ring_live_ == 0) {
+      // Empty ring (fresh, or every id freed): restart the span at id so
+      // tombstone gaps don't count against the coverage.
+      head_ = tail_ = id;
+    }
+    if (id < head_) {
+      // Fell behind the capped coverage: file it in the overflow map.
+      *created = true;
+      return &overflow_[id];
+    }
+    if (id >= tail_) {
+      const size_t need = static_cast<size_t>(id - head_) + 1;
+      if (need > slots_.size()) GrowToCover(id);
+      tail_ = id + 1;
+    }
+    Slot& s = slots_[SlotOf(id)];
+    if (s.key != id) {
+      // Claim (or recycle) the slot. A mismatched key here is always a
+      // stale tenant from outside the live span (in-span ids never share a
+      // slot), so the live count only grows when the slot was free.
+      if (s.key == kFreeKey) ++ring_live_;
+      s.key = id;
+      *created = true;
+    }
+    return &s.value;
+  }
+
+  /// Append-only fast path: requires `id` to be new (asserted).
+  V* Append(Id id) {
+    bool created = false;
+    V* v = GetOrCreate(id, &created);
+    assert(created);
+    return v;
+  }
+
+  /// Frees the entry for `id`. Ring slots keep their payload in place (see
+  /// GetOrCreate); overflow entries are destroyed. Returns false if absent.
+  bool Erase(Id id) {
+    if (InSpan(id)) {
+      Slot& s = slots_[SlotOf(id)];
+      if (s.key == id) {
+        s.key = kFreeKey;
+        --ring_live_;
+        ChaseHead();
+        return true;
+      }
+    }
+    if (!overflow_.empty() && overflow_.erase(id) > 0) return true;
+    return false;
+  }
+
+  /// Removes and returns the oldest entry (overflow ids drain first; see the
+  /// ordering caveat in the header comment). nullopt when empty.
+  std::optional<V> PopOldest(Id* id_out = nullptr) {
+    if (!overflow_.empty()) {
+      auto it = overflow_.begin();
+      if (id_out != nullptr) *id_out = it->first;
+      V v = std::move(it->second);
+      overflow_.erase(it);
+      return v;
+    }
+    if (ring_live_ == 0) return std::nullopt;
+    ChaseHead();
+    Slot& s = slots_[SlotOf(head_)];
+    assert(s.key == head_);
+    if (id_out != nullptr) *id_out = head_;
+    V v = std::move(s.value);
+    s.key = kFreeKey;
+    --ring_live_;
+    ++head_;
+    return v;
+  }
+
+  /// Oldest entry without removing it; nullptr when empty. The pointer is
+  /// invalidated by the next insert (the slot array may grow).
+  const V* PeekOldest(Id* id_out = nullptr) const {
+    if (!overflow_.empty()) {
+      if (id_out != nullptr) *id_out = overflow_.begin()->first;
+      return &overflow_.begin()->second;
+    }
+    if (ring_live_ == 0) return nullptr;
+    ChaseHead();
+    if (id_out != nullptr) *id_out = head_;
+    return &slots_[SlotOf(head_)].value;
+  }
+
+  /// Applies `fn(id, const V&)` to every live entry, oldest first (same
+  /// ordering caveat as PopOldest).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& [id, v] : overflow_) fn(id, v);
+    for (Id id = head_; id < tail_; ++id) {
+      const Slot& s = slots_[SlotOf(id)];
+      if (s.key == id) fn(id, s.value);
+    }
+  }
+
+ private:
+  struct Slot {
+    Id key = kFreeKey;
+    V value{};
+  };
+
+  size_t SlotOf(Id id) const { return static_cast<size_t>(id) & mask_; }
+  bool InSpan(Id id) const {
+    return !slots_.empty() && id >= head_ && id < tail_;
+  }
+
+  /// Moves head_ forward past freed / never-claimed ids; each id is stepped
+  /// over exactly once across the ring's life. Lazy (mutable) so PeekOldest
+  /// stays const.
+  void ChaseHead() const {
+    if (ring_live_ == 0) {
+      head_ = tail_;
+      return;
+    }
+    while (head_ < tail_ && slots_[SlotOf(head_)].key != head_) ++head_;
+  }
+
+  /// Grows the slot array (x4 steps) until it covers [head_, id]; at the
+  /// growth cap, spills entries that fall behind the hot tail's coverage
+  /// into the overflow map instead.
+  void GrowToCover(Id id) {
+    const size_t need = static_cast<size_t>(id - head_) + 1;
+    size_t target = NextPow2(std::max(need, slots_.size() * 4));
+    if (target > max_slots_) {
+      target = max_slots_;
+      if (need > max_slots_) {
+        // The id span itself exceeds the cap (not just the x4 step): spill
+        // the lingering old entries so the ring keeps covering the hot tail
+        // [id + 1 - cap, id] at bounded size. need > cap guarantees
+        // id + 1 > cap, so no underflow.
+        const Id new_head = id + 1 - static_cast<Id>(max_slots_);
+        const Id spill_end = std::min(tail_, new_head);
+        for (Id i = head_; i < spill_end; ++i) {
+          Slot& s = slots_[SlotOf(i)];
+          if (s.key != i) continue;
+          overflow_.emplace(i, std::move(s.value));
+          s.key = kFreeKey;
+          s.value = V{};
+          --ring_live_;
+        }
+        head_ = std::max(head_, new_head);
+        if (tail_ < head_) tail_ = head_;
+      }
+    }
+    if (target > slots_.size()) Rehash(target);
+  }
+
+  /// Re-places every claimed slot under the new mask. Each slot knows its
+  /// key, so this scans the slot array — not the (gap-riddled) id span.
+  void Rehash(size_t new_size) {
+    std::vector<Slot> grown(new_size);
+    const size_t new_mask = new_size - 1;
+    for (Slot& s : slots_) {
+      if (s.key == kFreeKey) continue;
+      grown[static_cast<size_t>(s.key) & new_mask] = std::move(s);
+    }
+    slots_ = std::move(grown);
+    mask_ = new_mask;
+  }
+
+  std::vector<Slot> slots_;  // power-of-two, indexed by id & mask_
+  size_t mask_ = 0;
+  size_t max_slots_ = size_t{1} << 18;  // growth cap (SetGrowthCap overrides)
+  mutable Id head_ = 0;  // no ring-claimed id is < head_
+  Id tail_ = 0;          // one past the newest claimed id
+  size_t ring_live_ = 0; // claimed ring slots (excludes overflow)
+  /// Entries whose ids fell behind the ring's capped coverage; ordered so
+  /// the oldest is begin().
+  std::map<Id, V> overflow_;
+};
+
+}  // namespace util
+}  // namespace loom
+
+#endif  // LOOM_UTIL_MONOTONE_RING_H_

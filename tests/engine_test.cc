@@ -1,0 +1,368 @@
+// Coverage for the loom::engine facade: EngineOptions key round-tripping
+// and error reporting, registry construction (bit-identical to direct
+// construction), backend spec parsing, pull-based edge sources, Drive, and
+// the observer event stream.
+
+#include "engine/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/loom_partitioner.h"
+#include "datasets/dataset_registry.h"
+#include "eval/experiment.h"
+#include "partition/fennel_partitioner.h"
+#include "partition/hash_partitioner.h"
+#include "partition/ldg_partitioner.h"
+#include "stream/stream_order.h"
+
+namespace loom {
+namespace engine {
+namespace {
+
+// ------------------------------------------------------- EngineOptions
+
+TEST(EngineOptionsTest, EveryKeyRoundTripsFromItsStringForm) {
+  // Non-default value for every key, exercising each parser (uint, float,
+  // bool, hex) — Get must return a string Set parses back to equality.
+  EngineOptions original;
+  std::string error;
+  const std::vector<std::pair<std::string, std::string>> overrides = {
+      {"k", "16"},
+      {"expected_vertices", "123456"},
+      {"expected_edges", "654321"},
+      {"max_imbalance", "1.25"},
+      {"window_size", "4000"},
+      {"support_threshold", "0.35"},
+      {"prime", "509"},
+      {"signature_seed", "0xDEADBEEF"},
+      {"alpha", "0.5"},
+      {"balance_b", "1.3"},
+      {"neighbor_bid_weight", "0.125"},
+      {"disable_rationing", "true"},
+      {"max_matches_per_vertex", "32"},
+      {"compact_interval", "2048"},
+      {"fennel_gamma", "1.7"},
+  };
+  ASSERT_EQ(overrides.size(), EngineOptions::KeyNames().size())
+      << "new EngineOptions key without round-trip coverage";
+  for (const auto& [key, value] : overrides) {
+    ASSERT_TRUE(original.Set(key, value, &error)) << key << ": " << error;
+  }
+
+  EngineOptions reparsed;
+  for (const auto& [key, value] : original.ToFlat()) {
+    ASSERT_TRUE(reparsed.Set(key, value, &error))
+        << key << "='" << value << "': " << error;
+  }
+  EXPECT_EQ(original, reparsed);
+}
+
+TEST(EngineOptionsTest, DefaultsRoundTripToo) {
+  const EngineOptions defaults;
+  EngineOptions reparsed;
+  std::string error;
+  for (const auto& [key, value] : defaults.ToFlat()) {
+    ASSERT_TRUE(reparsed.Set(key, value, &error)) << key << ": " << error;
+  }
+  EXPECT_EQ(defaults, reparsed);
+}
+
+TEST(EngineOptionsTest, UnknownKeyErrorIsActionable) {
+  EngineOptions o;
+  std::string error;
+  EXPECT_FALSE(o.Set("windw_size", "100", &error));
+  // The message names the offending key and lists the known ones.
+  EXPECT_NE(error.find("windw_size"), std::string::npos) << error;
+  EXPECT_NE(error.find("window_size"), std::string::npos) << error;
+  EXPECT_NE(error.find("known keys"), std::string::npos) << error;
+}
+
+TEST(EngineOptionsTest, BadValueErrorNamesKeyValueAndExpectedType) {
+  EngineOptions o;
+  std::string error;
+  EXPECT_FALSE(o.Set("window_size", "lots", &error));
+  EXPECT_NE(error.find("window_size"), std::string::npos) << error;
+  EXPECT_NE(error.find("lots"), std::string::npos) << error;
+  EXPECT_NE(error.find("uint"), std::string::npos) << error;
+}
+
+TEST(EngineOptionsTest, OutOfRangeValuesRejected) {
+  EngineOptions o;
+  std::string error;
+  EXPECT_FALSE(o.Set("k", "0", &error));
+  EXPECT_FALSE(o.Set("support_threshold", "1.5", &error));
+  EXPECT_FALSE(o.Set("alpha", "0", &error));
+  EXPECT_FALSE(o.Set("max_imbalance", "0.9", &error));
+  EXPECT_FALSE(o.Set("fennel_gamma", "1.0", &error));
+  EXPECT_FALSE(o.Set("disable_rationing", "maybe", &error));
+  // A failed Set leaves the options untouched.
+  EXPECT_EQ(o, EngineOptions());
+}
+
+TEST(EngineOptionsTest, ApplyOverridesStopsAtFirstError) {
+  EngineOptions o;
+  std::string error;
+  EXPECT_TRUE(o.ApplyOverrides({"k=4", "window_size=100"}, &error));
+  EXPECT_EQ(o.k, 4u);
+  EXPECT_EQ(o.window_size, 100u);
+  EXPECT_FALSE(o.ApplyOverrides({"k=8", "bogus"}, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+  EXPECT_NE(error.find("key=value"), std::string::npos) << error;
+}
+
+// ------------------------------------------------------------ registry
+
+TEST(PartitionerRegistryTest, BuiltinsAreRegistered) {
+  auto names = PartitionerRegistry::Global().Names();
+  ASSERT_GE(names.size(), 4u);
+  EXPECT_EQ(names[0], "hash");
+  EXPECT_EQ(names[1], "ldg");
+  EXPECT_EQ(names[2], "fennel");
+  EXPECT_EQ(names[3], "loom");
+}
+
+TEST(PartitionerRegistryTest, UnknownBackendErrorListsRegisteredOnes) {
+  std::string error;
+  auto p = PartitionerRegistry::Global().Create("metis", EngineOptions(), {},
+                                                &error);
+  EXPECT_EQ(p, nullptr);
+  EXPECT_NE(error.find("metis"), std::string::npos) << error;
+  EXPECT_NE(error.find("loom"), std::string::npos) << error;
+}
+
+TEST(PartitionerRegistryTest, LoomWithoutWorkloadFailsWithActionableError) {
+  std::string error;
+  auto p = PartitionerRegistry::Global().Create("loom", EngineOptions(), {},
+                                                &error);
+  EXPECT_EQ(p, nullptr);
+  EXPECT_NE(error.find("workload"), std::string::npos) << error;
+}
+
+TEST(PartitionerRegistryTest, RegisterRejectsDuplicatesAcceptsNew) {
+  PartitionerRegistry registry;  // fresh, no builtins
+  auto factory = [](const EngineOptions& o, const BuildContext&,
+                    std::string*) -> std::unique_ptr<partition::Partitioner> {
+    return std::make_unique<partition::HashPartitioner>(o.BaseConfig());
+  };
+  EXPECT_TRUE(registry.Register("mine", factory));
+  EXPECT_FALSE(registry.Register("mine", factory));
+  EXPECT_TRUE(registry.Contains("mine"));
+  std::string error;
+  auto p = registry.Create("mine", EngineOptions(), {}, &error);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->name(), "hash");
+}
+
+TEST(PartitionerRegistryTest,
+     RegistryBuiltPartitionersMatchDirectConstructionBitForBit) {
+  // The Fig. 1 dataset, streamed BFS through (a) directly-constructed
+  // partitioners and (b) registry-built ones with equivalent options: the
+  // assignment hashes must be identical.
+  datasets::Dataset ds = datasets::MakeFigure1Dataset();
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+
+  EngineOptions options;
+  options.k = 2;
+  options.expected_vertices = ds.NumVertices();
+  options.expected_edges = ds.NumEdges();
+  options.window_size = 6;
+
+  const partition::PartitionerConfig base = options.BaseConfig();
+  core::LoomOptions loom_options;
+  loom_options.base = base;
+  loom_options.window_size = 6;
+
+  std::vector<std::unique_ptr<partition::Partitioner>> direct;
+  direct.push_back(std::make_unique<partition::HashPartitioner>(base));
+  direct.push_back(std::make_unique<partition::LdgPartitioner>(base));
+  direct.push_back(std::make_unique<partition::FennelPartitioner>(base));
+  direct.push_back(std::make_unique<core::LoomPartitioner>(
+      loom_options, ds.workload, ds.registry.size()));
+
+  const BuildContext context{&ds.workload, ds.registry.size()};
+  for (auto& d : direct) {
+    std::string error;
+    auto r = PartitionerRegistry::Global().Create(d->name(), options, context,
+                                                  &error);
+    ASSERT_NE(r, nullptr) << error;
+    for (const stream::StreamEdge& e : es) {
+      d->Ingest(e);
+      r->Ingest(e);
+    }
+    d->Finalize();
+    r->Finalize();
+    EXPECT_EQ(eval::HashAssignment(d->partitioning(), ds.NumVertices()),
+              eval::HashAssignment(r->partitioning(), ds.NumVertices()))
+        << d->name();
+  }
+}
+
+// ---------------------------------------------------------- spec parse
+
+TEST(BackendSpecTest, ParsesNameAndOverrides) {
+  BackendSpec spec;
+  std::string error;
+  ASSERT_TRUE(ParseBackendSpec("loom:window_size=4000,alpha=0.5", &spec,
+                               &error));
+  EXPECT_EQ(spec.name, "loom");
+  ASSERT_EQ(spec.overrides.size(), 2u);
+  EXPECT_EQ(spec.overrides[0], "window_size=4000");
+  EXPECT_EQ(spec.overrides[1], "alpha=0.5");
+
+  ASSERT_TRUE(ParseBackendSpec("hash", &spec, &error));
+  EXPECT_EQ(spec.name, "hash");
+  EXPECT_TRUE(spec.overrides.empty());
+
+  EXPECT_FALSE(ParseBackendSpec(":k=2", &spec, &error));
+  EXPECT_NE(error.find("name"), std::string::npos) << error;
+}
+
+TEST(BackendSpecTest, BuildPartitionerAppliesSpecOverrides) {
+  datasets::Dataset ds = datasets::MakeFigure1Dataset();
+  EngineOptions base;
+  base.expected_vertices = ds.NumVertices();
+  base.expected_edges = ds.NumEdges();
+  std::string error;
+  auto p = BuildPartitioner("loom:k=2,window_size=6", base,
+                            {&ds.workload, ds.registry.size()}, &error);
+  ASSERT_NE(p, nullptr) << error;
+  EXPECT_EQ(p->partitioning().k(), 2u);
+
+  EXPECT_EQ(BuildPartitioner("loom:frobnicate=1", base,
+                             {&ds.workload, ds.registry.size()}, &error),
+            nullptr);
+  EXPECT_NE(error.find("frobnicate"), std::string::npos) << error;
+}
+
+// --------------------------------------------------------- edge source
+
+TEST(EdgeSourceTest, GraphSourceMatchesMaterializedStream) {
+  datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.02);
+  for (auto order : {stream::StreamOrder::kBreadthFirst,
+                     stream::StreamOrder::kDepthFirst,
+                     stream::StreamOrder::kRandom}) {
+    const stream::EdgeStream es = stream::MakeStream(ds.graph, order, 0x10c5);
+    auto source = MakeEdgeSource(ds, order, 0x10c5);
+    EXPECT_EQ(source->SizeHint(), es.size());
+
+    std::vector<stream::StreamEdge> batch(64);
+    size_t pos = 0;
+    for (;;) {
+      const size_t n = source->NextBatch(batch);
+      if (n == 0) break;
+      for (size_t i = 0; i < n; ++i, ++pos) {
+        ASSERT_LT(pos, es.size());
+        EXPECT_EQ(batch[i].id, es[pos].id);
+        EXPECT_EQ(batch[i].u, es[pos].u);
+        EXPECT_EQ(batch[i].v, es[pos].v);
+        EXPECT_EQ(batch[i].label_u, es[pos].label_u);
+        EXPECT_EQ(batch[i].label_v, es[pos].label_v);
+      }
+    }
+    EXPECT_EQ(pos, es.size());
+    // Exhausted stays exhausted; Reset replays from the top.
+    EXPECT_EQ(source->NextBatch(batch), 0u);
+    source->Reset();
+    ASSERT_GT(source->NextBatch(batch), 0u);
+    EXPECT_EQ(batch[0].id, es[0].id);
+  }
+}
+
+// ------------------------------------------------- drive and observers
+
+TEST(DriveTest, BatchedDriveMatchesPerEdgeIngest) {
+  datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+
+  eval::ExperimentConfig cfg;
+  cfg.window_size = 256;
+  const EngineOptions options = eval::ToEngineOptions(cfg, ds);
+  const BuildContext context{&ds.workload, ds.registry.size()};
+  std::string error;
+
+  // Per-edge reference.
+  auto reference = PartitionerRegistry::Global().Create("loom", options,
+                                                        context, &error);
+  for (const stream::StreamEdge& e : es) reference->Ingest(e);
+  reference->Finalize();
+
+  // Batched drive with an awkward batch size.
+  auto driven = PartitionerRegistry::Global().Create("loom", options, context,
+                                                     &error);
+  EdgeStreamSource source(es);
+  DriveConfig drive_config;
+  drive_config.batch_size = 37;
+  const DriveResult result = Drive(driven.get(), &source, nullptr,
+                                   drive_config);
+  EXPECT_EQ(result.edges, es.size());
+  EXPECT_EQ(eval::HashAssignment(reference->partitioning(), ds.NumVertices()),
+            eval::HashAssignment(driven->partitioning(), ds.NumVertices()));
+}
+
+TEST(DriveTest, ObserverSeesAssignmentsEvictionsAndProgress) {
+  datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  eval::ExperimentConfig cfg;
+  cfg.window_size = 64;  // small window forces evictions
+  const EngineOptions options = eval::ToEngineOptions(cfg, ds);
+  const BuildContext context{&ds.workload, ds.registry.size()};
+  std::string error;
+  auto p = PartitionerRegistry::Global().Create("loom", options, context,
+                                                &error);
+
+  StatsObserver stats;
+  auto source = MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst);
+  Drive(p.get(), source.get(), &stats);
+
+  const StatsObserver::Totals& t = stats.totals();
+  // Every streamed vertex got exactly one OnAssign.
+  EXPECT_EQ(t.vertices_assigned, p->partitioning().NumAssigned());
+  EXPECT_GT(t.evictions, 0u);
+  EXPECT_GT(t.cluster_decisions, 0u);
+  EXPECT_GE(t.evictions, t.cluster_decisions);
+  EXPECT_TRUE(t.last_progress.finalizing);
+  EXPECT_EQ(t.last_progress.edges_ingested, source->SizeHint());
+  EXPECT_GT(t.last_progress.edges_bypassed, 0u);
+  EXPECT_EQ(t.last_progress.window_population, 0u);  // drained by Finalize
+  // The drive unhooked the observer afterwards.
+  EXPECT_EQ(p->observer(), nullptr);
+
+  // Baselines emit assigns through the same channel.
+  auto hash = PartitionerRegistry::Global().Create("hash", options, context,
+                                                   &error);
+  StatsObserver hash_stats;
+  source->Reset();
+  Drive(hash.get(), source.get(), &hash_stats);
+  EXPECT_EQ(hash_stats.totals().vertices_assigned,
+            hash->partitioning().NumAssigned());
+  EXPECT_EQ(hash_stats.totals().evictions, 0u);
+}
+
+TEST(DriveTest, PreAttachedObserverReceivesProgressToo) {
+  // An observer subscribed via SetObserver (not the Drive parameter) must
+  // still see the final finalizing=true progress event.
+  datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.02);
+  eval::ExperimentConfig cfg;
+  cfg.window_size = 64;
+  const EngineOptions options = eval::ToEngineOptions(cfg, ds);
+  std::string error;
+  auto p = PartitionerRegistry::Global().Create(
+      "loom", options, {&ds.workload, ds.registry.size()}, &error);
+
+  StatsObserver stats;
+  p->SetObserver(&stats);
+  auto source = MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst);
+  Drive(p.get(), source.get());  // no drive-local observer
+  EXPECT_TRUE(stats.totals().last_progress.finalizing);
+  EXPECT_EQ(stats.totals().last_progress.edges_ingested, source->SizeHint());
+  EXPECT_EQ(p->observer(), &stats);  // pre-attached subscription survives
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace loom

@@ -9,11 +9,11 @@ namespace loom {
 namespace eval {
 namespace {
 
-core::LoomOptions OptionsFor(const datasets::Dataset& ds, size_t window) {
-  core::LoomOptions options;
-  options.base.k = 4;
-  options.base.expected_vertices = ds.NumVertices();
-  options.base.expected_edges = ds.NumEdges();
+engine::EngineOptions OptionsFor(const datasets::Dataset& ds, size_t window) {
+  engine::EngineOptions options;
+  options.k = 4;
+  options.expected_vertices = ds.NumVertices();
+  options.expected_edges = ds.NumEdges();
   options.window_size = window;
   return options;
 }

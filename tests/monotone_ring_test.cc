@@ -1,0 +1,148 @@
+// Direct coverage for the shared capped monotone-id ring template — the
+// invariants that used to live (twice) in SlidingWindow and MatchList's
+// edge ring: x4 capped growth, overflow-map spill, span restart, lazy
+// head-chasing, and payload-capacity reuse on slot recycling.
+// SlidingWindow-level behaviour is additionally pinned in stream_test.cc
+// and MatchList-level behaviour in match_list_test.cc.
+
+#include "util/monotone_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace loom {
+namespace util {
+namespace {
+
+using Ring = MonotoneRing<int, uint32_t>;
+
+TEST(MonotoneRingTest, AppendFindEraseRoundTrip) {
+  Ring r;
+  *r.Append(3) = 30;
+  *r.Append(5) = 50;
+  *r.Append(9) = 90;
+  EXPECT_EQ(r.size(), 3u);
+  ASSERT_NE(r.Find(5), nullptr);
+  EXPECT_EQ(*r.Find(5), 50);
+  EXPECT_EQ(r.Find(4), nullptr);
+  EXPECT_TRUE(r.Erase(5));
+  EXPECT_FALSE(r.Erase(5));
+  EXPECT_EQ(r.Find(5), nullptr);
+  EXPECT_EQ(r.size(), 2u);
+}
+
+TEST(MonotoneRingTest, PopAndPeekOldestChaseTombstones) {
+  Ring r;
+  for (uint32_t id : {1u, 4u, 7u, 9u}) *r.Append(id) = static_cast<int>(id);
+  EXPECT_TRUE(r.Erase(1));
+  EXPECT_TRUE(r.Erase(7));
+  uint32_t id = 0;
+  ASSERT_NE(r.PeekOldest(&id), nullptr);
+  EXPECT_EQ(id, 4u);
+  EXPECT_EQ(*r.PopOldest(&id), 4);
+  EXPECT_EQ(*r.PopOldest(&id), 9);
+  EXPECT_EQ(id, 9u);
+  EXPECT_FALSE(r.PopOldest().has_value());
+}
+
+TEST(MonotoneRingTest, SpanRestartAfterDrainAvoidsGrowth) {
+  Ring r;
+  r.Presize(8);
+  const size_t slots = r.NumSlots();
+  for (uint32_t id = 0; id < 4; ++id) *r.Append(id) = 1;
+  for (uint32_t id = 0; id < 4; ++id) EXPECT_TRUE(r.Erase(id));
+  EXPECT_TRUE(r.empty());
+  *r.Append(1000000) = 2;  // must restart the span, not grow to cover it
+  EXPECT_EQ(r.NumSlots(), slots);
+  EXPECT_TRUE(r.Contains(1000000));
+}
+
+TEST(MonotoneRingTest, GrowsByFactorFourUpToCapThenSpills) {
+  Ring r;
+  r.SetGrowthCap(64);
+  r.Presize(4);
+  *r.Append(0) = 0;
+  *r.Append(40) = 40;  // span 41 <= cap: grows, no spill
+  EXPECT_LE(r.NumSlots(), 64u);
+  EXPECT_EQ(r.OverflowSize(), 0u);
+  *r.Append(200) = 200;  // span 201 > cap: old ids spill
+  EXPECT_EQ(r.NumSlots(), 64u);
+  EXPECT_EQ(r.OverflowSize(), 2u);
+  EXPECT_EQ(r.size(), 3u);
+  // Spilled entries stay fully functional.
+  ASSERT_NE(r.Find(0), nullptr);
+  EXPECT_EQ(*r.Find(0), 0);
+  ASSERT_NE(r.Find(40), nullptr);
+  uint32_t id = 0;
+  EXPECT_EQ(*r.PopOldest(&id), 0);
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(*r.PopOldest(&id), 40);
+  EXPECT_EQ(*r.PopOldest(&id), 200);
+}
+
+TEST(MonotoneRingTest, GetOrCreateBehindHeadUsesOverflowForLife) {
+  Ring r;
+  r.SetGrowthCap(64);
+  bool created = false;
+  *r.GetOrCreate(0, &created) = 10;
+  EXPECT_TRUE(created);
+  *r.GetOrCreate(500, &created) = 11;  // spills key 0
+  EXPECT_GT(r.OverflowSize(), 0u);
+  // Re-requesting the spilled key returns the same overflow entry.
+  int* v = r.GetOrCreate(0, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(*v, 10);
+  // Draining the ring and re-requesting key 0 must still find the overflow
+  // entry, not shadow it with a fresh ring slot.
+  EXPECT_TRUE(r.Erase(500));
+  v = r.GetOrCreate(0, &created);
+  EXPECT_FALSE(created);
+  EXPECT_EQ(*v, 10);
+}
+
+TEST(MonotoneRingTest, ForEachVisitsOldestFirstAcrossOverflowAndRing) {
+  Ring r;
+  r.SetGrowthCap(64);
+  *r.Append(0) = 0;
+  *r.Append(1) = 1;
+  *r.Append(300) = 300;  // 0 and 1 spill
+  std::vector<uint32_t> ids;
+  r.ForEach([&](uint32_t id, const int&) { ids.push_back(id); });
+  EXPECT_EQ(ids, (std::vector<uint32_t>{0, 1, 300}));
+}
+
+TEST(MonotoneRingTest, RecycledSlotKeepsPayloadAllocation) {
+  MonotoneRing<std::vector<int>, uint32_t> r;
+  r.Presize(4);
+  bool created = false;
+  std::vector<int>* v = r.GetOrCreate(2, &created);
+  v->assign(100, 7);
+  const size_t cap = v->capacity();
+  EXPECT_TRUE(r.Erase(2));
+  // A later id mapping to the same slot recycles the vector's buffer; the
+  // caller sees created=true and clears it (MatchList's contract).
+  std::vector<int>* w = r.GetOrCreate(2 + static_cast<uint32_t>(r.NumSlots()),
+                                      &created);
+  EXPECT_TRUE(created);
+  EXPECT_EQ(w->capacity(), cap);
+}
+
+TEST(MonotoneRingTest, WrapsManyTimesAtSteadyState) {
+  Ring r;
+  r.Presize(8);
+  const size_t slots = r.NumSlots();
+  for (uint32_t id = 0; id < 10000; ++id) {
+    *r.Append(id) = static_cast<int>(id);
+    if (r.size() > 4) r.PopOldest();
+  }
+  EXPECT_EQ(r.NumSlots(), slots);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_TRUE(r.Contains(9999));
+  EXPECT_FALSE(r.Contains(9995));
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace loom

@@ -4,6 +4,8 @@
 #include <tuple>
 
 #include "datasets/dataset_registry.h"
+#include "engine/engine.h"
+#include "eval/experiment.h"
 #include "partition/fennel_partitioner.h"
 #include "partition/hash_partitioner.h"
 #include "partition/ldg_partitioner.h"
@@ -187,6 +189,99 @@ INSTANTIATE_TEST_SUITE_P(
                           stream::StreamOrder::kDepthFirst,
                           stream::StreamOrder::kRandom),
         ::testing::Values(2u, 8u, 32u)));
+
+// -------------------------------------------- Finalize contract (all four)
+//
+// Pins the partitioner.h contract: Finalize is idempotent, and Ingest after
+// Finalize resumes the stream (a later Finalize covers the new vertices).
+
+class PartitionerContractTest
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PartitionerContractTest, DoubleFinalizeIsIdempotent) {
+  auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+
+  engine::EngineOptions options;
+  options.expected_vertices = ds.NumVertices();
+  options.expected_edges = ds.NumEdges();
+  options.window_size = 128;  // window contents force a real drain
+  std::string error;
+  auto p = engine::PartitionerRegistry::Global().Create(
+      GetParam(), options, {&ds.workload, ds.registry.size()}, &error);
+  ASSERT_NE(p, nullptr) << error;
+
+  for (const stream::StreamEdge& e : es) p->Ingest(e);
+  p->Finalize();
+  const uint64_t first = eval::HashAssignment(p->partitioning(),
+                                              ds.NumVertices());
+  const size_t assigned = p->partitioning().NumAssigned();
+  p->Finalize();
+  p->Finalize();
+  EXPECT_EQ(eval::HashAssignment(p->partitioning(), ds.NumVertices()), first);
+  EXPECT_EQ(p->partitioning().NumAssigned(), assigned);
+}
+
+TEST_P(PartitionerContractTest, IngestAfterFinalizeResumesTheStream) {
+  auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  ASSERT_GT(es.size(), 100u);
+
+  engine::EngineOptions options;
+  options.expected_vertices = ds.NumVertices();
+  options.expected_edges = ds.NumEdges();
+  options.window_size = 128;
+  std::string error;
+  auto p = engine::PartitionerRegistry::Global().Create(
+      GetParam(), options, {&ds.workload, ds.registry.size()}, &error);
+  ASSERT_NE(p, nullptr) << error;
+
+  // Finalize mid-stream (a checkpoint), then keep streaming.
+  const size_t half = es.size() / 2;
+  for (size_t i = 0; i < half; ++i) p->Ingest(es[i]);
+  p->Finalize();
+  for (size_t i = half; i < es.size(); ++i) p->Ingest(es[i]);
+  p->Finalize();
+  EXPECT_TRUE(FullyAssigned(ds.graph, p->partitioning())) << p->name();
+}
+
+TEST_P(PartitionerContractTest, IngestBatchMatchesPerEdgeIngest) {
+  auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+
+  engine::EngineOptions options;
+  options.expected_vertices = ds.NumVertices();
+  options.expected_edges = ds.NumEdges();
+  options.window_size = 128;
+  std::string error;
+  const engine::BuildContext ctx{&ds.workload, ds.registry.size()};
+  auto per_edge =
+      engine::PartitionerRegistry::Global().Create(GetParam(), options, ctx,
+                                                   &error);
+  auto batched =
+      engine::PartitionerRegistry::Global().Create(GetParam(), options, ctx,
+                                                   &error);
+  ASSERT_NE(per_edge, nullptr);
+  ASSERT_NE(batched, nullptr);
+
+  for (const stream::StreamEdge& e : es) per_edge->Ingest(e);
+  per_edge->Finalize();
+
+  std::vector<stream::StreamEdge> all(es.begin(), es.end());
+  const size_t kBatch = 61;  // awkward on purpose
+  for (size_t i = 0; i < all.size(); i += kBatch) {
+    batched->IngestBatch(std::span<const stream::StreamEdge>(
+        all.data() + i, std::min(kBatch, all.size() - i)));
+  }
+  batched->Finalize();
+
+  EXPECT_EQ(eval::HashAssignment(per_edge->partitioning(), ds.NumVertices()),
+            eval::HashAssignment(batched->partitioning(), ds.NumVertices()))
+      << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBackends, PartitionerContractTest,
+                         ::testing::Values("hash", "ldg", "fennel", "loom"));
 
 }  // namespace
 }  // namespace partition

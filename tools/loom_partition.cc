@@ -3,25 +3,31 @@
 // Usage:
 //   loom_partition --graph G.lg --workload Q.lw [--system loom] [--k 8]
 //                  [--order bfs|dfs|random] [--window 10000] [--threshold 0.4]
-//                  [--seed N] [--out assignment.tsv] [--evaluate]
+//                  [--opt key=value]... [--seed N] [--out assignment.tsv]
+//                  [--evaluate]
 //
-// Reads the graph (graph/graph_io.h format) and workload (query/workload_io.h
-// format), streams the graph through the chosen partitioner and writes one
-// "<vertex>\t<partition>" line per vertex. With --evaluate it also executes
-// the workload over the result and prints ipt / edge-cut / imbalance.
+// Backends are resolved through engine::PartitionerRegistry, so --system
+// accepts any registered name — including inline option specs like
+//   --system "loom:window_size=4000,alpha=0.5"
+// and --opt exposes every EngineOptions key (see --help-opts). Reads the
+// graph (graph/graph_io.h format) and workload (query/workload_io.h
+// format), streams the graph through the chosen partitioner via the
+// engine's pull-based EdgeSource and writes one "<vertex>\t<partition>"
+// line per vertex. With --evaluate it also executes the workload over the
+// result and prints ipt / edge-cut / imbalance.
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
-#include "eval/experiment.h"
+#include "engine/engine.h"
 #include "graph/graph_io.h"
 #include "partition/partition_metrics.h"
 #include "query/workload_io.h"
 #include "query/workload_runner.h"
 #include "util/table_writer.h"
-#include "util/timer.h"
 
 namespace {
 
@@ -31,6 +37,7 @@ struct Args {
   std::string out_path;
   std::string system = "loom";
   std::string order = "bfs";
+  std::vector<std::string> opts;  // raw key=value overrides
   uint32_t k = 8;
   size_t window = 10000;
   double threshold = 0.4;
@@ -40,9 +47,26 @@ struct Args {
 
 void Usage() {
   std::cerr << "usage: loom_partition --graph G.lg --workload Q.lw\n"
-               "         [--system hash|ldg|fennel|loom] [--k N]\n"
+               "         [--system NAME | NAME:key=value,...] [--k N]\n"
                "         [--order bfs|dfs|random] [--window N]\n"
-               "         [--threshold F] [--seed N] [--out FILE] [--evaluate]\n";
+               "         [--threshold F] [--opt key=value]... [--seed N]\n"
+               "         [--out FILE] [--evaluate] [--help-opts]\n"
+               "backends: ";
+  bool first = true;
+  for (const std::string& name :
+       loom::engine::PartitionerRegistry::Global().Names()) {
+    std::cerr << (first ? "" : ", ") << name;
+    first = false;
+  }
+  std::cerr << "\n";
+}
+
+void UsageOpts() {
+  loom::engine::EngineOptions defaults;
+  std::cerr << "EngineOptions keys (current defaults):\n";
+  for (const auto& [key, value] : defaults.ToFlat()) {
+    std::cerr << "  " << key << "=" << value << "\n";
+  }
 }
 
 bool Parse(int argc, char** argv, Args* args) {
@@ -74,6 +98,10 @@ bool Parse(int argc, char** argv, Args* args) {
       const char* v = need_value("--order");
       if (!v) return false;
       args->order = v;
+    } else if (std::strcmp(argv[i], "--opt") == 0) {
+      const char* v = need_value("--opt");
+      if (!v) return false;
+      args->opts.emplace_back(v);
     } else if (std::strcmp(argv[i], "--k") == 0) {
       const char* v = need_value("--k");
       if (!v) return false;
@@ -92,6 +120,9 @@ bool Parse(int argc, char** argv, Args* args) {
       args->seed = std::stoull(v);
     } else if (std::strcmp(argv[i], "--evaluate") == 0) {
       args->evaluate = true;
+    } else if (std::strcmp(argv[i], "--help-opts") == 0) {
+      UsageOpts();
+      std::exit(0);
     } else if (std::strcmp(argv[i], "--help") == 0) {
       Usage();
       std::exit(0);
@@ -126,16 +157,6 @@ int main(int argc, char** argv) {
               << ds.NumEdges() << " edges, " << ds.NumLabels()
               << " labels; workload: " << ds.workload.size() << " queries\n";
 
-    eval::System system;
-    if (args.system == "hash") system = eval::System::kHash;
-    else if (args.system == "ldg") system = eval::System::kLdg;
-    else if (args.system == "fennel") system = eval::System::kFennel;
-    else if (args.system == "loom") system = eval::System::kLoom;
-    else {
-      std::cerr << "unknown system: " << args.system << "\n";
-      return 2;
-    }
-
     stream::StreamOrder order;
     if (args.order == "bfs") order = stream::StreamOrder::kBreadthFirst;
     else if (args.order == "dfs") order = stream::StreamOrder::kDepthFirst;
@@ -145,21 +166,35 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    eval::ExperimentConfig cfg;
-    cfg.k = args.k;
-    cfg.order = order;
-    cfg.stream_seed = args.seed;
-    cfg.window_size = args.window;
-    cfg.support_threshold = args.threshold;
+    // Dedicated flags are sugar over EngineOptions keys; --opt overrides
+    // (and the --system spec's inline overrides) win in that order.
+    engine::EngineOptions options;
+    options.k = args.k;
+    options.expected_vertices = ds.NumVertices();
+    options.expected_edges = ds.NumEdges();
+    options.window_size = args.window;
+    options.support_threshold = args.threshold;
+    std::string error;
+    if (!options.ApplyOverrides(args.opts, &error)) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
 
-    auto partitioner = eval::MakePartitioner(system, ds, cfg);
-    stream::EdgeStream es = stream::MakeStream(ds.graph, order, args.seed);
-    util::Timer timer;
-    for (const stream::StreamEdge& e : es) partitioner->Ingest(e);
-    partitioner->Finalize();
-    std::cerr << "partitioned " << es.size() << " edges in "
-              << util::TableWriter::Fmt(timer.ElapsedMs(), 0) << " ms ("
-              << args.system << ", k=" << args.k << ")\n";
+    engine::BuildContext context{&ds.workload, ds.registry.size()};
+    auto partitioner =
+        engine::BuildPartitioner(args.system, options, context, &error);
+    if (partitioner == nullptr) {
+      std::cerr << "error: " << error << "\n";
+      return 2;
+    }
+
+    auto source = engine::MakeEdgeSource(ds, order, args.seed);
+    const engine::DriveResult driven =
+        engine::Drive(partitioner.get(), source.get());
+    std::cerr << "partitioned " << driven.edges << " edges in "
+              << util::TableWriter::Fmt(driven.ms, 0) << " ms ("
+              << partitioner->name()
+              << ", k=" << partitioner->partitioning().k() << ")\n";
 
     const partition::Partitioning& p = partitioner->partitioning();
     std::ostream* out = &std::cout;
@@ -177,8 +212,10 @@ int main(int argc, char** argv) {
     }
 
     if (args.evaluate) {
+      query::ExecutorConfig executor{.max_seeds = 4000,
+                                     .max_matches_per_seed = 256};
       query::WorkloadResult wr =
-          query::RunWorkload(ds.graph, p, ds.workload, cfg.executor);
+          query::RunWorkload(ds.graph, p, ds.workload, executor);
       std::cerr << "weighted ipt: " << wr.weighted_ipt << " over "
                 << wr.weighted_traversals << " weighted traversals (ratio "
                 << util::TableWriter::Pct(wr.IptRatio()) << ")\n"

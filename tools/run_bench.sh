@@ -6,8 +6,21 @@
 #   tools/run_bench.sh --fast     # skip the google-benchmark micro suite
 #
 # Env knobs (see bench/bench_common.h): LOOM_BENCH_SCALE, LOOM_BENCH_WINDOW.
-# The diff FAILS if partition quality (edge-cut / imbalance / assignment
-# hash) differs from the baseline; throughput changes only warn.
+#
+# Backend selection goes through engine::PartitionerRegistry specs: set
+# LOOM_BENCH_SYSTEMS to a ';'-separated list of "name" or
+# "name:key=value,..." strings, e.g.
+#
+#   LOOM_BENCH_SYSTEMS="fennel;loom:window_size=2000,alpha=0.5" \
+#       tools/run_bench.sh --fast
+#
+# Any key accepted by engine::EngineOptions works (loom_partition
+# --help-opts lists them). Custom selections are exploratory: they are not
+# comparable to the committed baseline, so the quality diff is skipped.
+#
+# In default mode the diff FAILS if partition quality (edge-cut / imbalance
+# / assignment hash) differs from the baseline; throughput changes only
+# warn.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -28,7 +41,10 @@ if [[ $FAST -eq 0 ]]; then
 fi
 
 echo
-if [[ -f BENCH_throughput.json ]]; then
+if [[ -n "${LOOM_BENCH_SYSTEMS:-}" ]]; then
+  echo "LOOM_BENCH_SYSTEMS is set (custom backend selection); skipping the"
+  echo "baseline quality diff. Results: $NEW_JSON"
+elif [[ -f BENCH_throughput.json ]]; then
   python3 tools/diff_bench.py BENCH_throughput.json "$NEW_JSON"
 else
   echo "no committed BENCH_throughput.json baseline; seeding it from this run"
