@@ -17,12 +17,25 @@
 // arbitrary engine backends/configurations instead of the default four
 // paper systems. Custom selections skip the paper-window section and are
 // not comparable to the committed baseline (run_bench.sh skips the diff).
+//
+// Smoke mode: `table2_throughput --smoke [baseline.json]` runs a fixed
+// tiny configuration (scale 0.05, window 1000, BFS, k=8) over every
+// backend including "loom-sharded", asserts loom == loom-sharded
+// bit-for-bit, and compares the deterministic quality triples
+// (assignment hash, edge-cut, imbalance — no timings) against the
+// committed baseline, exiting non-zero on drift. Registered with ctest as
+// `bench_smoke`, so quality drift fails tier-1 — not only
+// tools/run_bench.sh. A missing baseline is seeded from the current run
+// (delete BENCH_smoke.json and rerun to re-golden intentionally).
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.h"
@@ -30,6 +43,7 @@
 #include "engine/engine.h"
 #include "eval/experiment.h"
 #include "eval/report.h"
+#include "partition/partition_metrics.h"
 #include "stream/sliding_window.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
@@ -107,10 +121,133 @@ void WriteWindowOpsJson(bench::JsonWriter& jw) {
   jw.EndObject();
 }
 
+// ---------------------------------------------------------------- smoke
+
+/// Deterministic quality triple of `spec` on `ds` (tiny fixed config; no
+/// timing fields, so the emitted JSON is byte-stable across runs).
+struct SmokeQuality {
+  uint64_t assignment_hash = 0;
+  size_t edge_cut = 0;
+  double imbalance = 0.0;
+
+  bool operator==(const SmokeQuality&) const = default;
+};
+
+bool RunSmokeSpec(const std::string& spec, const datasets::Dataset& ds,
+                  SmokeQuality* out) {
+  engine::EngineOptions options;
+  options.k = 8;
+  options.expected_vertices = ds.NumVertices();
+  options.expected_edges = ds.NumEdges();
+  options.window_size = 1000;
+  std::string error;
+  auto p = engine::BuildPartitioner(
+      spec, options, {&ds.workload, ds.registry.size()}, &error);
+  if (p == nullptr) {
+    std::cerr << "smoke: building '" << spec << "' failed: " << error << "\n";
+    return false;
+  }
+  auto source =
+      engine::MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst, 0x10c5);
+  engine::Drive(p.get(), source.get());
+  out->assignment_hash =
+      eval::HashAssignment(p->partitioning(), ds.NumVertices());
+  out->edge_cut = partition::EdgeCut(ds.graph, p->partitioning());
+  out->imbalance = partition::Imbalance(p->partitioning());
+  return true;
+}
+
+/// Fixed tiny-config quality sweep -> JSON string; compared byte-for-byte
+/// against the committed baseline (every field is deterministic).
+int RunSmoke(const std::string& baseline_path) {
+  using namespace loom;
+  constexpr double kScale = 0.05;
+  const std::vector<std::string> specs = {"hash", "ldg", "fennel", "loom",
+                                          "loom-sharded:shards=3"};
+
+  std::ostringstream json;
+  bench::JsonWriter jw(json);
+  jw.BeginObject();
+  jw.Key("bench").Value("table2_smoke");
+  jw.Key("scale").Value(kScale);
+  jw.Key("window").Value(uint64_t{1000});
+  jw.Key("k").Value(8);
+  jw.Key("order").Value("bfs");
+  jw.Key("datasets").BeginArray();
+  for (auto id : datasets::AllDatasets()) {
+    datasets::Dataset ds = datasets::MakeDataset(id, kScale);
+    jw.BeginObject();
+    jw.Key("dataset").Value(ds.meta.name);
+    jw.Key("edges").Value(static_cast<uint64_t>(ds.NumEdges()));
+    jw.Key("systems").BeginArray();
+    SmokeQuality loom_q, sharded_q;
+    for (const std::string& spec : specs) {
+      SmokeQuality q;
+      if (!RunSmokeSpec(spec, ds, &q)) return 2;
+      if (spec == "loom") loom_q = q;
+      if (spec.rfind("loom-sharded", 0) == 0) sharded_q = q;
+      jw.BeginObject();
+      jw.Key("system").Value(spec);
+      jw.Key("assignment_hash").HexValue(q.assignment_hash);
+      jw.Key("edge_cut").Value(static_cast<uint64_t>(q.edge_cut));
+      jw.Key("imbalance").Value(q.imbalance);
+      jw.EndObject();
+    }
+    jw.EndArray();
+    jw.EndObject();
+    // The sharded backend's differential gate rides the smoke too.
+    if (!(loom_q == sharded_q)) {
+      std::cerr << "smoke: loom-sharded diverged from loom on "
+                << ds.meta.name << " (hash " << std::hex
+                << sharded_q.assignment_hash << " vs " << loom_q.assignment_hash
+                << std::dec << ")\n";
+      return 1;
+    }
+  }
+  jw.EndArray();
+  jw.EndObject();
+  const std::string current = json.str();
+
+  std::ifstream baseline_file(baseline_path);
+  if (!baseline_file) {
+    std::ofstream seed(baseline_path);
+    if (!seed) {
+      std::cerr << "smoke: cannot seed baseline " << baseline_path << "\n";
+      return 2;
+    }
+    seed << current << "\n";
+    std::cout << "smoke: no baseline at " << baseline_path
+              << "; seeded it from this run\n";
+    return 0;
+  }
+  std::stringstream buf;
+  buf << baseline_file.rdbuf();
+  std::string baseline = buf.str();
+  while (!baseline.empty() &&
+         (baseline.back() == '\n' || baseline.back() == '\r')) {
+    baseline.pop_back();
+  }
+  if (baseline != current) {
+    std::cerr << "smoke: quality drift vs " << baseline_path << "\n"
+              << "  baseline: " << baseline << "\n"
+              << "  current:  " << current << "\n"
+              << "If the change is intentional, delete the baseline and "
+                 "rerun to re-golden.\n";
+    return 1;
+  }
+  std::cout << "smoke: quality matches " << baseline_path << " ("
+            << specs.size() << " systems x "
+            << datasets::AllDatasets().size() << " datasets)\n";
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace loom;
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) {
+    return RunSmoke(argc > 2 ? argv[2] : "BENCH_smoke.json");
+  }
   bench::Banner("Table 2 — time to partition 10k edges", "Table 2");
 
   const std::vector<std::string> specs = BackendSpecs();
@@ -212,6 +349,7 @@ int main() {
   // Loom-only ingest throughput at the paper-default window (t = 10000):
   // the acceptance metric for perf PRs. Best of 3 to damp scheduler noise.
   // Skipped for custom LOOM_BENCH_SYSTEMS selections (not baseline-diffable).
+  std::vector<std::pair<std::string, eval::SystemResult>> loom_at_t10k;
   if (specs.empty()) {
     jw.Key("loom_paper_window").BeginObject();
     jw.Key("window").Value(uint64_t{10000});
@@ -236,6 +374,82 @@ int main() {
       jw.Key("edges").Value(static_cast<uint64_t>(source->SizeHint()));
       jw.Key("loom");
       WriteSystemJson(jw, best);
+      jw.EndObject();
+      loom_at_t10k.emplace_back(ds.meta.name, best);
+    }
+    jw.EndArray();
+    jw.EndObject();
+  }
+
+  // loom-sharded shard sweep at the same paper window: ingest eps per
+  // shard count, speedup vs the single-threaded loom result above, and the
+  // quality triple (diff_bench.py guards it — the sweep must stay
+  // bit-identical to loom at every S). `host_cpus` records how many cores
+  // the numbers were taken on: the sequencer pipeline is the serial stage,
+  // so on a single-core host the fan-out cannot overlap and the sweep
+  // measures pure sharding overhead (see README "loom-sharded").
+  if (specs.empty()) {
+    jw.Key("loom_sharded_sweep").BeginObject();
+    jw.Key("window").Value(uint64_t{10000});
+    jw.Key("runs").Value(2);
+    jw.Key("host_cpus").Value(
+        static_cast<uint64_t>(std::thread::hardware_concurrency()));
+    jw.Key("datasets").BeginArray();
+    size_t di = 0;
+    for (auto id :
+         {datasets::DatasetId::kLubm100, datasets::DatasetId::kMusicBrainz,
+          datasets::DatasetId::kProvGen, datasets::DatasetId::kDblp}) {
+      datasets::Dataset ds = datasets::MakeDataset(id, bench::BenchScale());
+      eval::ExperimentConfig cfg;
+      cfg.order = stream::StreamOrder::kBreadthFirst;
+      cfg.window_size = 10000;
+      auto source = engine::MakeEdgeSource(ds, cfg.order, cfg.stream_seed);
+      // Positional pairing with the paper-window loop above; keep the two
+      // dataset lists in lockstep or the speedup baselines are crossed.
+      if (loom_at_t10k[di].first != ds.meta.name) {
+        std::cerr << "shard sweep: dataset list out of sync with "
+                     "loom_paper_window ("
+                  << loom_at_t10k[di].first << " vs " << ds.meta.name << ")\n";
+        return 2;
+      }
+      const eval::SystemResult& loom_ref = loom_at_t10k[di++].second;
+      jw.BeginObject();
+      jw.Key("dataset").Value(ds.meta.name);
+      jw.Key("edges").Value(static_cast<uint64_t>(source->SizeHint()));
+      jw.Key("sweep").BeginArray();
+      for (const uint32_t shards : {1u, 2u, 4u}) {
+        const std::string spec =
+            "loom-sharded:shards=" + std::to_string(shards);
+        std::string error;
+        eval::SystemResult best;
+        for (int run = 0; run < 2; ++run) {
+          auto r = eval::RunBackendTimingOnly(spec, ds, *source, cfg, &error);
+          if (!r.has_value()) {
+            std::cerr << "shard sweep: " << error << "\n";
+            return 2;
+          }
+          if (run == 0 || r->partition_ms < best.partition_ms) {
+            best = std::move(*r);
+          }
+        }
+        if (best.assignment_hash != loom_ref.assignment_hash) {
+          std::cerr << "shard sweep: " << spec << " diverged from loom on "
+                    << ds.meta.name << "\n";
+          return 2;
+        }
+        jw.BeginObject();
+        jw.Key("shards").Value(static_cast<uint64_t>(shards));
+        jw.Key("eps").Value(best.edges_per_sec);
+        jw.Key("speedup_vs_loom")
+            .Value(loom_ref.edges_per_sec > 0
+                       ? best.edges_per_sec / loom_ref.edges_per_sec
+                       : 0.0);
+        jw.Key("edge_cut").Value(static_cast<uint64_t>(best.edge_cut));
+        jw.Key("imbalance").Value(best.imbalance);
+        jw.Key("assignment_hash").HexValue(best.assignment_hash);
+        jw.EndObject();
+      }
+      jw.EndArray();
       jw.EndObject();
     }
     jw.EndArray();

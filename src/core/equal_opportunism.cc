@@ -7,7 +7,7 @@ namespace loom {
 namespace core {
 
 EqualOpportunism::EqualOpportunism(const tpstry::Tpstry* trie,
-                                   const graph::DynamicGraph* neighborhood,
+                                   const graph::NeighborView* neighborhood,
                                    EqualOpportunismConfig config)
     : trie_(trie), neighborhood_(neighborhood), config_(config) {}
 

@@ -1,0 +1,252 @@
+#include "core/loom_sharded.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "partition/ldg_partitioner.h"
+
+namespace loom {
+namespace core {
+
+LoomShardedPartitioner::LoomShardedPartitioner(
+    const LoomShardedOptions& options, const query::Workload& workload,
+    size_t num_labels)
+    : options_(options),
+      partitioning_(options.loom.base.k, options.loom.base.expected_vertices,
+                    options.loom.base.max_imbalance),
+      seen_(std::max<uint32_t>(options.shards, 1)),
+      window_(options.loom.window_size) {
+  options_.shards = seen_.num_shards();
+  label_values_ = std::make_unique<signature::LabelValues>(
+      num_labels, options_.loom.prime, options_.loom.signature_seed);
+  calc_ = std::make_unique<signature::SignatureCalculator>(label_values_.get());
+  trie_ = std::make_unique<tpstry::Tpstry>(calc_.get(),
+                                           options_.loom.support_threshold);
+  query::Workload normalised = workload;
+  normalised.Normalize();
+  for (const query::Query& q : normalised.queries()) {
+    trie_->AddQuery(q.pattern, q.frequency);
+  }
+  matcher_ = std::make_unique<motif::MotifMatcher>(trie_.get(), calc_.get(),
+                                                   options_.loom.matcher);
+  allocator_ = std::make_unique<EqualOpportunism>(
+      trie_.get(), &seen_, options_.loom.equal_opportunism);
+  const std::vector<bool> mask = trie_->MotifLabelMask(num_labels);
+  motif_label_.assign(mask.begin(), mask.end());
+  match_list_.ReserveEdgeSpan(options_.loom.window_size + 1);
+
+  const size_t per_shard =
+      options_.loom.base.expected_vertices / options_.shards + 1;
+  shard_matchers_.reserve(options_.shards);
+  for (uint32_t s = 0; s < options_.shards; ++s) {
+    seen_.part(s).Reserve(per_shard);
+    shard_matchers_.push_back(std::make_unique<motif::MotifMatcher>(
+        trie_.get(), calc_.get(), options_.loom.matcher));
+  }
+  // Workers last: they may touch any of the members above.
+  team_ = std::make_unique<ShardTeam>(
+      options_.shards, options_.shard_queue_depth, options_.slice_edges,
+      [this](uint32_t shard, const ShardTeam::Slice& slice) {
+        ProcessSlice(shard, slice);
+      });
+}
+
+void LoomShardedPartitioner::ProcessSlice(uint32_t shard,
+                                          const ShardTeam::Slice& slice) {
+  ShardGraphPart& part = seen_.part(shard);
+  motif::MotifMatcher& admission = *shard_matchers_[shard];
+  for (size_t j = 0; j < slice.edges.size(); ++j) {
+    const stream::StreamEdge& e = slice.edges[j];
+    if (seen_.Owner(e.u) == shard) {
+      part.TouchVertex(seen_.Local(e.u), e.label_u);
+      part.Append(seen_.Local(e.u), e.v);
+      // u's owner stamps the admission bit (cell owned by this shard).
+      admit_scratch_[slice.base + j] =
+          admission.SingleEdgeMotif(e) != nullptr;
+    }
+    if (seen_.Owner(e.v) == shard) {
+      part.TouchVertex(seen_.Local(e.v), e.label_v);
+      part.Append(seen_.Local(e.v), e.u);
+    }
+  }
+}
+
+void LoomShardedPartitioner::Ingest(const stream::StreamEdge& e) {
+  IngestBatch(std::span<const stream::StreamEdge>(&e, 1));
+}
+
+void LoomShardedPartitioner::IngestBatch(
+    std::span<const stream::StreamEdge> batch) {
+  if (batch.empty()) return;
+  // Size the admission bitmap before fan-out (workers write its cells).
+  admit_scratch_.assign(batch.size(), 0);
+  if (batch.size() == 1) {
+    // Per-edge ingest: a cross-thread round trip per shard buys zero
+    // parallel work for a single edge. Run every shard's (pure,
+    // shard-local) slice inline — the workers are quiescent outside
+    // Dispatch, so this is race-free and bit-identical to the fan-out.
+    const ShardTeam::Slice slice{batch, 0};
+    for (uint32_t s = 0; s < options_.shards; ++s) ProcessSlice(s, slice);
+  } else {
+    team_->Dispatch(batch);
+  }
+  // Barrier passed: all shards quiescent, every adjacency entry and
+  // admission bit of this batch is in place. Replay decisions in stream
+  // order; the visibility cursors keep reads prefix-exact per edge.
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const stream::StreamEdge& e = batch[i];
+    seen_.Advance(e.u, e.v);
+    IngestSequenced(e, admit_scratch_[i] != 0);
+  }
+}
+
+bool LoomShardedPartitioner::IsDeferred(graph::VertexId v,
+                                        graph::LabelId label) {
+  if (partitioning_.IsAssigned(v)) return false;
+  if (label < motif_label_.size() && motif_label_[label] != 0) return true;
+  return match_list_.HasLiveAt(v);
+}
+
+void LoomShardedPartitioner::AssignVertex(graph::VertexId v,
+                                          graph::PartitionId p) {
+  AssignAndNotify(&partitioning_, v, p);
+}
+
+void LoomShardedPartitioner::AssignImmediately(const stream::StreamEdge& e) {
+  const bool place_u =
+      !partitioning_.IsAssigned(e.u) && !IsDeferred(e.u, e.label_u);
+  const bool place_v =
+      !partitioning_.IsAssigned(e.v) && !IsDeferred(e.v, e.label_v);
+  if (!place_u && !place_v) return;
+  const graph::PartitionId p =
+      partition::LdgHeuristic::Choose(e, seen_, partitioning_);
+  if (place_u) AssignVertex(e.u, p);
+  if (place_v) AssignVertex(e.v, p);
+}
+
+void LoomShardedPartitioner::IngestSequenced(const stream::StreamEdge& e,
+                                             bool admitted) {
+  ++stats_.edges_ingested;
+
+  if (!admitted) {
+    ++stats_.edges_bypassed;
+    AssignImmediately(e);
+    return;
+  }
+
+  window_.Push(e);
+  matcher_->OnEdgeAdded(e, window_, &match_list_);
+
+  while (window_.OverCapacity()) EvictOldest();
+
+  if (++edges_since_compact_ >= options_.loom.compact_interval) {
+    match_list_.Compact();
+    edges_since_compact_ = 0;
+  }
+}
+
+void LoomShardedPartitioner::FillProgress(
+    engine::ProgressEvent* progress) const {
+  progress->edges_ingested = stats_.edges_ingested;
+  progress->edges_bypassed = stats_.edges_bypassed;
+  progress->window_population = window_.size();
+  const ShardSequencerStats& seq = team_->stats();
+  progress->shards = options_.shards;
+  progress->shard_slices = seq.slices_posted;
+  progress->shard_queue_stalls = seq.queue_full_stalls;
+}
+
+void LoomShardedPartitioner::EvictOldest() {
+  std::optional<stream::StreamEdge> evictee = window_.PopOldest();
+  if (!evictee.has_value()) return;
+  ++stats_.edges_via_window;
+
+  me_scratch_.clear();
+  match_list_.CollectLiveWithEdge(evictee->id, &me_scratch_);
+  if (observer() != nullptr) {
+    observer()->OnEviction({evictee->id, me_scratch_.size()});
+  }
+  if (me_scratch_.empty()) {
+    AssignImmediately(*evictee);
+    match_list_.RemoveMatchesWithEdge(evictee->id);
+    return;
+  }
+
+  AllocationDecision decision =
+      allocator_->DecideBids(match_list_, me_scratch_, partitioning_);
+  const bool used_fallback = decision.partition == graph::kNoPartition;
+  if (used_fallback) {
+    const graph::PartitionId fallback =
+        partition::LdgHeuristic::Choose(*evictee, seen_, partitioning_);
+    decision.partition = partitioning_.AtCapacity(fallback)
+                             ? partitioning_.LeastLoaded()
+                             : fallback;
+    decision.take = me_scratch_.size();
+  }
+  ++stats_.clusters_allocated;
+
+  std::vector<graph::EdgeId>& to_assign = assign_scratch_;
+  to_assign.clear();
+  for (size_t i = 0; i < decision.take; ++i) {
+    const motif::Match& m = match_list_.match(me_scratch_[i]);
+    to_assign.insert(to_assign.end(), m.edges.begin(), m.edges.end());
+  }
+  std::sort(to_assign.begin(), to_assign.end());
+  to_assign.erase(std::unique(to_assign.begin(), to_assign.end()),
+                  to_assign.end());
+  assert(!to_assign.empty());
+
+  uint64_t edges_assigned = 0;
+  for (graph::EdgeId eid : to_assign) {
+    const stream::StreamEdge* se =
+        eid == evictee->id ? &*evictee : window_.Find(eid);
+    if (se == nullptr) continue;  // already left the window
+    AssignVertex(se->u, decision.partition);
+    AssignVertex(se->v, decision.partition);
+    window_.Remove(eid);
+    ++edges_assigned;
+  }
+  stats_.cluster_edges_assigned += edges_assigned;
+  for (graph::EdgeId eid : to_assign) match_list_.RemoveMatchesWithEdge(eid);
+
+  if (observer() != nullptr) {
+    observer()->OnClusterDecision({decision.partition, me_scratch_.size(),
+                                   decision.take, edges_assigned,
+                                   used_fallback});
+  }
+}
+
+void LoomShardedPartitioner::UpdateWorkload(const query::Workload& workload,
+                                            double decay) {
+  assert(decay >= 0.0 && decay < 1.0);
+  if (decay > 0.0) {
+    trie_->DecaySupports(decay);
+  } else {
+    trie_->DecaySupports(1e-12);
+  }
+  query::Workload normalised = workload;
+  normalised.Normalize();
+  const double new_mass = 1.0 - decay;
+  for (const query::Query& q : normalised.queries()) {
+    trie_->AddQuery(q.pattern, q.frequency * new_mass);
+  }
+  const std::vector<bool> mask = trie_->MotifLabelMask(motif_label_.size());
+  motif_label_.assign(mask.begin(), mask.end());
+  matcher_->InvalidateMotifCache();
+  // The shards' admission memos cache the same motif statuses; they are
+  // quiescent between dispatches, so invalidation here is race-free.
+  for (auto& m : shard_matchers_) m->InvalidateMotifCache();
+}
+
+void LoomShardedPartitioner::Finalize() {
+  while (!window_.empty()) EvictOldest();
+  match_list_.Compact();
+  for (graph::VertexId v = 0; v < seen_.NumSlots(); ++v) {
+    if (!seen_.Known(v) || partitioning_.IsAssigned(v)) continue;
+    AssignVertex(
+        v, partition::LdgHeuristic::ChooseForVertex(v, seen_, partitioning_));
+  }
+}
+
+}  // namespace core
+}  // namespace loom

@@ -1,0 +1,281 @@
+// "loom-sharded": shard-per-thread ingest for the Loom partitioner.
+//
+// The vertex space is hashed into S shards (owner(v) = v mod S). Each shard
+// runs on a dedicated worker thread and owns, for its vertices, the
+// streamed-so-far adjacency slice, the label bookkeeping and a private
+// admission-memo matcher; `IngestBatch` is the fan-out point that posts
+// batch slices to every shard's bounded queue (core/shard_sequencer.h).
+// The calling thread is the *sequencer*: after the fan-out barrier it
+// replays the paper's per-edge decision pipeline — admission branch,
+// window/matcher, equal-opportunism evictions, LDG placements — in exact
+// stream order against shared partition state, reading adjacency through a
+// prefix-filtered NeighborView whose per-vertex visibility cursors advance
+// one edge at a time.
+//
+// Determinism guarantee: the output (assignments, edge-cut, imbalance and
+// the observer event sequence) is BIT-IDENTICAL to single-threaded
+// LoomPartitioner for every S, every batch split and every thread
+// interleaving. The argument is structural:
+//   1. Worker-side work is a pure function of the slice plus shard-owned
+//      state (adjacency appends in stream order, label sets, memoised
+//      admission probes) — no decision state is touched off-sequencer.
+//   2. Dispatch() is a barrier, so the sequencer never runs concurrently
+//      with workers; its reads go through visibility cursors that expose
+//      exactly the adjacency prefix a single-threaded DynamicGraph would
+//      hold at the same stream position (the cursor for edge i's endpoints
+//      is bumped before edge i's decisions, mirroring AddEdge-then-decide).
+//   3. The sequencer's pipeline is the same code path over the same state
+//      transitions as LoomPartitioner (pinned by the differential suite in
+//      tests/sharded_equivalence_test.cc and the TSan CI leg).
+// What parallelises across shards is therefore the graph-build +
+// admission-probe portion of the stream (plus their allocations), while
+// the decision pipeline stays a single sequenced stream — see
+// docs in README.md ("loom-sharded") for how to read the sequencing stats
+// and the scaling expectations this implies.
+
+#ifndef LOOM_CORE_LOOM_SHARDED_H_
+#define LOOM_CORE_LOOM_SHARDED_H_
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/equal_opportunism.h"
+#include "core/loom_partitioner.h"
+#include "core/shard_sequencer.h"
+#include "graph/neighbor_view.h"
+#include "motif/match_list.h"
+#include "motif/motif_matcher.h"
+#include "partition/partitioner.h"
+#include "query/query.h"
+#include "signature/label_values.h"
+#include "signature/signature_calculator.h"
+#include "stream/sliding_window.h"
+
+namespace loom {
+namespace core {
+
+/// Sharding knobs on top of the sequential pipeline's LoomOptions.
+struct LoomShardedOptions {
+  LoomOptions loom;
+
+  /// S: shard worker threads / vertex-space slices (>= 1).
+  uint32_t shards = 4;
+
+  /// Bounded work-queue depth per shard (backpressure for the fan-out).
+  size_t shard_queue_depth = 4;
+
+  /// Edges per fan-out work item (batches are cut into slices this size).
+  size_t slice_edges = 256;
+};
+
+/// One shard's slice of the streamed-so-far graph: labels and adjacency
+/// for vertices with owner(v) == shard, indexed by local id v / S. Written
+/// exclusively by its shard's worker thread during fan-out; read
+/// exclusively by the sequencer between barriers.
+class ShardGraphPart {
+ public:
+  void Reserve(size_t local_slots) {
+    if (labels_.size() < local_slots) {
+      labels_.resize(local_slots, graph::kInvalidLabel);
+      adj_.resize(local_slots);
+    }
+  }
+
+  /// Mirrors DynamicGraph::TouchVertex (idempotent; relabelling asserts).
+  void TouchVertex(graph::VertexId local, graph::LabelId label) {
+    assert(label != graph::kInvalidLabel);
+    if (local >= labels_.size()) {
+      labels_.resize(local + 1, graph::kInvalidLabel);
+      adj_.resize(local + 1);
+    }
+    if (labels_[local] == graph::kInvalidLabel) {
+      labels_[local] = label;
+      ++num_vertices_;
+    } else {
+      assert(labels_[local] == label &&
+             "vertex relabelled with a different label");
+    }
+  }
+
+  /// Mirrors one endpoint's half of DynamicGraph::AddEdge (including the
+  /// first-insert capacity jump; appends stay in stream order per vertex).
+  void Append(graph::VertexId local, graph::VertexId neighbor) {
+    std::vector<graph::VertexId>& a = adj_[local];
+    if (a.capacity() == 0) a.reserve(8);
+    a.push_back(neighbor);
+  }
+
+  bool Known(graph::VertexId local) const {
+    return local < labels_.size() && labels_[local] != graph::kInvalidLabel;
+  }
+
+  size_t LocalSlots() const { return labels_.size(); }
+  size_t NumVertices() const { return num_vertices_; }
+
+  std::span<const graph::VertexId> Prefix(graph::VertexId local,
+                                          uint32_t visible) const {
+    if (local >= adj_.size()) return {};
+    // The determinism guarantee rests on cursor bumps never outrunning the
+    // workers' appends; a violation must fail loudly, not read past the
+    // vector (which would just skew scores — a silent quality bug).
+    assert(visible <= adj_[local].size());
+    return {adj_[local].data(), visible};
+  }
+
+ private:
+  std::vector<graph::LabelId> labels_;
+  std::vector<std::vector<graph::VertexId>> adj_;
+  size_t num_vertices_ = 0;
+};
+
+/// NeighborView over the shard parts. Workers append arbitrarily far ahead
+/// (whole dispatched batches); the sequencer's per-vertex visibility
+/// cursors cut every read back to exactly the prefix a single-threaded
+/// DynamicGraph would contain at the current stream position.
+class ShardedSeenGraph final : public graph::NeighborView {
+ public:
+  explicit ShardedSeenGraph(uint32_t num_shards)
+      : parts_(num_shards), visible_(num_shards) {}
+
+  ShardGraphPart& part(uint32_t shard) { return parts_[shard]; }
+  uint32_t num_shards() const { return static_cast<uint32_t>(parts_.size()); }
+
+  /// Sequencer only: make edge `e`'s two adjacency entries visible (called
+  /// before e's decisions, mirroring Loom's AddEdge-then-decide order).
+  void Advance(graph::VertexId u, graph::VertexId v) {
+    Bump(u);
+    Bump(v);
+  }
+
+  std::span<const graph::VertexId> Neighbors(graph::VertexId v) const override {
+    const uint32_t s = Owner(v);
+    const graph::VertexId local = Local(v);
+    const std::vector<uint32_t>& vis = visible_[s];
+    if (local >= vis.size()) return {};
+    return parts_[s].Prefix(local, vis[local]);
+  }
+
+  bool Known(graph::VertexId v) const {
+    return parts_[Owner(v)].Known(Local(v));
+  }
+
+  /// Max touched vertex id + 1 across all shards (DynamicGraph::NumSlots).
+  size_t NumSlots() const {
+    size_t slots = 0;
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      const size_t local_slots = parts_[s].LocalSlots();
+      if (local_slots == 0) continue;
+      slots = std::max(slots,
+                       (local_slots - 1) * num_shards() + s + 1);
+    }
+    return slots;
+  }
+
+  size_t NumVertices() const {
+    size_t n = 0;
+    for (const ShardGraphPart& p : parts_) n += p.NumVertices();
+    return n;
+  }
+
+  uint32_t Owner(graph::VertexId v) const { return v % num_shards(); }
+  graph::VertexId Local(graph::VertexId v) const {
+    return v / num_shards();
+  }
+
+ private:
+  void Bump(graph::VertexId v) {
+    std::vector<uint32_t>& vis = visible_[Owner(v)];
+    const graph::VertexId local = Local(v);
+    if (local >= vis.size()) vis.resize(local + 1, 0);
+    ++vis[local];
+  }
+
+  std::vector<ShardGraphPart> parts_;
+  std::vector<std::vector<uint32_t>> visible_;  // sequencer-owned cursors
+};
+
+class LoomShardedPartitioner : public partition::Partitioner {
+ public:
+  LoomShardedPartitioner(const LoomShardedOptions& options,
+                         const query::Workload& workload, size_t num_labels);
+  ~LoomShardedPartitioner() override = default;
+
+  void Ingest(const stream::StreamEdge& e) override;
+  /// Fan-out entry point. Single-edge batches (and thus Ingest) run the
+  /// shard work inline on the calling thread — same code, same output, no
+  /// cross-thread round trip for work with no parallelism to extract.
+  void IngestBatch(std::span<const stream::StreamEdge> batch) override;
+  void Finalize() override;
+  void FillProgress(engine::ProgressEvent* progress) const override;
+
+  /// Workload drift, mirroring LoomPartitioner::UpdateWorkload; also
+  /// invalidates every shard's admission memo (safe: shards are quiescent
+  /// between Dispatch barriers).
+  void UpdateWorkload(const query::Workload& workload, double decay = 0.5);
+
+  const partition::Partitioning& partitioning() const override {
+    return partitioning_;
+  }
+  std::string name() const override { return "loom-sharded"; }
+
+  const LoomStats& stats() const { return stats_; }
+  const ShardSequencerStats& sequencer_stats() const { return team_->stats(); }
+  uint32_t num_shards() const { return team_->num_shards(); }
+  size_t WindowSize() const { return window_.size(); }
+  const motif::MatchPool& match_pool() const { return match_list_.pool(); }
+
+ private:
+  /// Worker-side slice handler (runs on shard threads; shard-owned state
+  /// plus this shard's admission cells only).
+  void ProcessSlice(uint32_t shard, const ShardTeam::Slice& slice);
+
+  // Sequencer-side pipeline — same transitions as LoomPartitioner's
+  // IngestWithAdmission / EvictOldest / Finalize, reading adjacency
+  // through seen_. Kept in lockstep with core/loom_partitioner.cc; the
+  // differential suite pins bit-identity.
+  void IngestSequenced(const stream::StreamEdge& e, bool admitted);
+  bool IsDeferred(graph::VertexId v, graph::LabelId label);
+  void AssignVertex(graph::VertexId v, graph::PartitionId p);
+  void AssignImmediately(const stream::StreamEdge& e);
+  void EvictOldest();
+
+  LoomShardedOptions options_;
+  partition::Partitioning partitioning_;
+  ShardedSeenGraph seen_;
+
+  std::unique_ptr<signature::LabelValues> label_values_;
+  std::unique_ptr<signature::SignatureCalculator> calc_;
+  std::unique_ptr<tpstry::Tpstry> trie_;
+  std::unique_ptr<motif::MotifMatcher> matcher_;  // sequencer's matcher
+  std::unique_ptr<EqualOpportunism> allocator_;
+
+  /// Per-shard admission matchers (private memo tables; probed from the
+  /// owning worker thread only).
+  std::vector<std::unique_ptr<motif::MotifMatcher>> shard_matchers_;
+
+  stream::SlidingWindow window_;
+  motif::MatchList match_list_;
+  std::vector<uint8_t> motif_label_;
+  LoomStats stats_;
+  uint64_t edges_since_compact_ = 0;
+
+  // Eviction-path scratch (mirrors LoomPartitioner).
+  std::vector<motif::MatchHandle> me_scratch_;
+  std::vector<graph::EdgeId> assign_scratch_;
+
+  /// Per-batch admission bits, indexed by batch position. Sized by the
+  /// sequencer before dispatch; cell i written only by owner(batch[i].u).
+  std::vector<uint8_t> admit_scratch_;
+
+  /// Last member: joins its workers before anything they reference dies.
+  std::unique_ptr<ShardTeam> team_;
+};
+
+}  // namespace core
+}  // namespace loom
+
+#endif  // LOOM_CORE_LOOM_SHARDED_H_

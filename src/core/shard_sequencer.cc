@@ -1,0 +1,92 @@
+#include "core/shard_sequencer.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace loom {
+namespace core {
+
+ShardTeam::ShardTeam(uint32_t num_shards, size_t queue_depth,
+                     size_t slice_edges, SliceFn fn)
+    : queue_depth_(std::max<size_t>(queue_depth, 1)),
+      slice_edges_(std::max<size_t>(slice_edges, 1)),
+      fn_(std::move(fn)) {
+  assert(num_shards >= 1);
+  workers_.reserve(num_shards);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  // Spawn only after the vector is fully built: a worker that wakes early
+  // must never observe workers_ mid-construction.
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    workers_[s]->thread = std::thread([this, s] { WorkerLoop(s); });
+  }
+}
+
+ShardTeam::~ShardTeam() {
+  for (auto& w : workers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->mu);
+      w->stop = true;
+    }
+    w->work_ready.notify_one();
+  }
+  for (auto& w : workers_) w->thread.join();
+}
+
+void ShardTeam::WorkerLoop(uint32_t shard) {
+  Worker& w = *workers_[shard];
+  for (;;) {
+    Slice slice;
+    {
+      std::unique_lock<std::mutex> lock(w.mu);
+      w.work_ready.wait(lock, [&] { return w.stop || !w.queue.empty(); });
+      if (w.queue.empty()) return;  // stop requested and fully drained
+      slice = w.queue.front();
+      w.queue.pop_front();
+    }
+    // Process outside the lock: slice work only touches shard-owned state,
+    // and the producer may keep posting into the freed slot meanwhile.
+    fn_(shard, slice);
+    {
+      std::lock_guard<std::mutex> lock(w.mu);
+      ++w.done;
+    }
+    w.drained.notify_one();
+  }
+}
+
+void ShardTeam::Post(Worker& w, const Slice& slice) {
+  std::unique_lock<std::mutex> lock(w.mu);
+  if (w.queue.size() >= queue_depth_) {
+    ++stats_.queue_full_stalls;
+    w.drained.wait(lock, [&] { return w.queue.size() < queue_depth_; });
+  }
+  w.queue.push_back(slice);
+  ++w.posted;
+  stats_.max_queue_depth = std::max<uint64_t>(stats_.max_queue_depth,
+                                              w.queue.size());
+  lock.unlock();
+  w.work_ready.notify_one();
+}
+
+void ShardTeam::Dispatch(std::span<const stream::StreamEdge> batch) {
+  ++stats_.batches_dispatched;
+  for (size_t base = 0; base < batch.size(); base += slice_edges_) {
+    const size_t n = std::min(slice_edges_, batch.size() - base);
+    const Slice slice{batch.subspan(base, n), base};
+    for (auto& w : workers_) Post(*w, slice);
+    stats_.slices_posted += workers_.size();
+  }
+  // Sequencing barrier: wait for every shard to drain the whole batch.
+  for (auto& w : workers_) {
+    std::unique_lock<std::mutex> lock(w->mu);
+    if (w->done != w->posted) {
+      ++stats_.barrier_waits;
+      w->drained.wait(lock, [&] { return w->done == w->posted; });
+    }
+  }
+}
+
+}  // namespace core
+}  // namespace loom

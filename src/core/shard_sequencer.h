@@ -1,0 +1,121 @@
+// Thread team + cross-shard sequencing machinery for the sharded Loom
+// backend ("loom-sharded", core/loom_sharded.h).
+//
+// The sharded backend splits every ingest batch into fixed-size slices and
+// posts each slice to every shard's bounded work queue; shard workers scan
+// the slice and perform the work for the vertices they own (adjacency
+// appends, label bookkeeping, admission probes — all pure or shard-local).
+// Dispatch() then acts as the sequencing barrier: it returns only once
+// every shard has drained every slice of the batch, at which point the
+// calling thread (the sequencer) owns all shared state exclusively and
+// replays the decision pipeline in exact stream order. This strict
+// fan-out/sequence alternation is what makes the backend's output
+// bit-identical to single-threaded Loom for every shard count and every
+// thread interleaving: workers never touch decision state, the sequencer
+// never runs concurrently with workers, and worker work is a pure function
+// of the slice plus shard-owned state.
+//
+// The queues are bounded (shard_queue_depth work items per shard) so a
+// sequencer bursting far ahead of a slow shard blocks instead of growing
+// memory without bound; the stall/depth counters feed the backend's
+// sequencing stats (ProgressEvent and LoomShardedPartitioner getters).
+
+#ifndef LOOM_CORE_SHARD_SEQUENCER_H_
+#define LOOM_CORE_SHARD_SEQUENCER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "stream/stream_edge.h"
+
+namespace loom {
+namespace core {
+
+/// Cross-shard sequencing counters. The stall/wait fields depend on thread
+/// timing and are reporting-only; they never influence partitioning state.
+struct ShardSequencerStats {
+  uint64_t batches_dispatched = 0;  // Dispatch() calls
+  uint64_t slices_posted = 0;       // work items enqueued, summed over shards
+  uint64_t queue_full_stalls = 0;   // posts that blocked on a full queue
+  uint64_t barrier_waits = 0;       // dispatches that blocked on the barrier
+  uint64_t max_queue_depth = 0;     // high-water mark of any shard queue
+};
+
+/// S worker threads, each consuming a bounded FIFO of batch slices. Workers
+/// are spawned once and live across Finalize checkpoints (an online stream
+/// has no real end); the destructor drains, stops and joins them.
+class ShardTeam {
+ public:
+  /// A contiguous run of stream edges within one dispatched batch.
+  /// `base` is the offset of the slice's first edge inside that batch (for
+  /// per-batch output arrays such as admission bitmaps); spans stay valid
+  /// for the duration of the Dispatch() call that posted them.
+  struct Slice {
+    std::span<const stream::StreamEdge> edges;
+    size_t base = 0;
+  };
+
+  /// Called on the worker thread of shard `shard` for every slice of every
+  /// dispatched batch, in stream order. Must confine its writes to state
+  /// owned by that shard (plus per-edge output cells owned by that shard);
+  /// two shards are never handed the same cell.
+  using SliceFn = std::function<void(uint32_t shard, const Slice& slice)>;
+
+  /// Spawns `num_shards` (>= 1) workers with `queue_depth` (>= 1) slice
+  /// slots each; batches are cut into slices of `slice_edges` (>= 1) edges.
+  ShardTeam(uint32_t num_shards, size_t queue_depth, size_t slice_edges,
+            SliceFn fn);
+  ~ShardTeam();
+
+  ShardTeam(const ShardTeam&) = delete;
+  ShardTeam& operator=(const ShardTeam&) = delete;
+
+  /// Cuts `batch` into slices, posts every slice to every shard (bounded
+  /// queues; blocks on a full one) and waits until all shards have
+  /// processed all of them. On return the team is quiescent: no worker
+  /// holds a slice, so the caller has exclusive access to all shard state
+  /// until the next Dispatch.
+  void Dispatch(std::span<const stream::StreamEdge> batch);
+
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Snapshot of the sequencing counters (call while quiescent).
+  const ShardSequencerStats& stats() const { return stats_; }
+
+ private:
+  struct Worker {
+    std::mutex mu;
+    std::condition_variable work_ready;  // worker <- producer: slice queued
+    std::condition_variable drained;     // producer <- worker: slice done
+    std::deque<Slice> queue;
+    uint64_t posted = 0;  // slices ever enqueued
+    uint64_t done = 0;    // slices fully processed
+    bool stop = false;
+    std::thread thread;
+  };
+
+  void WorkerLoop(uint32_t shard);
+
+  /// Posts one slice to one shard, blocking while its queue is full.
+  void Post(Worker& w, const Slice& slice);
+
+  const size_t queue_depth_;
+  const size_t slice_edges_;
+  const SliceFn fn_;
+  ShardSequencerStats stats_;  // sequencer-thread only
+  std::vector<std::unique_ptr<Worker>> workers_;
+};
+
+}  // namespace core
+}  // namespace loom
+
+#endif  // LOOM_CORE_SHARD_SEQUENCER_H_

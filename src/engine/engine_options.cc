@@ -181,6 +181,22 @@ const KeyDesc kKeys[] = {
        o.fennel_gamma = x;
        return true;
      }},
+    {"shards", "uint in [1, 256]",
+     [](const EngineOptions& o) { return FormatU64(o.shards); },
+     [](EngineOptions& o, std::string_view v) {
+       uint64_t x;
+       if (!ParseU64(v, &x) || x < 1 || x > 256) return false;
+       o.shards = static_cast<uint32_t>(x);
+       return true;
+     }},
+    {"shard_queue_depth", "uint, >= 1",
+     [](const EngineOptions& o) { return FormatU64(o.shard_queue_depth); },
+     [](EngineOptions& o, std::string_view v) {
+       uint64_t x;
+       if (!ParseU64(v, &x) || x < 1) return false;
+       o.shard_queue_depth = x;
+       return true;
+     }},
 };
 
 std::string KnownKeyList() {

@@ -67,6 +67,13 @@ struct EngineOptions {
   /// Fennel's objective exponent γ (paper evaluation: 1.5).
   double fennel_gamma = 1.5;
 
+  // --------------------------------------------------- loom-sharded knobs
+  /// S: shard worker threads (vertex space hashed v mod S). Output is
+  /// bit-identical to "loom" for every S; see core/loom_sharded.h.
+  uint32_t shards = 4;
+  /// Bounded fan-out work-queue depth per shard (backpressure).
+  uint64_t shard_queue_depth = 4;
+
   friend bool operator==(const EngineOptions&, const EngineOptions&) = default;
 
   /// Sets the field addressed by `key` from its string form. Returns false

@@ -12,6 +12,7 @@
 #include <span>
 #include <vector>
 
+#include "graph/neighbor_view.h"
 #include "graph/types.h"
 
 namespace loom {
@@ -20,7 +21,10 @@ namespace graph {
 /// Adjacency-list labelled graph supporting online edge insertion. Vertex
 /// ids are externally assigned (dense in practice: dataset generators number
 /// vertices 0..n-1); the structure grows to accommodate the largest id seen.
-class DynamicGraph {
+/// Implements NeighborView so the LDG/equal-opportunism scoring cores can
+/// also run over substituted views (see graph/neighbor_view.h); `final` so
+/// direct callers keep devirtualised, inlinable Neighbors() scans.
+class DynamicGraph final : public NeighborView {
  public:
   DynamicGraph() = default;
 
@@ -53,7 +57,7 @@ class DynamicGraph {
 
   LabelId label(VertexId v) const { return labels_[v]; }
 
-  std::span<const VertexId> Neighbors(VertexId v) const {
+  std::span<const VertexId> Neighbors(VertexId v) const override {
     if (v >= adj_.size()) return {};
     return {adj_[v].data(), adj_[v].size()};
   }

@@ -1,0 +1,38 @@
+// Read-only adjacency access for streaming heuristics.
+//
+// LDG's neighbour tallies and equal opportunism's bid terms only ever ask
+// one question of the streamed-so-far graph: "who are v's neighbours right
+// now?". NeighborView is that single-method seam. DynamicGraph implements
+// it directly; the sharded backend substitutes a view over per-shard
+// adjacency slices whose visible prefix tracks the sequencer's position, so
+// the same scoring code sees bit-identical state whether the graph was
+// built inline or by worker threads running ahead of the decisions.
+//
+// The span contract matches DynamicGraph::Neighbors: valid until the next
+// mutation of the underlying storage, entries in insertion (stream) order,
+// duplicates preserved.
+
+#ifndef LOOM_GRAPH_NEIGHBOR_VIEW_H_
+#define LOOM_GRAPH_NEIGHBOR_VIEW_H_
+
+#include <span>
+
+#include "graph/types.h"
+
+namespace loom {
+namespace graph {
+
+class NeighborView {
+ public:
+  virtual ~NeighborView() = default;
+
+  /// Neighbours of `v` in the visible portion of the streamed-so-far graph
+  /// (possibly empty for unknown vertices). Insertion order; duplicate
+  /// edges appear once per insertion.
+  virtual std::span<const VertexId> Neighbors(VertexId v) const = 0;
+};
+
+}  // namespace graph
+}  // namespace loom
+
+#endif  // LOOM_GRAPH_NEIGHBOR_VIEW_H_

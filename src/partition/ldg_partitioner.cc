@@ -58,7 +58,7 @@ graph::PartitionId BestByWeightedCount(const uint32_t* counts,
 }  // namespace
 
 graph::PartitionId LdgHeuristic::ChooseForVertex(
-    graph::VertexId v, const graph::DynamicGraph& neighborhood,
+    graph::VertexId v, const graph::NeighborView& neighborhood,
     const Partitioning& partitioning) {
   CountsBuffer buf;
   uint32_t* counts = buf.Prepare(partitioning.k());
@@ -70,7 +70,7 @@ graph::PartitionId LdgHeuristic::ChooseForVertex(
 }
 
 graph::PartitionId LdgHeuristic::Choose(const stream::StreamEdge& e,
-                                        const graph::DynamicGraph& neighborhood,
+                                        const graph::NeighborView& neighborhood,
                                         const Partitioning& partitioning,
                                         bool* had_signal) {
   CountsBuffer buf;

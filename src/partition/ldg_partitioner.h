@@ -18,8 +18,9 @@
 namespace loom {
 namespace partition {
 
-/// Stateless scoring core, shared between the standalone LDG partitioner and
-/// Loom's immediate-assignment path.
+/// Stateless scoring core, shared between the standalone LDG partitioner,
+/// Loom's immediate-assignment path and the sharded backend's sequencer
+/// (which passes a prefix-filtered NeighborView instead of a DynamicGraph).
 class LdgHeuristic {
  public:
   /// Picks the partition for a single vertex `v` given the streamed-so-far
@@ -27,7 +28,7 @@ class LdgHeuristic {
   /// when every score is zero the least-loaded partition wins (keeps growth
   /// balanced on cold starts).
   static graph::PartitionId ChooseForVertex(graph::VertexId v,
-                                            const graph::DynamicGraph& neighborhood,
+                                            const graph::NeighborView& neighborhood,
                                             const Partitioning& partitioning);
 
   /// Edge-level convenience used by Loom's immediate path: scores the union
@@ -35,7 +36,7 @@ class LdgHeuristic {
   /// If `had_signal` is non-null it is set to false when every partition
   /// scored zero (the choice degenerated to least-loaded).
   static graph::PartitionId Choose(const stream::StreamEdge& e,
-                                   const graph::DynamicGraph& neighborhood,
+                                   const graph::NeighborView& neighborhood,
                                    const Partitioning& partitioning,
                                    bool* had_signal = nullptr);
 };

@@ -1,0 +1,239 @@
+// Randomized stress / property tests for the sharded backend's concurrency
+// machinery (core/shard_sequencer.h, core/loom_sharded.h).
+//
+// The equivalence suite proves bit-identity on clean end-to-end streams;
+// this suite fuzzes the *lifecycle*: seeded random interleavings of
+// IngestBatch (including empty and single-edge batches), per-edge Ingest,
+// mid-stream Finalize checkpoints with resumption, observer subscriptions
+// flipping mid-stream, and workload drift — each schedule replayed against
+// single-threaded loom for bit-identity, under shard counts and queue
+// depths chosen to force queue wraparound and producer backpressure. The
+// ShardTeam itself gets direct stress (thousands of slices through
+// depth-1 queues). Everything here is a first-class TSan target: the CI
+// sanitizer matrix runs this suite under ThreadSanitizer.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "core/loom_sharded.h"
+#include "core/shard_sequencer.h"
+#include "datasets/dataset_registry.h"
+#include "engine/engine.h"
+#include "partition/partition_metrics.h"
+#include "stream/stream_order.h"
+#include "test_util.h"
+
+namespace loom {
+namespace core {
+namespace {
+
+// ------------------------------------------------------------ ShardTeam
+
+TEST(ShardTeamTest, ProcessesEverySliceExactlyOncePerShard) {
+  constexpr uint32_t kShards = 5;
+  std::vector<uint64_t> edges_seen(kShards, 0);  // worker-owned cells
+  std::vector<uint64_t> slices_seen(kShards, 0);
+  ShardTeam team(kShards, /*queue_depth=*/2, /*slice_edges=*/16,
+                 [&](uint32_t shard, const ShardTeam::Slice& slice) {
+                   edges_seen[shard] += slice.edges.size();
+                   ++slices_seen[shard];
+                 });
+
+  std::vector<stream::StreamEdge> batch(1000);
+  for (size_t i = 0; i < batch.size(); ++i) batch[i].id = i;
+  team.Dispatch(batch);
+  team.Dispatch(std::span<const stream::StreamEdge>(batch.data(), 17));
+  team.Dispatch({});  // empty dispatch is a no-op barrier
+
+  // 1000/16 -> 63 slices, + 17/16 -> 2 slices; every shard sees each once.
+  for (uint32_t s = 0; s < kShards; ++s) {
+    EXPECT_EQ(edges_seen[s], 1017u) << s;
+    EXPECT_EQ(slices_seen[s], 65u) << s;
+  }
+  const ShardSequencerStats& stats = team.stats();
+  EXPECT_EQ(stats.batches_dispatched, 3u);
+  EXPECT_EQ(stats.slices_posted, 65u * kShards);
+  EXPECT_LE(stats.max_queue_depth, 2u);
+}
+
+TEST(ShardTeamTest, DepthOneQueueBackpressuresWithoutLossOrDeadlock) {
+  // Tiny queue + tiny slices: the producer must repeatedly block on full
+  // queues and every slice must still arrive, in order, exactly once.
+  constexpr uint32_t kShards = 3;
+  std::vector<uint64_t> next_base(kShards, 0);
+  std::atomic<uint64_t> total{0};
+  ShardTeam team(kShards, /*queue_depth=*/1, /*slice_edges=*/1,
+                 [&](uint32_t shard, const ShardTeam::Slice& slice) {
+                   // Slices of one batch arrive in stream order.
+                   EXPECT_EQ(slice.base, next_base[shard]);
+                   next_base[shard] = slice.base + slice.edges.size();
+                   total.fetch_add(slice.edges.size(),
+                                   std::memory_order_relaxed);
+                 });
+  std::vector<stream::StreamEdge> batch(512);
+  for (int round = 0; round < 4; ++round) {
+    std::fill(next_base.begin(), next_base.end(), 0);
+    team.Dispatch(batch);
+  }
+  EXPECT_EQ(total.load(), 4u * 512u * kShards);
+  EXPECT_GT(team.stats().queue_full_stalls, 0u);
+}
+
+TEST(ShardTeamTest, ConstructDestructWithoutDispatchIsClean) {
+  for (int i = 0; i < 16; ++i) {
+    ShardTeam team(4, 2, 64, [](uint32_t, const ShardTeam::Slice&) {});
+  }
+}
+
+// ------------------------------------------- randomized schedule fuzzing
+
+/// One seeded lifecycle schedule: random batch sizes (occasionally empty,
+/// occasionally per-edge Ingest), random Finalize checkpoints, observer
+/// flipping on/off. Applies the identical schedule to any backend.
+template <typename Step>
+void PlaySchedule(uint64_t seed, const std::vector<stream::StreamEdge>& all,
+                  partition::Partitioner* p, engine::EngineObserver* observer,
+                  Step&& between_steps) {
+  std::mt19937_64 rng(seed);
+  size_t i = 0;
+  bool observed = false;
+  while (i < all.size()) {
+    const uint64_t roll = rng() % 100;
+    if (roll < 4) {
+      p->IngestBatch({});  // empty batch is legal and a no-op
+    } else if (roll < 14) {
+      p->Ingest(all[i]);
+      ++i;
+    } else {
+      const size_t n = std::min<size_t>(1 + rng() % 300, all.size() - i);
+      p->IngestBatch(std::span<const stream::StreamEdge>(all.data() + i, n));
+      i += n;
+    }
+    if (rng() % 10 == 0) p->Finalize();  // checkpoint + resume
+    if (rng() % 7 == 0) {
+      observed = !observed;
+      p->SetObserver(observed ? observer : nullptr);
+    }
+    between_steps(rng());
+  }
+  p->SetObserver(nullptr);
+  p->Finalize();
+}
+
+class ShardedStressTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ShardedStressTest, SeededLifecycleFuzzMatchesLoomBitForBit) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kMusicBrainz, 0.05);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kRandom, 0x57e55);
+  const std::vector<stream::StreamEdge> all(es.begin(), es.end());
+  const engine::EngineOptions options = test_util::OptionsFor(ds);
+
+  for (const uint64_t seed : {uint64_t{1}, uint64_t{0xdead}, uint64_t{77}}) {
+    // Reference: single-threaded loom under the exact same schedule.
+    engine::StatsObserver loom_stats;
+    auto loom = test_util::MakeBackend("loom", options, ds);
+    ASSERT_NE(loom, nullptr);
+    PlaySchedule(seed, all, loom.get(), &loom_stats, [](uint64_t) {});
+
+    engine::StatsObserver sharded_stats;
+    auto sharded = test_util::MakeBackend(GetParam(), options, ds);
+    ASSERT_NE(sharded, nullptr);
+    PlaySchedule(seed, all, sharded.get(), &sharded_stats, [](uint64_t) {});
+
+    EXPECT_EQ(test_util::QualityOf(*sharded, ds),
+              test_util::QualityOf(*loom, ds))
+        << GetParam() << " seed=" << seed;
+    EXPECT_TRUE(partition::FullyAssigned(ds.graph, sharded->partitioning()));
+    // The observer saw identical decision traffic while subscribed (the
+    // schedule flips subscriptions at identical points).
+    EXPECT_EQ(sharded_stats.totals().vertices_assigned,
+              loom_stats.totals().vertices_assigned);
+    EXPECT_EQ(sharded_stats.totals().evictions,
+              loom_stats.totals().evictions);
+    EXPECT_EQ(sharded_stats.totals().cluster_decisions,
+              loom_stats.totals().cluster_decisions);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShardAndQueueSweep, ShardedStressTest,
+    ::testing::Values("loom-sharded:shards=2,shard_queue_depth=1",
+                      "loom-sharded:shards=5,shard_queue_depth=2",
+                      "loom-sharded:shards=8"));
+
+TEST(ShardedStressTest, WorkloadDriftMidStreamMatchesLoom) {
+  // UpdateWorkload between ingests must shift both backends identically —
+  // including every shard's private admission memo.
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  const std::vector<stream::StreamEdge> all(es.begin(), es.end());
+  const engine::EngineOptions options = test_util::OptionsFor(ds);
+
+  // Drifted workload: the same queries reweighted hard toward the tail.
+  query::Workload drifted;
+  {
+    const std::vector<query::Query>& qs = ds.workload.queries();
+    for (size_t i = 0; i < qs.size(); ++i) {
+      drifted.Add(qs[i].name, qs[i].pattern,
+                  1.0 + static_cast<double>(i * i));
+    }
+  }
+
+  auto loom = test_util::MakeBackend("loom", options, ds);
+  auto sharded = test_util::MakeBackend("loom-sharded:shards=3", options, ds);
+  ASSERT_NE(loom, nullptr);
+  ASSERT_NE(sharded, nullptr);
+  auto* loom_core = dynamic_cast<LoomPartitioner*>(loom.get());
+  auto* sharded_core = dynamic_cast<LoomShardedPartitioner*>(sharded.get());
+  ASSERT_NE(loom_core, nullptr);
+  ASSERT_NE(sharded_core, nullptr);
+
+  const size_t half = all.size() / 2;
+  for (partition::Partitioner* p : {loom.get(), sharded.get()}) {
+    p->IngestBatch(std::span<const stream::StreamEdge>(all.data(), half));
+  }
+  loom_core->UpdateWorkload(drifted, 0.3);
+  sharded_core->UpdateWorkload(drifted, 0.3);
+  for (partition::Partitioner* p : {loom.get(), sharded.get()}) {
+    p->IngestBatch(
+        std::span<const stream::StreamEdge>(all.data() + half,
+                                            all.size() - half));
+    p->Finalize();
+  }
+  EXPECT_EQ(test_util::QualityOf(*sharded, ds),
+            test_util::QualityOf(*loom, ds));
+}
+
+TEST(ShardedStressTest, ManyShortLivedBackendsStartAndStopCleanly) {
+  // Thread lifecycle churn: construct, optionally feed a few edges, destroy
+  // — including destruction with no Finalize (workers must join cleanly
+  // whatever state the stream was left in).
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kDblp, 0.02);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  const std::vector<stream::StreamEdge> all(es.begin(), es.end());
+  const engine::EngineOptions options = test_util::OptionsFor(ds, 4, 64);
+
+  std::mt19937_64 rng(99);
+  for (int round = 0; round < 12; ++round) {
+    auto p = test_util::MakeBackend("loom-sharded:shards=4", options, ds);
+    ASSERT_NE(p, nullptr);
+    const size_t n = rng() % std::min<size_t>(all.size(), 500);
+    p->IngestBatch(std::span<const stream::StreamEdge>(all.data(), n));
+    if (rng() % 2 == 0) p->Finalize();
+    // p destroyed here, possibly with a part-full window.
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace loom

@@ -8,12 +8,14 @@
 #include <gtest/gtest.h>
 
 #include "core/loom_partitioner.h"
+#include "core/loom_sharded.h"
 #include "datasets/dataset_registry.h"
 #include "eval/experiment.h"
 #include "partition/fennel_partitioner.h"
 #include "partition/hash_partitioner.h"
 #include "partition/ldg_partitioner.h"
 #include "stream/stream_order.h"
+#include "test_util.h"
 
 namespace loom {
 namespace engine {
@@ -42,6 +44,8 @@ TEST(EngineOptionsTest, EveryKeyRoundTripsFromItsStringForm) {
       {"max_matches_per_vertex", "32"},
       {"compact_interval", "2048"},
       {"fennel_gamma", "1.7"},
+      {"shards", "3"},
+      {"shard_queue_depth", "2"},
   };
   ASSERT_EQ(overrides.size(), EngineOptions::KeyNames().size())
       << "new EngineOptions key without round-trip coverage";
@@ -95,6 +99,9 @@ TEST(EngineOptionsTest, OutOfRangeValuesRejected) {
   EXPECT_FALSE(o.Set("max_imbalance", "0.9", &error));
   EXPECT_FALSE(o.Set("fennel_gamma", "1.0", &error));
   EXPECT_FALSE(o.Set("disable_rationing", "maybe", &error));
+  EXPECT_FALSE(o.Set("shards", "0", &error));
+  EXPECT_FALSE(o.Set("shards", "257", &error));
+  EXPECT_FALSE(o.Set("shard_queue_depth", "0", &error));
   // A failed Set leaves the options untouched.
   EXPECT_EQ(o, EngineOptions());
 }
@@ -114,11 +121,12 @@ TEST(EngineOptionsTest, ApplyOverridesStopsAtFirstError) {
 
 TEST(PartitionerRegistryTest, BuiltinsAreRegistered) {
   auto names = PartitionerRegistry::Global().Names();
-  ASSERT_GE(names.size(), 4u);
+  ASSERT_GE(names.size(), 5u);
   EXPECT_EQ(names[0], "hash");
   EXPECT_EQ(names[1], "ldg");
   EXPECT_EQ(names[2], "fennel");
   EXPECT_EQ(names[3], "loom");
+  EXPECT_EQ(names[4], "loom-sharded");
 }
 
 TEST(PartitionerRegistryTest, UnknownBackendErrorListsRegisteredOnes) {
@@ -131,11 +139,13 @@ TEST(PartitionerRegistryTest, UnknownBackendErrorListsRegisteredOnes) {
 }
 
 TEST(PartitionerRegistryTest, LoomWithoutWorkloadFailsWithActionableError) {
-  std::string error;
-  auto p = PartitionerRegistry::Global().Create("loom", EngineOptions(), {},
-                                                &error);
-  EXPECT_EQ(p, nullptr);
-  EXPECT_NE(error.find("workload"), std::string::npos) << error;
+  for (const char* backend : {"loom", "loom-sharded"}) {
+    std::string error;
+    auto p = PartitionerRegistry::Global().Create(backend, EngineOptions(), {},
+                                                  &error);
+    EXPECT_EQ(p, nullptr) << backend;
+    EXPECT_NE(error.find("workload"), std::string::npos) << error;
+  }
 }
 
 TEST(PartitionerRegistryTest, RegisterRejectsDuplicatesAcceptsNew) {
@@ -162,16 +172,15 @@ TEST(PartitionerRegistryTest,
   const stream::EdgeStream es =
       stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
 
-  EngineOptions options;
-  options.k = 2;
-  options.expected_vertices = ds.NumVertices();
-  options.expected_edges = ds.NumEdges();
-  options.window_size = 6;
+  const EngineOptions options =
+      test_util::OptionsFor(ds, /*k=*/2, /*window_size=*/6);
 
   const partition::PartitionerConfig base = options.BaseConfig();
   core::LoomOptions loom_options;
   loom_options.base = base;
   loom_options.window_size = 6;
+  core::LoomShardedOptions sharded_options;
+  sharded_options.loom = loom_options;
 
   std::vector<std::unique_ptr<partition::Partitioner>> direct;
   direct.push_back(std::make_unique<partition::HashPartitioner>(base));
@@ -179,13 +188,12 @@ TEST(PartitionerRegistryTest,
   direct.push_back(std::make_unique<partition::FennelPartitioner>(base));
   direct.push_back(std::make_unique<core::LoomPartitioner>(
       loom_options, ds.workload, ds.registry.size()));
+  direct.push_back(std::make_unique<core::LoomShardedPartitioner>(
+      sharded_options, ds.workload, ds.registry.size()));
 
-  const BuildContext context{&ds.workload, ds.registry.size()};
   for (auto& d : direct) {
-    std::string error;
-    auto r = PartitionerRegistry::Global().Create(d->name(), options, context,
-                                                  &error);
-    ASSERT_NE(r, nullptr) << error;
+    auto r = test_util::MakeBackend(d->name(), options, ds);
+    ASSERT_NE(r, nullptr);
     for (const stream::StreamEdge& e : es) {
       d->Ingest(e);
       r->Ingest(e);
@@ -281,18 +289,14 @@ TEST(DriveTest, BatchedDriveMatchesPerEdgeIngest) {
   eval::ExperimentConfig cfg;
   cfg.window_size = 256;
   const EngineOptions options = eval::ToEngineOptions(cfg, ds);
-  const BuildContext context{&ds.workload, ds.registry.size()};
-  std::string error;
 
   // Per-edge reference.
-  auto reference = PartitionerRegistry::Global().Create("loom", options,
-                                                        context, &error);
+  auto reference = test_util::MakeBackend("loom", options, ds);
   for (const stream::StreamEdge& e : es) reference->Ingest(e);
   reference->Finalize();
 
   // Batched drive with an awkward batch size.
-  auto driven = PartitionerRegistry::Global().Create("loom", options, context,
-                                                     &error);
+  auto driven = test_util::MakeBackend("loom", options, ds);
   EdgeStreamSource source(es);
   DriveConfig drive_config;
   drive_config.batch_size = 37;
@@ -309,10 +313,7 @@ TEST(DriveTest, ObserverSeesAssignmentsEvictionsAndProgress) {
   eval::ExperimentConfig cfg;
   cfg.window_size = 64;  // small window forces evictions
   const EngineOptions options = eval::ToEngineOptions(cfg, ds);
-  const BuildContext context{&ds.workload, ds.registry.size()};
-  std::string error;
-  auto p = PartitionerRegistry::Global().Create("loom", options, context,
-                                                &error);
+  auto p = test_util::MakeBackend("loom", options, ds);
 
   StatsObserver stats;
   auto source = MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst);
@@ -332,8 +333,7 @@ TEST(DriveTest, ObserverSeesAssignmentsEvictionsAndProgress) {
   EXPECT_EQ(p->observer(), nullptr);
 
   // Baselines emit assigns through the same channel.
-  auto hash = PartitionerRegistry::Global().Create("hash", options, context,
-                                                   &error);
+  auto hash = test_util::MakeBackend("hash", options, ds);
   StatsObserver hash_stats;
   source->Reset();
   Drive(hash.get(), source.get(), &hash_stats);
@@ -350,9 +350,7 @@ TEST(DriveTest, PreAttachedObserverReceivesProgressToo) {
   eval::ExperimentConfig cfg;
   cfg.window_size = 64;
   const EngineOptions options = eval::ToEngineOptions(cfg, ds);
-  std::string error;
-  auto p = PartitionerRegistry::Global().Create(
-      "loom", options, {&ds.workload, ds.registry.size()}, &error);
+  auto p = test_util::MakeBackend("loom", options, ds);
 
   StatsObserver stats;
   p->SetObserver(&stats);

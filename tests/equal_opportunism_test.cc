@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "datasets/workloads.h"
+#include "graph/dynamic_graph.h"
 
 namespace loom {
 namespace core {

@@ -9,6 +9,7 @@
 #include "datasets/dataset_registry.h"
 #include "eval/experiment.h"
 #include "partition/partition_metrics.h"
+#include "test_util.h"
 
 namespace loom {
 namespace eval {
@@ -86,11 +87,18 @@ TEST(IntegrationTest, AllSystemsProduceValidPartitionings) {
   auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kDepthFirst);
   for (System s : AllSystems()) {
     auto p = MakePartitioner(s, ds, FastConfig(stream::StreamOrder::kDepthFirst));
-    for (const auto& e : es) p->Ingest(e);
-    p->Finalize();
+    test_util::RunAll(p.get(), es);
     EXPECT_TRUE(partition::FullyAssigned(ds.graph, p->partitioning()))
         << ToString(s);
   }
+  // The sharded backend rides the same end-to-end check (and, being
+  // bit-identical to loom, the headline quality claims transfer to it).
+  auto sharded = test_util::MakeBackend(
+      "loom-sharded:shards=2",
+      test_util::OptionsFor(ds, 8, /*window_size=*/1000), ds);
+  ASSERT_NE(sharded, nullptr);
+  test_util::RunAll(sharded.get(), es);
+  EXPECT_TRUE(partition::FullyAssigned(ds.graph, sharded->partitioning()));
 }
 
 TEST(IntegrationTest, LoomWindowSizeImprovesQualityUpToAPoint) {

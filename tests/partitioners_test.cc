@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <random>
 #include <tuple>
 
 #include "datasets/dataset_registry.h"
@@ -11,10 +12,13 @@
 #include "partition/ldg_partitioner.h"
 #include "partition/partition_metrics.h"
 #include "stream/stream_order.h"
+#include "test_util.h"
 
 namespace loom {
 namespace partition {
 namespace {
+
+using test_util::RunAll;
 
 PartitionerConfig ConfigFor(const datasets::Dataset& ds, uint32_t k) {
   PartitionerConfig cfg;
@@ -22,11 +26,6 @@ PartitionerConfig ConfigFor(const datasets::Dataset& ds, uint32_t k) {
   cfg.expected_vertices = ds.NumVertices();
   cfg.expected_edges = ds.NumEdges();
   return cfg;
-}
-
-void RunAll(Partitioner* p, const stream::EdgeStream& es) {
-  for (const stream::StreamEdge& e : es) p->Ingest(e);
-  p->Finalize();
 }
 
 // ---------------------------------------------------------------- hash
@@ -190,10 +189,13 @@ INSTANTIATE_TEST_SUITE_P(
                           stream::StreamOrder::kRandom),
         ::testing::Values(2u, 8u, 32u)));
 
-// -------------------------------------------- Finalize contract (all four)
+// -------------------------------------------- Finalize contract (all five)
 //
 // Pins the partitioner.h contract: Finalize is idempotent, and Ingest after
 // Finalize resumes the stream (a later Finalize covers the new vertices).
+// "loom-sharded" runs the same suite: its worker threads live across
+// checkpoints, so these tests double as thread-lifecycle coverage (and as
+// race targets for the TSan CI leg).
 
 class PartitionerContractTest
     : public ::testing::TestWithParam<const char*> {};
@@ -202,14 +204,9 @@ TEST_P(PartitionerContractTest, DoubleFinalizeIsIdempotent) {
   auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
   auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
 
-  engine::EngineOptions options;
-  options.expected_vertices = ds.NumVertices();
-  options.expected_edges = ds.NumEdges();
-  options.window_size = 128;  // window contents force a real drain
-  std::string error;
-  auto p = engine::PartitionerRegistry::Global().Create(
-      GetParam(), options, {&ds.workload, ds.registry.size()}, &error);
-  ASSERT_NE(p, nullptr) << error;
+  // The small OptionsFor window forces a real drain at Finalize.
+  auto p = test_util::MakeBackend(GetParam(), test_util::OptionsFor(ds), ds);
+  ASSERT_NE(p, nullptr);
 
   for (const stream::StreamEdge& e : es) p->Ingest(e);
   p->Finalize();
@@ -227,14 +224,8 @@ TEST_P(PartitionerContractTest, IngestAfterFinalizeResumesTheStream) {
   auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
   ASSERT_GT(es.size(), 100u);
 
-  engine::EngineOptions options;
-  options.expected_vertices = ds.NumVertices();
-  options.expected_edges = ds.NumEdges();
-  options.window_size = 128;
-  std::string error;
-  auto p = engine::PartitionerRegistry::Global().Create(
-      GetParam(), options, {&ds.workload, ds.registry.size()}, &error);
-  ASSERT_NE(p, nullptr) << error;
+  auto p = test_util::MakeBackend(GetParam(), test_util::OptionsFor(ds), ds);
+  ASSERT_NE(p, nullptr);
 
   // Finalize mid-stream (a checkpoint), then keep streaming.
   const size_t half = es.size() / 2;
@@ -249,18 +240,9 @@ TEST_P(PartitionerContractTest, IngestBatchMatchesPerEdgeIngest) {
   auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
   auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
 
-  engine::EngineOptions options;
-  options.expected_vertices = ds.NumVertices();
-  options.expected_edges = ds.NumEdges();
-  options.window_size = 128;
-  std::string error;
-  const engine::BuildContext ctx{&ds.workload, ds.registry.size()};
-  auto per_edge =
-      engine::PartitionerRegistry::Global().Create(GetParam(), options, ctx,
-                                                   &error);
-  auto batched =
-      engine::PartitionerRegistry::Global().Create(GetParam(), options, ctx,
-                                                   &error);
+  const engine::EngineOptions options = test_util::OptionsFor(ds);
+  auto per_edge = test_util::MakeBackend(GetParam(), options, ds);
+  auto batched = test_util::MakeBackend(GetParam(), options, ds);
   ASSERT_NE(per_edge, nullptr);
   ASSERT_NE(batched, nullptr);
 
@@ -280,8 +262,44 @@ TEST_P(PartitionerContractTest, IngestBatchMatchesPerEdgeIngest) {
       << GetParam();
 }
 
+TEST_P(PartitionerContractTest, SeededCheckpointScheduleIsDeterministic) {
+  // Randomized schedule property: random batch sizes interleaved with
+  // mid-stream Finalize checkpoints. Two runs of the same seeded schedule
+  // must agree bit-for-bit, end fully assigned, and re-Finalize stably.
+  // For loom-sharded this is the determinism probe across thread
+  // interleavings — the schedule is fixed, the OS scheduling is not.
+  auto ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  auto es = stream::MakeStream(ds.graph, stream::StreamOrder::kRandom, 0x7ab);
+  const std::vector<stream::StreamEdge> all(es.begin(), es.end());
+  const engine::EngineOptions options = test_util::OptionsFor(ds);
+
+  auto run = [&](uint64_t seed) -> test_util::Quality {
+    std::mt19937_64 rng(seed);
+    auto p = test_util::MakeBackend(GetParam(), options, ds);
+    if (p == nullptr) return {};
+    size_t i = 0;
+    while (i < all.size()) {
+      const size_t n = std::min<size_t>(1 + rng() % 200, all.size() - i);
+      p->IngestBatch(std::span<const stream::StreamEdge>(all.data() + i, n));
+      i += n;
+      if (rng() % 8 == 0) p->Finalize();  // checkpoint, then resume
+    }
+    p->Finalize();
+    EXPECT_TRUE(FullyAssigned(ds.graph, p->partitioning())) << p->name();
+    const test_util::Quality q = test_util::QualityOf(*p, ds);
+    p->Finalize();
+    EXPECT_EQ(test_util::QualityOf(*p, ds), q) << p->name();
+    return q;
+  };
+
+  for (const uint64_t seed : {uint64_t{42}, uint64_t{0xfeed}}) {
+    EXPECT_EQ(run(seed), run(seed)) << GetParam() << " seed=" << seed;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllBackends, PartitionerContractTest,
-                         ::testing::Values("hash", "ldg", "fennel", "loom"));
+                         ::testing::Values("hash", "ldg", "fennel", "loom",
+                                           "loom-sharded"));
 
 }  // namespace
 }  // namespace partition

@@ -1,0 +1,175 @@
+// Differential proof obligation for "loom-sharded" (core/loom_sharded.h):
+// for every shard count S, every stream order and every batch split, the
+// sharded backend's finished partitioning must be BIT-IDENTICAL to
+// single-threaded "loom" — assignment hash, edge-cut and imbalance all
+// equal. Concurrency bugs here are silent quality bugs (a racy adjacency
+// read or an out-of-order eviction just moves vertices, it does not
+// crash), so this suite is the backend's real acceptance gate; the
+// ThreadSanitizer CI leg runs it too.
+//
+// All legs drive through engine::Drive over the lazy pull source, so the
+// facade's batched ingest path is the thing being proven, not a
+// test-private loop. Scales are small (a few thousand edges per dataset)
+// with a small window so eviction/cluster traffic dominates.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "datasets/dataset_registry.h"
+#include "engine/engine.h"
+#include "stream/stream_order.h"
+#include "test_util.h"
+
+namespace loom {
+namespace core {
+namespace {
+
+/// Small-but-eviction-heavy scale per dataset (edges in the low thousands).
+double ScaleFor(datasets::DatasetId id) {
+  switch (id) {
+    case datasets::DatasetId::kLubm100:
+      return 0.04;
+    case datasets::DatasetId::kMusicBrainz:
+      return 0.05;
+    case datasets::DatasetId::kDblp:
+      return 0.04;
+    case datasets::DatasetId::kProvGen:
+    default:
+      return 0.06;
+  }
+}
+
+using EquivalenceParam = std::tuple<datasets::DatasetId, stream::StreamOrder>;
+
+class ShardedEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceParam> {};
+
+TEST_P(ShardedEquivalenceTest, BitIdenticalToLoomAcrossShardsAndBatches) {
+  const auto [dataset, order] = GetParam();
+  const datasets::Dataset ds =
+      datasets::MakeDataset(dataset, ScaleFor(dataset));
+  const engine::EngineOptions options = test_util::OptionsFor(ds);
+  const uint64_t seed = 0x5eed;
+
+  // Reference: single-threaded loom over the same pull path. The reference
+  // batch size is deliberately different from every sharded leg's so the
+  // comparison can never hold "by shared batching accident".
+  const test_util::Quality reference =
+      test_util::DriveSpec("loom", ds, options, order, seed,
+                           /*batch_size=*/97);
+
+  for (const uint32_t shards : {1u, 2u, 4u, 7u}) {
+    for (const size_t batch : {size_t{1}, size_t{64}, size_t{4096}}) {
+      const std::string spec =
+          "loom-sharded:shards=" + std::to_string(shards);
+      const test_util::Quality sharded =
+          test_util::DriveSpec(spec, ds, options, order, seed, batch);
+      EXPECT_EQ(sharded, reference)
+          << spec << " batch_size=" << batch << " on "
+          << datasets::ToString(dataset) << "/" << stream::ToString(order);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasetsAllOrders, ShardedEquivalenceTest,
+    ::testing::Combine(
+        ::testing::Values(datasets::DatasetId::kProvGen,
+                          datasets::DatasetId::kMusicBrainz,
+                          datasets::DatasetId::kLubm100,
+                          datasets::DatasetId::kDblp),
+        ::testing::Values(stream::StreamOrder::kBreadthFirst,
+                          stream::StreamOrder::kDepthFirst,
+                          stream::StreamOrder::kRandom)),
+    [](const auto& info) {
+      std::string name =
+          std::string(datasets::ToString(std::get<0>(info.param))) + "_" +
+          stream::ToString(std::get<1>(info.param));
+      for (char& c : name) {
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      }
+      return name;
+    });
+
+// The per-edge Ingest entry point must match the batch path too (it routes
+// through the same fan-out with batch size 1).
+TEST(ShardedEquivalenceTest, PerEdgeIngestMatchesLoomPerEdgeIngest) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  const engine::EngineOptions options = test_util::OptionsFor(ds);
+
+  auto loom = test_util::MakeBackend("loom", options, ds);
+  auto sharded = test_util::MakeBackend("loom-sharded:shards=3", options, ds);
+  ASSERT_NE(loom, nullptr);
+  ASSERT_NE(sharded, nullptr);
+  test_util::RunAll(loom.get(), es);
+  test_util::RunAll(sharded.get(), es);
+  EXPECT_EQ(test_util::QualityOf(*sharded, ds),
+            test_util::QualityOf(*loom, ds));
+}
+
+// The observer event stream is part of the contract: the sequencer fires
+// the same decision events, in the same order, as single-threaded loom.
+// (Totals comparison; the full ordering is implied by the assignment hash.)
+TEST(ShardedEquivalenceTest, ObserverTotalsMatchLoom) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kMusicBrainz, 0.05);
+  const engine::EngineOptions options = test_util::OptionsFor(ds);
+
+  engine::StatsObserver loom_stats;
+  engine::StatsObserver sharded_stats;
+  auto loom = test_util::MakeBackend("loom", options, ds);
+  auto sharded = test_util::MakeBackend("loom-sharded:shards=4", options, ds);
+  ASSERT_NE(loom, nullptr);
+  ASSERT_NE(sharded, nullptr);
+
+  auto source =
+      engine::MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst, 0x5eed);
+  engine::Drive(loom.get(), source.get(), &loom_stats);
+  source->Reset();
+  engine::Drive(sharded.get(), source.get(), &sharded_stats);
+
+  const auto& a = loom_stats.totals();
+  const auto& b = sharded_stats.totals();
+  EXPECT_EQ(b.vertices_assigned, a.vertices_assigned);
+  EXPECT_EQ(b.evictions, a.evictions);
+  EXPECT_EQ(b.empty_cluster_evictions, a.empty_cluster_evictions);
+  EXPECT_EQ(b.cluster_decisions, a.cluster_decisions);
+  EXPECT_EQ(b.fallback_decisions, a.fallback_decisions);
+  EXPECT_EQ(b.cluster_edges_assigned, a.cluster_edges_assigned);
+  // The loom-only progress fields agree; the sharded backend additionally
+  // reports its sequencing stats through the same event.
+  EXPECT_EQ(b.last_progress.edges_ingested, a.last_progress.edges_ingested);
+  EXPECT_EQ(b.last_progress.edges_bypassed, a.last_progress.edges_bypassed);
+  EXPECT_EQ(b.last_progress.shards, 4u);
+  EXPECT_GT(b.last_progress.shard_slices, 0u);
+  EXPECT_EQ(a.last_progress.shards, 0u);
+}
+
+// Queue depth is a pure backpressure knob: cranking it up or down must not
+// change the output (it only changes how far the fan-out runs ahead).
+TEST(ShardedEquivalenceTest, QueueDepthDoesNotAffectOutput) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kDblp, 0.04);
+  const engine::EngineOptions options = test_util::OptionsFor(ds);
+  const test_util::Quality reference = test_util::DriveSpec(
+      "loom", ds, options, stream::StreamOrder::kRandom, 0xabc, 512);
+  for (const char* spec :
+       {"loom-sharded:shards=4,shard_queue_depth=1",
+        "loom-sharded:shards=4,shard_queue_depth=2",
+        "loom-sharded:shards=4,shard_queue_depth=64"}) {
+    EXPECT_EQ(test_util::DriveSpec(spec, ds, options,
+                                   stream::StreamOrder::kRandom, 0xabc, 512),
+              reference)
+        << spec;
+  }
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace loom

@@ -16,14 +16,17 @@ import sys
 
 
 def index_systems(doc):
-    """(dataset, system) -> record, over the main table and the
-    paper-window loom section."""
+    """(dataset, system) -> record, over the main table, the paper-window
+    loom section and the loom-sharded shard sweep."""
     out = {}
     for d in doc.get("datasets", []):
         for s in d.get("systems", []):
             out[(d["dataset"], s["system"])] = s
     for d in doc.get("loom_paper_window", {}).get("datasets", []):
         out[(d["dataset"], "loom@t10k")] = d["loom"]
+    for d in doc.get("loom_sharded_sweep", {}).get("datasets", []):
+        for s in d.get("sweep", []):
+            out[(d["dataset"], f"sharded@S{s['shards']}")] = s
     return out
 
 

@@ -3,12 +3,14 @@
 // Usage:
 //   loom_partition --graph G.lg --workload Q.lw [--system loom] [--k 8]
 //                  [--order bfs|dfs|random] [--window 10000] [--threshold 0.4]
-//                  [--opt key=value]... [--seed N] [--out assignment.tsv]
-//                  [--evaluate]
+//                  [--shards N] [--opt key=value]... [--seed N]
+//                  [--out assignment.tsv] [--evaluate]
 //
 // Backends are resolved through engine::PartitionerRegistry, so --system
 // accepts any registered name — including inline option specs like
 //   --system "loom:window_size=4000,alpha=0.5"
+// or the shard-per-thread backend (bit-identical output to loom):
+//   --system loom-sharded --shards 8
 // and --opt exposes every EngineOptions key (see --help-opts). Reads the
 // graph (graph/graph_io.h format) and workload (query/workload_io.h
 // format), streams the graph through the chosen partitioner via the
@@ -41,6 +43,7 @@ struct Args {
   uint32_t k = 8;
   size_t window = 10000;
   double threshold = 0.4;
+  uint32_t shards = 0;  // 0 = leave the EngineOptions default
   uint64_t seed = 0x10c5;
   bool evaluate = false;
 };
@@ -49,8 +52,8 @@ void Usage() {
   std::cerr << "usage: loom_partition --graph G.lg --workload Q.lw\n"
                "         [--system NAME | NAME:key=value,...] [--k N]\n"
                "         [--order bfs|dfs|random] [--window N]\n"
-               "         [--threshold F] [--opt key=value]... [--seed N]\n"
-               "         [--out FILE] [--evaluate] [--help-opts]\n"
+               "         [--threshold F] [--shards N] [--opt key=value]...\n"
+               "         [--seed N] [--out FILE] [--evaluate] [--help-opts]\n"
                "backends: ";
   bool first = true;
   for (const std::string& name :
@@ -114,6 +117,10 @@ bool Parse(int argc, char** argv, Args* args) {
       const char* v = need_value("--threshold");
       if (!v) return false;
       args->threshold = std::stod(v);
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      const char* v = need_value("--shards");
+      if (!v) return false;
+      args->shards = static_cast<uint32_t>(std::stoul(v));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       const char* v = need_value("--seed");
       if (!v) return false;
@@ -174,6 +181,7 @@ int main(int argc, char** argv) {
     options.expected_edges = ds.NumEdges();
     options.window_size = args.window;
     options.support_threshold = args.threshold;
+    if (args.shards > 0) options.shards = args.shards;
     std::string error;
     if (!options.ApplyOverrides(args.opts, &error)) {
       std::cerr << "error: " << error << "\n";

@@ -20,7 +20,12 @@
 #
 # In default mode the diff FAILS if partition quality (edge-cut / imbalance
 # / assignment hash) differs from the baseline; throughput changes only
-# warn.
+# warn. The default run also records the loom-sharded shard sweep
+# (S = 1/2/4 at the paper window, eps + speedup vs single-threaded loom +
+# quality triple) into the same JSON; the bench itself aborts if any S
+# diverges from loom's assignment hash. ctest additionally guards the
+# quality triples at tiny scale via the `bench_smoke` test
+# (table2_throughput --smoke vs the committed BENCH_smoke.json).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
