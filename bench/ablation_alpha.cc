@@ -34,7 +34,7 @@ int main() {
     util::TableWriter t({"alpha", "loom ipt", "vs fennel", "imbalance"});
     for (double alpha : {1.0 / 6, 1.0 / 3, 0.5, 2.0 / 3, 5.0 / 6, 1.0}) {
       eval::ExperimentConfig cfg = base;
-      cfg.equal_opportunism.alpha = alpha;
+      cfg.alpha = alpha;
       eval::SystemResult r = eval::RunSystem(eval::System::kLoom, ds, es, cfg);
       t.AddRow({util::TableWriter::Fmt(alpha, 3),
                 util::TableWriter::Fmt(r.weighted_ipt, 0),
@@ -50,7 +50,7 @@ int main() {
     util::TableWriter t({"variant", "loom ipt", "vs fennel", "imbalance"});
     for (bool disable : {false, true}) {
       eval::ExperimentConfig cfg = base;
-      cfg.equal_opportunism.disable_rationing = disable;
+      cfg.disable_rationing = disable;
       eval::SystemResult r = eval::RunSystem(eval::System::kLoom, ds, es, cfg);
       t.AddRow({disable ? "greedy (no rationing)" : "rationed (paper)",
                 util::TableWriter::Fmt(r.weighted_ipt, 0),
@@ -66,7 +66,7 @@ int main() {
     util::TableWriter t({"neighbor bid β", "loom ipt", "vs fennel"});
     for (double beta : {0.0, 0.1, 0.25, 0.5, 1.0}) {
       eval::ExperimentConfig cfg = base;
-      cfg.equal_opportunism.neighbor_bid_weight = beta;
+      cfg.neighbor_bid_weight = beta;
       eval::SystemResult r = eval::RunSystem(eval::System::kLoom, ds, es, cfg);
       t.AddRow({util::TableWriter::Fmt(beta, 2),
                 util::TableWriter::Fmt(r.weighted_ipt, 0),

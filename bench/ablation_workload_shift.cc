@@ -18,7 +18,7 @@
 #include "bench_common.h"
 #include "core/loom_partitioner.h"
 #include "datasets/dataset_registry.h"
-#include "engine/engine.h"
+#include "engine/session.h"
 #include "eval/experiment.h"
 #include "query/workload_runner.h"
 #include "util/table_writer.h"
@@ -52,24 +52,30 @@ double RunVariant(const datasets::Dataset& ds, const stream::EdgeStream& es,
 
   const query::Workload& start_w = oracle ? final_w : initial;
   std::string error;
-  auto p = engine::PartitionerRegistry::Global().Create(
-      "loom", options, {&start_w, ds.registry.size()}, &error);
-  if (p == nullptr) {
+  engine::SessionConfig session_config;
+  session_config.spec = "loom";
+  session_config.options = options;
+  auto session = engine::Session::Create(
+      session_config, {&start_w, ds.registry.size()}, &error);
+  if (session == nullptr) {
     std::cerr << "engine: " << error << "\n";
     std::exit(1);
   }
-  // Workload drift is a Loom-specific capability, reached through the
-  // concrete type; construction still goes through the registry.
-  auto* loom = dynamic_cast<core::LoomPartitioner*>(p.get());
+  // Step the session to the shift point, drift the workload, keep going.
+  // Workload drift is a Loom-specific capability reached through the
+  // session's backend() escape hatch; the run lifecycle stays Session's.
+  engine::EdgeStreamSource source(es);
   const size_t half = es.size() / 2;
-  for (size_t i = 0; i < es.size(); ++i) {
-    if (i == half && adapt) loom->UpdateWorkload(final_w, /*decay=*/0.2);
-    p->Ingest(es[i]);
+  session->IngestSome(source, half);
+  if (adapt) {
+    auto* loom = dynamic_cast<core::LoomPartitioner*>(&session->backend());
+    loom->UpdateWorkload(final_w, /*decay=*/0.2);
   }
-  p->Finalize();
+  session->IngestSome(source, es.size() - half);
+  session->Finish();
   query::ExecutorConfig ex;
   ex.max_seeds = 4000;
-  return query::RunWorkload(ds.graph, p->partitioning(), final_w, ex)
+  return query::RunWorkload(ds.graph, session->partitioning(), final_w, ex)
       .weighted_ipt;
 }
 

@@ -9,7 +9,13 @@
 #include "datasets/dataset_registry.h"
 #include "datasets/workloads.h"
 #include "eval/experiment.h"
+#include "motif/match_list.h"
+#include "motif/motif_matcher.h"
+#include "signature/label_values.h"
+#include "signature/signature_calculator.h"
+#include "stream/sliding_window.h"
 #include "stream/stream_order.h"
+#include "tpstry/tpstry.h"
 
 namespace {
 

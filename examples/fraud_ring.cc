@@ -18,7 +18,7 @@
 #include <iostream>
 
 #include "core/loom_partitioner.h"
-#include "engine/engine.h"
+#include "engine/session.h"
 #include "graph/labeled_graph.h"
 #include "partition/partition_metrics.h"
 #include "query/workload_runner.h"
@@ -86,37 +86,39 @@ int main(int argc, char** argv) {
   workload.Add("shared-device",
                graph::PatternGraph::Path({account, device, account}), 0.20);
 
-  // --- 3. Partition the stream with Loom (via the engine facade) ------
-  engine::EngineOptions options;
-  options.k = 8;
-  options.expected_vertices = g.NumVertices();
-  options.expected_edges = g.NumEdges();
-  options.window_size = 4000;
+  // --- 3. Partition the stream with Loom (one engine::Session) --------
+  engine::SessionConfig config;
+  config.spec = "loom:window_size=4000";
+  config.options.k = 8;
+  config.options.expected_vertices = g.NumVertices();
+  config.options.expected_edges = g.NumEdges();
   std::string error;
-  auto partitioner = engine::BuildPartitioner(
-      "loom", options, {&workload, reg.size()}, &error);
-  if (partitioner == nullptr) {
+  auto run =
+      engine::Session::Create(config, {&workload, reg.size()}, &error);
+  if (run == nullptr) {
     std::cerr << "engine: " << error << "\n";
     return 1;
   }
+  // The trie itself is backend internals — backend() is the documented
+  // escape hatch; the match counts below come from the RunReport.
   core::LoomPartitioner& loom =
-      *dynamic_cast<core::LoomPartitioner*>(partitioner.get());
+      *dynamic_cast<core::LoomPartitioner*>(&run->backend());
 
   auto source =
       engine::MakeEdgeSource(g, stream::StreamOrder::kRandom, /*seed=*/0xF4A1D);
-  engine::Drive(partitioner.get(), source.get());
+  const engine::RunReport report = run->Run(*source);
 
   std::cout << "\nMotifs derived from the workload (T = 40%): "
             << loom.trie().MotifIds().size() << " of "
             << loom.trie().NumNodes() - 1 << " trie nodes\n"
             << "Relay motif instances matched online: "
-            << loom.matcher_stats().extension_matches +
-                   loom.matcher_stats().join_matches
+            << report.Stat("matcher_extension_matches") +
+                   report.Stat("matcher_join_matches")
             << "\n";
 
   // --- 4. Evaluate: would the security workload stay local? -----------
   query::WorkloadResult wr =
-      query::RunWorkload(g, loom.partitioning(), workload);
+      query::RunWorkload(g, run->partitioning(), workload);
   std::cout << "\nSecurity workload over Loom's partitioning:\n";
   util::TableWriter t({"query", "matches", "traversals", "ipt", "ipt ratio"});
   for (const auto& q : wr.per_query) {
@@ -131,7 +133,7 @@ int main(int argc, char** argv) {
   }
   t.Print(std::cout);
   std::cout << "\nPartition imbalance: "
-            << util::TableWriter::Pct(partition::Imbalance(loom.partitioning()))
-            << " across " << options.k << " partitions.\n";
+            << util::TableWriter::Pct(partition::Imbalance(run->partitioning()))
+            << " across " << config.options.k << " partitions.\n";
   return 0;
 }

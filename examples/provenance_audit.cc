@@ -12,9 +12,8 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/loom_partitioner.h"
 #include "datasets/dataset_registry.h"
-#include "engine/engine.h"
+#include "engine/session.h"
 #include "eval/experiment.h"
 #include "query/workload_runner.h"
 #include "util/table_writer.h"
@@ -32,49 +31,50 @@ int main(int argc, char** argv) {
   cfg.k = 8;
   cfg.window_size = 4000;
 
-  // Both backends come out of the registry; the stream is pulled lazily
-  // from an EdgeSource and replayed for the second system.
-  engine::EngineOptions options = eval::ToEngineOptions(cfg, ds);
+  // Both backends run as Sessions over the same replayed lazy EdgeSource;
+  // everything reported below is event-sourced (RunReport) — no backend
+  // getters, no downcasts.
+  engine::SessionConfig session_config;
+  session_config.options = eval::ToEngineOptions(cfg, ds);
   engine::BuildContext context{&ds.workload, ds.registry.size()};
   auto source = engine::MakeEdgeSource(ds, cfg.order, cfg.stream_seed);
   std::string error;
 
-  auto loom_p = engine::PartitionerRegistry::Global().Create("loom", options,
-                                                             context, &error);
-  auto fennel_p = engine::PartitionerRegistry::Global().Create(
-      "fennel", options, context, &error);
-  if (loom_p == nullptr || fennel_p == nullptr) {
+  session_config.spec = "loom";
+  auto loom = engine::Session::Create(session_config, context, &error);
+  session_config.spec = "fennel";
+  auto fennel = engine::Session::Create(session_config, context, &error);
+  if (loom == nullptr || fennel == nullptr) {
     std::cerr << "engine: " << error << "\n";
     return 1;
   }
 
-  engine::StatsObserver events;  // structured decision events, not getters
-  engine::Drive(loom_p.get(), source.get(), &events);
-  auto* loom = dynamic_cast<core::LoomPartitioner*>(loom_p.get());
-
+  const engine::RunReport lr = loom->Run(*source);
   source->Reset();
-  engine::Drive(fennel_p.get(), source.get());
+  fennel->Run(*source);
 
-  const engine::StatsObserver::Totals& t_ev = events.totals();
-  const engine::ProgressEvent& final_progress = t_ev.last_progress;
-  std::cout << "Loom's motif machinery (via EngineObserver):\n"
+  const engine::ProgressEvent& final_progress = lr.events.last_progress;
+  std::cout << "Loom's motif machinery (via the session's RunReport):\n"
             << "  edges bypassing the window (never motif-matchable): "
             << final_progress.edges_bypassed << "\n"
             << "  edges admitted to Ptemp: "
             << final_progress.edges_ingested - final_progress.edges_bypassed
             << "\n"
             << "  multi-edge motif matches found: "
-            << loom->matcher_stats().extension_matches +
-                   loom->matcher_stats().join_matches
+            << lr.Stat("matcher_extension_matches") +
+                   lr.Stat("matcher_join_matches")
             << "\n"
-            << "  match clusters allocated: " << t_ev.cluster_decisions
-            << " (" << t_ev.fallback_decisions << " via LDG fallback, "
-            << t_ev.cluster_edges_assigned << " edges co-located)\n\n";
+            << "  match slots recycled by the pool: "
+            << lr.Stat("match_allocs_reused") << " (vs "
+            << lr.Stat("match_allocs_fresh") << " fresh)\n"
+            << "  match clusters allocated: " << lr.events.cluster_decisions
+            << " (" << lr.events.fallback_decisions << " via LDG fallback, "
+            << lr.events.cluster_edges_assigned << " edges co-located)\n\n";
 
   query::WorkloadResult lw =
-      query::RunWorkload(ds.graph, loom_p->partitioning(), ds.workload);
+      query::RunWorkload(ds.graph, loom->partitioning(), ds.workload);
   query::WorkloadResult fw =
-      query::RunWorkload(ds.graph, fennel_p->partitioning(), ds.workload);
+      query::RunWorkload(ds.graph, fennel->partitioning(), ds.workload);
 
   util::TableWriter t({"query", "freq", "loom ipt", "fennel ipt", "loom wins by"});
   for (size_t i = 0; i < lw.per_query.size(); ++i) {

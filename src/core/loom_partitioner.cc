@@ -119,6 +119,25 @@ void LoomPartitioner::FillProgress(engine::ProgressEvent* progress) const {
   progress->window_population = window_.size();
 }
 
+void FillLoomFinalStats(const motif::MatchPool& pool,
+                        const motif::MatcherStats& m,
+                        engine::FinalStatsEvent* stats) {
+  stats->counters.emplace_back("match_allocs_fresh", pool.fresh_allocations());
+  stats->counters.emplace_back("match_allocs_reused",
+                               pool.reused_allocations());
+  stats->counters.emplace_back("matcher_edges_admitted", m.edges_admitted);
+  stats->counters.emplace_back("matcher_single_edge_matches",
+                               m.single_edge_matches);
+  stats->counters.emplace_back("matcher_extension_matches",
+                               m.extension_matches);
+  stats->counters.emplace_back("matcher_join_matches", m.join_matches);
+  stats->counters.emplace_back("matcher_join_attempts", m.join_attempts);
+}
+
+void LoomPartitioner::FillFinalStats(engine::FinalStatsEvent* stats) const {
+  FillLoomFinalStats(match_list_.pool(), matcher_->stats(), stats);
+}
+
 void LoomPartitioner::EvictOldest() {
   std::optional<stream::StreamEdge> evictee = window_.PopOldest();
   if (!evictee.has_value()) return;

@@ -68,6 +68,14 @@ struct LoomStats {
   uint64_t cluster_edges_assigned = 0;
 };
 
+/// Appends the Loom decision pipeline's deterministic end-of-run counters
+/// (match-pool fresh/reused, matcher totals) in their canonical key order.
+/// Shared by "loom" and "loom-sharded" so their FinalStatsEvent keys can
+/// never drift apart.
+void FillLoomFinalStats(const motif::MatchPool& pool,
+                        const motif::MatcherStats& matcher,
+                        engine::FinalStatsEvent* stats);
+
 class LoomPartitioner : public partition::Partitioner {
  public:
   /// Builds the TPSTry++ from `workload` (frequencies are normalised
@@ -83,6 +91,9 @@ class LoomPartitioner : public partition::Partitioner {
   void IngestBatch(std::span<const stream::StreamEdge> batch) override;
   void Finalize() override;
   void FillProgress(engine::ProgressEvent* progress) const override;
+  /// Match-pool fresh/reused and matcher totals — deterministic counters
+  /// only, keyed "match_allocs_*" / "matcher_*".
+  void FillFinalStats(engine::FinalStatsEvent* stats) const override;
 
   /// Workload drift (paper Sec. 6): decays the existing trie supports to
   /// `decay` of their mass and mixes in `workload` (normalised) with weight

@@ -156,6 +156,15 @@ void LoomShardedPartitioner::FillProgress(
   progress->shard_queue_stalls = seq.queue_full_stalls;
 }
 
+void LoomShardedPartitioner::FillFinalStats(
+    engine::FinalStatsEvent* stats) const {
+  // Same keys and (bit-identical) values as "loom" — the sequencer runs
+  // the identical decision pipeline over its own pool/matcher, and the
+  // shared helper makes key drift impossible; queue/stall numbers are
+  // timing-dependent and deliberately stay out (they ride ProgressEvent).
+  FillLoomFinalStats(match_list_.pool(), matcher_->stats(), stats);
+}
+
 void LoomShardedPartitioner::EvictOldest() {
   std::optional<stream::StreamEdge> evictee = window_.PopOldest();
   if (!evictee.has_value()) return;

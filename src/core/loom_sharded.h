@@ -211,6 +211,9 @@ class LoomShardedPartitioner : public partition::Partitioner {
   void IngestBatch(std::span<const stream::StreamEdge> batch) override;
   void Finalize() override;
   void FillProgress(engine::ProgressEvent* progress) const override;
+  /// Bit-identical keys/values to "loom" (the sequencer runs the same
+  /// pipeline); timing-dependent queue stats stay in ProgressEvent.
+  void FillFinalStats(engine::FinalStatsEvent* stats) const override;
 
   /// Workload drift, mirroring LoomPartitioner::UpdateWorkload; also
   /// invalidates every shard's admission memo (safe: shards are quiescent

@@ -39,51 +39,93 @@ namespace {
 size_t Scaled(size_t base, double scale) {
   return static_cast<size_t>(std::llround(static_cast<double>(base) * scale));
 }
+
+// One source for the id -> scaled generator config mapping, shared by the
+// materialising (MakeDataset) and lazy (EmitDatasetEdges) paths so their
+// RNG streams — and hence their graphs — stay bit-identical.
+DblpConfig DblpConfigFor(double scale) {
+  DblpConfig cfg;
+  cfg.num_papers = Scaled(12000, scale);
+  return cfg;
+}
+
+ProvGenConfig ProvGenConfigFor(double scale) {
+  ProvGenConfig cfg;
+  cfg.num_pages = Scaled(2500, scale);
+  return cfg;
+}
+
+MusicBrainzConfig MusicBrainzConfigFor(double scale) {
+  MusicBrainzConfig cfg;
+  cfg.num_albums = Scaled(18000, scale);
+  return cfg;
+}
+
+LubmConfig LubmConfigFor(DatasetId id, double scale) {
+  LubmConfig cfg;
+  if (id == DatasetId::kLubm4000) {
+    cfg.universities = Scaled(400, scale);
+    cfg.seed = 0x40BA;
+    cfg.name = "lubm-4000";
+  } else {
+    cfg.universities = Scaled(100, scale);
+    cfg.name = "lubm-100";
+  }
+  return cfg;
+}
+
 }  // namespace
+
+void EmitDatasetEdges(DatasetId id, double scale,
+                      graph::LabelRegistry* registry, GraphSink* sink) {
+  if (scale <= 0.0) throw std::invalid_argument("scale must be positive");
+  switch (id) {
+    case DatasetId::kDblp:
+      EmitDblp(DblpConfigFor(scale), registry, sink);
+      return;
+    case DatasetId::kProvGen:
+      EmitProvGen(ProvGenConfigFor(scale), registry, sink);
+      return;
+    case DatasetId::kMusicBrainz:
+      EmitMusicBrainz(MusicBrainzConfigFor(scale), registry, sink);
+      return;
+    case DatasetId::kLubm100:
+    case DatasetId::kLubm4000:
+      EmitLubm(LubmConfigFor(id, scale), registry, sink);
+      return;
+  }
+}
+
+query::Workload WorkloadFor(DatasetId id, graph::LabelRegistry* registry) {
+  switch (id) {
+    case DatasetId::kDblp: return DblpWorkload(registry);
+    case DatasetId::kProvGen: return ProvGenWorkload(registry);
+    case DatasetId::kMusicBrainz: return MusicBrainzWorkload(registry);
+    case DatasetId::kLubm100:
+    case DatasetId::kLubm4000: return LubmWorkload(registry);
+  }
+  return {};
+}
 
 Dataset MakeDataset(DatasetId id, double scale) {
   if (scale <= 0.0) throw std::invalid_argument("scale must be positive");
   Dataset ds;
   switch (id) {
-    case DatasetId::kDblp: {
-      DblpConfig cfg;
-      cfg.num_papers = Scaled(12000, scale);
-      ds = GenerateDblp(cfg);
-      ds.workload = DblpWorkload(&ds.registry);
+    case DatasetId::kDblp:
+      ds = GenerateDblp(DblpConfigFor(scale));
       break;
-    }
-    case DatasetId::kProvGen: {
-      ProvGenConfig cfg;
-      cfg.num_pages = Scaled(2500, scale);
-      ds = GenerateProvGen(cfg);
-      ds.workload = ProvGenWorkload(&ds.registry);
+    case DatasetId::kProvGen:
+      ds = GenerateProvGen(ProvGenConfigFor(scale));
       break;
-    }
-    case DatasetId::kMusicBrainz: {
-      MusicBrainzConfig cfg;
-      cfg.num_albums = Scaled(18000, scale);
-      ds = GenerateMusicBrainz(cfg);
-      ds.workload = MusicBrainzWorkload(&ds.registry);
+    case DatasetId::kMusicBrainz:
+      ds = GenerateMusicBrainz(MusicBrainzConfigFor(scale));
       break;
-    }
-    case DatasetId::kLubm100: {
-      LubmConfig cfg;
-      cfg.universities = Scaled(100, scale);
-      cfg.name = "lubm-100";
-      ds = GenerateLubm(cfg);
-      ds.workload = LubmWorkload(&ds.registry);
+    case DatasetId::kLubm100:
+    case DatasetId::kLubm4000:
+      ds = GenerateLubm(LubmConfigFor(id, scale));
       break;
-    }
-    case DatasetId::kLubm4000: {
-      LubmConfig cfg;
-      cfg.universities = Scaled(400, scale);
-      cfg.seed = 0x40BA;
-      cfg.name = "lubm-4000";
-      ds = GenerateLubm(cfg);
-      ds.workload = LubmWorkload(&ds.registry);
-      break;
-    }
   }
+  ds.workload = WorkloadFor(id, &ds.registry);
   // Generators size entity pools up front (years, topics, agents, ...) and a
   // few pool members may end up unreferenced at small scales; streaming
   // partitioners only see vertices through edges, so compact those away.

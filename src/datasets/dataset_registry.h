@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "datasets/graph_sink.h"
 #include "datasets/schema.h"
 
 namespace loom {
@@ -38,6 +39,19 @@ Dataset MakeDataset(DatasetId id, double scale = 1.0);
 /// The paper's Fig. 1 toy graph G (8 vertices, labels a/b/c/d) plus its
 /// workload; used by the quickstart example and tests.
 Dataset MakeFigure1Dataset();
+
+/// Lazily runs dataset `id`'s generator walk at `scale` into `sink` — the
+/// same configs and RNG streams as MakeDataset, with no graph materialised.
+/// Note MakeDataset additionally normalises the built graph (self-loop /
+/// duplicate dropping, DropIsolatedVertices); a consumer that needs the
+/// exact edge ids MakeDataset's graph would have must replicate that
+/// normalisation (engine::GeneratorEdgeSource does).
+void EmitDatasetEdges(DatasetId id, double scale,
+                      graph::LabelRegistry* registry, GraphSink* sink);
+
+/// The dataset's canonical workload, interned against `registry` (which
+/// must already hold the dataset's labels, in generator order).
+query::Workload WorkloadFor(DatasetId id, graph::LabelRegistry* registry);
 
 }  // namespace datasets
 }  // namespace loom

@@ -8,13 +8,10 @@
 namespace loom {
 namespace datasets {
 
-Dataset GenerateDblp(const DblpConfig& config) {
-  Dataset ds;
-  ds.meta.name = "dblp";
-  ds.meta.real_world_analog = true;
-  ds.meta.description = "Publications & citations (synthetic DBLP analog)";
-
-  auto& reg = ds.registry;
+void EmitDblp(const DblpConfig& config, graph::LabelRegistry* registry,
+              GraphSink* sink) {
+  auto& reg = *registry;
+  GraphSink& b = *sink;
   const graph::LabelId kAuthor = reg.Intern("Author");
   const graph::LabelId kPaper = reg.Intern("Paper");
   const graph::LabelId kVenue = reg.Intern("Venue");
@@ -25,7 +22,6 @@ Dataset GenerateDblp(const DblpConfig& config) {
   const graph::LabelId kEditor = reg.Intern("Editor");
 
   util::Rng rng(config.seed);
-  graph::LabeledGraph::Builder b;
 
   const size_t num_papers = std::max<size_t>(config.num_papers, 50);
   const size_t num_authors = std::max<size_t>(num_papers * 11 / 20, 10);
@@ -79,8 +75,17 @@ Dataset GenerateDblp(const DblpConfig& config) {
     // ~70% of papers carry a topic.
     if (rng.Bernoulli(0.7)) b.AddEdge(paper, topics[rng.Zipf(num_topics, 1.0)]);
   }
+}
 
-  ds.graph = b.Build();
+Dataset GenerateDblp(const DblpConfig& config) {
+  Dataset ds;
+  ds.meta.name = "dblp";
+  ds.meta.real_world_analog = true;
+  ds.meta.description = "Publications & citations (synthetic DBLP analog)";
+
+  BuilderSink sink;
+  EmitDblp(config, &ds.registry, &sink);
+  ds.graph = sink.Build();
   return ds;
 }
 

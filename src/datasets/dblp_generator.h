@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "datasets/graph_sink.h"
 #include "datasets/schema.h"
 
 namespace loom {
@@ -24,6 +25,12 @@ struct DblpConfig {
 
 /// Generates the graph only (workloads are attached by the registry).
 Dataset GenerateDblp(const DblpConfig& config);
+
+/// The generator walk itself: interns labels into `registry` and emits
+/// vertices/edges into `sink` without materialising anything. GenerateDblp
+/// is exactly this walk into a BuilderSink.
+void EmitDblp(const DblpConfig& config, graph::LabelRegistry* registry,
+              GraphSink* sink);
 
 }  // namespace datasets
 }  // namespace loom

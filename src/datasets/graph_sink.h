@@ -1,0 +1,58 @@
+// The emit seam that lets dataset generators run without materialising a
+// graph.
+//
+// Every Table 1 generator is a deterministic walk that interleaves
+// AddVertex/AddEdge calls; before this seam the only consumer of that walk
+// was graph::LabeledGraph::Builder, which forces the full CSR graph into
+// RAM even when the caller only wants the *edge sequence* (streaming
+// experiments, file export). GraphSink abstracts the consumer: the same
+// generator body feeds a BuilderSink (materialised Dataset, as before) or
+// a lightweight collector that keeps just labels + an edge list
+// (engine::GeneratorEdgeSource) — identical RNG draws either way, so the
+// two paths describe bit-identical graphs.
+
+#ifndef LOOM_DATASETS_GRAPH_SINK_H_
+#define LOOM_DATASETS_GRAPH_SINK_H_
+
+#include "graph/labeled_graph.h"
+#include "graph/types.h"
+
+namespace loom {
+namespace datasets {
+
+/// Receives a generator's vertex/edge emission in generation order.
+class GraphSink {
+ public:
+  virtual ~GraphSink() = default;
+
+  /// Registers the next vertex (dense ids, assigned in call order) with its
+  /// label; returns the id the generator should reference it by.
+  virtual graph::VertexId AddVertex(graph::LabelId label) = 0;
+
+  /// Emits an undirected edge between two previously added vertices.
+  /// Generators may be sloppy (duplicates, self-loops) — consumers
+  /// normalise exactly like LabeledGraph::Builder::Build does.
+  virtual void AddEdge(graph::VertexId u, graph::VertexId v) = 0;
+};
+
+/// The materialising consumer: forwards into LabeledGraph::Builder.
+class BuilderSink : public GraphSink {
+ public:
+  graph::VertexId AddVertex(graph::LabelId label) override {
+    return builder_.AddVertex(label);
+  }
+  void AddEdge(graph::VertexId u, graph::VertexId v) override {
+    builder_.AddEdge(u, v);
+  }
+
+  /// Finalises into an immutable graph (dedupe, CSR); see Builder::Build.
+  graph::LabeledGraph Build() { return builder_.Build(); }
+
+ private:
+  graph::LabeledGraph::Builder builder_;
+};
+
+}  // namespace datasets
+}  // namespace loom
+
+#endif  // LOOM_DATASETS_GRAPH_SINK_H_

@@ -8,13 +8,10 @@
 namespace loom {
 namespace datasets {
 
-Dataset GenerateLubm(const LubmConfig& config) {
-  Dataset ds;
-  ds.meta.name = config.name;
-  ds.meta.real_world_analog = false;
-  ds.meta.description = "University records (synthetic LUBM analog)";
-
-  auto& reg = ds.registry;
+void EmitLubm(const LubmConfig& config, graph::LabelRegistry* registry,
+              GraphSink* sink) {
+  auto& reg = *registry;
+  GraphSink& b = *sink;
   const graph::LabelId kUniversity = reg.Intern("University");
   const graph::LabelId kDepartment = reg.Intern("Department");
   const graph::LabelId kFullProfessor = reg.Intern("FullProfessor");
@@ -32,7 +29,6 @@ Dataset GenerateLubm(const LubmConfig& config) {
   const graph::LabelId kChair = reg.Intern("Chair");
 
   util::Rng rng(config.seed);
-  graph::LabeledGraph::Builder b;
 
   // Faculty across all universities, for cross-institution co-authorship —
   // without it each university is an isolated component and any balanced
@@ -146,8 +142,17 @@ Dataset GenerateLubm(const LubmConfig& config) {
                             faculty.end());
     }
   }
+}
 
-  ds.graph = b.Build();
+Dataset GenerateLubm(const LubmConfig& config) {
+  Dataset ds;
+  ds.meta.name = config.name;
+  ds.meta.real_world_analog = false;
+  ds.meta.description = "University records (synthetic LUBM analog)";
+
+  BuilderSink sink;
+  EmitLubm(config, &ds.registry, &sink);
+  ds.graph = sink.Build();
   return ds;
 }
 

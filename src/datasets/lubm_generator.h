@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "datasets/graph_sink.h"
 #include "datasets/schema.h"
 
 namespace loom {
@@ -30,6 +31,11 @@ struct LubmConfig {
 };
 
 Dataset GenerateLubm(const LubmConfig& config);
+
+/// Emit-only path (see graph_sink.h): same walk, no materialised graph —
+/// how LUBM streams at full paper scale without building the graph.
+void EmitLubm(const LubmConfig& config, graph::LabelRegistry* registry,
+              GraphSink* sink);
 
 }  // namespace datasets
 }  // namespace loom

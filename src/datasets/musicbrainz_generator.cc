@@ -8,13 +8,10 @@
 namespace loom {
 namespace datasets {
 
-Dataset GenerateMusicBrainz(const MusicBrainzConfig& config) {
-  Dataset ds;
-  ds.meta.name = "musicbrainz";
-  ds.meta.real_world_analog = true;
-  ds.meta.description = "Music records metadata (synthetic MusicBrainz analog)";
-
-  auto& reg = ds.registry;
+void EmitMusicBrainz(const MusicBrainzConfig& config,
+                     graph::LabelRegistry* registry, GraphSink* sink) {
+  auto& reg = *registry;
+  GraphSink& b = *sink;
   const graph::LabelId kArtist = reg.Intern("Artist");
   const graph::LabelId kAlbum = reg.Intern("Album");
   const graph::LabelId kRecording = reg.Intern("Recording");
@@ -29,7 +26,6 @@ Dataset GenerateMusicBrainz(const MusicBrainzConfig& config) {
   const graph::LabelId kInstrument = reg.Intern("Instrument");
 
   util::Rng rng(config.seed);
-  graph::LabeledGraph::Builder b;
 
   const size_t num_albums = std::max<size_t>(config.num_albums, 50);
   const size_t num_artists = std::max<size_t>(num_albums * 2 / 5, 10);
@@ -101,8 +97,17 @@ Dataset GenerateMusicBrainz(const MusicBrainzConfig& config) {
     }
     if (rng.Bernoulli(0.05)) b.AddEdge(album, series[rng.Zipf(num_series, 1.0)]);
   }
+}
 
-  ds.graph = b.Build();
+Dataset GenerateMusicBrainz(const MusicBrainzConfig& config) {
+  Dataset ds;
+  ds.meta.name = "musicbrainz";
+  ds.meta.real_world_analog = true;
+  ds.meta.description = "Music records metadata (synthetic MusicBrainz analog)";
+
+  BuilderSink sink;
+  EmitMusicBrainz(config, &ds.registry, &sink);
+  ds.graph = sink.Build();
   return ds;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "datasets/graph_sink.h"
 #include "datasets/schema.h"
 
 namespace loom {
@@ -24,6 +25,10 @@ struct MusicBrainzConfig {
 };
 
 Dataset GenerateMusicBrainz(const MusicBrainzConfig& config);
+
+/// Emit-only path (see graph_sink.h): same walk, no materialised graph.
+void EmitMusicBrainz(const MusicBrainzConfig& config,
+                     graph::LabelRegistry* registry, GraphSink* sink);
 
 }  // namespace datasets
 }  // namespace loom

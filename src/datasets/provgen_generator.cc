@@ -8,19 +8,15 @@
 namespace loom {
 namespace datasets {
 
-Dataset GenerateProvGen(const ProvGenConfig& config) {
-  Dataset ds;
-  ds.meta.name = "provgen";
-  ds.meta.real_world_analog = false;
-  ds.meta.description = "Wiki page provenance (PROV entity/activity/agent)";
-
-  auto& reg = ds.registry;
+void EmitProvGen(const ProvGenConfig& config, graph::LabelRegistry* registry,
+                 GraphSink* sink) {
+  auto& reg = *registry;
+  GraphSink& b = *sink;
   const graph::LabelId kEntity = reg.Intern("Entity");
   const graph::LabelId kActivity = reg.Intern("Activity");
   const graph::LabelId kAgent = reg.Intern("Agent");
 
   util::Rng rng(config.seed);
-  graph::LabeledGraph::Builder b;
 
   const size_t num_pages = std::max<size_t>(config.num_pages, 10);
   const size_t num_agents = std::max<size_t>(num_pages / 12, 3);
@@ -56,8 +52,17 @@ Dataset GenerateProvGen(const ProvGenConfig& config) {
                             recent_entities.begin() + 250);
     }
   }
+}
 
-  ds.graph = b.Build();
+Dataset GenerateProvGen(const ProvGenConfig& config) {
+  Dataset ds;
+  ds.meta.name = "provgen";
+  ds.meta.real_world_analog = false;
+  ds.meta.description = "Wiki page provenance (PROV entity/activity/agent)";
+
+  BuilderSink sink;
+  EmitProvGen(config, &ds.registry, &sink);
+  ds.graph = sink.Build();
   return ds;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 
+#include "datasets/graph_sink.h"
 #include "datasets/schema.h"
 
 namespace loom {
@@ -26,6 +27,10 @@ struct ProvGenConfig {
 };
 
 Dataset GenerateProvGen(const ProvGenConfig& config);
+
+/// Emit-only path (see graph_sink.h): same walk, no materialised graph.
+void EmitProvGen(const ProvGenConfig& config, graph::LabelRegistry* registry,
+                 GraphSink* sink);
 
 }  // namespace datasets
 }  // namespace loom

@@ -1,6 +1,7 @@
 #include "engine/edge_source.h"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 namespace loom {
 namespace engine {
@@ -8,7 +9,33 @@ namespace engine {
 GraphEdgeSource::GraphEdgeSource(const graph::LabeledGraph& graph,
                                  std::vector<graph::EdgeId> edge_order)
     : graph_(graph), order_(std::move(edge_order)) {
-  assert(order_.size() == graph_.NumEdges());
+  // A malformed permutation silently streams the wrong graph (skipped or
+  // doubled edges), which corrupts every downstream quality number — so
+  // it is a real error in Release builds too, not a debug assert.
+  if (order_.size() != graph_.NumEdges()) {
+    throw std::invalid_argument(
+        "GraphEdgeSource: edge_order has " + std::to_string(order_.size()) +
+        " entries but the graph has " + std::to_string(graph_.NumEdges()) +
+        " edges (expected a permutation of its edge ids)");
+  }
+  std::vector<bool> seen(order_.size(), false);
+  for (size_t i = 0; i < order_.size(); ++i) {
+    const graph::EdgeId e = order_[i];
+    if (e >= order_.size()) {
+      throw std::invalid_argument(
+          "GraphEdgeSource: edge_order[" + std::to_string(i) + "] = " +
+          std::to_string(e) + " is out of range (graph has " +
+          std::to_string(order_.size()) +
+          " edges; expected a permutation of [0, m))");
+    }
+    if (seen[e]) {
+      throw std::invalid_argument(
+          "GraphEdgeSource: edge_order repeats edge id " + std::to_string(e) +
+          " (position " + std::to_string(i) +
+          "); expected a permutation of [0, m)");
+    }
+    seen[e] = true;
+  }
 }
 
 size_t GraphEdgeSource::NextBatch(std::span<stream::StreamEdge> out) {

@@ -59,8 +59,10 @@ class EdgeSource {
 /// held; labels are attached per batch from the graph.
 class GraphEdgeSource : public EdgeSource {
  public:
-  /// `graph` must outlive the source. `edge_order` is a permutation of the
-  /// graph's edge ids (validated by assert in debug builds).
+  /// `graph` must outlive the source. `edge_order` must be a permutation of
+  /// the graph's edge ids; wrong length, out-of-range ids and duplicates
+  /// throw std::invalid_argument (in Release builds too — a bad permutation
+  /// silently streams the wrong graph).
   GraphEdgeSource(const graph::LabeledGraph& graph,
                   std::vector<graph::EdgeId> edge_order);
 

@@ -200,7 +200,16 @@ DriveResult Drive(partition::Partitioner* partitioner, EdgeSource* source,
   if (config.finalize) partitioner->Finalize();
   result.ms = timer.ElapsedMs();
 
-  if (progress_to != nullptr) emit_progress(/*finalizing=*/true);
+  if (progress_to != nullptr) {
+    emit_progress(/*finalizing=*/true);
+    if (config.finalize) {
+      // The run is complete: hand subscribers the backend's deterministic
+      // end-of-run counters (empty for backends that report none).
+      FinalStatsEvent final_stats;
+      partitioner->FillFinalStats(&final_stats);
+      progress_to->OnFinalStats(final_stats);
+    }
+  }
   if (observer != nullptr) partitioner->SetObserver(previous);
   return result;
 }

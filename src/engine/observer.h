@@ -13,13 +13,18 @@
 // backends (hash/ldg/fennel) emit only on_assign and on_progress; Loom
 // additionally emits on_eviction and on_cluster_decision.
 //
-// This header deliberately depends only on graph/types.h so every layer
-// (partition, core, eval) can include it without cycles.
+// This header deliberately depends only on graph/types.h (plus standard
+// containers) so every layer (partition, core, eval) can include it
+// without cycles.
 
 #ifndef LOOM_ENGINE_OBSERVER_H_
 #define LOOM_ENGINE_OBSERVER_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "graph/types.h"
 
@@ -79,6 +84,38 @@ struct ProgressEvent {
   bool finalizing = false;
 };
 
+/// End-of-drive backend counters, fired once after Finalize. This is how
+/// backend-specific numbers (Loom's match-pool reuse, matcher totals)
+/// reach reports without backend-specific getters: each backend fills a
+/// flat name -> value map (Partitioner::FillFinalStats) and consumers read
+/// the keys they know. Only deterministic counters belong here — values
+/// must be identical across reruns on fixed seeds, because benches diff
+/// them (timing-dependent numbers ride ProgressEvent instead).
+/// The flat counter map final stats travel as (name -> value, in a
+/// backend-chosen stable order).
+using StatCounters = std::vector<std::pair<std::string, uint64_t>>;
+
+/// The named counter, or `fallback` when absent. The one lookup shared by
+/// FinalStatsEvent::Get, RunReport::Stat and eval's SystemResult.
+inline uint64_t FindCounter(const StatCounters& counters,
+                            std::string_view name, uint64_t fallback = 0) {
+  for (const auto& [key, value] : counters) {
+    if (key == name) return value;
+  }
+  return fallback;
+}
+
+struct FinalStatsEvent {
+  /// Counters in a backend-chosen, stable order. Empty for backends with
+  /// nothing to report (hash/ldg/fennel).
+  StatCounters counters;
+
+  /// The named counter, or `fallback` when the backend did not report it.
+  uint64_t Get(std::string_view name, uint64_t fallback = 0) const {
+    return FindCounter(counters, name, fallback);
+  }
+};
+
 /// Subscriber interface. Default implementations ignore every event, so
 /// observers override only what they need.
 class EngineObserver {
@@ -89,6 +126,7 @@ class EngineObserver {
   virtual void OnEviction(const EvictionEvent&) {}
   virtual void OnClusterDecision(const ClusterDecisionEvent&) {}
   virtual void OnProgress(const ProgressEvent&) {}
+  virtual void OnFinalStats(const FinalStatsEvent&) {}
 };
 
 /// Ready-made accumulator: counts every event category and keeps the last
@@ -119,11 +157,16 @@ class StatsObserver : public EngineObserver {
   void OnProgress(const ProgressEvent& e) override {
     totals_.last_progress = e;
   }
+  void OnFinalStats(const FinalStatsEvent& e) override { final_stats_ = e; }
 
   const Totals& totals() const { return totals_; }
 
+  /// The last final-stats event (empty until a drive finalizes).
+  const FinalStatsEvent& final_stats() const { return final_stats_; }
+
  private:
   Totals totals_;
+  FinalStatsEvent final_stats_;
 };
 
 }  // namespace engine

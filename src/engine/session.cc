@@ -1,0 +1,140 @@
+#include "engine/session.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace loom {
+namespace engine {
+
+uint64_t RunReport::Stat(std::string_view name, uint64_t fallback) const {
+  return FindCounter(backend_stats, name, fallback);
+}
+
+void Session::Fanout::OnAssign(const AssignEvent& e) {
+  stats.OnAssign(e);
+  for (io::AssignmentSink* sink : sinks) sink->Append(e.vertex, e.partition);
+  for (EngineObserver* o : observers) o->OnAssign(e);
+}
+
+void Session::Fanout::OnEviction(const EvictionEvent& e) {
+  stats.OnEviction(e);
+  for (EngineObserver* o : observers) o->OnEviction(e);
+}
+
+void Session::Fanout::OnClusterDecision(const ClusterDecisionEvent& e) {
+  stats.OnClusterDecision(e);
+  for (EngineObserver* o : observers) o->OnClusterDecision(e);
+}
+
+void Session::Fanout::OnProgress(const ProgressEvent& e) {
+  stats.OnProgress(e);
+  for (EngineObserver* o : observers) o->OnProgress(e);
+}
+
+void Session::Fanout::OnFinalStats(const FinalStatsEvent& e) {
+  stats.OnFinalStats(e);
+  for (EngineObserver* o : observers) o->OnFinalStats(e);
+}
+
+std::unique_ptr<Session> Session::Create(const SessionConfig& config,
+                                         const BuildContext& context,
+                                         std::string* error) {
+  std::unique_ptr<partition::Partitioner> partitioner =
+      BuildPartitioner(config.spec, config.options, context, error);
+  if (partitioner == nullptr) return nullptr;
+  return std::unique_ptr<Session>(
+      new Session(config, std::move(partitioner)));
+}
+
+Session::Session(const SessionConfig& config,
+                 std::unique_ptr<partition::Partitioner> partitioner)
+    : config_(config), partitioner_(std::move(partitioner)) {
+  partitioner_->SetObserver(&fanout_);
+}
+
+Session::~Session() {
+  if (partitioner_ != nullptr) partitioner_->SetObserver(nullptr);
+}
+
+void Session::AddObserver(EngineObserver* observer) {
+  fanout_.observers.push_back(observer);
+}
+
+void Session::AddSink(io::AssignmentSink* sink) {
+  fanout_.sinks.push_back(sink);
+}
+
+RunReport Session::Run(EdgeSource& source) {
+  // Drive with no drive-local observer: the session's fanout is already
+  // subscribed, so events (including the final progress + final stats)
+  // reach it through the standing subscription.
+  const DriveResult driven =
+      Drive(partitioner_.get(), &source, nullptr, config_.drive);
+  edges_ += driven.edges;
+  ms_ += driven.ms;
+  FlushSinks();
+  return MakeReport();
+}
+
+size_t Session::IngestSome(EdgeSource& source, size_t max_edges) {
+  const size_t batch_cap = std::max<size_t>(config_.drive.batch_size, 1);
+  std::vector<stream::StreamEdge> batch(std::min(batch_cap, max_edges));
+  size_t done = 0;
+  util::Timer timer;
+  while (done < max_edges) {
+    const size_t want = std::min(batch_cap, max_edges - done);
+    const size_t n =
+        source.NextBatch(std::span<stream::StreamEdge>(batch.data(), want));
+    if (n == 0) break;
+    partitioner_->IngestBatch(
+        std::span<const stream::StreamEdge>(batch.data(), n));
+    done += n;
+  }
+  ms_ += timer.ElapsedMs();
+  edges_ += done;
+  return done;
+}
+
+RunReport Session::Finish() {
+  util::Timer timer;
+  partitioner_->Finalize();
+  ms_ += timer.ElapsedMs();
+
+  // Mirror Drive's end-of-run tail for step-driven streams: a finalizing
+  // progress event with lifetime totals, then the final stats.
+  ProgressEvent progress;
+  progress.edges_ingested = edges_;
+  progress.finalizing = true;
+  partitioner_->FillProgress(&progress);
+  fanout_.OnProgress(progress);
+  FinalStatsEvent final_stats;
+  partitioner_->FillFinalStats(&final_stats);
+  fanout_.OnFinalStats(final_stats);
+
+  FlushSinks();
+  return MakeReport();
+}
+
+const partition::Partitioning& Session::partitioning() const {
+  return partitioner_->partitioning();
+}
+
+void Session::FlushSinks() {
+  for (io::AssignmentSink* sink : fanout_.sinks) sink->Flush();
+}
+
+RunReport Session::MakeReport() const {
+  RunReport report;
+  report.backend = partitioner_->name();
+  report.edges = edges_;
+  report.ms = ms_;
+  report.edges_per_sec =
+      ms_ > 0.0 ? 1000.0 * static_cast<double>(edges_) / ms_ : 0.0;
+  report.events = fanout_.stats.totals();
+  report.backend_stats = fanout_.stats.final_stats().counters;
+  return report;
+}
+
+}  // namespace engine
+}  // namespace loom

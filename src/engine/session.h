@@ -1,0 +1,154 @@
+// engine::Session — one object that owns a run's lifecycle.
+//
+// A "run" in this codebase used to be assembled by hand at every call
+// site: build a partitioner from a registry spec, wire an observer, pull
+// an EdgeSource dry through Drive, then reach into the backend for its
+// counters. Session binds all of it — a spec string, typed options, any
+// number of observers and assignment sinks — and hands back a RunReport
+// assembled PURELY from observer events: there is no backend-specific
+// getter anywhere in the report path (the FDB lesson: evaluate over the
+// engine's own event stream, not over privileged peeks into its
+// internals). The eval harness, tools and examples are all clients.
+//
+//   engine::SessionConfig cfg;
+//   cfg.spec = "loom:window_size=4000";
+//   cfg.options.expected_vertices = n;  cfg.options.expected_edges = m;
+//   auto session = engine::Session::Create(cfg, {&workload, num_labels},
+//                                          &error);
+//   io::FileAssignmentSink sink("assignments.tsv");
+//   session->AddSink(&sink);
+//   engine::RunReport report = session->Run(*source);   // any EdgeSource
+//
+// Streams need not end: IngestSome() drives a bounded number of edges (the
+// midstream checkpoint harness steps a stream this way) and Finish()
+// checkpoints whenever the caller chooses.
+
+#ifndef LOOM_ENGINE_SESSION_H_
+#define LOOM_ENGINE_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/engine.h"
+#include "io/assignment_sink.h"
+#include "partition/partitioner.h"
+
+namespace loom {
+namespace engine {
+
+/// Everything a run needs besides the stream itself.
+struct SessionConfig {
+  /// Registry spec: "name" or "name:key=value,..." (see ParseBackendSpec).
+  std::string spec = "loom";
+  /// Base options; the spec's inline overrides win on top.
+  EngineOptions options;
+  /// Batch size / progress cadence for Run and IngestSome.
+  DriveConfig drive;
+};
+
+/// What a finished (or checkpointed) run looked like — event-sourced only.
+struct RunReport {
+  /// The backend's registry name ("loom", "fennel", ...).
+  std::string backend;
+  /// Stream elements ingested across the session's lifetime.
+  uint64_t edges = 0;
+  /// Wall time spent inside ingest + finalize, ms.
+  double ms = 0.0;
+  /// edges / ms, scaled to per-second (0 when nothing was timed).
+  double edges_per_sec = 0.0;
+  /// Accumulated event totals (assignments, evictions, cluster decisions,
+  /// last progress snapshot).
+  StatsObserver::Totals events;
+  /// The backend's deterministic end-of-run counters (FinalStatsEvent);
+  /// empty for backends that report none.
+  StatCounters backend_stats;
+
+  /// The named backend counter, or `fallback` if absent.
+  uint64_t Stat(std::string_view name, uint64_t fallback = 0) const;
+};
+
+class Session {
+ public:
+  /// Builds the backend named by `config.spec` through the global registry.
+  /// Returns nullptr and an actionable `*error` on unknown backends, bad
+  /// overrides or missing context.
+  static std::unique_ptr<Session> Create(const SessionConfig& config,
+                                         const BuildContext& context,
+                                         std::string* error);
+
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Subscribes an external observer for the session's lifetime (events
+  /// fan out to every subscriber in registration order). Not owned.
+  void AddObserver(EngineObserver* observer);
+
+  /// Binds an assignment sink: every OnAssign placement is appended, and
+  /// Run/Finish flush it. Not owned.
+  void AddSink(io::AssignmentSink* sink);
+
+  /// Pulls `source` dry (batched), finalizes, flushes sinks and reports.
+  /// The source is consumed from its current position — Reset() it first
+  /// to replay from the top.
+  RunReport Run(EdgeSource& source);
+
+  /// Ingests up to `max_edges` from `source` without finalizing; returns
+  /// how many were consumed (less only if the source ran dry). This is the
+  /// checkpoint seam: inspect partitioning() between calls, then keep
+  /// going — Finalize is never implied.
+  size_t IngestSome(EdgeSource& source, size_t max_edges);
+
+  /// Checkpoints an IngestSome-driven stream: finalizes, fires the final
+  /// progress + final-stats events (with session-lifetime edge totals),
+  /// flushes sinks and reports. Run() does NOT route through here — its
+  /// end-of-run tail is engine::Drive's (which stamps drive-local counts
+  /// for backends without lifetime totals); both fire the same event kinds
+  /// in the same order.
+  RunReport Finish();
+
+  /// The (possibly partial) partitioning — placement state, not a
+  /// backend-specific getter.
+  const partition::Partitioning& partitioning() const;
+
+  /// Escape hatch to the underlying backend, for callers that knowingly
+  /// step outside the facade (examples poking at Loom's trie, workload
+  /// drift via UpdateWorkload). The report path never uses this.
+  partition::Partitioner& backend() { return *partitioner_; }
+
+ private:
+  /// Fans every event out to the session's stats accumulator, sinks
+  /// (OnAssign) and external observers.
+  class Fanout : public EngineObserver {
+   public:
+    void OnAssign(const AssignEvent& e) override;
+    void OnEviction(const EvictionEvent& e) override;
+    void OnClusterDecision(const ClusterDecisionEvent& e) override;
+    void OnProgress(const ProgressEvent& e) override;
+    void OnFinalStats(const FinalStatsEvent& e) override;
+
+    StatsObserver stats;
+    std::vector<io::AssignmentSink*> sinks;
+    std::vector<EngineObserver*> observers;
+  };
+
+  Session(const SessionConfig& config,
+          std::unique_ptr<partition::Partitioner> partitioner);
+
+  RunReport MakeReport() const;
+  void FlushSinks();
+
+  SessionConfig config_;
+  std::unique_ptr<partition::Partitioner> partitioner_;
+  Fanout fanout_;
+  uint64_t edges_ = 0;
+  double ms_ = 0.0;
+};
+
+}  // namespace engine
+}  // namespace loom
+
+#endif  // LOOM_ENGINE_SESSION_H_

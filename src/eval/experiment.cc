@@ -1,9 +1,14 @@
 #include "eval/experiment.h"
 
 #include <cassert>
+#include <stdexcept>
 
 #include "partition/partition_metrics.h"
 #include "query/workload_runner.h"
+
+// NOTE: deliberately no core/ backend headers and no downcasts to concrete
+// backends in this layer — behavioural counters arrive through
+// engine::Session's RunReport (observer events) only.
 
 namespace loom {
 namespace eval {
@@ -39,6 +44,10 @@ const SystemResult* ComparisonResult::Find(System s) const {
   return nullptr;
 }
 
+uint64_t SystemResult::BackendStat(std::string_view name) const {
+  return engine::FindCounter(backend_stats, name);
+}
+
 engine::EngineOptions ToEngineOptions(const ExperimentConfig& config,
                                       const datasets::Dataset& ds) {
   engine::EngineOptions o;
@@ -47,10 +56,10 @@ engine::EngineOptions ToEngineOptions(const ExperimentConfig& config,
   o.expected_edges = ds.NumEdges();
   o.window_size = config.window_size;
   o.support_threshold = config.support_threshold;
-  o.alpha = config.equal_opportunism.alpha;
-  o.balance_b = config.equal_opportunism.balance_b;
-  o.neighbor_bid_weight = config.equal_opportunism.neighbor_bid_weight;
-  o.disable_rationing = config.equal_opportunism.disable_rationing;
+  o.alpha = config.alpha;
+  o.balance_b = config.balance_b;
+  o.neighbor_bid_weight = config.neighbor_bid_weight;
+  o.disable_rationing = config.disable_rationing;
   return o;
 }
 
@@ -68,39 +77,44 @@ std::unique_ptr<partition::Partitioner> MakePartitioner(
 
 namespace {
 
-SystemResult RunWithPartitioner(std::unique_ptr<partition::Partitioner> p,
-                                System system, const datasets::Dataset& ds,
-                                engine::EdgeSource& source,
-                                const ExperimentConfig& config,
-                                bool run_queries) {
+/// One (spec, dataset, source) cell through engine::Session: build by
+/// spec, replay the source, and read every behavioural counter from the
+/// session's event-sourced RunReport.
+std::optional<SystemResult> RunWithSession(const std::string& spec,
+                                           System system,
+                                           const datasets::Dataset& ds,
+                                           engine::EdgeSource& source,
+                                           const ExperimentConfig& config,
+                                           bool run_queries,
+                                           std::string* error) {
+  engine::SessionConfig session_config;
+  session_config.spec = spec;
+  session_config.options = ToEngineOptions(config, ds);
+  std::unique_ptr<engine::Session> session = engine::Session::Create(
+      session_config, {&ds.workload, ds.registry.size()}, error);
+  if (session == nullptr) return std::nullopt;
+
   SystemResult result;
   result.system = system;
-  result.label = p->name();
   source.Reset();
   // The timed region is the whole batched drive, so producing the stream
   // (lazy synthesis or replay copy) counts as ingest wall-time — the
   // honest number for a *streaming* partitioner, and within run-to-run
   // noise of the pre-facade loop even for the hash baseline.
-  const engine::DriveResult driven = engine::Drive(p.get(), &source);
-  result.partition_ms = driven.ms;
+  const engine::RunReport report = session->Run(source);
+  result.label = report.backend;
+  result.partition_ms = report.ms;
   result.ms_per_10k_edges =
-      driven.edges == 0 ? 0.0
+      report.edges == 0 ? 0.0
                         : result.partition_ms * 10000.0 /
-                              static_cast<double>(driven.edges);
+                              static_cast<double>(report.edges);
+  result.edges_per_sec = report.edges_per_sec;
+  result.backend_stats = report.backend_stats;
 
-  result.edges_per_sec = result.partition_ms > 0.0
-                             ? 1000.0 * static_cast<double>(driven.edges) /
-                                   result.partition_ms
-                             : 0.0;
-
-  const partition::Partitioning& partitioning = p->partitioning();
+  const partition::Partitioning& partitioning = session->partitioning();
   result.edge_cut = partition::EdgeCut(ds.graph, partitioning);
   result.imbalance = partition::Imbalance(partitioning);
   result.assignment_hash = HashAssignment(partitioning, ds.NumVertices());
-  if (const auto* loom = dynamic_cast<const core::LoomPartitioner*>(p.get())) {
-    result.match_allocs_fresh = loom->match_pool().fresh_allocations();
-    result.match_allocs_reused = loom->match_pool().reused_allocations();
-  }
 
   if (run_queries) {
     query::WorkloadResult wr = query::RunWorkload(ds.graph, partitioning,
@@ -114,8 +128,17 @@ SystemResult RunWithPartitioner(std::unique_ptr<partition::Partitioner> p,
 SystemResult RunCommon(System system, const datasets::Dataset& ds,
                        engine::EdgeSource& source,
                        const ExperimentConfig& config, bool run_queries) {
-  return RunWithPartitioner(MakePartitioner(system, ds, config), system, ds,
-                            source, config, run_queries);
+  std::string error;
+  std::optional<SystemResult> result = RunWithSession(
+      ToString(system), system, ds, source, config, run_queries, &error);
+  if (!result.has_value()) {
+    // The paper systems are pre-registered, so this is always a harness
+    // bug — fail loudly rather than let a zeroed SystemResult pose as a
+    // measurement in a comparison table (asserts vanish under NDEBUG).
+    throw std::runtime_error("eval: building '" + ToString(system) +
+                             "' failed: " + error);
+  }
+  return std::move(*result);
 }
 
 }  // namespace
@@ -151,18 +174,13 @@ std::optional<SystemResult> RunBackendTimingOnly(const std::string& spec,
                                                  engine::EdgeSource& source,
                                                  const ExperimentConfig& config,
                                                  std::string* error) {
-  const engine::BuildContext context{&ds.workload, ds.registry.size()};
-  std::unique_ptr<partition::Partitioner> p = engine::BuildPartitioner(
-      spec, ToEngineOptions(config, ds), context, error);
-  if (p == nullptr) return std::nullopt;
-
-  System system = System::kHash;
+  std::optional<SystemResult> result = RunWithSession(
+      spec, System::kHash, ds, source, config, /*run_queries=*/false, error);
+  if (!result.has_value()) return std::nullopt;
   for (System s : AllSystems()) {
-    if (ToString(s) == p->name()) system = s;
+    if (ToString(s) == result->label) result->system = s;
   }
-  SystemResult result = RunWithPartitioner(std::move(p), system, ds, source,
-                                           config, /*run_queries=*/false);
-  result.label = spec;
+  result->label = spec;
   return result;
 }
 

@@ -2,9 +2,11 @@
 // in a chosen order through each partitioner, then execute the dataset's
 // workload over the finished partitioning and count ipt.
 //
-// All construction goes through engine::PartitionerRegistry and ingest goes
-// through engine::Drive over a pull-based EdgeSource — the harness is a
-// client of the facade, not a fifth construction path.
+// Every run goes through engine::Session — construction by registry spec,
+// ingest over a pull-based EdgeSource, and behavioural counters consumed
+// exclusively from the session's RunReport (observer events). This layer
+// holds no backend headers and never downcasts to a concrete backend:
+// what a backend wants reported, it reports through the event stream.
 
 #ifndef LOOM_EVAL_EXPERIMENT_H_
 #define LOOM_EVAL_EXPERIMENT_H_
@@ -12,11 +14,12 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
-#include "core/loom_partitioner.h"
 #include "datasets/schema.h"
-#include "engine/engine.h"
+#include "engine/session.h"
 #include "partition/partitioner.h"
 #include "query/query_executor.h"
 #include "stream/stream_order.h"
@@ -39,7 +42,13 @@ struct ExperimentConfig {
   /// Loom knobs (base.k / expected sizes are filled from the dataset).
   size_t window_size = 10000;
   double support_threshold = 0.4;
-  core::EqualOpportunismConfig equal_opportunism;
+
+  /// Equal-opportunism knobs, mirroring the engine's flat option fields
+  /// (defaults match EngineOptions; see engine_options.h for semantics).
+  double alpha = 2.0 / 3.0;
+  double balance_b = 1.1;
+  double neighbor_bid_weight = 0.25;
+  bool disable_rationing = false;
 
   /// Query-executor caps (identical across systems: fair relative ipt).
   query::ExecutorConfig executor{.max_seeds = 4000,
@@ -63,11 +72,15 @@ struct SystemResult {
   /// FNV-1a over the per-vertex assignment — lets perf regressions prove
   /// they changed nothing about partition quality on fixed seeds.
   uint64_t assignment_hash = 0;
-  /// Loom-only pooled-match stats (0 for other systems): slab slots created
-  /// from scratch vs recycled (each recycle is a shared_ptr-era allocation
-  /// avoided).
-  uint64_t match_allocs_fresh = 0;
-  uint64_t match_allocs_reused = 0;
+  /// The backend's deterministic end-of-run counters, verbatim from the
+  /// session's final-stats observer event: Loom reports match-pool
+  /// fresh/reused and matcher totals under "match_allocs_*"/"matcher_*";
+  /// backends that report nothing leave it empty. No more per-backend
+  /// magic-zero fields.
+  engine::StatCounters backend_stats;
+
+  /// The named backend counter, or 0 when the backend did not report it.
+  uint64_t BackendStat(std::string_view name) const;
 };
 
 /// FNV-1a over the first `num_vertices` assignments.

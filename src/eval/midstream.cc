@@ -1,7 +1,9 @@
 #include "eval/midstream.h"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "engine/session.h"
 #include "query/workload_runner.h"
 
 namespace loom {
@@ -53,37 +55,46 @@ MidstreamResult RunLoomMidstream(const datasets::Dataset& ds,
   MidstreamResult result;
   if (es.empty() || config.num_checkpoints == 0) return result;
 
+  // Step a Session up to each checkpoint (IngestSome never finalizes — the
+  // window must stay populated, that is the point of this harness) and
+  // evaluate the prefix graph with Ptemp as an extra partition.
   std::string error;
-  const engine::BuildContext context{&ds.workload, ds.registry.size()};
-  std::unique_ptr<partition::Partitioner> loom =
-      engine::PartitionerRegistry::Global().Create("loom", options, context,
-                                                   &error);
+  engine::SessionConfig session_config;
+  session_config.spec = "loom";
+  session_config.options = options;
+  std::unique_ptr<engine::Session> session = engine::Session::Create(
+      session_config, {&ds.workload, ds.registry.size()}, &error);
+  if (session == nullptr) {
+    // A zero-checkpoint result would read as "ipt = 0", i.e. a perfect
+    // partitioning — surface the configuration failure instead.
+    throw std::runtime_error("midstream: building 'loom' failed: " + error);
+  }
+  engine::EdgeStreamSource source(es);
+
   const size_t stride =
       std::max<size_t>(es.size() / config.num_checkpoints, 1);
 
-  size_t next_checkpoint = stride;
-  for (size_t i = 0; i < es.size(); ++i) {
-    loom->Ingest(es[i]);
-    const bool at_stride = i + 1 == next_checkpoint;
-    const bool at_end =
-        i + 1 == es.size() &&
-        (result.checkpoints.empty() ||
-         result.checkpoints.back().edges_streamed != i + 1);
-    if (at_stride || at_end) {
-      next_checkpoint += stride;
-      graph::LabeledGraph prefix = PrefixGraph(ds, es, i + 1);
-      size_t in_ptemp = 0, touched = 0;
-      partition::Partitioning view =
-          WithPtemp(loom->partitioning(), prefix, &in_ptemp, &touched);
-      query::WorkloadResult wr =
-          query::RunWorkload(prefix, view, ds.workload, config.executor);
-      CheckpointResult cp;
-      cp.edges_streamed = i + 1;
-      cp.weighted_ipt = wr.weighted_ipt;
-      cp.ptemp_share =
-          touched > 0 ? static_cast<double>(in_ptemp) / touched : 0.0;
-      result.checkpoints.push_back(cp);
-    }
+  size_t streamed = 0;
+  while (streamed < es.size()) {
+    const size_t want = std::min(stride, es.size() - streamed);
+    const size_t got = session->IngestSome(source, want);
+    streamed += got;
+    if (got == 0) break;  // source dry before the arithmetic says so
+    const bool at_end = streamed == es.size();
+    const bool checkpoint_here = got == want || at_end;
+    if (!checkpoint_here) continue;
+    graph::LabeledGraph prefix = PrefixGraph(ds, es, streamed);
+    size_t in_ptemp = 0, touched = 0;
+    partition::Partitioning view =
+        WithPtemp(session->partitioning(), prefix, &in_ptemp, &touched);
+    query::WorkloadResult wr =
+        query::RunWorkload(prefix, view, ds.workload, config.executor);
+    CheckpointResult cp;
+    cp.edges_streamed = streamed;
+    cp.weighted_ipt = wr.weighted_ipt;
+    cp.ptemp_share =
+        touched > 0 ? static_cast<double>(in_ptemp) / touched : 0.0;
+    result.checkpoints.push_back(cp);
   }
 
   double total = 0.0;

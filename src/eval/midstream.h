@@ -46,9 +46,10 @@ struct MidstreamResult {
   double mean_weighted_ipt = 0.0;
 };
 
-/// Streams `es` through a fresh registry-built Loom configured by
-/// `options`, evaluating at checkpoints. `ds` supplies labels and the
-/// workload.
+/// Steps `es` through a fresh "loom" engine::Session configured by
+/// `options` (IngestSome to each checkpoint — never finalizing, so Ptemp
+/// stays populated), evaluating at checkpoints. `ds` supplies labels and
+/// the workload.
 MidstreamResult RunLoomMidstream(const datasets::Dataset& ds,
                                  const stream::EdgeStream& es,
                                  const engine::EngineOptions& options,

@@ -1,0 +1,30 @@
+#include "io/assignment_sink.h"
+
+#include <stdexcept>
+
+namespace loom {
+namespace io {
+
+FileAssignmentSink::FileAssignmentSink(const std::string& path)
+    : path_(path), out_(path, std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("assignment sink: cannot write '" + path_ + "'");
+  }
+}
+
+void FileAssignmentSink::Append(graph::VertexId vertex,
+                                graph::PartitionId partition) {
+  out_ << vertex << '\t' << partition << '\n';
+  ++written_;
+}
+
+void FileAssignmentSink::Flush() {
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("assignment sink: write failed on '" + path_ +
+                             "'");
+  }
+}
+
+}  // namespace io
+}  // namespace loom

@@ -1,0 +1,95 @@
+// Assignment sinks: where a run's vertex placements land.
+//
+// Partitioners report each placement exactly once through the observer
+// on_assign path (partition/partitioner.h, AssignAndNotify); a sink is the
+// durable end of that pipe. engine::Session forwards every AssignEvent to
+// its bound sinks, so a run can persist assignments while streaming —
+// nothing buffers the full vertex set unless the sink chooses to.
+//
+// Implementations:
+//   * FileAssignmentSink   — "<vertex>\t<partition>" lines in assignment
+//                            order (the format loom_partition emits and
+//                            downstream tooling already consumes).
+//   * MemoryAssignmentSink — in-memory record, for tests and callers that
+//                            post-process placements.
+
+#ifndef LOOM_IO_ASSIGNMENT_SINK_H_
+#define LOOM_IO_ASSIGNMENT_SINK_H_
+
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/observer.h"
+#include "graph/types.h"
+
+namespace loom {
+namespace io {
+
+/// Receives (vertex, partition) placements in assignment order.
+class AssignmentSink {
+ public:
+  virtual ~AssignmentSink() = default;
+
+  /// One vertex's permanent placement. Fired once per vertex.
+  virtual void Append(graph::VertexId vertex, graph::PartitionId partition) = 0;
+
+  /// Durability point: flush buffered state. Called by Session at the end
+  /// of a run; default is a no-op.
+  virtual void Flush() {}
+};
+
+/// Tab-separated "<vertex>\t<partition>" lines, one per assignment, in
+/// assignment (stream) order. Throws std::runtime_error if the path cannot
+/// be opened or a write fails on Flush.
+class FileAssignmentSink : public AssignmentSink {
+ public:
+  explicit FileAssignmentSink(const std::string& path);
+
+  void Append(graph::VertexId vertex, graph::PartitionId partition) override;
+  void Flush() override;
+
+  uint64_t assignments_written() const { return written_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  uint64_t written_ = 0;
+};
+
+/// Buffers placements in arrival order.
+class MemoryAssignmentSink : public AssignmentSink {
+ public:
+  void Append(graph::VertexId vertex, graph::PartitionId partition) override {
+    assignments_.emplace_back(vertex, partition);
+  }
+
+  const std::vector<std::pair<graph::VertexId, graph::PartitionId>>&
+  assignments() const {
+    return assignments_;
+  }
+
+ private:
+  std::vector<std::pair<graph::VertexId, graph::PartitionId>> assignments_;
+};
+
+/// Observer adapter: forwards OnAssign events into a sink. Session wires
+/// this up internally; standalone engine::Drive callers can attach one
+/// directly.
+class AssignmentSinkObserver : public engine::EngineObserver {
+ public:
+  explicit AssignmentSinkObserver(AssignmentSink* sink) : sink_(sink) {}
+
+  void OnAssign(const engine::AssignEvent& e) override {
+    sink_->Append(e.vertex, e.partition);
+  }
+
+ private:
+  AssignmentSink* sink_;
+};
+
+}  // namespace io
+}  // namespace loom
+
+#endif  // LOOM_IO_ASSIGNMENT_SINK_H_

@@ -75,6 +75,13 @@ class Partitioner {
   /// Baselines track nothing extra and keep the zeros.
   virtual void FillProgress(engine::ProgressEvent*) const {}
 
+  /// Appends this backend's deterministic end-of-run counters (name ->
+  /// value, stable order) to `stats`; engine::Drive fires the event after
+  /// Finalize. Only values that are identical across reruns on fixed seeds
+  /// belong here — reports and bench baselines diff them. Baselines have
+  /// nothing to report.
+  virtual void FillFinalStats(engine::FinalStatsEvent*) const {}
+
  protected:
   /// First-writer-wins assignment that reports the placement actually used
   /// (after capacity diversion) to the observer. All backends route their

@@ -1,5 +1,7 @@
 #include "stream/stream_order.h"
 
+#include <numeric>
+
 #include "graph/graph_algos.h"
 #include "util/rng.h"
 
@@ -11,8 +13,18 @@ std::string ToString(StreamOrder order) {
     case StreamOrder::kBreadthFirst: return "bfs";
     case StreamOrder::kDepthFirst: return "dfs";
     case StreamOrder::kRandom: return "random";
+    case StreamOrder::kCanonical: return "canonical";
   }
   return "?";
+}
+
+bool ParseStreamOrder(std::string_view name, StreamOrder* out) {
+  if (name == "bfs") *out = StreamOrder::kBreadthFirst;
+  else if (name == "dfs") *out = StreamOrder::kDepthFirst;
+  else if (name == "random") *out = StreamOrder::kRandom;
+  else if (name == "canonical") *out = StreamOrder::kCanonical;
+  else return false;
+  return true;
 }
 
 std::vector<graph::EdgeId> EdgeOrderFor(const graph::LabeledGraph& g,
@@ -25,6 +37,11 @@ std::vector<graph::EdgeId> EdgeOrderFor(const graph::LabeledGraph& g,
     case StreamOrder::kRandom: {
       util::Rng rng(seed);
       return graph::RandomEdgeOrder(g, &rng);
+    }
+    case StreamOrder::kCanonical: {
+      std::vector<graph::EdgeId> order_ids(g.NumEdges());
+      std::iota(order_ids.begin(), order_ids.end(), 0);
+      return order_ids;
     }
   }
   return {};

@@ -5,6 +5,7 @@
 #define LOOM_STREAM_STREAM_ORDER_H_
 
 #include <string>
+#include <string_view>
 
 #include "graph/labeled_graph.h"
 #include "stream/edge_stream.h"
@@ -12,15 +13,21 @@
 namespace loom {
 namespace stream {
 
-/// The three arrival orders from the paper's evaluation.
+/// The three arrival orders from the paper's evaluation, plus the
+/// canonical (builder edge-id) order — the order file exports and the lazy
+/// generator sources stream in, since it needs no adjacency to compute.
 enum class StreamOrder {
   kBreadthFirst,
   kDepthFirst,
   kRandom,
+  kCanonical,
 };
 
-/// Name for reports ("bfs" / "dfs" / "random").
+/// Name for reports ("bfs" / "dfs" / "random" / "canonical").
 std::string ToString(StreamOrder order);
+
+/// Parses the ToString names; false on anything else.
+bool ParseStreamOrder(std::string_view name, StreamOrder* out);
 
 /// The arrival permutation of g's edge ids under `order`. `seed` only
 /// matters for kRandom; BFS/DFS orders are fully determined by the graph.

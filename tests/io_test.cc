@@ -1,0 +1,311 @@
+// loom::io coverage: edge-stream write -> read round trips for both
+// formats (byte-exact determinism, header metadata, label tables), the
+// actionable error paths (bad magic, unsupported version, truncation,
+// checksum drift, label-space mismatch), and the assignment sinks.
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/dataset_registry.h"
+#include "engine/edge_source.h"
+#include "io/assignment_sink.h"
+#include "io/edge_stream_io.h"
+#include "stream/stream_order.h"
+
+namespace loom {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path TempDir() {
+  const fs::path dir = fs::path(testing::TempDir()) / "loom_io_test";
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<stream::StreamEdge> Drain(engine::EdgeSource& source) {
+  std::vector<stream::StreamEdge> out;
+  std::vector<stream::StreamEdge> batch(57);  // deliberately odd
+  for (;;) {
+    const size_t n = source.NextBatch(batch);
+    if (n == 0) break;
+    out.insert(out.end(), batch.begin(), batch.begin() + n);
+  }
+  return out;
+}
+
+std::string FileBytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+struct Written {
+  fs::path path;
+  datasets::Dataset ds;
+  std::vector<stream::StreamEdge> expected;
+};
+
+Written WriteDataset(io::StreamFormat format, const std::string& filename) {
+  Written w;
+  w.path = TempDir() / filename;
+  w.ds = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.02);
+  auto source =
+      engine::MakeEdgeSource(w.ds, stream::StreamOrder::kBreadthFirst);
+  io::WriteEdgeStream(w.path.string(), w.ds.registry, w.ds.NumVertices(),
+                      source.get(), format);
+  source->Reset();
+  w.expected = Drain(*source);
+  return w;
+}
+
+class EdgeStreamFormatTest
+    : public testing::TestWithParam<io::StreamFormat> {};
+
+TEST_P(EdgeStreamFormatTest, RoundTripsExactly) {
+  const Written w = WriteDataset(GetParam(), "roundtrip");
+  io::FileEdgeSource reader(w.path.string());
+
+  EXPECT_EQ(reader.info().format, GetParam());
+  EXPECT_EQ(reader.info().edge_count, w.expected.size());
+  EXPECT_EQ(reader.info().vertex_count, w.ds.NumVertices());
+  ASSERT_EQ(reader.info().labels.size(), w.ds.registry.size());
+  for (size_t i = 0; i < reader.info().labels.size(); ++i) {
+    EXPECT_EQ(reader.info().labels[i],
+              w.ds.registry.Name(static_cast<graph::LabelId>(i)));
+  }
+
+  const std::vector<stream::StreamEdge> got = Drain(reader);
+  ASSERT_EQ(got.size(), w.expected.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, w.expected[i].id);
+    EXPECT_EQ(got[i].u, w.expected[i].u);
+    EXPECT_EQ(got[i].v, w.expected[i].v);
+    EXPECT_EQ(got[i].label_u, w.expected[i].label_u);
+    EXPECT_EQ(got[i].label_v, w.expected[i].label_v);
+  }
+}
+
+TEST_P(EdgeStreamFormatTest, WritingTwiceIsByteIdentical) {
+  const Written a = WriteDataset(GetParam(), "bytes_a");
+  const Written b = WriteDataset(GetParam(), "bytes_b");
+  EXPECT_EQ(FileBytes(a.path), FileBytes(b.path));
+}
+
+TEST_P(EdgeStreamFormatTest, InternLabelsAgreesOrFailsActionably) {
+  const Written w = WriteDataset(GetParam(), "labels");
+  io::FileEdgeSource reader(w.path.string());
+
+  graph::LabelRegistry fresh;
+  std::string error;
+  EXPECT_TRUE(reader.InternLabels(&fresh, &error)) << error;
+  EXPECT_EQ(fresh.size(), w.ds.registry.size());
+
+  graph::LabelRegistry clashing;
+  clashing.Intern("SomethingElse");  // id 0 now taken by a foreign name
+  EXPECT_FALSE(reader.InternLabels(&clashing, &error));
+  EXPECT_NE(error.find("label"), std::string::npos) << error;
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, EdgeStreamFormatTest,
+                         testing::Values(io::StreamFormat::kBinary,
+                                         io::StreamFormat::kText),
+                         [](const testing::TestParamInfo<io::StreamFormat>& i) {
+                           return io::ToString(i.param);
+                         });
+
+// ------------------------------------------------------------ error paths
+
+TEST(EdgeStreamErrorTest, BadMagicIsActionable) {
+  const fs::path path = TempDir() / "bad_magic";
+  std::ofstream(path) << "this is not an edge stream\n";
+  try {
+    io::FileEdgeSource source(path.string());
+    FAIL() << "bad magic should throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad magic"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find(path.string()), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EdgeStreamErrorTest, MissingFileIsActionable) {
+  try {
+    io::FileEdgeSource source((TempDir() / "does_not_exist").string());
+    FAIL() << "missing file should throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("cannot open"), std::string::npos);
+  }
+}
+
+TEST(EdgeStreamErrorTest, UnsupportedVersionIsActionable) {
+  const Written w = WriteDataset(io::StreamFormat::kBinary, "version");
+  std::string bytes = FileBytes(w.path);
+  bytes[6] = 9;  // version field (little-endian uint16 at offset 6)
+  std::ofstream(w.path, std::ios::binary | std::ios::trunc) << bytes;
+  try {
+    io::FileEdgeSource source(w.path.string());
+    FAIL() << "future version should throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("version 9"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EdgeStreamErrorTest, TruncatedFileIsDetected) {
+  for (auto format : {io::StreamFormat::kBinary, io::StreamFormat::kText}) {
+    const Written w = WriteDataset(format, "truncated");
+    std::string bytes = FileBytes(w.path);
+    bytes.resize(bytes.size() - 40);  // lose the tail records
+    if (format == io::StreamFormat::kText) {
+      // Cut on a line boundary so the failure is specifically "fewer edges
+      // than the header declares", not a torn record.
+      bytes.resize(bytes.rfind('\n') + 1);
+    }
+    std::ofstream(w.path, std::ios::binary | std::ios::trunc) << bytes;
+
+    io::FileEdgeSource source(w.path.string());
+    try {
+      Drain(source);
+      FAIL() << "truncated " << io::ToString(format) << " should throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("truncated"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(EdgeStreamErrorTest, BinaryChecksumCatchesPayloadCorruption) {
+  const Written w = WriteDataset(io::StreamFormat::kBinary, "corrupt");
+  std::string bytes = FileBytes(w.path);
+  bytes[bytes.size() - 5] ^= 0x20;  // flip a bit inside the last record
+  std::ofstream(w.path, std::ios::binary | std::ios::trunc) << bytes;
+
+  io::FileEdgeSource source(w.path.string());
+  try {
+    Drain(source);
+    FAIL() << "corrupt payload should throw";
+  } catch (const std::runtime_error& e) {
+    // Either the record became structurally invalid (range check) or the
+    // checksum catches it at exhaustion — both are loud failures.
+    const std::string what = e.what();
+    EXPECT_TRUE(what.find("checksum") != std::string::npos ||
+                what.find("exceeds") != std::string::npos)
+        << what;
+  }
+}
+
+TEST(EdgeStreamErrorTest, ZeroEdgeStreamsRoundTripAndReset) {
+  // A header-only stream is legal; Reset on it must honour the EdgeSource
+  // contract instead of seeking to a failed tellg() position.
+  graph::LabelRegistry registry;
+  registry.Intern("Only");
+  for (auto format : {io::StreamFormat::kBinary, io::StreamFormat::kText}) {
+    const fs::path path =
+        TempDir() / ("empty_" + io::ToString(format));
+    {
+      io::EdgeStreamWriter writer(path.string(), registry, /*vertex_count=*/3,
+                                  format);
+      writer.Close();
+    }
+    io::FileEdgeSource source(path.string());
+    EXPECT_EQ(source.info().edge_count, 0u);
+    EXPECT_EQ(source.SizeHint(), 0u);
+    std::vector<stream::StreamEdge> batch(4);
+    EXPECT_EQ(source.NextBatch(batch), 0u);
+    EXPECT_NO_THROW(source.Reset()) << io::ToString(format);
+    EXPECT_EQ(source.NextBatch(batch), 0u);
+  }
+}
+
+TEST(EdgeStreamErrorTest, FutureTextVersionIsRejectedNotMisparsed) {
+  const fs::path path = TempDir() / "future_text";
+  std::ofstream(path) << "# loom-edge-stream v10\nN 2 1\nL a\nE 0 1 0 0\n";
+  try {
+    io::FileEdgeSource source(path.string());
+    FAIL() << "v10 text stream should throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported format version"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("v10"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(EdgeStreamErrorTest, FailedInternLabelsLeavesRegistryUntouched) {
+  const Written w = WriteDataset(io::StreamFormat::kBinary, "intern_atomic");
+  io::FileEdgeSource reader(w.path.string());
+  ASSERT_GE(reader.info().labels.size(), 2u);
+
+  graph::LabelRegistry clashing;
+  clashing.Intern(reader.info().labels[1]);  // file's id-1 name at id 0
+  std::string error;
+  EXPECT_FALSE(reader.InternLabels(&clashing, &error));
+  // The failed check interned nothing: still exactly the one label.
+  EXPECT_EQ(clashing.size(), 1u);
+  EXPECT_EQ(clashing.Find(reader.info().labels[0]), graph::kInvalidLabel);
+}
+
+TEST(EdgeStreamErrorTest, TextFormatIsHumanReadable) {
+  const Written w = WriteDataset(io::StreamFormat::kText, "readable");
+  std::ifstream in(w.path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "# loom-edge-stream v1");
+}
+
+// ------------------------------------------------------- assignment sinks
+
+TEST(AssignmentSinkTest, MemorySinkRecordsInArrivalOrder) {
+  io::MemoryAssignmentSink sink;
+  sink.Append(3, 1);
+  sink.Append(0, 2);
+  sink.Append(7, 1);
+  ASSERT_EQ(sink.assignments().size(), 3u);
+  EXPECT_EQ(sink.assignments()[0], (std::pair<graph::VertexId,
+                                              graph::PartitionId>{3, 1}));
+  EXPECT_EQ(sink.assignments()[1].first, 0u);
+  EXPECT_EQ(sink.assignments()[2].second, 1u);
+}
+
+TEST(AssignmentSinkTest, FileSinkWritesTsvLines) {
+  const fs::path path = TempDir() / "assignments.tsv";
+  {
+    io::FileAssignmentSink sink(path.string());
+    sink.Append(5, 2);
+    sink.Append(6, 0);
+    sink.Flush();
+    EXPECT_EQ(sink.assignments_written(), 2u);
+  }
+  EXPECT_EQ(FileBytes(path), "5\t2\n6\t0\n");
+}
+
+TEST(AssignmentSinkTest, FileSinkUnwritablePathThrows) {
+  EXPECT_THROW(io::FileAssignmentSink("/nonexistent_dir_xyz/a.tsv"),
+               std::runtime_error);
+}
+
+TEST(AssignmentSinkTest, ObserverAdapterForwardsOnAssign) {
+  io::MemoryAssignmentSink sink;
+  io::AssignmentSinkObserver observer(&sink);
+  engine::AssignEvent e;
+  e.vertex = 11;
+  e.partition = 3;
+  observer.OnAssign(e);
+  ASSERT_EQ(sink.assignments().size(), 1u);
+  EXPECT_EQ(sink.assignments()[0].first, 11u);
+  EXPECT_EQ(sink.assignments()[0].second, 3u);
+}
+
+}  // namespace
+}  // namespace loom

@@ -1,0 +1,206 @@
+// engine::Session coverage: run lifecycle (Run vs IngestSome+Finish, bit
+// identical), event-sourced RunReports (totals, final stats, no backend
+// getters anywhere), sink fan-out, spec error reporting — plus the eval
+// harness's generic backend_stats satellite (SystemResult carries whatever
+// the backend reported, nothing else).
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/dataset_registry.h"
+#include "engine/session.h"
+#include "eval/experiment.h"
+#include "io/assignment_sink.h"
+#include "stream/stream_order.h"
+#include "test_util.h"
+
+namespace loom {
+namespace engine {
+namespace {
+
+datasets::Dataset& TestDataset() {
+  static datasets::Dataset* ds = new datasets::Dataset(
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.03));
+  return *ds;
+}
+
+SessionConfig ConfigFor(const std::string& spec, const datasets::Dataset& ds,
+                        uint64_t window = 128) {
+  SessionConfig config;
+  config.spec = spec;
+  config.options = test_util::OptionsFor(ds, /*k=*/8, window);
+  return config;
+}
+
+std::unique_ptr<Session> MustCreate(const std::string& spec,
+                                    const datasets::Dataset& ds,
+                                    uint64_t window = 128) {
+  std::string error;
+  auto session = Session::Create(ConfigFor(spec, ds, window),
+                                 test_util::ContextFor(ds), &error);
+  EXPECT_NE(session, nullptr) << error;
+  return session;
+}
+
+TEST(SessionTest, CreateReportsActionableErrors) {
+  const datasets::Dataset& ds = TestDataset();
+  std::string error;
+
+  EXPECT_EQ(Session::Create(ConfigFor("metis", ds),
+                            test_util::ContextFor(ds), &error),
+            nullptr);
+  EXPECT_NE(error.find("metis"), std::string::npos) << error;
+
+  EXPECT_EQ(Session::Create(ConfigFor("loom:frobnicate=1", ds),
+                            test_util::ContextFor(ds), &error),
+            nullptr);
+  EXPECT_NE(error.find("frobnicate"), std::string::npos) << error;
+
+  EXPECT_EQ(Session::Create(ConfigFor("loom", ds), BuildContext{}, &error),
+            nullptr);
+  EXPECT_NE(error.find("workload"), std::string::npos) << error;
+}
+
+TEST(SessionTest, RunReportIsEventSourcedAndComplete) {
+  const datasets::Dataset& ds = TestDataset();
+  auto session = MustCreate("loom", ds);
+  auto source = MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst);
+  const RunReport report = session->Run(*source);
+
+  EXPECT_EQ(report.backend, "loom");
+  EXPECT_EQ(report.edges, ds.NumEdges());
+  EXPECT_GT(report.ms, 0.0);
+  EXPECT_GT(report.edges_per_sec, 0.0);
+  EXPECT_EQ(report.events.vertices_assigned,
+            session->partitioning().NumAssigned());
+  EXPECT_GT(report.events.evictions, 0u);
+  EXPECT_TRUE(report.events.last_progress.finalizing);
+  EXPECT_EQ(report.events.last_progress.edges_ingested, ds.NumEdges());
+
+  // Final stats arrived through the observer event, not a getter.
+  EXPECT_GT(report.Stat("match_allocs_fresh"), 0u);
+  EXPECT_GT(report.Stat("matcher_edges_admitted"), 0u);
+  EXPECT_EQ(report.Stat("no_such_counter", 1234u), 1234u);
+}
+
+TEST(SessionTest, BaselinesReportNoBackendStats) {
+  const datasets::Dataset& ds = TestDataset();
+  for (const char* spec : {"hash", "ldg", "fennel"}) {
+    auto session = MustCreate(spec, ds);
+    auto source = MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst);
+    const RunReport report = session->Run(*source);
+    EXPECT_TRUE(report.backend_stats.empty()) << spec;
+    EXPECT_EQ(report.events.vertices_assigned,
+              session->partitioning().NumAssigned())
+        << spec;
+  }
+}
+
+TEST(SessionTest, SinksReceiveEveryAssignmentExactlyOnce) {
+  const datasets::Dataset& ds = TestDataset();
+  auto session = MustCreate("loom", ds);
+  io::MemoryAssignmentSink sink;
+  session->AddSink(&sink);
+  auto source = MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst);
+  session->Run(*source);
+
+  const partition::Partitioning& p = session->partitioning();
+  EXPECT_EQ(sink.assignments().size(), p.NumAssigned());
+  std::vector<bool> seen(ds.NumVertices(), false);
+  for (const auto& [vertex, partition] : sink.assignments()) {
+    ASSERT_LT(vertex, ds.NumVertices());
+    EXPECT_FALSE(seen[vertex]) << "vertex " << vertex << " assigned twice";
+    seen[vertex] = true;
+    EXPECT_EQ(partition, p.PartitionOf(vertex)) << vertex;
+  }
+}
+
+TEST(SessionTest, StepDrivenStreamMatchesOneShotRunBitForBit) {
+  const datasets::Dataset& ds = TestDataset();
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+
+  auto one_shot = MustCreate("loom", ds);
+  EdgeStreamSource source_a(es);
+  const RunReport run_report = one_shot->Run(source_a);
+
+  auto stepped = MustCreate("loom", ds);
+  EdgeStreamSource source_b(es);
+  size_t total = 0;
+  for (size_t chunk : {1u, 7u, 500u}) {  // awkward, uneven strides
+    total += stepped->IngestSome(source_b, chunk);
+  }
+  // Drain the rest in one large gulp, then checkpoint.
+  total += stepped->IngestSome(source_b, es.size());
+  const RunReport step_report = stepped->Finish();
+
+  EXPECT_EQ(total, es.size());
+  EXPECT_EQ(step_report.edges, run_report.edges);
+  EXPECT_EQ(eval::HashAssignment(one_shot->partitioning(), ds.NumVertices()),
+            eval::HashAssignment(stepped->partitioning(), ds.NumVertices()));
+  EXPECT_EQ(step_report.backend_stats, run_report.backend_stats);
+  EXPECT_EQ(step_report.events.vertices_assigned,
+            run_report.events.vertices_assigned);
+  EXPECT_EQ(step_report.events.cluster_decisions,
+            run_report.events.cluster_decisions);
+  EXPECT_TRUE(step_report.events.last_progress.finalizing);
+}
+
+TEST(SessionTest, ExternalObserversSeeTheEventStream) {
+  const datasets::Dataset& ds = TestDataset();
+  auto session = MustCreate("loom", ds);
+  StatsObserver external;
+  session->AddObserver(&external);
+  auto source = MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst);
+  const RunReport report = session->Run(*source);
+
+  EXPECT_EQ(external.totals().vertices_assigned,
+            report.events.vertices_assigned);
+  EXPECT_EQ(external.totals().evictions, report.events.evictions);
+  EXPECT_EQ(external.final_stats().counters, report.backend_stats);
+}
+
+TEST(SessionTest, ShardedBackendReportsIdenticalFinalStatsToLoom) {
+  const datasets::Dataset& ds = TestDataset();
+  auto loom = MustCreate("loom", ds);
+  auto sharded = MustCreate("loom-sharded:shards=3", ds);
+  auto source = MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst);
+  const RunReport loom_report = loom->Run(*source);
+  source->Reset();
+  const RunReport sharded_report = sharded->Run(*source);
+
+  EXPECT_EQ(eval::HashAssignment(loom->partitioning(), ds.NumVertices()),
+            eval::HashAssignment(sharded->partitioning(), ds.NumVertices()));
+  EXPECT_EQ(loom_report.backend_stats, sharded_report.backend_stats);
+  EXPECT_FALSE(loom_report.backend_stats.empty());
+}
+
+// ------------------------------------------------- eval satellite checks
+
+TEST(EvalBackendStatsTest, SystemResultCarriesGenericStatsOnly) {
+  const datasets::Dataset& ds = TestDataset();
+  eval::ExperimentConfig cfg;
+  cfg.window_size = 128;
+  cfg.executor.max_seeds = 100;
+
+  auto source = MakeEdgeSource(ds, stream::StreamOrder::kBreadthFirst);
+  const eval::SystemResult loom =
+      eval::RunSystemTimingOnly(eval::System::kLoom, ds, *source, cfg);
+  EXPECT_GT(loom.BackendStat("match_allocs_fresh"), 0u);
+  EXPECT_GT(loom.BackendStat("matcher_edges_admitted"), 0u);
+  EXPECT_EQ(loom.BackendStat("never_reported"), 0u);
+
+  const eval::SystemResult hash =
+      eval::RunSystemTimingOnly(eval::System::kHash, ds, *source, cfg);
+  // No more per-backend magic zeros: backends that report nothing carry
+  // nothing.
+  EXPECT_TRUE(hash.backend_stats.empty());
+}
+
+}  // namespace
+}  // namespace engine
+}  // namespace loom

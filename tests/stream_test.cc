@@ -55,7 +55,7 @@ TEST(StreamEdgeTest, Accessors) {
 TEST(StreamOrderTest, AllOrdersCoverAllEdges) {
   auto ds = datasets::MakeFigure1Dataset();
   for (auto order : {StreamOrder::kBreadthFirst, StreamOrder::kDepthFirst,
-                     StreamOrder::kRandom}) {
+                     StreamOrder::kRandom, StreamOrder::kCanonical}) {
     EdgeStream es = MakeStream(ds.graph, order);
     EXPECT_EQ(es.size(), ds.graph.NumEdges()) << ToString(order);
     std::set<graph::Edge, bool (*)(const graph::Edge&, const graph::Edge&)> seen(
@@ -83,6 +83,26 @@ TEST(StreamOrderTest, Names) {
   EXPECT_EQ(ToString(StreamOrder::kBreadthFirst), "bfs");
   EXPECT_EQ(ToString(StreamOrder::kDepthFirst), "dfs");
   EXPECT_EQ(ToString(StreamOrder::kRandom), "random");
+  EXPECT_EQ(ToString(StreamOrder::kCanonical), "canonical");
+  for (auto order : {StreamOrder::kBreadthFirst, StreamOrder::kDepthFirst,
+                     StreamOrder::kRandom, StreamOrder::kCanonical}) {
+    StreamOrder parsed;
+    ASSERT_TRUE(ParseStreamOrder(ToString(order), &parsed));
+    EXPECT_EQ(parsed, order);
+  }
+  StreamOrder ignored;
+  EXPECT_FALSE(ParseStreamOrder("sideways", &ignored));
+}
+
+TEST(StreamOrderTest, CanonicalIsTheBuilderEdgeIdOrder) {
+  auto ds = datasets::MakeFigure1Dataset();
+  EdgeStream es = MakeStream(ds.graph, StreamOrder::kCanonical);
+  ASSERT_EQ(es.size(), ds.graph.NumEdges());
+  for (size_t i = 0; i < es.size(); ++i) {
+    const graph::Edge& e = ds.graph.edge(static_cast<graph::EdgeId>(i));
+    EXPECT_EQ(es[i].u, e.u);
+    EXPECT_EQ(es[i].v, e.v);
+  }
 }
 
 // ---------------------------------------------------------- sliding window

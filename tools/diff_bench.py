@@ -17,7 +17,8 @@ import sys
 
 def index_systems(doc):
     """(dataset, system) -> record, over the main table, the paper-window
-    loom section and the loom-sharded shard sweep."""
+    loom section, the loom-sharded shard sweep and the file-streamed
+    replay section."""
     out = {}
     for d in doc.get("datasets", []):
         for s in d.get("systems", []):
@@ -27,6 +28,8 @@ def index_systems(doc):
     for d in doc.get("loom_sharded_sweep", {}).get("datasets", []):
         for s in d.get("sweep", []):
             out[(d["dataset"], f"sharded@S{s['shards']}")] = s
+    for d in doc.get("file_stream", {}).get("datasets", []):
+        out[(d["dataset"], "loom@file")] = d
     return out
 
 

@@ -1,31 +1,42 @@
-// loom_partition — partition a labelled graph file for a workload file.
+// loom_partition — partition a labelled graph (or a pre-exported edge
+// stream) for a workload file.
 //
 // Usage:
 //   loom_partition --graph G.lg --workload Q.lw [--system loom] [--k 8]
-//                  [--order bfs|dfs|random] [--window 10000] [--threshold 0.4]
-//                  [--shards N] [--opt key=value]... [--seed N]
-//                  [--out assignment.tsv] [--evaluate]
+//                  [--order bfs|dfs|random|canonical] [--window 10000]
+//                  [--threshold 0.4] [--shards N] [--opt key=value]...
+//                  [--seed N] [--out assignment.tsv]
+//                  [--output-assignments assignment.tsv] [--evaluate]
+//   loom_partition --input S.les --workload Q.lw [flags as above]
 //
-// Backends are resolved through engine::PartitionerRegistry, so --system
-// accepts any registered name — including inline option specs like
-//   --system "loom:window_size=4000,alpha=0.5"
-// or the shard-per-thread backend (bit-identical output to loom):
-//   --system loom-sharded --shards 8
-// and --opt exposes every EngineOptions key (see --help-opts). Reads the
-// graph (graph/graph_io.h format) and workload (query/workload_io.h
-// format), streams the graph through the chosen partitioner via the
-// engine's pull-based EdgeSource and writes one "<vertex>\t<partition>"
-// line per vertex. With --evaluate it also executes the workload over the
-// result and prints ipt / edge-cut / imbalance.
+// Two stream sources:
+//   --graph: read a graph/graph_io.h file and stream it in --order through
+//     the engine's lazy GraphEdgeSource (exactly as before).
+//   --input: replay a loom-edge-stream file (io/edge_stream_io.h, binary
+//     or text, e.g. from `loom_generate --write-stream`) through
+//     io::FileEdgeSource in bounded-memory batches — the
+//     larger-than-RAM path; the arrival order is the file's, so --order
+//     is ignored. Edge-cut under --evaluate is then computed by replaying
+//     the stream (cut = streamed edges with endpoints apart), and workload
+//     ipt — which needs the materialised graph — is skipped.
+//
+// Every run goes through engine::Session: backends are resolved as
+// registry specs (--system accepts "name" or "name:key=value,...", --opt
+// exposes every EngineOptions key, see --help-opts), assignments leave
+// through an io::AssignmentSink bound to the session (--out/
+// --output-assignments write the familiar "<vertex>\t<partition>" lines;
+// stdout when neither is given), and the progress/final-stats lines come
+// from the session's observer events.
 
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "engine/engine.h"
+#include "engine/session.h"
 #include "graph/graph_io.h"
+#include "io/assignment_sink.h"
+#include "io/edge_stream_io.h"
 #include "partition/partition_metrics.h"
 #include "query/workload_io.h"
 #include "query/workload_runner.h"
@@ -35,6 +46,7 @@ namespace {
 
 struct Args {
   std::string graph_path;
+  std::string input_path;  // edge-stream file (alternative to --graph)
   std::string workload_path;
   std::string out_path;
   std::string system = "loom";
@@ -49,11 +61,13 @@ struct Args {
 };
 
 void Usage() {
-  std::cerr << "usage: loom_partition --graph G.lg --workload Q.lw\n"
+  std::cerr << "usage: loom_partition (--graph G.lg | --input S.les)\n"
+               "         --workload Q.lw\n"
                "         [--system NAME | NAME:key=value,...] [--k N]\n"
-               "         [--order bfs|dfs|random] [--window N]\n"
+               "         [--order bfs|dfs|random|canonical] [--window N]\n"
                "         [--threshold F] [--shards N] [--opt key=value]...\n"
-               "         [--seed N] [--out FILE] [--evaluate] [--help-opts]\n"
+               "         [--seed N] [--out FILE | --output-assignments FILE]\n"
+               "         [--evaluate] [--help-opts]\n"
                "backends: ";
   bool first = true;
   for (const std::string& name :
@@ -85,12 +99,17 @@ bool Parse(int argc, char** argv, Args* args) {
       const char* v = need_value("--graph");
       if (!v) return false;
       args->graph_path = v;
+    } else if (std::strcmp(argv[i], "--input") == 0) {
+      const char* v = need_value("--input");
+      if (!v) return false;
+      args->input_path = v;
     } else if (std::strcmp(argv[i], "--workload") == 0) {
       const char* v = need_value("--workload");
       if (!v) return false;
       args->workload_path = v;
-    } else if (std::strcmp(argv[i], "--out") == 0) {
-      const char* v = need_value("--out");
+    } else if (std::strcmp(argv[i], "--out") == 0 ||
+               std::strcmp(argv[i], "--output-assignments") == 0) {
+      const char* v = need_value(argv[i]);
       if (!v) return false;
       args->out_path = v;
     } else if (std::strcmp(argv[i], "--system") == 0) {
@@ -138,8 +157,12 @@ bool Parse(int argc, char** argv, Args* args) {
       return false;
     }
   }
-  if (args->graph_path.empty() || args->workload_path.empty()) {
-    std::cerr << "--graph and --workload are required\n";
+  if (args->graph_path.empty() == args->input_path.empty()) {
+    std::cerr << "exactly one of --graph / --input is required\n";
+    return false;
+  }
+  if (args->workload_path.empty()) {
+    std::cerr << "--workload is required\n";
     return false;
   }
   return true;
@@ -150,35 +173,68 @@ bool Parse(int argc, char** argv, Args* args) {
 int main(int argc, char** argv) {
   using namespace loom;
   Args args;
-  if (!Parse(argc, argv, &args)) {
+  try {
+    if (!Parse(argc, argv, &args)) {
+      Usage();
+      return 2;
+    }
+  } catch (const std::exception&) {
+    // std::stoul/stod on a malformed numeric flag — print usage, don't
+    // abort with an unhandled exception.
+    std::cerr << "malformed numeric flag value\n";
     Usage();
     return 2;
   }
 
   try {
-    datasets::Dataset ds;
-    ds.meta.name = args.graph_path;
-    ds.graph = graph::ReadGraphFile(args.graph_path, &ds.registry);
-    ds.workload = query::ReadWorkloadFile(args.workload_path, &ds.registry);
-    std::cerr << "graph: " << ds.NumVertices() << " vertices, "
-              << ds.NumEdges() << " edges, " << ds.NumLabels()
-              << " labels; workload: " << ds.workload.size() << " queries\n";
+    const bool from_file = !args.input_path.empty();
 
-    stream::StreamOrder order;
-    if (args.order == "bfs") order = stream::StreamOrder::kBreadthFirst;
-    else if (args.order == "dfs") order = stream::StreamOrder::kDepthFirst;
-    else if (args.order == "random") order = stream::StreamOrder::kRandom;
-    else {
-      std::cerr << "unknown order: " << args.order << "\n";
-      return 2;
+    // The stream source and its sizing. With --graph everything comes from
+    // the materialised graph; with --input, from the stream file's header.
+    datasets::Dataset ds;
+    std::unique_ptr<engine::EdgeSource> source;
+    size_t expected_vertices = 0, expected_edges = 0;
+    if (from_file) {
+      auto file_source = std::make_unique<io::FileEdgeSource>(args.input_path);
+      const io::EdgeStreamInfo& info = file_source->info();
+      std::string error;
+      if (!file_source->InternLabels(&ds.registry, &error)) {
+        std::cerr << "error: " << error << "\n";
+        return 2;
+      }
+      expected_vertices = info.vertex_count;
+      expected_edges = info.edge_count;
+      ds.meta.name = args.input_path;
+      std::cerr << "stream: " << info.edge_count << " edges over "
+                << info.vertex_count << " vertices, " << info.labels.size()
+                << " labels (" << io::ToString(info.format) << ")\n";
+      source = std::move(file_source);
+    } else {
+      ds.meta.name = args.graph_path;
+      ds.graph = graph::ReadGraphFile(args.graph_path, &ds.registry);
+      expected_vertices = ds.NumVertices();
+      expected_edges = ds.NumEdges();
+      std::cerr << "graph: " << ds.NumVertices() << " vertices, "
+                << ds.NumEdges() << " edges, " << ds.NumLabels()
+                << " labels\n";
+      stream::StreamOrder order;
+      if (!stream::ParseStreamOrder(args.order, &order)) {
+        std::cerr << "unknown order: " << args.order << "\n";
+        return 2;
+      }
+      source = engine::MakeEdgeSource(ds.graph, order, args.seed);
     }
+    ds.workload = query::ReadWorkloadFile(args.workload_path, &ds.registry);
+    std::cerr << "workload: " << ds.workload.size() << " queries\n";
 
     // Dedicated flags are sugar over EngineOptions keys; --opt overrides
     // (and the --system spec's inline overrides) win in that order.
-    engine::EngineOptions options;
+    engine::SessionConfig session_config;
+    session_config.spec = args.system;
+    engine::EngineOptions& options = session_config.options;
     options.k = args.k;
-    options.expected_vertices = ds.NumVertices();
-    options.expected_edges = ds.NumEdges();
+    options.expected_vertices = expected_vertices;
+    options.expected_edges = expected_edges;
     options.window_size = args.window;
     options.support_threshold = args.threshold;
     if (args.shards > 0) options.shards = args.shards;
@@ -189,47 +245,80 @@ int main(int argc, char** argv) {
     }
 
     engine::BuildContext context{&ds.workload, ds.registry.size()};
-    auto partitioner =
-        engine::BuildPartitioner(args.system, options, context, &error);
-    if (partitioner == nullptr) {
+    std::unique_ptr<engine::Session> session =
+        engine::Session::Create(session_config, context, &error);
+    if (session == nullptr) {
       std::cerr << "error: " << error << "\n";
       return 2;
     }
 
-    auto source = engine::MakeEdgeSource(ds, order, args.seed);
-    const engine::DriveResult driven =
-        engine::Drive(partitioner.get(), source.get());
-    std::cerr << "partitioned " << driven.edges << " edges in "
-              << util::TableWriter::Fmt(driven.ms, 0) << " ms ("
-              << partitioner->name()
-              << ", k=" << partitioner->partitioning().k() << ")\n";
-
-    const partition::Partitioning& p = partitioner->partitioning();
-    std::ostream* out = &std::cout;
-    std::ofstream file;
+    // Assignments leave through a session-bound sink, in placement order —
+    // nothing buffers the vertex set, so --input streams stay bounded.
+    std::unique_ptr<io::AssignmentSink> sink;
     if (!args.out_path.empty()) {
-      file.open(args.out_path);
-      if (!file) {
-        std::cerr << "cannot write " << args.out_path << "\n";
-        return 1;
-      }
-      out = &file;
+      sink = std::make_unique<io::FileAssignmentSink>(args.out_path);
+    } else {
+      class StdoutSink : public io::AssignmentSink {
+        void Append(graph::VertexId v, graph::PartitionId p) override {
+          std::cout << v << '\t' << p << '\n';
+        }
+      };
+      sink = std::make_unique<StdoutSink>();
     }
-    for (graph::VertexId v = 0; v < ds.NumVertices(); ++v) {
-      *out << v << "\t" << p.PartitionOf(v) << "\n";
+    session->AddSink(sink.get());
+
+    const engine::RunReport report = session->Run(*source);
+    std::cerr << "partitioned " << report.edges << " edges in "
+              << util::TableWriter::Fmt(report.ms, 0) << " ms ("
+              << report.backend << ", k=" << session->partitioning().k()
+              << ", " << report.events.vertices_assigned
+              << " vertices assigned)\n";
+    // Assignment lines stream out in placement order and cover exactly the
+    // vertices the stream touched — call out any the graph declared but the
+    // stream never reached (isolated vertices have no placement).
+    if (!from_file &&
+        report.events.vertices_assigned < expected_vertices) {
+      std::cerr << "note: "
+                << expected_vertices - report.events.vertices_assigned
+                << " of " << expected_vertices
+                << " vertices never appeared in the stream (isolated?) and "
+                   "have no assignment line\n";
     }
 
     if (args.evaluate) {
-      query::ExecutorConfig executor{.max_seeds = 4000,
-                                     .max_matches_per_seed = 256};
-      query::WorkloadResult wr =
-          query::RunWorkload(ds.graph, p, ds.workload, executor);
-      std::cerr << "weighted ipt: " << wr.weighted_ipt << " over "
-                << wr.weighted_traversals << " weighted traversals (ratio "
-                << util::TableWriter::Pct(wr.IptRatio()) << ")\n"
-                << "edge cut: " << partition::EdgeCut(ds.graph, p) << " / "
-                << ds.NumEdges() << ", imbalance "
-                << util::TableWriter::Pct(partition::Imbalance(p)) << "\n";
+      const partition::Partitioning& p = session->partitioning();
+      if (from_file) {
+        // No materialised graph: replay the stream once more and count
+        // edges whose endpoints were placed apart — the same edge cut,
+        // computed stream-side in bounded memory. ipt needs the graph;
+        // point at --graph for it.
+        source->Reset();
+        std::vector<stream::StreamEdge> batch(4096);
+        size_t cut = 0, total = 0;
+        for (;;) {
+          const size_t n = source->NextBatch(batch);
+          if (n == 0) break;
+          total += n;
+          for (size_t i = 0; i < n; ++i) {
+            if (p.PartitionOf(batch[i].u) != p.PartitionOf(batch[i].v)) ++cut;
+          }
+        }
+        std::cerr << "edge cut: " << cut << " / " << total << ", imbalance "
+                  << util::TableWriter::Pct(partition::Imbalance(p))
+                  << " (workload ipt needs --graph: streams carry no "
+                     "adjacency)\n";
+      } else {
+        query::ExecutorConfig executor{.max_seeds = 4000,
+                                       .max_matches_per_seed = 256};
+        query::WorkloadResult wr =
+            query::RunWorkload(ds.graph, p, ds.workload, executor);
+        std::cerr << "weighted ipt: " << wr.weighted_ipt << " over "
+                  << wr.weighted_traversals << " weighted traversals (ratio "
+                  << util::TableWriter::Pct(wr.IptRatio()) << ")\n"
+                  << "edge cut: " << partition::EdgeCut(ds.graph, p) << " / "
+                  << ds.NumEdges() << ", imbalance "
+                  << util::TableWriter::Pct(partition::Imbalance(p)) << "\n";
+      }
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -22,10 +22,16 @@
 # / assignment hash) differs from the baseline; throughput changes only
 # warn. The default run also records the loom-sharded shard sweep
 # (S = 1/2/4 at the paper window, eps + speedup vs single-threaded loom +
-# quality triple) into the same JSON; the bench itself aborts if any S
-# diverges from loom's assignment hash. ctest additionally guards the
-# quality triples at tiny scale via the `bench_smoke` test
-# (table2_throughput --smoke vs the committed BENCH_smoke.json).
+# quality triple) into the same JSON, plus a file_stream section (loom
+# replayed from a freshly written io::FileEdgeSource binary stream at the
+# paper window — eps, eps_vs_inmemory and the quality triple, which
+# diff_bench.py guards as "loom@file"); the bench itself aborts if the
+# shard sweep or the file replay diverges from loom's assignment hash.
+# ctest additionally guards the quality triples at tiny scale via the
+# `bench_smoke` test (table2_throughput --smoke vs the committed
+# BENCH_smoke.json) and the multi-source differential via
+# `file_stream_smoke_test` (all 5 backends, RAM vs binary file vs text
+# file vs lazy generator source).
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
