@@ -3,6 +3,8 @@
 #include <charconv>
 #include <cmath>
 
+#include "util/simd.h"
+
 namespace loom {
 namespace engine {
 
@@ -179,6 +181,14 @@ const KeyDesc kKeys[] = {
        double x;
        if (!ParseDouble(v, &x) || x <= 1.0) return false;
        o.fennel_gamma = x;
+       return true;
+     }},
+    {"simd", "one of auto|scalar|sse2|avx2",
+     [](const EngineOptions& o) { return o.simd; },
+     [](EngineOptions& o, std::string_view v) {
+       util::simd::Level level;
+       if (v != "auto" && !util::simd::ParseLevel(v, &level)) return false;
+       o.simd = std::string(v);
        return true;
      }},
     {"shards", "uint in [1, 256]",

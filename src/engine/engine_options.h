@@ -67,6 +67,15 @@ struct EngineOptions {
   /// Fennel's objective exponent γ (paper evaluation: 1.5).
   double fennel_gamma = 1.5;
 
+  // ------------------------------------------------------------ simd knob
+  /// Kernel dispatch level for the util::simd hot-loop kernels: "scalar",
+  /// "sse2" or "avx2" force that level process-wide at construction;
+  /// "auto" leaves the active level alone (the environment default —
+  /// LOOM_SIMD if set, else the CPU's best — until something forces one).
+  /// All levels are bit-identical, so this only affects speed (and lets
+  /// the differential suites force the scalar twin).
+  std::string simd = "auto";
+
   // --------------------------------------------------- loom-sharded knobs
   /// S: shard worker threads (vertex space hashed v mod S). Output is
   /// bit-identical to "loom" for every S; see core/loom_sharded.h.

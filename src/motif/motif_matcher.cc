@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/simd.h"
+
 namespace loom {
 namespace motif {
 
@@ -131,10 +133,13 @@ void MotifMatcher::TryJoin(MatchHandle base_h, MatchHandle small_h,
                            const stream::SlidingWindow& window, MatchList* ml) {
   const Match& base = ml->match(base_h);
   const Match& smaller = ml->match(small_h);
-  remaining_.clear();
-  for (graph::EdgeId eid : smaller.edges) {
-    if (!base.ContainsEdge(eid)) remaining_.push_back(eid);
-  }
+  // remaining = smaller.edges \ base.edges — the per-attempt membership
+  // tests, batched through the kernel layer (every needle against the
+  // whole base edge set in 8-lane chunks).
+  remaining_.resize(smaller.edges.size());
+  remaining_.resize(util::simd::SortedDifferenceU32(
+      smaller.edges.data(), smaller.edges.size(), base.edges.data(),
+      base.edges.size(), remaining_.data()));
   if (remaining_.empty()) return;  // smaller ⊆ base: nothing new
   // A successful join absorbs ALL of `remaining` via motif children, ending
   // at base+|remaining| edges; if that exceeds the largest motif, some step
@@ -202,13 +207,30 @@ void MotifMatcher::OnEdgeAdded(const stream::StreamEdge& e,
     if (snap_v_.size() > config_.max_matches_per_vertex) {
       snap_v_.resize(config_.max_matches_per_vertex);
     }
-    for (MatchHandle h1 : snap_u_) {
-      for (MatchHandle h2 : snap_v_) {
+    // Sizes are loop-invariant (registered matches are immutable and the
+    // snapshots are fixed): resolve each handle once, not once per pair.
+    snap_u_sizes_.resize(snap_u_.size());
+    for (size_t i = 0; i < snap_u_.size(); ++i) {
+      snap_u_sizes_[i] = ml->match(snap_u_[i]).edges.size();
+    }
+    snap_v_sizes_.resize(snap_v_.size());
+    for (size_t i = 0; i < snap_v_.size(); ++i) {
+      snap_v_sizes_[i] = ml->match(snap_v_[i]).edges.size();
+    }
+    for (size_t i1 = 0; i1 < snap_u_.size(); ++i1) {
+      const MatchHandle h1 = snap_u_[i1];
+      const size_t n1 = snap_u_sizes_[i1];
+      for (size_t i2 = 0; i2 < snap_v_.size(); ++i2) {
+        const MatchHandle h2 = snap_v_[i2];
         if (h1 == h2) continue;
+        const size_t n2 = snap_v_sizes_[i2];
+        // A base already at the largest motif size cannot absorb anything:
+        // TryJoin would return before any side effect (either the smaller
+        // match is a subset, or the size prune fires pre-attempt) — skip
+        // the call entirely. Most live matches sit at maximal motifs.
+        if ((n1 >= n2 ? n1 : n2) >= max_motif_edges_) continue;
         // Absorb the smaller match into the larger (Sec. 3). Matches cannot
         // die inside OnEdgeAdded, so both handles are live.
-        const size_t n1 = ml->match(h1).edges.size();
-        const size_t n2 = ml->match(h2).edges.size();
         const MatchHandle base = n1 >= n2 ? h1 : h2;
         const MatchHandle small = n1 >= n2 ? h2 : h1;
         TryJoin(base, small, window, ml);

@@ -132,6 +132,8 @@ class MotifMatcher {
   std::vector<MatchHandle> snap_u_;
   std::vector<MatchHandle> snap_v_;
   std::vector<MatchHandle> snap_sorted_;
+  std::vector<size_t> snap_u_sizes_;  // edge counts, resolved once per snap
+  std::vector<size_t> snap_v_sizes_;
   signature::FactorDelta delta_;
   Match cand_;  // join candidate accumulator
   std::vector<graph::EdgeId> remaining_;

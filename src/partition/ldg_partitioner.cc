@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "util/simd.h"
+
 namespace loom {
 namespace partition {
 
@@ -62,10 +64,13 @@ graph::PartitionId LdgHeuristic::ChooseForVertex(
     const Partitioning& partitioning) {
   CountsBuffer buf;
   uint32_t* counts = buf.Prepare(partitioning.k());
-  for (graph::VertexId w : neighborhood.Neighbors(v)) {
-    graph::PartitionId p = partitioning.PartitionOf(w);
-    if (p != graph::kNoPartition) ++counts[p];
-  }
+  // The neighbour tally — LDG's hot loop — runs on the util::simd kernels:
+  // gather each neighbour's partition from the assignment table, count per
+  // partition (values >= k, i.e. kNoPartition, are skipped by the kernel).
+  const std::span<const graph::PartitionId> table = partitioning.assignments();
+  const std::span<const graph::VertexId> nbrs = neighborhood.Neighbors(v);
+  util::simd::TallyGatherU32(table.data(), table.size(), nbrs.data(),
+                             nbrs.size(), partitioning.k(), counts);
   return BestByWeightedCount(counts, partitioning);
 }
 
@@ -75,11 +80,12 @@ graph::PartitionId LdgHeuristic::Choose(const stream::StreamEdge& e,
                                         bool* had_signal) {
   CountsBuffer buf;
   uint32_t* counts = buf.Prepare(partitioning.k());
+  const std::span<const graph::PartitionId> table = partitioning.assignments();
   for (graph::VertexId endpoint : {e.u, e.v}) {
-    for (graph::VertexId w : neighborhood.Neighbors(endpoint)) {
-      graph::PartitionId p = partitioning.PartitionOf(w);
-      if (p != graph::kNoPartition) ++counts[p];
-    }
+    const std::span<const graph::VertexId> nbrs =
+        neighborhood.Neighbors(endpoint);
+    util::simd::TallyGatherU32(table.data(), table.size(), nbrs.data(),
+                               nbrs.size(), partitioning.k(), counts);
   }
   return BestByWeightedCount(counts, partitioning, had_signal);
 }

@@ -10,6 +10,7 @@
 #define LOOM_PARTITION_PARTITIONING_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/types.h"
@@ -35,6 +36,13 @@ class Partitioning {
 
   bool IsAssigned(graph::VertexId v) const {
     return PartitionOf(v) != graph::kNoPartition;
+  }
+
+  /// The raw per-vertex assignment table (indexed by VertexId; entries are
+  /// kNoPartition until assigned, vertices beyond the table are implicitly
+  /// unassigned). The util::simd gather/tally kernels read this directly.
+  std::span<const graph::PartitionId> assignments() const {
+    return assignment_;
   }
 
   /// Assigns v to `p` if there is room, otherwise to the least-loaded

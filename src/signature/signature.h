@@ -63,6 +63,12 @@ class Signature {
   /// without allocating. The hot path of Alg. 2 line 7/15.
   bool ExtendsBy(const FactorDelta& delta, const Signature& other) const;
 
+  /// ExtendsBy for a delta the caller has already sorted ascending — the
+  /// TPSTry++ child scan sorts once and probes every motif child with it
+  /// (the comparison itself runs on the util::simd kernels).
+  bool ExtendsBySorted(const FactorDelta& sorted_delta,
+                       const Signature& other) const;
+
   /// Order-independent (content) hash.
   uint64_t Hash() const;
 

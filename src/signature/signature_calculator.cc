@@ -1,6 +1,9 @@
 #include "signature/signature_calculator.h"
 
+#include <algorithm>
 #include <unordered_map>
+
+#include "util/simd.h"
 
 namespace loom {
 namespace signature {
@@ -12,6 +15,11 @@ inline Factor NonZeroMod(int64_t x, uint32_t p) {
   if (r < 0) r += p;
   return r == 0 ? p : static_cast<Factor>(r);
 }
+
+/// The SIMD residue kernels work in uint16 lanes and require p <= 255 (the
+/// paper's regime: p = 251 packs into uint8 residues). Larger primes take
+/// the scalar path everywhere — same residues, just without the batching.
+inline bool SimdPrime(uint32_t p) { return p >= 2 && p <= 255; }
 }  // namespace
 
 Factor SignatureCalculator::EdgeFactor(graph::LabelId a, graph::LabelId b) const {
@@ -36,8 +44,9 @@ Factor SignatureCalculator::DegreeFactor(graph::LabelId l, uint32_t degree) cons
 FactorDelta SignatureCalculator::FactorsForEdgeAddition(
     graph::LabelId lu, uint32_t new_deg_u, graph::LabelId lv,
     uint32_t new_deg_v) const {
-  return {EdgeFactor(lu, lv), DegreeFactor(lu, new_deg_u),
-          DegreeFactor(lv, new_deg_v)};
+  FactorDelta out;
+  FactorsForEdgeAddition(lu, new_deg_u, lv, new_deg_v, &out);
+  return out;
 }
 
 void SignatureCalculator::FactorsForEdgeAddition(graph::LabelId lu,
@@ -45,26 +54,71 @@ void SignatureCalculator::FactorsForEdgeAddition(graph::LabelId lu,
                                                  graph::LabelId lv,
                                                  uint32_t new_deg_v,
                                                  FactorDelta* out) const {
-  out->clear();
-  out->push_back(EdgeFactor(lu, lv));
-  out->push_back(DegreeFactor(lu, new_deg_u));
-  out->push_back(DegreeFactor(lv, new_deg_v));
+  // One kernel call computes all three residues of the delta (edge factor
+  // in the canonical LabelId subtraction order + both degree factors);
+  // util::simd handles the big-prime / big-degree fallback internally.
+  const graph::LabelId a = lu <= lv ? lu : lv;
+  const graph::LabelId b = lu <= lv ? lv : lu;
+  out->resize(3);
+  util::simd::EdgeAdditionFactors(values_->Value(a), values_->Value(b),
+                                  values_->Value(lu), new_deg_u,
+                                  values_->Value(lv), new_deg_v,
+                                  values_->prime(), out->data());
 }
 
 Signature SignatureCalculator::ComputeSignature(
     const graph::PatternGraph& g) const {
+  const uint32_t p = values_->prime();
   std::vector<Factor> factors;
   factors.reserve(3 * g.NumEdges());
-  for (const graph::Edge& e : g.edges()) {
-    factors.push_back(EdgeFactor(g.label(e.u), g.label(e.v)));
-  }
-  for (graph::VertexId v = 0; v < g.NumVertices(); ++v) {
-    const uint32_t deg = static_cast<uint32_t>(g.Degree(v));
-    for (uint32_t i = 1; i <= deg; ++i) {
-      factors.push_back(DegreeFactor(g.label(v), i));
+  if (SimdPrime(p) && g.NumEdges() > 0) {
+    // Batch the edge residues: stage both endpoint values (canonical order)
+    // in uint16 lanes and run one ResidueDiff pass over all edges.
+    std::vector<uint16_t> va(g.NumEdges()), vb(g.NumEdges()),
+        res(g.NumEdges());
+    size_t i = 0;
+    for (const graph::Edge& e : g.edges()) {
+      graph::LabelId a = g.label(e.u), b = g.label(e.v);
+      if (a > b) std::swap(a, b);
+      va[i] = static_cast<uint16_t>(values_->Value(a));
+      vb[i] = static_cast<uint16_t>(values_->Value(b));
+      ++i;
+    }
+    util::simd::ResidueDiffU16(va.data(), vb.data(), i, p, res.data());
+    for (size_t j = 0; j < i; ++j) factors.push_back(res[j]);
+  } else {
+    for (const graph::Edge& e : g.edges()) {
+      factors.push_back(EdgeFactor(g.label(e.u), g.label(e.v)));
     }
   }
+  for (graph::VertexId v = 0; v < g.NumVertices(); ++v) {
+    AppendDegreeRun(g.label(v), static_cast<uint32_t>(g.Degree(v)), &factors);
+  }
   return Signature(std::move(factors));
+}
+
+void SignatureCalculator::AppendDegreeRun(graph::LabelId l, uint32_t degree,
+                                          std::vector<Factor>* out) const {
+  const uint32_t p = values_->prime();
+  const uint32_t r = values_->Value(l);
+  // Degree runs of pattern-sized graphs fit uint16 sums comfortably; the
+  // batched residue kernel handles them in 16 lanes per vector.
+  if (SimdPrime(p) && degree > 0 && degree <= 32768u) {
+    uint16_t sums[64];
+    uint16_t res[64];
+    uint32_t d = 1;
+    while (d <= degree) {
+      const uint32_t c = std::min(degree - d + 1, 64u);
+      for (uint32_t i = 0; i < c; ++i) {
+        sums[i] = static_cast<uint16_t>(r + d + i);
+      }
+      util::simd::ResidueU16(sums, c, p, res);
+      for (uint32_t i = 0; i < c; ++i) out->push_back(res[i]);
+      d += c;
+    }
+    return;
+  }
+  for (uint32_t i = 1; i <= degree; ++i) out->push_back(DegreeFactor(l, i));
 }
 
 Signature SignatureCalculator::ComputeSignature(
@@ -81,9 +135,7 @@ Signature SignatureCalculator::ComputeSignature(
   }
   for (const auto& [v, info] : deg) {
     (void)v;
-    for (uint32_t i = 1; i <= info.second; ++i) {
-      factors.push_back(DegreeFactor(info.first, i));
-    }
+    AppendDegreeRun(info.first, info.second, &factors);
   }
   return Signature(std::move(factors));
 }

@@ -44,6 +44,7 @@ TEST(EngineOptionsTest, EveryKeyRoundTripsFromItsStringForm) {
       {"max_matches_per_vertex", "32"},
       {"compact_interval", "2048"},
       {"fennel_gamma", "1.7"},
+      {"simd", "scalar"},
       {"shards", "3"},
       {"shard_queue_depth", "2"},
   };
@@ -136,6 +137,19 @@ TEST(PartitionerRegistryTest, UnknownBackendErrorListsRegisteredOnes) {
   EXPECT_EQ(p, nullptr);
   EXPECT_NE(error.find("metis"), std::string::npos) << error;
   EXPECT_NE(error.find("loom"), std::string::npos) << error;
+}
+
+TEST(PartitionerRegistryTest, ProgrammaticBadSimdValueFailsWithActionableError) {
+  // The option parser validates "simd", but options built by hand can hold
+  // anything — Create must refuse rather than silently keep the previous
+  // dispatch level (a harness that thinks it pinned scalar must hear this).
+  EngineOptions options;
+  options.simd = "avx512";
+  std::string error;
+  auto p = PartitionerRegistry::Global().Create("hash", options, {}, &error);
+  EXPECT_EQ(p, nullptr);
+  EXPECT_NE(error.find("avx512"), std::string::npos) << error;
+  EXPECT_NE(error.find("simd"), std::string::npos) << error;
 }
 
 TEST(PartitionerRegistryTest, LoomWithoutWorkloadFailsWithActionableError) {

@@ -6,6 +6,13 @@
 // random labelled graph with an unbounded window, enumerate every connected
 // edge subset of the final window (brute force), test each for signature
 // equality with a motif, and require the matchList to contain it.
+//
+// Two alphabets run the same leg: the Fig. 1 workload (4 labels, the
+// original coverage) and a 40-label schema whose motifs live at the high
+// end of the label space — the admission memo and any label-indexed
+// residue staging are sized from num_labels at construction, and this leg
+// is what catches a table sized for a small alphabet being probed with
+// wide label ids (the memoised admission path never saw ids > 3 before).
 
 #include <gtest/gtest.h>
 
@@ -23,27 +30,26 @@ namespace loom {
 namespace motif {
 namespace {
 
-class ExhaustiveMatchTest : public ::testing::TestWithParam<uint64_t> {};
+/// Streams a random graph labelled from `label_pool` through a matcher
+/// built on (registry, workload, threshold) with an unbounded window, then
+/// brute-force checks that every window-resident motif match was found.
+void RunExhaustiveLeg(uint64_t seed, const graph::LabelRegistry& registry,
+                      const query::Workload& workload, double threshold,
+                      const std::vector<graph::LabelId>& label_pool) {
+  util::Rng rng(seed);
 
-TEST_P(ExhaustiveMatchTest, MatcherFindsEveryWindowResidentMotifMatch) {
-  util::Rng rng(GetParam());
-
-  // Fig. 1 workload at a low threshold so multi-edge motifs (up to the
-  // 4-edge square) are in play.
-  graph::LabelRegistry registry;
-  query::Workload workload = datasets::Figure1Workload(&registry);
   signature::LabelValues values(registry.size(), 251, 0xC0FFEE);
   signature::SignatureCalculator calc(&values);
-  tpstry::Tpstry trie(&calc, 0.05);
+  tpstry::Tpstry trie(&calc, threshold);
   for (const auto& q : workload.queries()) {
     trie.AddQuery(q.pattern, q.frequency);
   }
   MotifMatcher matcher(&trie, &calc);
 
-  // Random small labelled graph (labels a/b/c/d), streamed in random order.
+  // Random small labelled graph, streamed in random order.
   const size_t n = 6 + rng.Uniform(4);
   std::vector<graph::LabelId> labels(n);
-  for (auto& l : labels) l = static_cast<graph::LabelId>(rng.Uniform(4));
+  for (auto& l : labels) l = label_pool[rng.Uniform(label_pool.size())];
   std::vector<std::pair<graph::VertexId, graph::VertexId>> edges;
   for (graph::VertexId v = 1; v < n; ++v) {
     edges.emplace_back(v, static_cast<graph::VertexId>(rng.Uniform(v)));
@@ -129,14 +135,61 @@ TEST_P(ExhaustiveMatchTest, MatcherFindsEveryWindowResidentMotifMatch) {
       if (same) present = true;
     }
     if (present) ++found;
-    EXPECT_TRUE(present) << "seed " << GetParam() << ": motif match of "
+    EXPECT_TRUE(present) << "seed " << seed << ": motif match of "
                          << subset.size() << " edges missed by Alg. 2";
   }
   EXPECT_EQ(found, expected);
 }
 
+class ExhaustiveMatchTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExhaustiveMatchTest, MatcherFindsEveryWindowResidentMotifMatch) {
+  // Fig. 1 workload at a low threshold so multi-edge motifs (up to the
+  // 4-edge square) are in play.
+  graph::LabelRegistry registry;
+  query::Workload workload = datasets::Figure1Workload(&registry);
+  std::vector<graph::LabelId> pool;
+  for (size_t l = 0; l < registry.size(); ++l) {
+    pool.push_back(static_cast<graph::LabelId>(l));
+  }
+  RunExhaustiveLeg(GetParam(), registry, workload, 0.05, pool);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, ExhaustiveMatchTest,
                          ::testing::Range<uint64_t>(0, 40));
+
+class WideAlphabetExhaustiveTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WideAlphabetExhaustiveTest, MemoisedAdmissionSurvivesWideLabelIds) {
+  // 40 interned labels; the motifs use only the top of the id range, so
+  // every admission probe indexes far beyond anything the Fig. 1 leg
+  // reaches, and bypassed labels exercise the negative memo rows.
+  graph::LabelRegistry registry;
+  for (int i = 0; i < 40; ++i) {
+    std::string name = "L";  // two-step append dodges a libstdc++ -Wrestrict
+    name += std::to_string(i);
+    registry.Intern(name);
+  }
+  auto L = [](int i) { return static_cast<graph::LabelId>(i); };
+  query::Workload workload;
+  workload.Add("hi-path2", graph::PatternGraph::Path({L(30), L(35)}), 0.30);
+  workload.Add("hi-path3", graph::PatternGraph::Path({L(35), L(38), L(39)}),
+               0.25);
+  workload.Add("hi-star", graph::PatternGraph::Star(L(37), {L(31), L(33)}),
+               0.25);
+  workload.Add("hi-cycle", graph::PatternGraph::Cycle({L(30), L(36), L(39)}),
+               0.20);
+  // Stream labels: the motif labels plus low-id labels that can never match
+  // (admission must reject them through the same memo).
+  std::vector<graph::LabelId> pool;
+  for (int i : {30, 31, 33, 35, 36, 37, 38, 39, 0, 1, 2, 7}) {
+    pool.push_back(L(i));
+  }
+  RunExhaustiveLeg(0xA1FA00 + GetParam(), registry, workload, 0.02, pool);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WideAlphabetExhaustiveTest,
+                         ::testing::Range<uint64_t>(0, 25));
 
 }  // namespace
 }  // namespace motif
