@@ -1,0 +1,170 @@
+#include "core/loom_checkpoint.h"
+
+#include <cassert>
+#include <cstring>
+#include <string>
+
+namespace loom {
+namespace core {
+
+namespace {
+
+uint64_t Bits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  return bits;
+}
+
+/// FNV-1a over the trie's structure-relevant numbers: node count, per-node
+/// (support bits, num_edges), threshold and normalising total. Two runs with
+/// the same workload and options produce identical tries, so any difference
+/// here means the resumed process was handed a drifted workload — its
+/// admission/allocation decisions would silently diverge from the
+/// checkpointed run's.
+uint64_t TrieFingerprint(const tpstry::Tpstry& trie) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 0x100000001b3ULL;
+  };
+  mix(trie.NumNodes());
+  mix(Bits(trie.support_threshold()));
+  mix(Bits(trie.total_frequency()));
+  for (uint32_t id = 0; id < trie.NumNodes(); ++id) {
+    const tpstry::TpsNode& n = trie.node(id);
+    mix(Bits(n.support));
+    mix(n.num_edges);
+  }
+  return h;
+}
+
+/// The decision-steering knobs, in one fixed order. Save writes each value;
+/// restore reads and compares, naming the first knob that differs. Doubles
+/// travel and compare as bit patterns — a fingerprint match means the
+/// resumed process computes with the exact same constants.
+struct Knob {
+  const char* name;
+  uint64_t value;
+};
+
+std::vector<Knob> Fingerprint(const LoomOptions& o) {
+  return {
+      {"k", o.base.k},
+      {"expected_vertices", o.base.expected_vertices},
+      {"expected_edges", o.base.expected_edges},
+      {"max_imbalance", Bits(o.base.max_imbalance)},
+      {"window_size", o.window_size},
+      {"support_threshold", Bits(o.support_threshold)},
+      {"prime", o.prime},
+      {"signature_seed", o.signature_seed},
+      {"eo_alpha", Bits(o.equal_opportunism.alpha)},
+      {"eo_balance_b", Bits(o.equal_opportunism.balance_b)},
+      {"eo_neighbor_bid_weight", Bits(o.equal_opportunism.neighbor_bid_weight)},
+      {"eo_disable_rationing", o.equal_opportunism.disable_rationing ? 1u : 0u},
+      {"matcher_max_matches_per_vertex", o.matcher.max_matches_per_vertex},
+      {"compact_interval", o.compact_interval},
+  };
+}
+
+}  // namespace
+
+void SaveLoomCore(io::CheckpointWriter* w, const LoomCoreState& state) {
+  w->BeginSection("loom");
+  w->U64(state.ctor_num_labels);
+  w->U64(state.label_values->num_labels());  // may have grown past ctor
+  const std::vector<Knob> knobs = Fingerprint(*state.options);
+  w->U32(static_cast<uint32_t>(knobs.size()));
+  for (const Knob& k : knobs) {
+    w->Str(k.name);
+    w->U64(k.value);
+  }
+  w->U64(TrieFingerprint(*state.trie));
+  w->EndSection();
+
+  w->BeginSection("loom_stats");
+  w->U64(state.stats->edges_ingested);
+  w->U64(state.stats->edges_bypassed);
+  w->U64(state.stats->edges_via_window);
+  w->U64(state.stats->clusters_allocated);
+  w->U64(state.stats->cluster_edges_assigned);
+  w->U64(*state.edges_since_compact);
+  const motif::MatcherStats& m = state.matcher->stats();
+  w->U64(m.edges_admitted);
+  w->U64(m.single_edge_matches);
+  w->U64(m.extension_matches);
+  w->U64(m.join_matches);
+  w->U64(m.join_attempts);
+  w->EndSection();
+
+  state.partitioning->SaveTo(w);
+  state.window->SaveTo(w);
+  state.match_list->SaveTo(w);
+}
+
+size_t RestoreLoomCore(io::CheckpointReader* r, const LoomCoreState& state) {
+  assert(state.stats->edges_ingested == 0 && "restore into a fresh backend");
+  r->Open("loom");
+  const uint64_t ctor_labels = r->U64();
+  const uint64_t grown_labels = r->U64();
+  if (ctor_labels != state.ctor_num_labels) {
+    r->Fail("label-space mismatch: checkpointed run started from " +
+            std::to_string(ctor_labels) + " labels, this run from " +
+            std::to_string(state.ctor_num_labels) +
+            " (dataset or label registry changed; resume with the original "
+            "label space)");
+  }
+  const std::vector<Knob> knobs = Fingerprint(*state.options);
+  const uint32_t n_knobs = r->U32();
+  if (n_knobs != knobs.size()) {
+    r->Fail("options fingerprint arity mismatch (checkpoint from a build "
+            "with different Loom knobs)");
+  }
+  for (const Knob& k : knobs) {
+    const std::string name = r->Str();
+    const uint64_t value = r->U64();
+    if (name != k.name) {
+      r->Fail("options fingerprint key order mismatch: expected '" +
+              std::string(k.name) + "', checkpoint has '" + name + "'");
+    }
+    if (value != k.value) {
+      r->Fail("options mismatch on '" + name +
+              "': the resumed run is configured differently from the "
+              "checkpointed one");
+    }
+  }
+  const uint64_t trie_fp = r->U64();
+  if (trie_fp != TrieFingerprint(*state.trie)) {
+    r->Fail("workload mismatch: the TPSTry++ support fingerprint differs "
+            "(resume must use the checkpointed run's workload and support "
+            "threshold)");
+  }
+  r->Close();
+
+  r->Open("loom_stats");
+  state.stats->edges_ingested = r->U64();
+  state.stats->edges_bypassed = r->U64();
+  state.stats->edges_via_window = r->U64();
+  state.stats->clusters_allocated = r->U64();
+  state.stats->cluster_edges_assigned = r->U64();
+  *state.edges_since_compact = r->U64();
+  motif::MatcherStats ms;
+  ms.edges_admitted = r->U64();
+  ms.single_edge_matches = r->U64();
+  ms.extension_matches = r->U64();
+  ms.join_matches = r->U64();
+  ms.join_attempts = r->U64();
+  state.matcher->RestoreStats(ms);
+  r->Close();
+
+  state.partitioning->LoadFrom(r);
+  state.window->LoadFrom(r);
+  state.match_list->LoadFrom(r);
+
+  // Replay the label growth the checkpointed run performed: the retained-RNG
+  // draw sequence makes the regrown values bit-identical.
+  state.label_values->EnsureLabels(grown_labels);
+  return state.label_values->num_labels();
+}
+
+}  // namespace core
+}  // namespace loom

@@ -1,0 +1,63 @@
+// Shared checkpoint codec for the Loom decision pipeline ("loom" and
+// "loom-sharded" serialise the same core state; keeping one codec makes
+// layout drift between the two backends impossible).
+//
+// Sections written (on top of whatever seen-graph section the backend adds):
+//   "loom"      — options fingerprint (every knob that steers a decision,
+//                 doubles as bit patterns), label-space ctor/current counts,
+//                 and a TPSTry++ support fingerprint (workload drift check)
+//   "loom_stats"— LoomStats + MatcherStats counters + compaction phase
+//   "partition" — the partition table (Partitioning::SaveTo)
+//   "window"    — live sliding-window edges (SlidingWindow::SaveTo)
+//   "matches"   — match pool + postings (MatchList::SaveTo)
+//
+// Restore verifies the fingerprint field-by-field (first differing knob is
+// named in the error), rejects label-space mismatches, then loads the
+// component sections and reports how many labels the checkpointed run had
+// grown to, so the backend can re-fit its open-alphabet tables.
+
+#ifndef LOOM_CORE_LOOM_CHECKPOINT_H_
+#define LOOM_CORE_LOOM_CHECKPOINT_H_
+
+#include <cstdint>
+
+#include "core/loom_partitioner.h"
+#include "io/checkpoint.h"
+#include "motif/match_list.h"
+#include "motif/motif_matcher.h"
+#include "partition/partitioning.h"
+#include "signature/label_values.h"
+#include "stream/sliding_window.h"
+#include "tpstry/tpstry.h"
+
+namespace loom {
+namespace core {
+
+/// Everything the two Loom backends share for checkpointing, as borrowed
+/// pointers (const for save; the restore overloads need mutables).
+struct LoomCoreState {
+  const LoomOptions* options = nullptr;
+  size_t ctor_num_labels = 0;  // label count the backend was built with
+  signature::LabelValues* label_values = nullptr;
+  const tpstry::Tpstry* trie = nullptr;
+  partition::Partitioning* partitioning = nullptr;
+  stream::SlidingWindow* window = nullptr;
+  motif::MatchList* match_list = nullptr;
+  motif::MotifMatcher* matcher = nullptr;
+  LoomStats* stats = nullptr;
+  uint64_t* edges_since_compact = nullptr;
+};
+
+/// Writes the shared core sections listed above.
+void SaveLoomCore(io::CheckpointWriter* w, const LoomCoreState& state);
+
+/// Verifies the fingerprint and restores the shared core sections into a
+/// fresh backend. Throws (via r->Fail) on any mismatch. Returns the label
+/// count the checkpointed run had grown to (>= ctor count); the caller must
+/// re-fit its label-dependent tables when it exceeds the ctor count.
+size_t RestoreLoomCore(io::CheckpointReader* r, const LoomCoreState& state);
+
+}  // namespace core
+}  // namespace loom
+
+#endif  // LOOM_CORE_LOOM_CHECKPOINT_H_

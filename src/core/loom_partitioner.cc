@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/loom_checkpoint.h"
+
 namespace loom {
 namespace core {
 
@@ -10,6 +12,7 @@ LoomPartitioner::LoomPartitioner(const LoomOptions& options,
                                  const query::Workload& workload,
                                  size_t num_labels)
     : options_(options),
+      ctor_num_labels_(num_labels),
       partitioning_(options.base.k, options.base.expected_vertices,
                     options.base.max_imbalance),
       seen_(options.base.expected_vertices),
@@ -67,11 +70,31 @@ void LoomPartitioner::AssignImmediately(const stream::StreamEdge& e) {
   if (place_v) AssignVertex(e.v, p);
 }
 
+void LoomPartitioner::EnsureLabelSpace(graph::LabelId max_label) {
+  if (max_label < calc_->num_labels()) return;
+  // A label this run has never seen: extend the value table (existing labels
+  // keep their values — the retained RNG draws new ones sequentially), then
+  // re-fit everything sized by the label count. The admission memo restarts
+  // cold, which costs one trie probe per distinct label pair — not
+  // correctness: memoised answers for old pairs recompute identically.
+  label_values_->EnsureLabels(static_cast<size_t>(max_label) + 1);
+  matcher_->InvalidateMotifCache();
+  const std::vector<bool> mask =
+      trie_->MotifLabelMask(label_values_->num_labels());
+  motif_label_.assign(mask.begin(), mask.end());
+}
+
 void LoomPartitioner::Ingest(const stream::StreamEdge& e) {
+  EnsureLabelSpace(std::max(e.label_u, e.label_v));
   IngestWithAdmission(e, matcher_->SingleEdgeMotif(e) != nullptr);
 }
 
 void LoomPartitioner::IngestBatch(std::span<const stream::StreamEdge> batch) {
+  graph::LabelId max_label = 0;
+  for (const stream::StreamEdge& e : batch) {
+    max_label = std::max({max_label, e.label_u, e.label_v});
+  }
+  EnsureLabelSpace(max_label);
   // Hoisted admission probes: the test is a pure function of the label pair
   // (memoised per pair) and the trie, which cannot change mid-batch, so one
   // tight pass over the memo table decides the whole batch before any
@@ -209,6 +232,64 @@ void LoomPartitioner::EvictOldest() {
                                    decision.take, edges_assigned,
                                    used_fallback});
   }
+}
+
+namespace {
+/// Builds the shared-codec view over a (logically const for save) backend.
+LoomCoreState CoreState(const LoomOptions* options, size_t ctor_num_labels,
+                        signature::LabelValues* values,
+                        const tpstry::Tpstry* trie,
+                        partition::Partitioning* partitioning,
+                        stream::SlidingWindow* window,
+                        motif::MatchList* match_list,
+                        motif::MotifMatcher* matcher, LoomStats* stats,
+                        uint64_t* edges_since_compact) {
+  LoomCoreState st;
+  st.options = options;
+  st.ctor_num_labels = ctor_num_labels;
+  st.label_values = values;
+  st.trie = trie;
+  st.partitioning = partitioning;
+  st.window = window;
+  st.match_list = match_list;
+  st.matcher = matcher;
+  st.stats = stats;
+  st.edges_since_compact = edges_since_compact;
+  return st;
+}
+}  // namespace
+
+bool LoomPartitioner::SaveState(io::CheckpointWriter* w,
+                                std::string* error) const {
+  (void)error;
+  // The codec only reads through the view on the save path; the const_cast
+  // exists because one LoomCoreState serves both directions.
+  auto* self = const_cast<LoomPartitioner*>(this);
+  SaveLoomCore(w, CoreState(&options_, ctor_num_labels_,
+                            self->label_values_.get(), trie_.get(),
+                            &self->partitioning_, &self->window_,
+                            &self->match_list_, self->matcher_.get(),
+                            &self->stats_, &self->edges_since_compact_));
+  seen_.SaveTo(w, "seen_graph");
+  return true;
+}
+
+bool LoomPartitioner::RestoreState(io::CheckpointReader* r,
+                                   std::string* error) {
+  (void)error;
+  const size_t grown = RestoreLoomCore(
+      r, CoreState(&options_, ctor_num_labels_, label_values_.get(),
+                   trie_.get(), &partitioning_, &window_, &match_list_,
+                   matcher_.get(), &stats_, &edges_since_compact_));
+  seen_.LoadFrom(r, "seen_graph");
+  if (grown != ctor_num_labels_) {
+    // The checkpointed run had grown its alphabet: re-fit the label-sized
+    // tables exactly as EnsureLabelSpace did there.
+    matcher_->InvalidateMotifCache();
+    const std::vector<bool> mask = trie_->MotifLabelMask(grown);
+    motif_label_.assign(mask.begin(), mask.end());
+  }
+  return true;
 }
 
 void LoomPartitioner::UpdateWorkload(const query::Workload& workload,

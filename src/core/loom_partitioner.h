@@ -106,6 +106,12 @@ class LoomPartitioner : public partition::Partitioner {
   }
   std::string name() const override { return "loom"; }
 
+  /// Full pipeline snapshot (options fingerprint, stats, partition table,
+  /// window, matchList, seen-graph) via the shared Loom codec; restore +
+  /// tail is bit-identical to the uninterrupted run.
+  bool SaveState(io::CheckpointWriter* w, std::string* error) const override;
+  bool RestoreState(io::CheckpointReader* r, std::string* error) override;
+
   const tpstry::Tpstry& trie() const { return *trie_; }
   const LoomStats& stats() const { return stats_; }
   const motif::MatcherStats& matcher_stats() const { return matcher_->stats(); }
@@ -124,6 +130,12 @@ class LoomPartitioner : public partition::Partitioner {
   /// precomputes it).
   void IngestWithAdmission(const stream::StreamEdge& e, bool admitted);
 
+  /// Open-alphabet support: grows the label-value table (chunked, values of
+  /// existing labels untouched) and re-fits the admission memo + motif-label
+  /// mask when the stream reveals a label beyond the current space. Must run
+  /// before any admission probe of the offending edge.
+  void EnsureLabelSpace(graph::LabelId max_label);
+
   /// True if v's placement is being withheld pending a motif cluster:
   /// unassigned and motif-labelled, or in live matches.
   bool IsDeferred(graph::VertexId v, graph::LabelId label);
@@ -138,6 +150,7 @@ class LoomPartitioner : public partition::Partitioner {
   void EvictOldest();
 
   LoomOptions options_;
+  size_t ctor_num_labels_;  // label space at construction (checkpoint id)
   partition::Partitioning partitioning_;
   graph::DynamicGraph seen_;  // streamed-so-far adjacency (for LDG scoring)
 

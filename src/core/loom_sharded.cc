@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "core/loom_checkpoint.h"
 #include "partition/ldg_partitioner.h"
 
 namespace loom {
@@ -12,6 +13,7 @@ LoomShardedPartitioner::LoomShardedPartitioner(
     const LoomShardedOptions& options, const query::Workload& workload,
     size_t num_labels)
     : options_(options),
+      ctor_num_labels_(num_labels),
       partitioning_(options.loom.base.k, options.loom.base.expected_vertices,
                     options.loom.base.max_imbalance),
       seen_(std::max<uint32_t>(options.shards, 1)),
@@ -75,9 +77,28 @@ void LoomShardedPartitioner::Ingest(const stream::StreamEdge& e) {
   IngestBatch(std::span<const stream::StreamEdge>(&e, 1));
 }
 
+void LoomShardedPartitioner::EnsureLabelSpace(graph::LabelId max_label) {
+  if (max_label < calc_->num_labels()) return;
+  label_values_->EnsureLabels(static_cast<size_t>(max_label) + 1);
+  // Every matcher (sequencer's + the shards' admission memos) is sized by
+  // the label count; the workers are quiescent here, so this is race-free.
+  matcher_->InvalidateMotifCache();
+  for (auto& m : shard_matchers_) m->InvalidateMotifCache();
+  const std::vector<bool> mask =
+      trie_->MotifLabelMask(label_values_->num_labels());
+  motif_label_.assign(mask.begin(), mask.end());
+}
+
 void LoomShardedPartitioner::IngestBatch(
     std::span<const stream::StreamEdge> batch) {
   if (batch.empty()) return;
+  // Open-alphabet growth must land before fan-out: workers probe their
+  // admission memos against the label space.
+  graph::LabelId max_label = 0;
+  for (const stream::StreamEdge& e : batch) {
+    max_label = std::max({max_label, e.label_u, e.label_v});
+  }
+  EnsureLabelSpace(max_label);
   // Size the admission bitmap before fan-out (workers write its cells).
   admit_scratch_.assign(batch.size(), 0);
   if (batch.size() == 1) {
@@ -223,6 +244,51 @@ void LoomShardedPartitioner::EvictOldest() {
                                    decision.take, edges_assigned,
                                    used_fallback});
   }
+}
+
+bool LoomShardedPartitioner::SaveState(io::CheckpointWriter* w,
+                                       std::string* error) const {
+  (void)error;
+  auto* self = const_cast<LoomShardedPartitioner*>(this);
+  LoomCoreState st;
+  st.options = &options_.loom;
+  st.ctor_num_labels = ctor_num_labels_;
+  st.label_values = self->label_values_.get();
+  st.trie = trie_.get();
+  st.partitioning = &self->partitioning_;
+  st.window = &self->window_;
+  st.match_list = &self->match_list_;
+  st.matcher = self->matcher_.get();
+  st.stats = &self->stats_;
+  st.edges_since_compact = &self->edges_since_compact_;
+  SaveLoomCore(w, st);
+  seen_.SaveTo(w);
+  return true;
+}
+
+bool LoomShardedPartitioner::RestoreState(io::CheckpointReader* r,
+                                          std::string* error) {
+  (void)error;
+  LoomCoreState st;
+  st.options = &options_.loom;
+  st.ctor_num_labels = ctor_num_labels_;
+  st.label_values = label_values_.get();
+  st.trie = trie_.get();
+  st.partitioning = &partitioning_;
+  st.window = &window_;
+  st.match_list = &match_list_;
+  st.matcher = matcher_.get();
+  st.stats = &stats_;
+  st.edges_since_compact = &edges_since_compact_;
+  const size_t grown = RestoreLoomCore(r, st);
+  seen_.LoadFrom(r);
+  if (grown != ctor_num_labels_) {
+    matcher_->InvalidateMotifCache();
+    for (auto& m : shard_matchers_) m->InvalidateMotifCache();
+    const std::vector<bool> mask = trie_->MotifLabelMask(grown);
+    motif_label_.assign(mask.begin(), mask.end());
+  }
+  return true;
 }
 
 void LoomShardedPartitioner::UpdateWorkload(const query::Workload& workload,

@@ -116,6 +116,21 @@ class ShardGraphPart {
   size_t LocalSlots() const { return labels_.size(); }
   size_t NumVertices() const { return num_vertices_; }
 
+  /// Raw field dump into the writer's open section (ShardedSeenGraph frames
+  /// the "shards" section around all parts).
+  void SaveTo(io::CheckpointWriter* w) const {
+    w->U64(num_vertices_);
+    w->PodVec(labels_);
+    w->U64(adj_.size());
+    for (const std::vector<graph::VertexId>& a : adj_) w->PodVec(a);
+  }
+  void LoadFrom(io::CheckpointReader* r) {
+    num_vertices_ = r->U64();
+    r->PodVec(&labels_);
+    adj_.assign(r->U64(), {});
+    for (std::vector<graph::VertexId>& a : adj_) r->PodVec(&a);
+  }
+
   std::span<const graph::VertexId> Prefix(graph::VertexId local,
                                           uint32_t visible) const {
     if (local >= adj_.size()) return {};
@@ -186,6 +201,33 @@ class ShardedSeenGraph final : public graph::NeighborView {
     return v / num_shards();
   }
 
+  /// Writes every shard's slice plus the sequencer's visibility cursors as
+  /// checkpoint section "shards". The cursors are state, not cache: they
+  /// define exactly which adjacency prefix each future decision may read.
+  void SaveTo(io::CheckpointWriter* w) const {
+    w->BeginSection("shards");
+    w->U32(num_shards());
+    for (const ShardGraphPart& p : parts_) p.SaveTo(w);
+    for (const std::vector<uint32_t>& vis : visible_) w->PodVec(vis);
+    w->EndSection();
+  }
+
+  /// Restores a SaveTo snapshot; shard-count mismatch throws via r->Fail
+  /// (owner(v) = v mod S — a different S reshuffles every vertex's shard).
+  void LoadFrom(io::CheckpointReader* r) {
+    r->Open("shards");
+    const uint32_t shards = r->U32();
+    if (shards != num_shards()) {
+      r->Fail("shard count mismatch: checkpoint has S=" +
+              std::to_string(shards) + ", this run was configured with S=" +
+              std::to_string(num_shards()) +
+              " (resume with the checkpointed shard count)");
+    }
+    for (ShardGraphPart& p : parts_) p.LoadFrom(r);
+    for (std::vector<uint32_t>& vis : visible_) r->PodVec(&vis);
+    r->Close();
+  }
+
  private:
   void Bump(graph::VertexId v) {
     std::vector<uint32_t>& vis = visible_[Owner(v)];
@@ -225,6 +267,11 @@ class LoomShardedPartitioner : public partition::Partitioner {
   }
   std::string name() const override { return "loom-sharded"; }
 
+  /// Full pipeline snapshot via the shared Loom codec plus the per-shard
+  /// graph slices and visibility cursors.
+  bool SaveState(io::CheckpointWriter* w, std::string* error) const override;
+  bool RestoreState(io::CheckpointReader* r, std::string* error) override;
+
   const LoomStats& stats() const { return stats_; }
   const ShardSequencerStats& sequencer_stats() const { return team_->stats(); }
   uint32_t num_shards() const { return team_->num_shards(); }
@@ -241,12 +288,19 @@ class LoomShardedPartitioner : public partition::Partitioner {
   // through seen_. Kept in lockstep with core/loom_partitioner.cc; the
   // differential suite pins bit-identity.
   void IngestSequenced(const stream::StreamEdge& e, bool admitted);
+
+  /// Open-alphabet growth, mirroring LoomPartitioner::EnsureLabelSpace;
+  /// runs on the sequencer thread while workers are quiescent (before
+  /// Dispatch), so re-fitting every shard's admission memo is race-free.
+  void EnsureLabelSpace(graph::LabelId max_label);
+
   bool IsDeferred(graph::VertexId v, graph::LabelId label);
   void AssignVertex(graph::VertexId v, graph::PartitionId p);
   void AssignImmediately(const stream::StreamEdge& e);
   void EvictOldest();
 
   LoomShardedOptions options_;
+  size_t ctor_num_labels_;  // label space at construction (checkpoint id)
   partition::Partitioning partitioning_;
   ShardedSeenGraph seen_;
 

@@ -161,6 +161,10 @@ class StatsObserver : public EngineObserver {
 
   const Totals& totals() const { return totals_; }
 
+  /// Overwrites the accumulated totals (checkpoint restore: the resumed
+  /// session must report lifetime totals as if never interrupted).
+  void RestoreTotals(const Totals& totals) { totals_ = totals; }
+
   /// The last final-stats event (empty until a drive finalizes).
   const FinalStatsEvent& final_stats() const { return final_stats_; }
 

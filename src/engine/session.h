@@ -26,6 +26,7 @@
 #ifndef LOOM_ENGINE_SESSION_H_
 #define LOOM_ENGINE_SESSION_H_
 
+#include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -110,6 +111,28 @@ class Session {
   /// in the same order.
   RunReport Finish();
 
+  /// Snapshots the whole run — session envelope (backend id, stream cursor,
+  /// resolved options fingerprint, event totals) plus the backend's
+  /// SaveState sections — into a LOOMCK file at `path`, committed atomically
+  /// (tmp + fsync + rename), flushing sinks first so everything already
+  /// assigned is durable alongside the checkpoint. Returns false + an
+  /// actionable `*error` on failure; the previous file at `path` (if any) is
+  /// only replaced by a complete new checkpoint, never by a torn one.
+  bool Checkpoint(const std::string& path, std::string* error);
+
+  /// Restores a Checkpoint file into this freshly created session (nothing
+  /// ingested). On success the session's stream cursor is edges_ingested();
+  /// skip the source to that position and keep driving — assignments,
+  /// events and final stats will be bit-identical to the uninterrupted run.
+  /// On failure (corruption, version skew, backend/options/label mismatch)
+  /// returns false with an actionable `*error` and the session must be
+  /// discarded.
+  bool Resume(const std::string& path, std::string* error);
+
+  /// Stream elements ingested over the session's lifetime (the resume
+  /// cursor: the next edge to read has this stream id).
+  uint64_t edges_ingested() const { return edges_; }
+
   /// The (possibly partial) partitioning — placement state, not a
   /// backend-specific getter.
   const partition::Partitioning& partitioning() const;
@@ -142,11 +165,33 @@ class Session {
   void FlushSinks();
 
   SessionConfig config_;
+  /// config_.options with the spec's inline overrides applied — what the
+  /// backend was actually built with; the checkpoint fingerprint uses this,
+  /// never the raw base options.
+  EngineOptions resolved_options_;
   std::unique_ptr<partition::Partitioner> partitioner_;
   Fanout fanout_;
   uint64_t edges_ = 0;
   double ms_ = 0.0;
 };
+
+/// Two-slot rotation on top of Session::Checkpoint: the current good file at
+/// `path` is first renamed to `path + ".prev"`, then the new checkpoint is
+/// committed at `path` — so one good checkpoint always survives a crash (or
+/// a corruption) of the newest one.
+bool CheckpointSessionRotating(Session* session, const std::string& path,
+                               std::string* error);
+
+/// Resume with fallback across the rotation's two slots: builds a session
+/// via `make` and resumes it from `path`; if that checkpoint is missing or
+/// rejected, builds a FRESH session (a failed restore may have partially
+/// mutated the first one) and retries from `path + ".prev"`. Returns the
+/// resumed session, or nullptr with both slots' errors joined in `*error`.
+/// `*used_fallback` (optional) reports whether the ".prev" slot restored.
+std::unique_ptr<Session> ResumeSessionWithFallback(
+    const std::function<std::unique_ptr<Session>(std::string*)>& make,
+    const std::string& path, std::string* error,
+    bool* used_fallback = nullptr);
 
 }  // namespace engine
 }  // namespace loom

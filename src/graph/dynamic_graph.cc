@@ -26,6 +26,32 @@ void DynamicGraph::TouchVertex(VertexId v, LabelId label) {
   }
 }
 
+void DynamicGraph::SaveTo(io::CheckpointWriter* w,
+                          std::string_view name) const {
+  w->BeginSection(name);
+  w->U64(num_vertices_);
+  w->U64(num_edges_);
+  w->PodVec(labels_);
+  w->U64(adj_.size());
+  for (const std::vector<VertexId>& neighbors : adj_) w->PodVec(neighbors);
+  w->EndSection();
+}
+
+void DynamicGraph::LoadFrom(io::CheckpointReader* r, std::string_view name) {
+  assert(num_vertices_ == 0 && num_edges_ == 0);
+  r->Open(name);
+  num_vertices_ = r->U64();
+  num_edges_ = r->U64();
+  r->PodVec(&labels_);
+  adj_.assign(r->U64(), {});
+  for (std::vector<VertexId>& neighbors : adj_) r->PodVec(&neighbors);
+  if (adj_.size() != labels_.size()) {
+    r->Fail("graph section '" + std::string(name) +
+            "': adjacency/label table size mismatch");
+  }
+  r->Close();
+}
+
 void DynamicGraph::AddEdge(VertexId u, VertexId v) {
   assert(Known(u) && Known(v));
   // First insert jumps straight to a capacity that covers typical degrees;

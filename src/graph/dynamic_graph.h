@@ -14,6 +14,7 @@
 
 #include "graph/neighbor_view.h"
 #include "graph/types.h"
+#include "io/checkpoint.h"
 
 namespace loom {
 namespace graph {
@@ -63,6 +64,13 @@ class DynamicGraph final : public NeighborView {
   }
 
   size_t Degree(VertexId v) const { return v < adj_.size() ? adj_[v].size() : 0; }
+
+  /// Writes the graph as checkpoint section `name` (labels, adjacency in
+  /// insertion order — neighbour order feeds scoring, so it must survive).
+  void SaveTo(io::CheckpointWriter* w, std::string_view name) const;
+
+  /// Restores a SaveTo snapshot; requires this graph to be empty.
+  void LoadFrom(io::CheckpointReader* r, std::string_view name);
 
  private:
   std::vector<LabelId> labels_;

@@ -1,0 +1,329 @@
+#include "io/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace loom {
+namespace io {
+
+namespace {
+
+// File layout (little-endian):
+//   [0..5]  magic "LOOMCK"
+//   [6..7]  uint16 format version
+// then per section:
+//   u8 'S', u16 name_len, name bytes, u64 payload_len, u64 FNV-1a(payload),
+//   payload bytes
+// then a u8 'E' trailer marker. The trailer is what distinguishes "last
+// section ended exactly at EOF" from "file truncated after a section".
+constexpr char kMagic[6] = {'L', 'O', 'O', 'M', 'C', 'K'};
+constexpr uint8_t kSectionMarker = 'S';
+constexpr uint8_t kTrailerMarker = 'E';
+constexpr size_t kMaxSectionName = 256;
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t Fnv(const char* bytes, size_t n) {
+  uint64_t h = kFnvOffset;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(bytes[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+void AppendRaw(std::vector<char>* out, T value) {
+  const char* p = reinterpret_cast<const char*>(&value);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+[[noreturn]] void FailAt(const std::string& path, const std::string& detail) {
+  throw std::runtime_error("checkpoint '" + path + "': " + detail);
+}
+
+/// fsyncs the directory containing `path` so the rename itself is durable.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fds
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- writer
+
+void CheckpointWriter::BeginSection(std::string_view name) {
+  if (in_section_) {
+    throw std::runtime_error("checkpoint writer: BeginSection('" +
+                             std::string(name) + "') inside an open section");
+  }
+  if (name.empty() || name.size() > kMaxSectionName) {
+    throw std::runtime_error("checkpoint writer: bad section name length");
+  }
+  for (const Section& s : sections_) {
+    if (s.name == name) {
+      throw std::runtime_error("checkpoint writer: duplicate section '" +
+                               std::string(name) + "'");
+    }
+  }
+  sections_.push_back(Section{std::string(name), {}});
+  in_section_ = true;
+}
+
+void CheckpointWriter::EndSection() {
+  if (!in_section_) {
+    throw std::runtime_error("checkpoint writer: EndSection with no section");
+  }
+  in_section_ = false;
+}
+
+void CheckpointWriter::Raw(const void* data, size_t n) {
+  if (!in_section_) {
+    throw std::runtime_error("checkpoint writer: write outside a section");
+  }
+  const char* p = static_cast<const char*>(data);
+  sections_.back().payload.insert(sections_.back().payload.end(), p, p + n);
+}
+
+void CheckpointWriter::Str(std::string_view s) {
+  U32(static_cast<uint32_t>(s.size()));
+  Raw(s.data(), s.size());
+}
+
+void CheckpointWriter::Commit(const std::string& path) {
+  if (in_section_) {
+    throw std::runtime_error("checkpoint writer: Commit with an open section");
+  }
+  if (committed_) {
+    throw std::runtime_error("checkpoint writer: double Commit");
+  }
+  committed_ = true;
+
+  std::vector<char> file;
+  file.insert(file.end(), kMagic, kMagic + sizeof(kMagic));
+  AppendRaw(&file, kCheckpointVersion);
+  for (const Section& s : sections_) {
+    AppendRaw(&file, kSectionMarker);
+    AppendRaw(&file, static_cast<uint16_t>(s.name.size()));
+    file.insert(file.end(), s.name.begin(), s.name.end());
+    AppendRaw(&file, static_cast<uint64_t>(s.payload.size()));
+    AppendRaw(&file, Fnv(s.payload.data(), s.payload.size()));
+    file.insert(file.end(), s.payload.begin(), s.payload.end());
+  }
+  AppendRaw(&file, kTrailerMarker);
+
+  // Atomic durable publish: tmp + fsync + rename + parent-dir fsync. A crash
+  // at any point leaves either the previous `path` intact or the new one
+  // complete — never a torn file under the final name.
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) FailAt(tmp, "cannot open for writing");
+  size_t off = 0;
+  while (off < file.size()) {
+    const ssize_t n = ::write(fd, file.data() + off, file.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      FailAt(tmp, "write failed");
+    }
+    off += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    FailAt(tmp, "fsync failed");
+  }
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    FailAt(path, "rename from tmp failed");
+  }
+  SyncParentDir(path);
+}
+
+// ----------------------------------------------------------------- reader
+
+CheckpointReader::CheckpointReader(const std::string& path) : path_(path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) FailAt(path_, "cannot open for reading");
+  const std::streamoff size = in.tellg();
+  in.seekg(0);
+  data_.resize(static_cast<size_t>(size));
+  in.read(data_.data(), size);
+  if (static_cast<std::streamoff>(in.gcount()) != size) {
+    FailAt(path_, "short read");
+  }
+
+  size_t p = 0;
+  auto need = [&](size_t n, const char* what) {
+    if (p + n > data_.size()) {
+      FailAt(path_, std::string("truncated (") + what + " cut short at byte " +
+                        std::to_string(p) + " of " +
+                        std::to_string(data_.size()) + ")");
+    }
+  };
+  need(sizeof(kMagic) + 2, "header");
+  if (std::memcmp(data_.data(), kMagic, sizeof(kMagic)) != 0) {
+    FailAt(path_, "bad magic: not a LOOMCK checkpoint file");
+  }
+  p += sizeof(kMagic);
+  uint16_t version;
+  std::memcpy(&version, data_.data() + p, 2);
+  p += 2;
+  if (version != kCheckpointVersion) {
+    FailAt(path_, "unsupported format version " + std::to_string(version) +
+                      " (this reader speaks v" +
+                      std::to_string(kCheckpointVersion) + ")");
+  }
+
+  bool saw_trailer = false;
+  while (p < data_.size()) {
+    const uint8_t marker = static_cast<uint8_t>(data_[p]);
+    ++p;
+    if (marker == kTrailerMarker) {
+      saw_trailer = true;
+      if (p != data_.size()) FailAt(path_, "trailing bytes after the trailer");
+      break;
+    }
+    if (marker != kSectionMarker) {
+      FailAt(path_, "corrupt section framing at byte " + std::to_string(p - 1));
+    }
+    need(2, "section name length");
+    uint16_t name_len;
+    std::memcpy(&name_len, data_.data() + p, 2);
+    p += 2;
+    if (name_len == 0 || name_len > kMaxSectionName) {
+      FailAt(path_, "corrupt section name length");
+    }
+    need(name_len, "section name");
+    std::string name(data_.data() + p, name_len);
+    p += name_len;
+    need(16, "section header");
+    uint64_t length, checksum;
+    std::memcpy(&length, data_.data() + p, 8);
+    std::memcpy(&checksum, data_.data() + p + 8, 8);
+    p += 16;
+    need(static_cast<size_t>(length), ("section '" + name + "' payload").c_str());
+    if (Fnv(data_.data() + p, static_cast<size_t>(length)) != checksum) {
+      FailAt(path_, "section '" + name +
+                        "' checksum mismatch (file corrupt or torn write)");
+    }
+    if (FindSection(name) != nullptr) {
+      FailAt(path_, "duplicate section '" + name + "'");
+    }
+    sections_.push_back(Section{std::move(name), p, static_cast<size_t>(length)});
+    p += static_cast<size_t>(length);
+  }
+  if (!saw_trailer) {
+    FailAt(path_, "truncated (missing trailer; torn write or partial copy)");
+  }
+}
+
+const CheckpointReader::Section* CheckpointReader::FindSection(
+    std::string_view name) const {
+  for (const Section& s : sections_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+bool CheckpointReader::Has(std::string_view name) const {
+  return FindSection(name) != nullptr;
+}
+
+void CheckpointReader::Open(std::string_view name) {
+  if (open_ != nullptr) {
+    FailAt(path_, "Open('" + std::string(name) + "') while section '" +
+                      open_->name + "' is open");
+  }
+  const Section* s = FindSection(name);
+  if (s == nullptr) {
+    std::string present;
+    for (const Section& sec : sections_) {
+      if (!present.empty()) present += ", ";
+      present += sec.name;
+    }
+    FailAt(path_, "missing section '" + std::string(name) + "' (present: " +
+                      (present.empty() ? "none" : present) + ")");
+  }
+  open_ = s;
+  pos_ = s->offset;
+}
+
+void CheckpointReader::Close() {
+  if (open_ == nullptr) FailAt(path_, "Close with no open section");
+  const uint64_t left = Remaining();
+  if (left != 0) {
+    FailAt(path_, "section '" + open_->name + "' has " + std::to_string(left) +
+                      " unread bytes (layout skew between writer and reader)");
+  }
+  open_ = nullptr;
+}
+
+uint64_t CheckpointReader::Remaining() const {
+  if (open_ == nullptr) return 0;
+  return open_->offset + open_->length - pos_;
+}
+
+void CheckpointReader::CheckRemaining(uint64_t need, const char* what) {
+  if (open_ == nullptr) FailAt(path_, "read outside a section");
+  if (need > Remaining()) {
+    FailAt(path_, "section '" + open_->name + "' ends mid-" + what +
+                      " (layout skew between writer and reader)");
+  }
+}
+
+uint8_t CheckpointReader::U8() {
+  CheckRemaining(1, "field");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+uint16_t CheckpointReader::U16() {
+  CheckRemaining(2, "field");
+  uint16_t v;
+  std::memcpy(&v, Cursor(), 2);
+  pos_ += 2;
+  return v;
+}
+
+uint32_t CheckpointReader::U32() {
+  CheckRemaining(4, "field");
+  uint32_t v;
+  std::memcpy(&v, Cursor(), 4);
+  pos_ += 4;
+  return v;
+}
+
+uint64_t CheckpointReader::U64() {
+  CheckRemaining(8, "field");
+  uint64_t v;
+  std::memcpy(&v, Cursor(), 8);
+  pos_ += 8;
+  return v;
+}
+
+std::string CheckpointReader::Str() {
+  const uint32_t len = U32();
+  CheckRemaining(len, "string");
+  std::string s(Cursor(), len);
+  pos_ += len;
+  return s;
+}
+
+void CheckpointReader::Fail(const std::string& detail) const {
+  FailAt(path_, detail);
+}
+
+}  // namespace io
+}  // namespace loom

@@ -352,7 +352,7 @@ size_t FileEdgeSource::NextBatch(std::span<stream::StreamEdge> out) {
   pos_ += produced;
   if (pos_ == info_.edge_count) {
     exhausted_ = true;
-    if (info_.format == StreamFormat::kBinary &&
+    if (info_.format == StreamFormat::kBinary && verify_checksum_ &&
         checksum_ != expected_checksum_) {
       Fail(path_, "payload checksum mismatch (file corrupt, or written "
                   "without Close())");
@@ -367,7 +367,42 @@ void FileEdgeSource::Reset() {
   if (!in_) Fail(path_, "seek failed on Reset");
   pos_ = 0;
   checksum_ = kFnvOffset;
+  verify_checksum_ = true;
   exhausted_ = false;
+}
+
+void FileEdgeSource::SkipTo(uint64_t stream_id) {
+  if (stream_id > info_.edge_count) {
+    Fail(path_, "cannot skip to edge " + std::to_string(stream_id) +
+                    ": the stream declares only " +
+                    std::to_string(info_.edge_count) + " edges");
+  }
+  Reset();
+  if (stream_id == 0) return;
+  if (info_.format == StreamFormat::kBinary) {
+    in_.seekg(data_start_ +
+              static_cast<std::streamoff>(stream_id * kRecordBytes));
+    if (!in_) Fail(path_, "seek failed on SkipTo");
+  } else {
+    // Text has no fixed record width: walk forward, counting edge lines.
+    std::string line;
+    uint64_t skipped = 0;
+    while (skipped < stream_id && std::getline(in_, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      ++skipped;
+    }
+    if (skipped < stream_id) {
+      Fail(path_, "truncated: header declares " +
+                      std::to_string(info_.edge_count) +
+                      " edges but the file ends after " +
+                      std::to_string(skipped));
+    }
+  }
+  pos_ = stream_id;
+  // The running checksum covers the payload from edge 0; a resumed reader
+  // never sees the skipped prefix, so the end-of-stream check must not fire.
+  verify_checksum_ = false;
+  exhausted_ = pos_ == info_.edge_count;
 }
 
 bool FileEdgeSource::InternLabels(graph::LabelRegistry* registry,

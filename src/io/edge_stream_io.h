@@ -119,6 +119,14 @@ class FileEdgeSource : public engine::EdgeSource {
   size_t SizeHint() const override { return info_.edge_count; }
   void Reset() override;
 
+  /// Positions the source so the next edge read has id `stream_id` — the
+  /// checkpoint-resume cursor (Session::edges_ingested()). Binary streams
+  /// seek directly; text streams rewind and skip forward. Skipping past 0
+  /// disables the end-of-stream payload checksum (it covers the full
+  /// payload, which a resumed reader never sees); Reset() re-arms it.
+  /// Throws if `stream_id` exceeds the declared edge count.
+  void SkipTo(uint64_t stream_id);
+
   const EdgeStreamInfo& info() const { return info_; }
 
   /// Interns the file's label table into `registry` (in table order).
@@ -138,6 +146,7 @@ class FileEdgeSource : public engine::EdgeSource {
   uint64_t pos_ = 0;               // edges consumed
   uint64_t checksum_;              // running FNV-1a (binary only)
   uint64_t expected_checksum_ = 0; // header's claim (binary only)
+  bool verify_checksum_ = true;    // false after a mid-stream SkipTo
   bool exhausted_ = false;
 };
 

@@ -153,6 +153,54 @@ bool MatchList::HasLiveAt(graph::VertexId v) {
   return false;
 }
 
+void MatchList::SaveTo(io::CheckpointWriter* w) const {
+  w->BeginSection("matches");
+  pool_.SaveTo(w);
+  w->U64(live_count_);
+  w->U64(total_added_);
+  std::vector<MatchHandle> live;
+  auto live_items = [&](const PostingList& pl) -> const std::vector<MatchHandle>& {
+    live.clear();
+    for (MatchHandle h : pl.items) {
+      if (pool_.IsLive(h)) live.push_back(h);
+    }
+    return live;
+  };
+  w->U64(by_vertex_.size());
+  for (const PostingList& pl : by_vertex_) w->PodVec(live_items(pl));
+  // Every claimed edge-ring key is saved, even when its list is all-dead:
+  // the claimed-key set is state (EnsureEdgeSlot blanks re-created keys), so
+  // preserving it keeps the restored run's slot recycling exactly in step.
+  uint64_t num_edge_keys = 0;
+  by_edge_.ForEach(
+      [&num_edge_keys](graph::EdgeId, const PostingList&) { ++num_edge_keys; });
+  w->U64(num_edge_keys);
+  by_edge_.ForEach([&](graph::EdgeId e, const PostingList& pl) {
+    w->U32(e);
+    w->PodVec(live_items(pl));
+  });
+  w->EndSection();
+}
+
+void MatchList::LoadFrom(io::CheckpointReader* r) {
+  assert(total_added_ == 0 && by_vertex_.empty() && "restore into fresh list");
+  r->Open("matches");
+  pool_.LoadFrom(r);
+  live_count_ = r->U64();
+  total_added_ = r->U64();
+  by_vertex_.assign(r->U64(), {});
+  for (PostingList& pl : by_vertex_) r->PodVec(&pl.items);
+  const uint64_t num_edge_keys = r->U64();  // saved ascending (ring ForEach)
+  for (uint64_t i = 0; i < num_edge_keys; ++i) {
+    const graph::EdgeId e = r->U32();
+    r->PodVec(&EnsureEdgeSlot(e)->items);
+  }
+  r->Close();
+  // The dedup key set is derived state: rebuild it from the live matches.
+  pool_.ForEachLive(
+      [this](MatchHandle, const Match& m) { live_keys_.Insert(m.Key()); });
+}
+
 void MatchList::Compact() {
   // Dirty list instead of a full sweep; opportunistic pruning may have
   // already cleaned an entry (Prune is idempotent) and a vertex may appear

@@ -105,6 +105,16 @@ class MatchList {
     return v < by_vertex_.size() ? by_vertex_[v].items.size() : 0;
   }
 
+  /// Writes the pool + both indexes as checkpoint section "matches". Dead
+  /// posting entries are dropped (the restored state looks freshly pruned —
+  /// observationally identical, since every read path filters dead handles),
+  /// but the pool itself (free-list order, generations) travels verbatim so
+  /// future handles and fresh/reused counters match the uninterrupted run.
+  void SaveTo(io::CheckpointWriter* w) const;
+
+  /// Restores a SaveTo snapshot; requires a fresh MatchList.
+  void LoadFrom(io::CheckpointReader* r);
+
  private:
   struct PostingList {
     std::vector<MatchHandle> items;

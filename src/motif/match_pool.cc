@@ -24,6 +24,51 @@ MatchHandle MatchPool::Allocate() {
   return (s.generation << kMatchIndexBits) | idx;
 }
 
+void MatchPool::SaveTo(io::CheckpointWriter* w) const {
+  w->U32(next_index_);
+  w->U64(live_);
+  w->U64(fresh_);
+  w->U64(reused_);
+  w->PodVec(free_);
+  for (uint32_t idx = 0; idx < next_index_; ++idx) {
+    const Slot& s = slot(idx);
+    w->U32(s.generation);
+    w->U8(s.live ? 1 : 0);
+    if (s.live) {
+      // Only live slots carry content: a recycled slot's Match is Reset on
+      // the next Allocate, so its old payload is unobservable.
+      w->PodVec(s.match.edges);
+      w->PodVec(s.match.vertices);
+      w->PodVec(s.match.degrees);
+      w->U32(s.match.node_id);
+    }
+  }
+}
+
+void MatchPool::LoadFrom(io::CheckpointReader* r) {
+  assert(next_index_ == 0 && free_.empty() && "restore into a fresh pool");
+  next_index_ = r->U32();
+  live_ = r->U64();
+  fresh_ = r->U64();
+  reused_ = r->U64();
+  r->PodVec(&free_);
+  const size_t chunks = (next_index_ + kChunkSize - 1) >> kChunkBits;
+  for (size_t c = 0; c < chunks; ++c) {
+    chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+  }
+  for (uint32_t idx = 0; idx < next_index_; ++idx) {
+    Slot& s = slot(idx);
+    s.generation = r->U32();
+    s.live = r->U8() != 0;
+    if (s.live) {
+      r->PodVec(&s.match.edges);
+      r->PodVec(&s.match.vertices);
+      r->PodVec(&s.match.degrees);
+      s.match.node_id = r->U32();
+    }
+  }
+}
+
 void MatchPool::Release(MatchHandle h) {
   assert(IsLive(h));
   const uint32_t idx = MatchIndexOf(h);

@@ -19,6 +19,7 @@
 #include <memory>
 #include <vector>
 
+#include "io/checkpoint.h"
 #include "motif/match.h"
 
 namespace loom {
@@ -81,6 +82,25 @@ class MatchPool {
   /// Allocations served by recycling a released slot — each one is a
   /// shared_ptr-era heap allocation avoided.
   uint64_t reused_allocations() const { return reused_; }
+
+  /// Applies `fn(MatchHandle, const Match&)` to every live match, ascending
+  /// slot index.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (uint32_t idx = 0; idx < next_index_; ++idx) {
+      const Slot& s = slot(idx);
+      if (s.live) fn((s.generation << kMatchIndexBits) | idx, s.match);
+    }
+  }
+
+  /// Appends the pool verbatim to the writer's open section. The free-list
+  /// order and per-slot generations are preserved exactly: future Allocate
+  /// calls must hand out the same handles (and fresh/reused counters) the
+  /// uninterrupted run would have, or final stats drift.
+  void SaveTo(io::CheckpointWriter* w) const;
+
+  /// Restores a SaveTo snapshot; requires a fresh pool.
+  void LoadFrom(io::CheckpointReader* r);
 
  private:
   struct Slot {

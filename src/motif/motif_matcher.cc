@@ -32,7 +32,9 @@ void MotifMatcher::RefreshExtendability() {
 }
 
 void MotifMatcher::InvalidateMotifCache() {
-  std::fill(admission_known_.begin(), admission_known_.end(), 0);
+  admission_side_ = calc_->num_labels();  // re-fit to a grown alphabet
+  admission_.assign(admission_side_ * admission_side_, nullptr);
+  admission_known_.assign(admission_side_ * admission_side_, 0);
   child_memo_.Clear();
   max_motif_edges_ = trie_->MaxMotifEdges();
   RefreshExtendability();

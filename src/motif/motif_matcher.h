@@ -69,9 +69,19 @@ class MotifMatcher {
   /// trie's supports change.
   const tpstry::TpsNode* SingleEdgeMotif(const stream::StreamEdge& e) const;
 
-  /// Drops the memoised admission table. Must be called whenever the trie's
-  /// motif set may have changed (workload drift / threshold updates).
+  /// Drops the memoised admission table and re-sizes it to the calculator's
+  /// CURRENT label count. Must be called whenever the trie's motif set may
+  /// have changed (workload drift / threshold updates) or the label alphabet
+  /// grew (open-alphabet streams; see LabelValues::EnsureLabels).
   void InvalidateMotifCache();
+
+  /// Labels this matcher's admission memo currently covers.
+  size_t num_labels() const { return admission_side_; }
+
+  /// Overwrites the running counters (checkpoint restore only; the memo
+  /// tables are pure caches and rebuild themselves, but the counters feed
+  /// FinalStatsEvent and must survive).
+  void RestoreStats(const MatcherStats& stats) { stats_ = stats; }
 
   /// Processes an edge that has just been pushed into `window` (it must
   /// match a single-edge motif). Registers every newly formed match in `ml`.

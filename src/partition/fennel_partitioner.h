@@ -28,6 +28,14 @@ class FennelPartitioner : public Partitioner {
   double alpha() const { return alpha_; }
   double gamma() const { return gamma_; }
 
+  /// Table + seen-graph, as for LDG (gamma/alpha are ctor-derived constants
+  /// and need no serialisation).
+  bool SaveState(io::CheckpointWriter* w, std::string* error) const override;
+  bool RestoreState(io::CheckpointReader* r, std::string* error) override;
+
+ protected:
+  Partitioning* MutablePartitioning() override { return &partitioning_; }
+
  private:
   /// Greedy placement of a single vertex.
   graph::PartitionId ChooseFor(graph::VertexId v) const;

@@ -21,6 +21,9 @@ class HashPartitioner : public Partitioner {
   /// The stateless placement rule, exposed for tests.
   graph::PartitionId HashPlace(graph::VertexId v) const;
 
+ protected:
+  Partitioning* MutablePartitioning() override { return &partitioning_; }
+
  private:
   Partitioning partitioning_;
 };

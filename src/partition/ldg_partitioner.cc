@@ -115,5 +115,19 @@ void LdgPartitioner::Ingest(const stream::StreamEdge& e) {
   }
 }
 
+bool LdgPartitioner::SaveState(io::CheckpointWriter* w, std::string* error) const {
+  (void)error;
+  partitioning_.SaveTo(w);
+  seen_.SaveTo(w, "seen_graph");
+  return true;
+}
+
+bool LdgPartitioner::RestoreState(io::CheckpointReader* r, std::string* error) {
+  (void)error;
+  partitioning_.LoadFrom(r);
+  seen_.LoadFrom(r, "seen_graph");
+  return true;
+}
+
 }  // namespace partition
 }  // namespace loom

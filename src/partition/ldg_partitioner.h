@@ -49,6 +49,14 @@ class LdgPartitioner : public Partitioner {
   const Partitioning& partitioning() const override { return partitioning_; }
   std::string name() const override { return "ldg"; }
 
+  /// Table + streamed-so-far adjacency: LDG's score reads the seen-graph,
+  /// so a table-only snapshot would not resume bit-identically.
+  bool SaveState(io::CheckpointWriter* w, std::string* error) const override;
+  bool RestoreState(io::CheckpointReader* r, std::string* error) override;
+
+ protected:
+  Partitioning* MutablePartitioning() override { return &partitioning_; }
+
  private:
   Partitioning partitioning_;
   graph::DynamicGraph seen_;  // streamed-so-far adjacency

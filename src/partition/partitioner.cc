@@ -1,0 +1,29 @@
+#include "partition/partitioner.h"
+
+namespace loom {
+namespace partition {
+
+bool Partitioner::SaveState(io::CheckpointWriter* w, std::string* error) const {
+  (void)error;
+  // Table-only snapshot: correct for backends whose placement decisions
+  // depend only on already-made assignments (hash reads nothing else).
+  // Backends with auxiliary streaming state (ldg/fennel's seen-graph, loom's
+  // window + matchList) override and write more sections.
+  partitioning().SaveTo(w);
+  return true;
+}
+
+bool Partitioner::RestoreState(io::CheckpointReader* r, std::string* error) {
+  Partitioning* p = MutablePartitioning();
+  if (p == nullptr) {
+    if (error != nullptr) {
+      *error = "backend '" + name() + "' does not support checkpoint restore";
+    }
+    return false;
+  }
+  p->LoadFrom(r);
+  return true;
+}
+
+}  // namespace partition
+}  // namespace loom

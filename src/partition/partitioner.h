@@ -14,6 +14,7 @@
 #include <string>
 
 #include "engine/observer.h"
+#include "io/checkpoint.h"
 #include "partition/partitioning.h"
 #include "stream/stream_edge.h"
 
@@ -82,7 +83,33 @@ class Partitioner {
   /// nothing to report.
   virtual void FillFinalStats(engine::FinalStatsEvent*) const {}
 
+  /// Writes everything this backend needs to resume the stream from the
+  /// current position into `w` (one or more backend-owned sections).
+  ///
+  /// Contract: restoring the snapshot into a FRESH instance constructed
+  /// with the same options/context, then ingesting the remaining stream
+  /// suffix, must produce assignments, observer events and final stats
+  /// BIT-IDENTICAL to the uninterrupted run (pinned by
+  /// tests/crash_recovery_test.cc). The default covers backends whose only
+  /// resume-relevant state is the partition table (hash; the stateless
+  /// placement rule needs nothing else). Returns false + `*error` for
+  /// backends that cannot snapshot.
+  virtual bool SaveState(io::CheckpointWriter* w, std::string* error) const;
+
+  /// Restores a SaveState snapshot. Must be called on a fresh instance
+  /// (nothing ingested); returns false + an actionable `*error` on any
+  /// mismatch (backend, options fingerprint, label space) — the instance
+  /// may not be used after a failed restore. Structural corruption throws
+  /// from the reader before this is reached.
+  virtual bool RestoreState(io::CheckpointReader* r, std::string* error);
+
  protected:
+  /// Hook for the default SaveState/RestoreState: the backend's mutable
+  /// partition table, or nullptr when the backend cannot be checkpointed
+  /// through the table-only path (it must then override both virtuals or
+  /// report "unsupported").
+  virtual Partitioning* MutablePartitioning() { return nullptr; }
+
   /// First-writer-wins assignment that reports the placement actually used
   /// (after capacity diversion) to the observer. All backends route their
   /// vertex placements through this so OnAssign fires exactly once per

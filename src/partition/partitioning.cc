@@ -48,5 +48,36 @@ graph::PartitionId Partitioning::LeastLoaded() const {
   return best;
 }
 
+void Partitioning::SaveTo(io::CheckpointWriter* w) const {
+  w->BeginSection("partition");
+  w->U32(k_);
+  w->U64(capacity_);
+  w->U64(num_assigned_);
+  w->PodVec(assignment_);
+  w->PodVec(sizes_);
+  w->EndSection();
+}
+
+void Partitioning::LoadFrom(io::CheckpointReader* r) {
+  r->Open("partition");
+  const uint32_t k = r->U32();
+  const uint64_t capacity = r->U64();
+  if (k != k_) {
+    r->Fail("partition count mismatch: checkpoint has k=" + std::to_string(k) +
+            ", this run was configured with k=" + std::to_string(k_));
+  }
+  if (capacity != capacity_) {
+    r->Fail("partition capacity mismatch: checkpoint has C=" +
+            std::to_string(capacity) + ", this run computed C=" +
+            std::to_string(capacity_) +
+            " (expected-vertices or max-imbalance drifted)");
+  }
+  num_assigned_ = r->U64();
+  r->PodVec(&assignment_);
+  r->PodVec(&sizes_);
+  if (sizes_.size() != k_) r->Fail("partition sizes table has wrong arity");
+  r->Close();
+}
+
 }  // namespace partition
 }  // namespace loom

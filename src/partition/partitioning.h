@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "io/checkpoint.h"
 
 namespace loom {
 namespace partition {
@@ -69,6 +70,14 @@ class Partitioning {
 
   /// Vertices assigned so far.
   size_t NumAssigned() const { return num_assigned_; }
+
+  /// Writes the full table state as checkpoint section "partition".
+  void SaveTo(io::CheckpointWriter* w) const;
+
+  /// Restores a SaveTo snapshot into this instance. k and capacity must
+  /// match how this instance was constructed (a k/ν/n drift would silently
+  /// change every later capacity decision); mismatches throw via r->Fail.
+  void LoadFrom(io::CheckpointReader* r);
 
  private:
   uint32_t k_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "util/rng.h"
 
 namespace loom {
 namespace signature {
@@ -18,7 +19,10 @@ namespace signature {
 inline constexpr uint32_t kDefaultPrime = 251;
 
 /// Assigns each label a pseudo-random value r(l) in [1, p). Deterministic
-/// given (num_labels, p, seed).
+/// given (num_labels, p, seed) — and, because the generator is retained and
+/// values are drawn sequentially by index, r(l) is the same whether label l
+/// existed at construction or arrived later through EnsureLabels: an open
+/// alphabet never perturbs the values of earlier labels.
 class LabelValues {
  public:
   /// Requires p >= 3 (so that [1, p) has at least two values).
@@ -30,8 +34,17 @@ class LabelValues {
   /// r(l) for label l. Requires l < num_labels.
   uint32_t Value(graph::LabelId l) const { return values_[l]; }
 
+  /// Grows the table to cover at least `num_labels` labels (no-op when it
+  /// already does). Growth is chunked — the table extends to a multiple of
+  /// kLabelChunk — so an open-alphabet stream that reveals labels one at a
+  /// time pays one extension per chunk, not per label.
+  void EnsureLabels(size_t num_labels);
+
+  static constexpr size_t kLabelChunk = 16;
+
  private:
   uint32_t p_;
+  util::Rng rng_;  // retained: value i is always the i-th draw
   std::vector<uint32_t> values_;
 };
 

@@ -15,6 +15,31 @@ SlidingWindow::SlidingWindow(size_t capacity) : capacity_(capacity) {
   ring_.Presize(std::min<size_t>(capacity + 1, size_t{1} << 20));
 }
 
+void SlidingWindow::SaveTo(io::CheckpointWriter* w) const {
+  w->BeginSection("window");
+  w->U64(capacity_);
+  std::vector<StreamEdge> live;
+  live.reserve(ring_.size());
+  ForEach([&live](const StreamEdge& e) { live.push_back(e); });
+  w->PodVec(live);
+  w->EndSection();
+}
+
+void SlidingWindow::LoadFrom(io::CheckpointReader* r) {
+  assert(ring_.empty());
+  r->Open("window");
+  const uint64_t capacity = r->U64();
+  if (capacity != capacity_) {
+    r->Fail("window capacity mismatch: checkpoint has t=" +
+            std::to_string(capacity) + ", this run was configured with t=" +
+            std::to_string(capacity_));
+  }
+  std::vector<StreamEdge> live;
+  r->PodVec(&live);
+  r->Close();
+  for (const StreamEdge& e : live) Push(e);  // ForEach saved ascending ids
+}
+
 void SlidingWindow::Push(const StreamEdge& e) {
   assert(e.id != graph::kInvalidEdge);
   // Stream positions are unique and increasing (a drained window may

@@ -18,6 +18,7 @@
 
 #include <optional>
 
+#include "io/checkpoint.h"
 #include "stream/stream_edge.h"
 #include "util/monotone_ring.h"
 
@@ -69,6 +70,16 @@ class SlidingWindow {
 
   /// Current slot-array size (for tests and capacity-growth stats).
   size_t NumSlots() const { return ring_.NumSlots(); }
+
+  /// Writes the live edges (oldest first) as checkpoint section "window".
+  /// The ring's physical layout (slot array size, overflow placement) is
+  /// deliberately NOT saved: it is unobservable through this interface, and
+  /// re-Pushing live edges in ascending id order rebuilds an equivalent ring.
+  void SaveTo(io::CheckpointWriter* w) const;
+
+  /// Restores a SaveTo snapshot; requires an empty window with the same
+  /// configured capacity (mismatch throws via r->Fail).
+  void LoadFrom(io::CheckpointReader* r);
 
  private:
   size_t capacity_;

@@ -1,0 +1,586 @@
+// Checkpoint/restore under crash-fault injection.
+//
+// The recovery contract this suite pins: a run that is cut off at ANY
+// point, restored from its last LOOMCK checkpoint into a fresh process
+// state, and driven to the end must finish bit-identically to the run
+// that was never interrupted — same assignments (quality triple), same
+// deterministic backend counters (FinalStatsEvent), same observer event
+// totals. And the failure half: every corrupted, truncated or
+// version/configuration-skewed checkpoint must be REJECTED with an
+// actionable error — a checkpoint that loads and silently diverges is the
+// one unacceptable outcome. The two-slot rotation means rejection of the
+// newest checkpoint falls back to the previous good one.
+//
+// The kill-point matrix here cuts runs in-process (build state to edge b,
+// checkpoint, throw the session away — exactly what SIGKILL leaves on
+// disk, since Commit is atomic); tools/crash_harness.sh kills a real
+// loom_partition child with SIGKILL for the full out-of-process story.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/dataset_registry.h"
+#include "engine/session.h"
+#include "io/checkpoint.h"
+#include "stream/stream_order.h"
+#include "test_util.h"
+
+namespace loom {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / "loom_crash_recovery";
+  fs::create_directories(dir);
+  return (dir / name).string();
+}
+
+// ------------------------------------------------ LOOMCK format basics
+
+TEST(CheckpointFormatTest, RoundTripsEveryFieldKind) {
+  const std::string path = TempPath("roundtrip.loomck");
+  io::CheckpointWriter w;
+  w.BeginSection("alpha");
+  w.U8(7);
+  w.U16(65535);
+  w.U32(123456789);
+  w.U64(0xDEADBEEFCAFEF00DULL);
+  w.F64(-0.1);
+  w.Str("hello checkpoint");
+  w.PodVec(std::vector<uint32_t>{1, 2, 3});
+  w.EndSection();
+  w.BeginSection("beta");
+  w.U64(42);
+  w.EndSection();
+  w.Commit(path);
+
+  io::CheckpointReader r(path);
+  EXPECT_TRUE(r.Has("alpha"));
+  EXPECT_TRUE(r.Has("beta"));
+  EXPECT_FALSE(r.Has("gamma"));
+  r.Open("alpha");
+  EXPECT_EQ(r.U8(), 7);
+  EXPECT_EQ(r.U16(), 65535);
+  EXPECT_EQ(r.U32(), 123456789u);
+  EXPECT_EQ(r.U64(), 0xDEADBEEFCAFEF00DULL);
+  EXPECT_EQ(r.F64(), -0.1);
+  EXPECT_EQ(r.Str(), "hello checkpoint");
+  std::vector<uint32_t> v;
+  r.PodVec(&v);
+  EXPECT_EQ(v, (std::vector<uint32_t>{1, 2, 3}));
+  r.Close();
+  // Sections open in any order.
+  r.Open("beta");
+  EXPECT_EQ(r.U64(), 42u);
+  r.Close();
+}
+
+TEST(CheckpointFormatTest, LayoutSkewIsAnError) {
+  const std::string path = TempPath("skew.loomck");
+  io::CheckpointWriter w;
+  w.BeginSection("s");
+  w.U64(1);
+  w.U64(2);
+  w.EndSection();
+  w.Commit(path);
+
+  io::CheckpointReader r(path);
+  r.Open("s");
+  r.U64();
+  // Closing with unread bytes = this build expects a shorter layout than
+  // the writer produced — must be an error, not silent padding.
+  EXPECT_THROW(r.Close(), std::runtime_error);
+
+  io::CheckpointReader r2(path);
+  r2.Open("s");
+  r2.U64();
+  r2.U64();
+  // Reading past the end = this build expects a longer layout.
+  EXPECT_THROW(r2.U64(), std::runtime_error);
+
+  io::CheckpointReader r3(path);
+  try {
+    r3.Open("missing");
+    FAIL() << "opening an absent section should throw";
+  } catch (const std::runtime_error& e) {
+    // The error names what IS there — actionable, not just "not found".
+    EXPECT_NE(std::string(e.what()).find("s"), std::string::npos) << e.what();
+  }
+}
+
+// --------------------------------------------------- kill-point matrix
+
+struct RunOutcome {
+  test_util::Quality quality;
+  engine::StatCounters backend_stats;
+  engine::StatsObserver::Totals totals;
+};
+
+engine::SessionConfig ConfigFor(const std::string& spec,
+                                const datasets::Dataset& ds) {
+  engine::SessionConfig config;
+  config.spec = spec;
+  config.options = test_util::OptionsFor(ds, /*k=*/8, /*window=*/128);
+  return config;
+}
+
+std::unique_ptr<engine::Session> MustCreate(const std::string& spec,
+                                            const datasets::Dataset& ds) {
+  std::string error;
+  auto session = engine::Session::Create(ConfigFor(spec, ds),
+                                         test_util::ContextFor(ds), &error);
+  EXPECT_NE(session, nullptr) << error;
+  return session;
+}
+
+// Advances `source` past `n` edges without ingesting them — what a resumed
+// driver does to reach the checkpoint's stream cursor.
+void SkipEdges(engine::EdgeSource& source, uint64_t n) {
+  std::vector<stream::StreamEdge> scratch(256);
+  uint64_t done = 0;
+  while (done < n) {
+    const size_t want = static_cast<size_t>(
+        std::min<uint64_t>(scratch.size(), n - done));
+    const size_t got =
+        source.NextBatch(std::span<stream::StreamEdge>(scratch.data(), want));
+    ASSERT_GT(got, 0u) << "stream ran dry while skipping to " << n;
+    done += got;
+  }
+}
+
+RunOutcome Outcome(engine::Session& session, const engine::RunReport& report,
+                   const datasets::Dataset& ds) {
+  return {test_util::QualityOf(session.backend(), ds), report.backend_stats,
+          report.events};
+}
+
+// Everything deterministic must match. shard_slices/shard_queue_stalls are
+// documented as reporting-only scheduling telemetry (loom_sharded.h) — a
+// resumed process restarts them — so they are the two exclusions.
+void ExpectSameOutcome(const RunOutcome& resumed, const RunOutcome& baseline,
+                       const std::string& label) {
+  EXPECT_EQ(resumed.quality, baseline.quality) << label;
+  EXPECT_EQ(resumed.backend_stats, baseline.backend_stats) << label;
+  const engine::StatsObserver::Totals& a = resumed.totals;
+  const engine::StatsObserver::Totals& b = baseline.totals;
+  EXPECT_EQ(a.vertices_assigned, b.vertices_assigned) << label;
+  EXPECT_EQ(a.evictions, b.evictions) << label;
+  EXPECT_EQ(a.empty_cluster_evictions, b.empty_cluster_evictions) << label;
+  EXPECT_EQ(a.cluster_decisions, b.cluster_decisions) << label;
+  EXPECT_EQ(a.fallback_decisions, b.fallback_decisions) << label;
+  EXPECT_EQ(a.cluster_edges_assigned, b.cluster_edges_assigned) << label;
+  EXPECT_EQ(a.last_progress.edges_ingested, b.last_progress.edges_ingested)
+      << label;
+  EXPECT_EQ(a.last_progress.edges_bypassed, b.last_progress.edges_bypassed)
+      << label;
+  EXPECT_EQ(a.last_progress.window_population,
+            b.last_progress.window_population)
+      << label;
+}
+
+struct MatrixCase {
+  std::string name;
+  std::string spec;
+  datasets::DatasetId dataset;
+  double scale;
+};
+
+class KillPointMatrixTest : public testing::TestWithParam<MatrixCase> {};
+
+TEST_P(KillPointMatrixTest, ResumeFinishesBitIdenticallyFromEveryKillPoint) {
+  const MatrixCase& c = GetParam();
+  const datasets::Dataset ds = datasets::MakeDataset(c.dataset, c.scale);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  const uint64_t m = es.size();
+  ASSERT_GT(m, 12u);
+
+  auto baseline_session = MustCreate(c.spec, ds);
+  ASSERT_NE(baseline_session, nullptr);
+  engine::EdgeStreamSource baseline_source(es);
+  baseline_session->IngestSome(baseline_source, m);
+  const RunOutcome baseline =
+      Outcome(*baseline_session, baseline_session->Finish(), ds);
+
+  // Kill points: the stream's start, interior points including awkward
+  // non-boundary offsets, and the very last edge.
+  const std::vector<uint64_t> kill_points = {0,         m / 6,     m / 3,
+                                             m / 2 + 1, 5 * m / 6, m - 1};
+  for (const uint64_t b : kill_points) {
+    const std::string label = c.name + " @kill " + std::to_string(b);
+    const std::string path = TempPath(c.name + ".loomck");
+
+    // Phase 1: the doomed run — ingest to b, checkpoint, die (session
+    // destroyed with all in-memory state; only the file survives).
+    {
+      auto doomed = MustCreate(c.spec, ds);
+      ASSERT_NE(doomed, nullptr) << label;
+      engine::EdgeStreamSource source(es);
+      ASSERT_EQ(doomed->IngestSome(source, b), b) << label;
+      std::string error;
+      ASSERT_TRUE(doomed->Checkpoint(path, &error)) << label << ": " << error;
+    }
+
+    // Phase 2: recover into a fresh session and finish the stream.
+    auto resumed = MustCreate(c.spec, ds);
+    ASSERT_NE(resumed, nullptr) << label;
+    std::string error;
+    ASSERT_TRUE(resumed->Resume(path, &error)) << label << ": " << error;
+    EXPECT_EQ(resumed->edges_ingested(), b) << label;
+    engine::EdgeStreamSource source(es);
+    SkipEdges(source, b);
+    resumed->IngestSome(source, m);
+    ExpectSameOutcome(Outcome(*resumed, resumed->Finish(), ds), baseline,
+                      label);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BackendsAndDatasets, KillPointMatrixTest,
+    testing::ValuesIn(std::vector<MatrixCase>{
+        {"loom_provgen", "loom", datasets::DatasetId::kProvGen, 0.05},
+        {"loom_musicbrainz", "loom", datasets::DatasetId::kMusicBrainz, 0.05},
+        {"sharded_provgen", "loom-sharded:shards=3",
+         datasets::DatasetId::kProvGen, 0.05},
+        {"sharded_musicbrainz", "loom-sharded:shards=3",
+         datasets::DatasetId::kMusicBrainz, 0.05},
+    }),
+    [](const testing::TestParamInfo<MatrixCase>& info) {
+      return info.param.name;
+    });
+
+// Baselines ride the same machinery through their own SaveState paths:
+// hash restores the table alone, ldg/fennel also restore the seen graph
+// (their placement decisions read adjacency, so table-only would diverge).
+TEST(BaselineRecoveryTest, TableAndSeenGraphBackendsResumeIdentically) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  const uint64_t m = es.size();
+  for (const char* spec : {"hash", "ldg", "fennel"}) {
+    auto baseline_session = MustCreate(spec, ds);
+    engine::EdgeStreamSource baseline_source(es);
+    baseline_session->IngestSome(baseline_source, m);
+    const RunOutcome baseline =
+        Outcome(*baseline_session, baseline_session->Finish(), ds);
+
+    const std::string path = TempPath(std::string(spec) + ".loomck");
+    {
+      auto doomed = MustCreate(spec, ds);
+      engine::EdgeStreamSource source(es);
+      doomed->IngestSome(source, m / 2);
+      std::string error;
+      ASSERT_TRUE(doomed->Checkpoint(path, &error)) << spec << ": " << error;
+    }
+    auto resumed = MustCreate(spec, ds);
+    std::string error;
+    ASSERT_TRUE(resumed->Resume(path, &error)) << spec << ": " << error;
+    engine::EdgeStreamSource source(es);
+    SkipEdges(source, m / 2);
+    resumed->IngestSome(source, m);
+    ExpectSameOutcome(Outcome(*resumed, resumed->Finish(), ds), baseline,
+                      spec);
+  }
+}
+
+// ------------------------------------------- open alphabet mid-stream
+
+// A service stream need not respect the label alphabet the run started
+// with. New labels must (a) grow the signature value table chunk-wise
+// without perturbing earlier labels' values, (b) re-fit the matcher's
+// admission memos, and (c) replay identically through checkpoint/restore
+// (the checkpoint stores the grown count; restore re-draws the values
+// from the retained RNG).
+TEST(OpenAlphabetTest, LabelsBeyondTheCtorAlphabetGrowAndRecover) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  const auto base_labels = static_cast<graph::LabelId>(ds.registry.size());
+
+  // Rewrite a slice of the stream to carry labels the run has never seen —
+  // starting early, so the grown state is behind the checkpoint too. Labels
+  // are a per-vertex property, so the override must hold at every occurrence
+  // of a relabelled vertex, not just the edge that introduced it.
+  std::vector<stream::StreamEdge> edges(es.begin(), es.end());
+  std::map<graph::VertexId, graph::LabelId> relabel;
+  for (size_t i = 10; i < edges.size(); i += 7) {
+    relabel.emplace(edges[i].u,
+                    static_cast<graph::LabelId>(base_labels + (i % 5)));
+  }
+  for (stream::StreamEdge& e : edges) {
+    if (auto it = relabel.find(e.u); it != relabel.end()) {
+      e.label_u = it->second;
+    }
+    if (auto it = relabel.find(e.v); it != relabel.end()) {
+      e.label_v = it->second;
+    }
+  }
+
+  class VectorSource : public engine::EdgeSource {
+   public:
+    explicit VectorSource(const std::vector<stream::StreamEdge>& edges)
+        : edges_(&edges) {}
+    size_t NextBatch(std::span<stream::StreamEdge> out) override {
+      const size_t n = std::min(out.size(), edges_->size() - pos_);
+      std::copy_n(edges_->begin() + static_cast<ptrdiff_t>(pos_), n,
+                  out.begin());
+      pos_ += n;
+      return n;
+    }
+    size_t SizeHint() const override { return edges_->size(); }
+    void Reset() override { pos_ = 0; }
+
+   private:
+    const std::vector<stream::StreamEdge>* edges_;
+    size_t pos_ = 0;
+  };
+
+  const uint64_t m = edges.size();
+  for (const char* spec : {"loom", "loom-sharded:shards=3"}) {
+    auto baseline_session = MustCreate(spec, ds);
+    ASSERT_NE(baseline_session, nullptr);
+    VectorSource baseline_source(edges);
+    baseline_session->IngestSome(baseline_source, m);
+    const RunOutcome baseline =
+        Outcome(*baseline_session, baseline_session->Finish(), ds);
+
+    const std::string path = TempPath("open_alphabet.loomck");
+    {
+      auto doomed = MustCreate(spec, ds);
+      VectorSource source(edges);
+      doomed->IngestSome(source, m / 2);
+      std::string error;
+      ASSERT_TRUE(doomed->Checkpoint(path, &error)) << spec << ": " << error;
+    }
+    auto resumed = MustCreate(spec, ds);
+    std::string error;
+    ASSERT_TRUE(resumed->Resume(path, &error)) << spec << ": " << error;
+    VectorSource source(edges);
+    SkipEdges(source, m / 2);
+    resumed->IngestSome(source, m);
+    ExpectSameOutcome(Outcome(*resumed, resumed->Finish(), ds), baseline,
+                      std::string(spec) + " open alphabet");
+  }
+}
+
+// ---------------------------------------------- corruption & skew legs
+
+class CorruptionTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+    es_ = stream::MakeStream(ds_.graph, stream::StreamOrder::kBreadthFirst);
+    path_ = TempPath("victim.loomck");
+    auto session = MustCreate("loom", ds_);
+    ASSERT_NE(session, nullptr);
+    engine::EdgeStreamSource source(es_);
+    session->IngestSome(source, es_.size() / 2);
+    std::string error;
+    ASSERT_TRUE(session->Checkpoint(path_, &error)) << error;
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign(std::istreambuf_iterator<char>(in),
+                  std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes_.size(), 64u);
+  }
+
+  std::string WriteVariant(const std::string& name,
+                           const std::vector<char>& bytes) {
+    const std::string path = TempPath(name);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+  }
+
+  // Every rejection must (a) fail, (b) say which file, (c) not be empty
+  // boilerplate. Rejection may surface at reader construction or at
+  // restore — both end in Resume returning false.
+  void ExpectRejected(const std::string& path, const std::string& label) {
+    auto session = MustCreate("loom", ds_);
+    ASSERT_NE(session, nullptr) << label;
+    std::string error;
+    EXPECT_FALSE(session->Resume(path, &error)) << label;
+    EXPECT_NE(error.find(path), std::string::npos)
+        << label << ": error does not name the file: " << error;
+    EXPECT_GT(error.size(), path.size() + 10) << label << ": " << error;
+  }
+
+  datasets::Dataset ds_;
+  stream::EdgeStream es_;
+  std::string path_;
+  std::vector<char> bytes_;
+};
+
+TEST_F(CorruptionTest, EveryTruncationIsRejected) {
+  // Sweep cut points across the whole file, plus the pathological sizes.
+  std::vector<size_t> cuts = {0, 1, 5, 7};  // inside magic/version/header
+  for (size_t i = 1; i <= 16; ++i) cuts.push_back(bytes_.size() * i / 17);
+  cuts.push_back(bytes_.size() - 1);
+  for (const size_t cut : cuts) {
+    if (cut >= bytes_.size()) continue;
+    const std::vector<char> truncated(bytes_.begin(),
+                                      bytes_.begin() + static_cast<ptrdiff_t>(cut));
+    ExpectRejected(WriteVariant("truncated.loomck", truncated),
+                   "truncated at " + std::to_string(cut));
+  }
+}
+
+TEST_F(CorruptionTest, EveryFlippedByteIsDetected) {
+  // A single flipped bit anywhere — framing, section names, payloads,
+  // checksums — must never restore: flip one byte at offsets spread over
+  // the file and expect rejection each time.
+  for (size_t i = 0; i < 23; ++i) {
+    const size_t offset = bytes_.size() * i / 23;
+    std::vector<char> flipped = bytes_;
+    flipped[offset] = static_cast<char>(flipped[offset] ^ 0x5a);
+    ExpectRejected(WriteVariant("flipped.loomck", flipped),
+                   "byte flipped at " + std::to_string(offset));
+  }
+}
+
+TEST_F(CorruptionTest, BadMagicAndFutureVersionAreActionable) {
+  std::vector<char> bad_magic = bytes_;
+  bad_magic[0] = 'X';
+  ExpectRejected(WriteVariant("magic.loomck", bad_magic), "bad magic");
+
+  std::vector<char> future = bytes_;
+  // The u16 format version sits right after the 6-byte magic.
+  future[6] = 99;
+  future[7] = 0;
+  const std::string path = WriteVariant("future.loomck", future);
+  auto session = MustCreate("loom", ds_);
+  std::string error;
+  EXPECT_FALSE(session->Resume(path, &error));
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+}
+
+TEST_F(CorruptionTest, ConfigurationSkewIsNamedNotSilent) {
+  // Different window size: the rejection must name the offending knob.
+  {
+    engine::SessionConfig config = ConfigFor("loom", ds_);
+    config.options.window_size = 64;
+    std::string error;
+    auto session = engine::Session::Create(config, test_util::ContextFor(ds_),
+                                           &error);
+    ASSERT_NE(session, nullptr) << error;
+    EXPECT_FALSE(session->Resume(path_, &error));
+    EXPECT_NE(error.find("window_size"), std::string::npos) << error;
+  }
+  // Different backend entirely.
+  {
+    auto session = MustCreate("hash", ds_);
+    std::string error;
+    EXPECT_FALSE(session->Resume(path_, &error));
+    EXPECT_NE(error.find("backend mismatch"), std::string::npos) << error;
+    EXPECT_NE(error.find("loom"), std::string::npos) << error;
+  }
+  // Different label space (same options, drifted label registry).
+  {
+    std::string error;
+    engine::BuildContext skewed{&ds_.workload, ds_.registry.size() + 3};
+    auto session =
+        engine::Session::Create(ConfigFor("loom", ds_), skewed, &error);
+    ASSERT_NE(session, nullptr) << error;
+    EXPECT_FALSE(session->Resume(path_, &error));
+    EXPECT_NE(error.find("label-space mismatch"), std::string::npos) << error;
+  }
+  // Different shard count is an options skew too (and the backend's own
+  // shard section guards the same invariant one layer deeper).
+  {
+    const std::string sharded_path = TempPath("sharded_victim.loomck");
+    auto writer = MustCreate("loom-sharded:shards=3", ds_);
+    engine::EdgeStreamSource source(es_);
+    writer->IngestSome(source, es_.size() / 2);
+    std::string error;
+    ASSERT_TRUE(writer->Checkpoint(sharded_path, &error)) << error;
+    auto session = MustCreate("loom-sharded:shards=2", ds_);
+    EXPECT_FALSE(session->Resume(sharded_path, &error));
+    EXPECT_NE(error.find("shards"), std::string::npos) << error;
+  }
+  // A used session cannot Resume (restore assumes pristine structures).
+  {
+    auto session = MustCreate("loom", ds_);
+    engine::EdgeStreamSource source(es_);
+    session->IngestSome(source, 8);
+    std::string error;
+    EXPECT_FALSE(session->Resume(path_, &error));
+    EXPECT_NE(error.find("fresh"), std::string::npos) << error;
+  }
+}
+
+// ------------------------------------------------- two-slot rotation
+
+TEST(RotationTest, CorruptNewestFallsBackToPreviousAndStillFinishesRight) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, 0.05);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  const uint64_t m = es.size();
+
+  auto baseline_session = MustCreate("loom", ds);
+  engine::EdgeStreamSource baseline_source(es);
+  baseline_session->IngestSome(baseline_source, m);
+  const RunOutcome baseline =
+      Outcome(*baseline_session, baseline_session->Finish(), ds);
+
+  const std::string path = TempPath("rotating.loomck");
+  fs::remove(path);
+  fs::remove(path + ".prev");
+  {
+    auto doomed = MustCreate("loom", ds);
+    engine::EdgeStreamSource source(es);
+    std::string error;
+    doomed->IngestSome(source, m / 3);
+    ASSERT_TRUE(engine::CheckpointSessionRotating(doomed.get(), path, &error))
+        << error;
+    doomed->IngestSome(source, m / 3);
+    ASSERT_TRUE(engine::CheckpointSessionRotating(doomed.get(), path, &error))
+        << error;
+  }
+  ASSERT_TRUE(fs::exists(path));
+  ASSERT_TRUE(fs::exists(path + ".prev"));
+
+  // Torch the newest slot (torn tail: chop the last quarter off).
+  const auto size = static_cast<size_t>(fs::file_size(path));
+  fs::resize_file(path, size - size / 4);
+
+  const auto make = [&](std::string* err) {
+    return engine::Session::Create(ConfigFor("loom", ds),
+                                   test_util::ContextFor(ds), err);
+  };
+  std::string error;
+  bool used_fallback = false;
+  auto resumed =
+      engine::ResumeSessionWithFallback(make, path, &error, &used_fallback);
+  ASSERT_NE(resumed, nullptr) << error;
+  EXPECT_TRUE(used_fallback);
+  EXPECT_EQ(resumed->edges_ingested(), m / 3);
+
+  engine::EdgeStreamSource source(es);
+  SkipEdges(source, m / 3);
+  resumed->IngestSome(source, m);
+  ExpectSameOutcome(Outcome(*resumed, resumed->Finish(), ds), baseline,
+                    "rotation fallback");
+
+  // Both slots dead -> both errors surface, joined.
+  fs::resize_file(path + ".prev", 10);
+  auto dead = engine::ResumeSessionWithFallback(make, path, &error);
+  EXPECT_EQ(dead, nullptr);
+  EXPECT_NE(error.find(path), std::string::npos) << error;
+  EXPECT_NE(error.find(".prev"), std::string::npos) << error;
+}
+
+}  // namespace
+}  // namespace loom

@@ -183,6 +183,64 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+// ---------------------------------------------- SkipTo (resume cursor)
+
+// The checkpoint-resume contract: SkipTo(b) followed by a drain must equal
+// the fresh replay's suffix from b — at EVERY batch boundary, both formats.
+// A resumed run replays nothing and re-reads nothing, so any off-by-one
+// here would silently shift the whole tail of the stream.
+TEST(EdgeSourceSkipToTest, ResumeAtEveryBatchBoundaryEqualsFreshReplay) {
+  Env& env = GetEnv();
+  constexpr size_t kBatch = 64;
+  for (const std::string& path : {env.binary_path, env.text_path}) {
+    io::FileEdgeSource source(path);
+    const std::vector<stream::StreamEdge> reference = Drain(source, kBatch);
+    ASSERT_GT(reference.size(), kBatch);  // several boundaries to resume at
+    for (size_t boundary = 0; boundary <= reference.size();
+         boundary += kBatch) {
+      source.SkipTo(boundary);
+      const std::vector<stream::StreamEdge> tail = Drain(source, kBatch);
+      const std::vector<stream::StreamEdge> expected(
+          reference.begin() + static_cast<ptrdiff_t>(boundary),
+          reference.end());
+      ExpectSameSequence(expected, tail,
+                         path + " @skip " + std::to_string(boundary));
+    }
+    // The exact end is a legal cursor (resume after the last pre-Finish
+    // checkpoint): already exhausted, nothing to read.
+    source.SkipTo(reference.size());
+    std::vector<stream::StreamEdge> batch(8);
+    EXPECT_EQ(source.NextBatch(batch), 0u) << path;
+  }
+}
+
+TEST(EdgeSourceSkipToTest, SkipPastTheDeclaredCountThrows) {
+  Env& env = GetEnv();
+  for (const std::string& path : {env.binary_path, env.text_path}) {
+    io::FileEdgeSource source(path);
+    try {
+      source.SkipTo(source.info().edge_count + 1);
+      FAIL() << path << ": skip past the end should throw";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("cannot skip"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(EdgeSourceSkipToTest, ResetAfterSkipRearmsTheFullStreamChecksum) {
+  Env& env = GetEnv();
+  // Binary streams verify the payload checksum only over full reads; a
+  // mid-stream skip waives it (the prefix was never read), but a Reset must
+  // restore the waiver — and a full drain must still verify clean.
+  io::FileEdgeSource source(env.binary_path);
+  source.SkipTo(env.es.size() / 2);
+  Drain(source, 64);  // partial read: checksum deliberately not checked
+  source.Reset();
+  const std::vector<stream::StreamEdge> full = Drain(source, 64);
+  EXPECT_EQ(full.size(), env.es.size());  // full read: checksum verified
+}
+
 // ------------------------------------------- cross-source equivalences
 
 TEST(EdgeSourceEquivalenceTest, FileSourcesReplayTheWrittenStream) {

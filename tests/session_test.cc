@@ -5,6 +5,8 @@
 // the backend reported, nothing else).
 
 #include <algorithm>
+#include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -148,6 +150,57 @@ TEST(SessionTest, StepDrivenStreamMatchesOneShotRunBitForBit) {
   EXPECT_EQ(step_report.events.cluster_decisions,
             run_report.events.cluster_decisions);
   EXPECT_TRUE(step_report.events.last_progress.finalizing);
+}
+
+TEST(SessionTest, CheckpointFlushesSinksExactlyOnce) {
+  // The durability contract: when Checkpoint() commits, everything the
+  // snapshot claims as assigned must already have been flushed to the
+  // sinks — and checkpointing must never replay an assignment into them.
+  class CountingSink : public io::AssignmentSink {
+   public:
+    void Append(graph::VertexId v, graph::PartitionId) override {
+      ++appends_per_vertex_[v];
+      ++unflushed_;
+    }
+    void Flush() override {
+      ++flushes_;
+      unflushed_ = 0;
+    }
+    std::map<graph::VertexId, int> appends_per_vertex_;
+    int flushes_ = 0;
+    int unflushed_ = 0;
+  };
+
+  const datasets::Dataset& ds = TestDataset();
+  auto session = MustCreate("loom", ds);
+  CountingSink sink;
+  session->AddSink(&sink);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  EdgeStreamSource source(es);
+  session->IngestSome(source, es.size() / 2);
+
+  const std::string path =
+      (std::filesystem::path(testing::TempDir()) / "flush.loomck").string();
+  std::string error;
+  ASSERT_TRUE(session->Checkpoint(path, &error)) << error;
+  EXPECT_EQ(sink.flushes_, 1);
+  EXPECT_EQ(sink.unflushed_, 0)
+      << "assignments appended after the checkpoint's flush";
+  const size_t at_checkpoint = sink.appends_per_vertex_.size();
+  EXPECT_EQ(at_checkpoint, session->partitioning().NumAssigned());
+
+  // Drive to the end: the sink sees each remaining vertex once — nothing
+  // is replayed by the checkpoint machinery.
+  session->IngestSome(source, es.size());
+  session->Finish();
+  EXPECT_EQ(sink.appends_per_vertex_.size(),
+            session->partitioning().NumAssigned());
+  for (const auto& [vertex, count] : sink.appends_per_vertex_) {
+    ASSERT_EQ(count, 1) << "vertex " << vertex << " appended " << count
+                        << " times";
+  }
+  std::filesystem::remove(path);
 }
 
 TEST(SessionTest, ExternalObserversSeeTheEventStream) {

@@ -28,8 +28,11 @@
 // stdout when neither is given), and the progress/final-stats lines come
 // from the session's observer events.
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,6 +55,9 @@ struct Args {
   std::string system = "loom";
   std::string order = "bfs";
   std::vector<std::string> opts;  // raw key=value overrides
+  std::string checkpoint_path;    // rotating LOOMCK snapshots while driving
+  std::string resume_path;        // restore this checkpoint before driving
+  uint64_t checkpoint_every = 100000;  // snapshot cadence, in edges
   uint32_t k = 8;
   size_t window = 10000;
   double threshold = 0.4;
@@ -67,7 +73,18 @@ void Usage() {
                "         [--order bfs|dfs|random|canonical] [--window N]\n"
                "         [--threshold F] [--shards N] [--opt key=value]...\n"
                "         [--seed N] [--out FILE | --output-assignments FILE]\n"
-               "         [--evaluate] [--help-opts]\n"
+               "         [--checkpoint FILE] [--checkpoint-every EDGES]\n"
+               "         [--resume FILE] [--evaluate] [--help-opts]\n"
+               "checkpointing:\n"
+               "  --checkpoint FILE        write a LOOMCK snapshot to FILE\n"
+               "    every --checkpoint-every edges (default 100000) and keep\n"
+               "    the previous one at FILE.prev — a crash (even mid-commit)\n"
+               "    always leaves one complete checkpoint behind\n"
+               "  --resume FILE            restore FILE (falling back to\n"
+               "    FILE.prev if FILE is missing or corrupt), skip the stream\n"
+               "    to the saved cursor, re-emit the restored assignments and\n"
+               "    keep driving; the finished run is bit-identical to an\n"
+               "    uninterrupted one. Flags must match the checkpointed run.\n"
                "backends: ";
   bool first = true;
   for (const std::string& name :
@@ -140,6 +157,22 @@ bool Parse(int argc, char** argv, Args* args) {
       const char* v = need_value("--shards");
       if (!v) return false;
       args->shards = static_cast<uint32_t>(std::stoul(v));
+    } else if (std::strcmp(argv[i], "--checkpoint") == 0) {
+      const char* v = need_value("--checkpoint");
+      if (!v) return false;
+      args->checkpoint_path = v;
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0) {
+      const char* v = need_value("--checkpoint-every");
+      if (!v) return false;
+      args->checkpoint_every = std::stoull(v);
+      if (args->checkpoint_every == 0) {
+        std::cerr << "--checkpoint-every must be positive\n";
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--resume") == 0) {
+      const char* v = need_value("--resume");
+      if (!v) return false;
+      args->resume_path = v;
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       const char* v = need_value("--seed");
       if (!v) return false;
@@ -193,6 +226,7 @@ int main(int argc, char** argv) {
     // the materialised graph; with --input, from the stream file's header.
     datasets::Dataset ds;
     std::unique_ptr<engine::EdgeSource> source;
+    io::FileEdgeSource* seekable = nullptr;  // set when --input (for SkipTo)
     size_t expected_vertices = 0, expected_edges = 0;
     if (from_file) {
       auto file_source = std::make_unique<io::FileEdgeSource>(args.input_path);
@@ -208,6 +242,7 @@ int main(int argc, char** argv) {
       std::cerr << "stream: " << info.edge_count << " edges over "
                 << info.vertex_count << " vertices, " << info.labels.size()
                 << " labels (" << io::ToString(info.format) << ")\n";
+      seekable = file_source.get();
       source = std::move(file_source);
     } else {
       ds.meta.name = args.graph_path;
@@ -245,11 +280,31 @@ int main(int argc, char** argv) {
     }
 
     engine::BuildContext context{&ds.workload, ds.registry.size()};
-    std::unique_ptr<engine::Session> session =
-        engine::Session::Create(session_config, context, &error);
-    if (session == nullptr) {
-      std::cerr << "error: " << error << "\n";
-      return 2;
+    std::unique_ptr<engine::Session> session;
+    if (!args.resume_path.empty()) {
+      // Each resume attempt needs a session built from scratch (a rejected
+      // restore may have half-mutated its backend); the helper tries the
+      // good slot first, then the rotation's ".prev".
+      bool used_fallback = false;
+      session = engine::ResumeSessionWithFallback(
+          [&](std::string* err) {
+            return engine::Session::Create(session_config, context, err);
+          },
+          args.resume_path, &error, &used_fallback);
+      if (session == nullptr) {
+        std::cerr << "error: " << error << "\n";
+        return 1;
+      }
+      std::cerr << "resumed from "
+                << (used_fallback ? args.resume_path + ".prev"
+                                  : args.resume_path)
+                << " at edge " << session->edges_ingested() << "\n";
+    } else {
+      session = engine::Session::Create(session_config, context, &error);
+      if (session == nullptr) {
+        std::cerr << "error: " << error << "\n";
+        return 2;
+      }
     }
 
     // Assignments leave through a session-bound sink, in placement order —
@@ -265,9 +320,67 @@ int main(int argc, char** argv) {
       };
       sink = std::make_unique<StdoutSink>();
     }
+    // On resume the sink starts from scratch (a SIGKILLed run's output file
+    // is at an arbitrary point): re-emit every restored placement, in
+    // vertex-id order, before live assignments start appending. The full
+    // output therefore covers exactly what an uninterrupted run covers —
+    // compare the two as sets (sort | diff), since placement order differs.
+    if (!args.resume_path.empty()) {
+      const std::span<const graph::PartitionId> restored =
+          session->partitioning().assignments();
+      for (size_t v = 0; v < restored.size(); ++v) {
+        if (restored[v] != graph::kNoPartition) {
+          sink->Append(static_cast<graph::VertexId>(v), restored[v]);
+        }
+      }
+      // Skip the stream to the saved cursor: seekable files seek, other
+      // sources (deterministic graph orders) replay and discard.
+      const uint64_t start = session->edges_ingested();
+      if (seekable != nullptr) {
+        seekable->SkipTo(start);
+      } else {
+        std::vector<stream::StreamEdge> scratch(4096);
+        uint64_t skipped = 0;
+        while (skipped < start) {
+          const size_t want = static_cast<size_t>(
+              std::min<uint64_t>(scratch.size(), start - skipped));
+          const size_t n = source->NextBatch(
+              std::span<stream::StreamEdge>(scratch.data(), want));
+          if (n == 0) {
+            std::cerr << "error: stream ran dry at edge " << skipped
+                      << " while skipping to the checkpoint cursor " << start
+                      << " (different --graph/--order/--seed than the "
+                         "checkpointed run?)\n";
+            return 1;
+          }
+          skipped += n;
+        }
+      }
+    }
     session->AddSink(sink.get());
 
-    const engine::RunReport report = session->Run(*source);
+    engine::RunReport report;
+    if (args.checkpoint_path.empty()) {
+      report = session->Run(*source);
+    } else {
+      // Step the stream in checkpoint-sized slices, rotating a snapshot
+      // after each full slice; the last (short) slice runs straight into
+      // Finish. Run() and IngestSome+Finish fire the same events in the
+      // same order, so reports are identical either way.
+      for (;;) {
+        const size_t n = session->IngestSome(
+            *source, static_cast<size_t>(args.checkpoint_every));
+        if (n < args.checkpoint_every) break;
+        if (!engine::CheckpointSessionRotating(session.get(),
+                                               args.checkpoint_path, &error)) {
+          std::cerr << "error: " << error << "\n";
+          return 1;
+        }
+        std::cerr << "checkpointed " << session->edges_ingested()
+                  << " edges to " << args.checkpoint_path << "\n";
+      }
+      report = session->Finish();
+    }
     std::cerr << "partitioned " << report.edges << " edges in "
               << util::TableWriter::Fmt(report.ms, 0) << " ms ("
               << report.backend << ", k=" << session->partitioning().k()
