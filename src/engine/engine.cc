@@ -202,8 +202,13 @@ DriveResult Drive(partition::Partitioner* partitioner, EdgeSource* source,
   for (;;) {
     const size_t n = source->NextBatch(batch);
     if (n == 0) break;
+    util::Timer batch_timer;
     partitioner->IngestBatch(std::span<const stream::StreamEdge>(
         batch.data(), n));
+    if (progress_to != nullptr) {
+      progress_to->OnBatch(
+          {n, static_cast<uint64_t>(batch_timer.ElapsedMs() * 1e6)});
+    }
     result.edges += n;
     if (next_progress != 0 && result.edges >= next_progress &&
         progress_to != nullptr) {

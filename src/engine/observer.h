@@ -84,6 +84,19 @@ struct ProgressEvent {
   bool finalizing = false;
 };
 
+/// One IngestBatch call completed. Fired by engine::Drive and
+/// Session::IngestSome after every batch handed to the backend, carrying
+/// the batch's wall time — the seam the per-decision latency profiler
+/// (engine::LatencyObserver) hangs off. Timing-dependent by nature, so
+/// like ProgressEvent it is reporting-only: never part of partition state,
+/// never diffed by benches.
+struct BatchEvent {
+  /// Stream elements in the batch (>= 1).
+  uint64_t edges = 0;
+  /// Wall time the IngestBatch call took, nanoseconds.
+  uint64_t ns = 0;
+};
+
 /// End-of-drive backend counters, fired once after Finalize. This is how
 /// backend-specific numbers (Loom's match-pool reuse, matcher totals)
 /// reach reports without backend-specific getters: each backend fills a
@@ -126,6 +139,7 @@ class EngineObserver {
   virtual void OnEviction(const EvictionEvent&) {}
   virtual void OnClusterDecision(const ClusterDecisionEvent&) {}
   virtual void OnProgress(const ProgressEvent&) {}
+  virtual void OnBatch(const BatchEvent&) {}
   virtual void OnFinalStats(const FinalStatsEvent&) {}
 };
 

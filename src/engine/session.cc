@@ -36,6 +36,10 @@ void Session::Fanout::OnProgress(const ProgressEvent& e) {
   for (EngineObserver* o : observers) o->OnProgress(e);
 }
 
+void Session::Fanout::OnBatch(const BatchEvent& e) {
+  for (EngineObserver* o : observers) o->OnBatch(e);
+}
+
 void Session::Fanout::OnFinalStats(const FinalStatsEvent& e) {
   stats.OnFinalStats(e);
   for (EngineObserver* o : observers) o->OnFinalStats(e);
@@ -104,8 +108,10 @@ size_t Session::IngestSome(EdgeSource& source, size_t max_edges) {
     const size_t n =
         source.NextBatch(std::span<stream::StreamEdge>(batch.data(), want));
     if (n == 0) break;
+    util::Timer batch_timer;
     partitioner_->IngestBatch(
         std::span<const stream::StreamEdge>(batch.data(), n));
+    fanout_.OnBatch({n, static_cast<uint64_t>(batch_timer.ElapsedMs() * 1e6)});
     done += n;
   }
   ms_ += timer.ElapsedMs();
@@ -165,6 +171,7 @@ bool Session::Checkpoint(const std::string& path, std::string* error) {
     }
     w.EndSection();
     if (!partitioner_->SaveState(&w, error)) return false;
+    if (extension_ != nullptr) extension_->Save(&w);
     w.Commit(path);
   } catch (const std::exception& e) {
     if (error != nullptr) *error = e.what();
@@ -227,6 +234,7 @@ bool Session::Resume(const std::string& path, std::string* error) {
     }
     r.Close();
     if (!partitioner_->RestoreState(&r, error)) return false;
+    if (extension_ != nullptr) extension_->Restore(&r);
     edges_ = edges;
     fanout_.stats.RestoreTotals(t);
   } catch (const std::exception& e) {

@@ -70,6 +70,20 @@ struct RunReport {
   uint64_t Stat(std::string_view name, uint64_t fallback = 0) const;
 };
 
+/// Extra state a long-lived owner of a Session (e.g. serve::Server's
+/// stream-side edge-cut tracker) wants carried inside the session's LOOMCK
+/// checkpoint, atomically with the backend state it derives from. Save
+/// writes one or more uniquely named sections; Restore reads them back and
+/// throws (via the reader's Fail) on any mismatch. A checkpoint written
+/// with an extension still resumes in a session without one — the extra
+/// sections are simply never opened.
+class SessionExtension {
+ public:
+  virtual ~SessionExtension() = default;
+  virtual void Save(io::CheckpointWriter* w) const = 0;
+  virtual void Restore(io::CheckpointReader* r) = 0;
+};
+
 class Session {
  public:
   /// Builds the backend named by `config.spec` through the global registry.
@@ -91,6 +105,11 @@ class Session {
   /// Binds an assignment sink: every OnAssign placement is appended, and
   /// Run/Finish flush it. Not owned.
   void AddSink(io::AssignmentSink* sink);
+
+  /// Attaches checkpoint-extension state (not owned; nullptr detaches):
+  /// Checkpoint() appends its sections after the backend's, Resume()
+  /// restores them after the backend restores. Attach before Resume.
+  void SetExtension(SessionExtension* extension) { extension_ = extension; }
 
   /// Pulls `source` dry (batched), finalizes, flushes sinks and reports.
   /// The source is consumed from its current position — Reset() it first
@@ -151,6 +170,7 @@ class Session {
     void OnEviction(const EvictionEvent& e) override;
     void OnClusterDecision(const ClusterDecisionEvent& e) override;
     void OnProgress(const ProgressEvent& e) override;
+    void OnBatch(const BatchEvent& e) override;
     void OnFinalStats(const FinalStatsEvent& e) override;
 
     StatsObserver stats;
@@ -171,6 +191,7 @@ class Session {
   EngineOptions resolved_options_;
   std::unique_ptr<partition::Partitioner> partitioner_;
   Fanout fanout_;
+  SessionExtension* extension_ = nullptr;
   uint64_t edges_ = 0;
   double ms_ = 0.0;
 };

@@ -29,12 +29,7 @@ std::vector<System> AllSystems() {
 
 uint64_t HashAssignment(const partition::Partitioning& p,
                         size_t num_vertices) {
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (graph::VertexId v = 0; v < num_vertices; ++v) {
-    h ^= static_cast<uint64_t>(p.PartitionOf(v)) + 0x9e37 + v;
-    h *= 0x100000001b3ULL;
-  }
-  return h;
+  return partition::AssignmentHash(p, num_vertices);
 }
 
 const SystemResult* ComparisonResult::Find(System s) const {

@@ -1,10 +1,12 @@
 #include "io/edge_stream_io.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <sstream>
 #include <stdexcept>
+#include <thread>
 
 namespace loom {
 namespace io {
@@ -60,6 +62,13 @@ bool ReadRaw(std::istream& is, T* value) {
 [[noreturn]] void Fail(const std::string& path, const std::string& detail) {
   throw std::runtime_error("edge stream '" + path + "': " + detail);
 }
+
+/// Thrown (follow mode only) where ReadHeader hits a condition that a
+/// still-growing file explains — truncated fields, a line without its
+/// newline yet — so the constructor can poll and re-parse from the top.
+/// Definitive errors (bad magic, version skew, malformed complete lines)
+/// keep throwing std::runtime_error straight through.
+struct RetryableHeader {};
 
 }  // namespace
 
@@ -146,6 +155,12 @@ void EdgeStreamWriter::AppendBatch(std::span<const stream::StreamEdge> batch) {
   if (!out_) Fail(path_, "write failed while appending edges");
 }
 
+void EdgeStreamWriter::Flush() {
+  if (closed_) return;
+  out_.flush();
+  if (!out_) Fail(path_, "flush failed");
+}
+
 void EdgeStreamWriter::Close() {
   if (closed_) return;
   closed_ = true;
@@ -186,14 +201,52 @@ uint64_t WriteEdgeStream(const std::string& path,
 // ----------------------------------------------------------------- reader
 
 FileEdgeSource::FileEdgeSource(const std::string& path)
-    : path_(path), in_(path, std::ios::binary), checksum_(kFnvOffset) {
-  if (!in_) Fail(path_, "cannot open for reading");
-  ReadHeader();
+    : FileEdgeSource(path, FollowOptions{}) {}
+
+FileEdgeSource::FileEdgeSource(const std::string& path,
+                               const FollowOptions& follow)
+    : path_(path),
+      in_(path, std::ios::binary),
+      follow_(follow),
+      checksum_(kFnvOffset) {
+  if (!follow_.follow) {
+    if (!in_) Fail(path_, "cannot open for reading");
+    ReadHeader();
+    return;
+  }
+  // Follow mode: the producer may still be creating the file or writing its
+  // header — poll until a complete header (text: plus the first edge line,
+  // the only unambiguous end-of-header marker) is on disk. Definitive
+  // errors propagate immediately.
+  for (;;) {
+    if (in_.is_open() && in_) {
+      try {
+        ReadHeader();
+        break;
+      } catch (const RetryableHeader&) {
+        // Not enough bytes yet — fall through to poll and re-parse.
+      }
+    }
+    if (Stopped()) {
+      Fail(path_, "stopped while waiting for a complete header (follow)");
+    }
+    Poll();
+    info_ = EdgeStreamInfo{};
+    in_.close();
+    in_.open(path_, std::ios::binary);  // a successful open clears failbits
+  }
+  verify_checksum_ = false;  // the header's checksum is patched on Close only
 }
 
 void FileEdgeSource::ReadHeader() {
   char magic[6];
   in_.read(magic, sizeof(magic));
+  if (follow_.follow && in_.gcount() < 6 &&
+      std::memcmp(magic, kMagic, static_cast<size_t>(in_.gcount())) == 0) {
+    // Empty file, or a binary header's first bytes still landing. (A text
+    // stream's magic starts '#', so any strict kMagic prefix rules it out.)
+    throw RetryableHeader{};
+  }
   if (in_.gcount() == 6 && std::memcmp(magic, kMagic, 6) == 0) {
     info_.format = StreamFormat::kBinary;
     uint16_t version = 0;
@@ -202,6 +255,7 @@ void FileEdgeSource::ReadHeader() {
     if (!ReadRaw(in_, &version) || !ReadRaw(in_, &info_.edge_count) ||
         !ReadRaw(in_, &info_.vertex_count) || !ReadRaw(in_, &label_count) ||
         !ReadRaw(in_, &expected_checksum)) {
+      if (follow_.follow) throw RetryableHeader{};
       Fail(path_, "truncated binary header (file shorter than 36 bytes)");
     }
     if (version != kBinaryVersion) {
@@ -213,10 +267,14 @@ void FileEdgeSource::ReadHeader() {
     info_.labels.reserve(label_count);
     for (uint32_t i = 0; i < label_count; ++i) {
       uint16_t len = 0;
-      if (!ReadRaw(in_, &len)) Fail(path_, "truncated label table");
+      if (!ReadRaw(in_, &len)) {
+        if (follow_.follow) throw RetryableHeader{};
+        Fail(path_, "truncated label table");
+      }
       std::string name(len, '\0');
       in_.read(name.data(), len);
       if (static_cast<size_t>(in_.gcount()) != len) {
+        if (follow_.follow) throw RetryableHeader{};
         Fail(path_, "truncated label table");
       }
       info_.labels.push_back(std::move(name));
@@ -228,10 +286,14 @@ void FileEdgeSource::ReadHeader() {
     in_.seekg(0);
     std::string line;
     if (!std::getline(in_, line)) {
+      if (follow_.follow) throw RetryableHeader{};
       Fail(path_,
            "bad magic: neither a LOOMES binary stream nor a '" +
                std::string(kTextMagic) + "' text stream");
     }
+    // A line that hit EOF has no terminating newline yet — the producer may
+    // still be mid-write, so nothing on it is definitive.
+    if (follow_.follow && in_.eof()) throw RetryableHeader{};
     if (line != kTextMagic) {
       if (line.rfind("# loom-edge-stream ", 0) == 0) {
         Fail(path_, "unsupported format version '" +
@@ -246,6 +308,7 @@ void FileEdgeSource::ReadHeader() {
     bool saw_counts = false;
     for (std::streampos before = in_.tellg(); std::getline(in_, line);
          before = in_.tellg()) {
+      if (follow_.follow && in_.eof()) throw RetryableHeader{};
       if (line.empty() || line[0] == '#') continue;
       if (line[0] == 'N') {
         std::istringstream ls(line.substr(1));
@@ -267,11 +330,17 @@ void FileEdgeSource::ReadHeader() {
         Fail(path_, "unexpected line in header: '" + line + "'");
       }
     }
-    if (!saw_counts) Fail(path_, "missing 'N <vertices> <edges>' line");
+    if (!saw_counts) {
+      if (follow_.follow) throw RetryableHeader{};
+      Fail(path_, "missing 'N <vertices> <edges>' line");
+    }
     if (!in_) {
-      // The header loop ran to EOF without meeting an 'E' line — legal for
-      // a zero-edge stream; clear the fail state so tellg() (and a later
-      // Reset) lands on end-of-file instead of -1.
+      // The header loop ran to EOF without meeting an 'E' line. In follow
+      // mode that E line is the only unambiguous end-of-header marker (more
+      // L lines may still be coming), so keep waiting; offline it's legal —
+      // a zero-edge stream — so clear the fail state and let tellg() (and a
+      // later Reset) land on end-of-file instead of -1.
+      if (follow_.follow) throw RetryableHeader{};
       in_.clear();
       in_.seekg(0, std::ios::end);
     }
@@ -279,14 +348,96 @@ void FileEdgeSource::ReadHeader() {
   data_start_ = in_.tellg();
 }
 
+bool FileEdgeSource::Stopped() const {
+  return follow_.stop != nullptr &&
+         follow_.stop->load(std::memory_order_acquire);
+}
+
+void FileEdgeSource::Poll() const {
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(std::max(1, follow_.poll_interval_ms)));
+}
+
+size_t FileEdgeSource::ReadFollow(std::span<stream::StreamEdge> out) {
+  if (info_.format == StreamFormat::kBinary) {
+    buffer_.resize(out.size() * kRecordBytes);
+    for (;;) {
+      in_.clear();
+      in_.read(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+      const size_t complete = static_cast<size_t>(in_.gcount()) / kRecordBytes;
+      // Only whole records count; park the cursor right after the last
+      // complete one so a partially flushed record is re-read intact once
+      // its tail lands.
+      in_.clear();
+      in_.seekg(data_start_ +
+                static_cast<std::streamoff>((pos_ + complete) * kRecordBytes));
+      if (!in_) Fail(path_, "seek failed while tailing");
+      if (complete > 0) {
+        for (size_t i = 0; i < complete; ++i) {
+          const char* rec = buffer_.data() + i * kRecordBytes;
+          stream::StreamEdge& e = out[i];
+          std::memcpy(&e.u, rec, 4);
+          std::memcpy(&e.v, rec + 4, 4);
+          std::memcpy(&e.label_u, rec + 8, 2);
+          std::memcpy(&e.label_v, rec + 10, 2);
+          e.id = static_cast<graph::EdgeId>(pos_ + i);
+        }
+        return complete;
+      }
+      if (Stopped()) return 0;
+      Poll();
+    }
+  }
+  // Text: only a '\n'-terminated line is complete; getline at EOF hands back
+  // the unterminated tail, so rewind and re-read it on the next poll.
+  size_t produced = 0;
+  std::string line;
+  for (;;) {
+    in_.clear();
+    const std::streampos before = in_.tellg();
+    if (!std::getline(in_, line) || in_.eof()) {
+      in_.clear();
+      in_.seekg(before);
+      if (produced > 0) return produced;
+      if (Stopped()) return 0;
+      Poll();
+      continue;
+    }
+    if (line.empty() || line[0] == '#') continue;
+    stream::StreamEdge& e = out[produced];
+    unsigned long long u = 0, v = 0, lu = 0, lv = 0;
+    std::istringstream ls(line);
+    char tag = 0;
+    if (!(ls >> tag >> u >> v >> lu >> lv) || tag != 'E') {
+      Fail(path_, "malformed edge line: '" + line + "'");
+    }
+    e.u = static_cast<graph::VertexId>(u);
+    e.v = static_cast<graph::VertexId>(v);
+    e.label_u = static_cast<graph::LabelId>(lu);
+    e.label_v = static_cast<graph::LabelId>(lv);
+    e.id = static_cast<graph::EdgeId>(pos_ + produced);
+    ++produced;
+    if (produced == out.size()) return produced;
+  }
+}
+
 size_t FileEdgeSource::NextBatch(std::span<stream::StreamEdge> out) {
   if (exhausted_ || out.empty()) return 0;
-  const uint64_t remaining = info_.edge_count - pos_;
+  const uint64_t remaining =
+      follow_.follow ? std::numeric_limits<uint64_t>::max()
+                     : info_.edge_count - pos_;
   const size_t want =
       static_cast<size_t>(std::min<uint64_t>(out.size(), remaining));
   size_t produced = 0;
 
-  if (info_.format == StreamFormat::kBinary) {
+  if (follow_.follow) {
+    produced = ReadFollow(out);
+    if (produced == 0) {
+      // Stop signal observed mid-tail: the live stream is over for us.
+      exhausted_ = true;
+      return 0;
+    }
+  } else if (info_.format == StreamFormat::kBinary) {
     buffer_.resize(want * kRecordBytes);
     in_.read(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
     const size_t got = static_cast<size_t>(in_.gcount());
@@ -350,7 +501,7 @@ size_t FileEdgeSource::NextBatch(std::span<stream::StreamEdge> out) {
   }
 
   pos_ += produced;
-  if (pos_ == info_.edge_count) {
+  if (!follow_.follow && pos_ == info_.edge_count) {
     exhausted_ = true;
     if (info_.format == StreamFormat::kBinary && verify_checksum_ &&
         checksum_ != expected_checksum_) {
@@ -367,12 +518,14 @@ void FileEdgeSource::Reset() {
   if (!in_) Fail(path_, "seek failed on Reset");
   pos_ = 0;
   checksum_ = kFnvOffset;
-  verify_checksum_ = true;
+  verify_checksum_ = !follow_.follow;
   exhausted_ = false;
 }
 
 void FileEdgeSource::SkipTo(uint64_t stream_id) {
-  if (stream_id > info_.edge_count) {
+  // A live file's declared count is stale, so the bound only means
+  // something offline; in follow mode any cursor is reachable — we wait.
+  if (!follow_.follow && stream_id > info_.edge_count) {
     Fail(path_, "cannot skip to edge " + std::to_string(stream_id) +
                     ": the stream declares only " +
                     std::to_string(info_.edge_count) + " edges");
@@ -385,24 +538,37 @@ void FileEdgeSource::SkipTo(uint64_t stream_id) {
     if (!in_) Fail(path_, "seek failed on SkipTo");
   } else {
     // Text has no fixed record width: walk forward, counting edge lines.
+    // Follow mode counts only complete lines and polls until the cursor's
+    // worth of edges is on disk.
     std::string line;
     uint64_t skipped = 0;
-    while (skipped < stream_id && std::getline(in_, line)) {
+    while (skipped < stream_id) {
+      in_.clear();
+      const std::streampos before = in_.tellg();
+      if (!std::getline(in_, line) || (follow_.follow && in_.eof())) {
+        if (!follow_.follow) {
+          Fail(path_, "truncated: header declares " +
+                          std::to_string(info_.edge_count) +
+                          " edges but the file ends after " +
+                          std::to_string(skipped));
+        }
+        in_.clear();
+        in_.seekg(before);
+        if (Stopped()) {
+          Fail(path_, "stopped while skipping to the resume cursor (follow)");
+        }
+        Poll();
+        continue;
+      }
       if (line.empty() || line[0] == '#') continue;
       ++skipped;
-    }
-    if (skipped < stream_id) {
-      Fail(path_, "truncated: header declares " +
-                      std::to_string(info_.edge_count) +
-                      " edges but the file ends after " +
-                      std::to_string(skipped));
     }
   }
   pos_ = stream_id;
   // The running checksum covers the payload from edge 0; a resumed reader
   // never sees the skipped prefix, so the end-of-stream check must not fire.
   verify_checksum_ = false;
-  exhausted_ = pos_ == info_.edge_count;
+  exhausted_ = !follow_.follow && pos_ == info_.edge_count;
 }
 
 bool FileEdgeSource::InternLabels(graph::LabelRegistry* registry,

@@ -26,6 +26,7 @@
 #ifndef LOOM_IO_EDGE_STREAM_IO_H_
 #define LOOM_IO_EDGE_STREAM_IO_H_
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <span>
@@ -80,6 +81,12 @@ class EdgeStreamWriter {
   void Append(const stream::StreamEdge& e);
   void AppendBatch(std::span<const stream::StreamEdge> batch);
 
+  /// Pushes everything appended so far to the OS so a tailing reader (a
+  /// follow-mode FileEdgeSource) can see it. Counts and checksum are NOT
+  /// patched — that stays Close()'s job; tailing readers ignore them.
+  /// No-op after Close. Throws on I/O failure.
+  void Flush();
+
   /// Finalises the file (binary: seeks back and patches edge count +
   /// checksum). Idempotent. Throws on I/O failure.
   void Close();
@@ -103,6 +110,27 @@ uint64_t WriteEdgeStream(const std::string& path,
                          uint64_t vertex_count, engine::EdgeSource* source,
                          StreamFormat format = StreamFormat::kBinary);
 
+/// How a FileEdgeSource behaves when it reaches the end of the data
+/// currently on disk. The default is the classic offline contract: the
+/// header's declared edge count is the stream length and reading past it is
+/// a truncation error.
+struct FollowOptions {
+  /// Tail the file as it grows ("tail -f" for edge streams): NextBatch
+  /// ignores the header's edge count and checksum (both are back-patched on
+  /// Close, so they are stale on a live file), consumes only COMPLETE
+  /// records (a partially flushed record/line is re-read once its tail
+  /// lands), and polls at end-of-data instead of reporting exhaustion. The
+  /// label table and vertex bound are still validated — the writer emits
+  /// them whole before the first edge, so they are never stale.
+  bool follow = false;
+  /// How long to sleep between polls at end-of-data.
+  int poll_interval_ms = 20;
+  /// Optional stop signal. When it reads true, a polling NextBatch (or a
+  /// constructor / SkipTo still waiting for data) gives up: NextBatch
+  /// returns 0 and the source reports exhausted from then on.
+  const std::atomic<bool>* stop = nullptr;
+};
+
 /// Pull-based source over a stream file (either format, sniffed). Reads
 /// batches of at most the caller's span size; holds no per-stream state
 /// besides the file handle, so memory stays bounded for streams larger
@@ -114,6 +142,14 @@ uint64_t WriteEdgeStream(const std::string& path,
 class FileEdgeSource : public engine::EdgeSource {
  public:
   explicit FileEdgeSource(const std::string& path);
+
+  /// Follow-mode construction waits (polling) for the file to exist and for
+  /// its header to be completely written — text streams additionally wait
+  /// for the first edge line, the only unambiguous end-of-header marker.
+  /// Definitive errors (bad magic, unsupported version, malformed header
+  /// lines) still throw immediately; a stop signal while waiting throws
+  /// std::runtime_error too, since no valid source can be built.
+  FileEdgeSource(const std::string& path, const FollowOptions& follow);
 
   size_t NextBatch(std::span<stream::StreamEdge> out) override;
   size_t SizeHint() const override { return info_.edge_count; }
@@ -137,9 +173,15 @@ class FileEdgeSource : public engine::EdgeSource {
 
  private:
   void ReadHeader();  // positions the file at the first edge record
+  /// Follow-mode batch fill: blocks (polling) until at least one complete
+  /// record is available or the stop signal fires (then returns 0).
+  size_t ReadFollow(std::span<stream::StreamEdge> out);
+  bool Stopped() const;
+  void Poll() const;
 
   std::string path_;
   std::ifstream in_;
+  FollowOptions follow_;
   EdgeStreamInfo info_;
   std::streampos data_start_;
   std::vector<char> buffer_;       // binary read buffer, batch-bounded

@@ -24,6 +24,15 @@ double Imbalance(const Partitioning& p) {
   return static_cast<double>(p.MaxSize()) / ideal - 1.0;
 }
 
+uint64_t AssignmentHash(const Partitioning& p, size_t num_vertices) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (graph::VertexId v = 0; v < num_vertices; ++v) {
+    h ^= static_cast<uint64_t>(p.PartitionOf(v)) + 0x9e37 + v;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 bool FullyAssigned(const graph::LabeledGraph& g, const Partitioning& p) {
   for (graph::VertexId v = 0; v < g.NumVertices(); ++v) {
     if (!p.IsAssigned(v)) return false;

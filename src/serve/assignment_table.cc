@@ -1,0 +1,33 @@
+#include "serve/assignment_table.h"
+
+namespace loom {
+namespace serve {
+
+AssignmentTable::~AssignmentTable() {
+  for (auto& slot : chunks_) {
+    delete slot.load(std::memory_order_relaxed);
+  }
+}
+
+void AssignmentTable::Publish(graph::VertexId v, graph::PartitionId p) {
+  std::atomic<Chunk*>& dir = chunks_[v >> kChunkBits];
+  Chunk* chunk = dir.load(std::memory_order_relaxed);
+  if (chunk == nullptr) {
+    chunk = new Chunk();
+    for (auto& slot : *chunk) {
+      slot.store(graph::kNoPartition, std::memory_order_relaxed);
+    }
+    // Single writer: no CAS race to lose. Release so readers that see the
+    // pointer see the kNoPartition fill.
+    dir.store(chunk, std::memory_order_release);
+  }
+  std::atomic<graph::PartitionId>& slot = (*chunk)[v & (kChunkSlots - 1)];
+  if (slot.load(std::memory_order_relaxed) == graph::kNoPartition &&
+      p != graph::kNoPartition) {
+    assigned_.fetch_add(1, std::memory_order_relaxed);
+  }
+  slot.store(p, std::memory_order_release);
+}
+
+}  // namespace serve
+}  // namespace loom

@@ -1,0 +1,92 @@
+#include "serve/client.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace loom {
+namespace serve {
+
+Client::~Client() { Close(); }
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Client::Connect(const std::string& socket_path, std::string* error) {
+  Close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    *error = "socket path too long: " + socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    *error = std::string("socket() failed: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = "cannot connect to " + socket_path + ": " + std::strerror(errno);
+    Close();
+    return false;
+  }
+  return true;
+}
+
+bool Client::SendLine(std::string_view line, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  std::string framed(line);
+  framed.push_back('\n');
+  std::string_view bytes = framed;
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n <= 0) {
+      *error = std::string("send failed: ") + std::strerror(errno);
+      return false;
+    }
+    bytes.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+bool Client::ReadReply(std::string* reply, std::string* error) {
+  if (fd_ < 0) {
+    *error = "not connected";
+    return false;
+  }
+  for (;;) {
+    const LineFramer::Result res = framer_.Next(reply);
+    if (res == LineFramer::Result::kLine) return true;
+    if (res == LineFramer::Result::kOversize) {
+      *error = "oversize reply line from server";
+      return false;
+    }
+    char buf[4096];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      *error = n == 0 ? "server closed the connection"
+                      : std::string("recv failed: ") + std::strerror(errno);
+      return false;
+    }
+    framer_.Feed(std::string_view(buf, static_cast<size_t>(n)));
+  }
+}
+
+bool Client::Roundtrip(std::string_view line, std::string* reply,
+                       std::string* error) {
+  return SendLine(line, error) && ReadReply(reply, error);
+}
+
+}  // namespace serve
+}  // namespace loom

@@ -1,0 +1,56 @@
+// serve::Client — a line-protocol connection to a running loom_serve.
+//
+// Two usage shapes:
+//   * Roundtrip(): one command, one reply — lock-step, simplest correct.
+//   * SendLine()/ReadReply(): split halves for windowed pipelining. The
+//     server answers strictly in order, so a driver can keep N commands in
+//     flight and match replies positionally — tools/loom_ctl ingest-file
+//     uses this to cover the socket round-trip latency.
+//
+// Blocking I/O; not thread-safe (one Client per thread).
+
+#ifndef LOOM_SERVE_CLIENT_H_
+#define LOOM_SERVE_CLIENT_H_
+
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.h"
+
+namespace loom {
+namespace serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects to the server's unix-domain socket. False + `*error` on
+  /// failure (server not up, path too long, ...).
+  bool Connect(const std::string& socket_path, std::string* error);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Writes one command line (newline appended here — pass the bare line).
+  bool SendLine(std::string_view line, std::string* error);
+
+  /// Blocks for the next reply line, in send order.
+  bool ReadReply(std::string* reply, std::string* error);
+
+  /// SendLine + ReadReply.
+  bool Roundtrip(std::string_view line, std::string* reply,
+                 std::string* error);
+
+ private:
+  int fd_ = -1;
+  LineFramer framer_;
+};
+
+}  // namespace serve
+}  // namespace loom
+
+#endif  // LOOM_SERVE_CLIENT_H_

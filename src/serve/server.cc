@@ -1,0 +1,527 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <span>
+#include <stdexcept>
+
+#include "partition/partition_metrics.h"
+
+namespace loom {
+namespace serve {
+
+namespace {
+
+/// EdgeSource over an already-stamped span: the decision thread assigns
+/// stream ids BEFORE handing edges to the session, so this source must
+/// never touch them.
+class SpanSource : public engine::EdgeSource {
+ public:
+  explicit SpanSource(std::span<const stream::StreamEdge> edges)
+      : edges_(edges) {}
+
+  size_t NextBatch(std::span<stream::StreamEdge> out) override {
+    const size_t n = std::min(out.size(), edges_.size() - served_);
+    std::copy_n(edges_.begin() + static_cast<ptrdiff_t>(served_), n,
+                out.begin());
+    served_ += n;
+    return n;
+  }
+  size_t SizeHint() const override { return edges_.size(); }
+  void Reset() override { served_ = 0; }
+
+ private:
+  std::span<const stream::StreamEdge> edges_;
+  size_t served_ = 0;
+};
+
+bool SendAll(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    const ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    bytes.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+std::string HexU64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string FmtF6(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+Server::Server(const ServerConfig& config, const engine::BuildContext& context)
+    : config_(config), num_labels_(context.num_labels) {}
+
+std::unique_ptr<Server> Server::Create(const ServerConfig& config,
+                                       const engine::BuildContext& context,
+                                       std::string* error) {
+  auto server = std::unique_ptr<Server>(new Server(config, context));
+  // The extension must be attached before Resume so the tracker's parked
+  // state restores atomically with the backend it derives from.
+  auto make = [&](std::string* err) {
+    std::unique_ptr<engine::Session> s =
+        engine::Session::Create(config.session, context, err);
+    if (s != nullptr) s->SetExtension(&server->tracker_);
+    return s;
+  };
+  if (!config.resume_path.empty()) {
+    bool used_fallback = false;
+    server->session_ = engine::ResumeSessionWithFallback(
+        make, config.resume_path, error, &used_fallback);
+    if (server->session_ == nullptr) return nullptr;
+    if (used_fallback) {
+      std::cerr << "loom_serve: primary checkpoint rejected, resumed from "
+                << config.resume_path << ".prev\n";
+    }
+    // Re-seed the read path: restored placements never fire OnAssign.
+    const std::span<const graph::PartitionId> restored =
+        server->session_->partitioning().assignments();
+    for (size_t v = 0; v < restored.size(); ++v) {
+      if (restored[v] != graph::kNoPartition) {
+        server->table_.Publish(static_cast<graph::VertexId>(v), restored[v]);
+      }
+    }
+    server->edges_published_.store(server->session_->edges_ingested(),
+                                   std::memory_order_release);
+  } else {
+    server->session_ = make(error);
+    if (server->session_ == nullptr) return nullptr;
+  }
+  server->session_->AddSink(&server->table_);
+  server->session_->AddSink(&server->tracker_);  // after the table: it reads it
+  server->session_->AddObserver(&server->latency_);
+  if (!config.ingest_log_path.empty()) {
+    if (config.registry == nullptr) {
+      *error = "ingest log requires config.registry (the label table for "
+               "the LOOMES header)";
+      return nullptr;
+    }
+    try {
+      server->ingest_log_ = std::make_unique<io::EdgeStreamWriter>(
+          config.ingest_log_path, *config.registry,
+          config.session.options.expected_vertices, io::StreamFormat::kBinary);
+    } catch (const std::exception& e) {
+      *error = e.what();
+      return nullptr;
+    }
+  }
+  return server;
+}
+
+Server::~Server() {
+  if (started_ && !shut_down_) {
+    // Crash-like: no drain, no final checkpoint (see class comment).
+    abort_.store(true, std::memory_order_release);
+    Shutdown();
+  }
+}
+
+void Server::Start() {
+  if (started_) return;
+  if (!config_.socket_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (config_.socket_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("socket path too long: " + config_.socket_path);
+    }
+    std::memcpy(addr.sun_path, config_.socket_path.c_str(),
+                config_.socket_path.size() + 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw std::runtime_error("socket() failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    ::unlink(config_.socket_path.c_str());  // stale socket from a crash
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      const std::string detail = std::strerror(errno);
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("cannot listen on " + config_.socket_path +
+                               ": " + detail);
+    }
+  }
+  started_ = true;
+  decision_thread_ = std::thread(&Server::DecisionLoop, this);
+  if (listen_fd_ >= 0) listen_thread_ = std::thread(&Server::ListenLoop, this);
+  if (!config_.tail_path.empty()) {
+    tail_thread_ = std::thread(&Server::TailLoop, this);
+  }
+}
+
+void Server::Shutdown() {
+  if (!started_ || shut_down_) return;
+  shut_down_ = true;
+  {
+    // The flag is checked under queue_mutex_ by every producer/consumer
+    // wait; setting it under the lock makes the wake-up race-free.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_.store(true, std::memory_order_release);
+  }
+  queue_not_empty_.notify_all();
+  queue_not_full_.notify_all();
+  // Stop the intake first: no new connections, unblock parked reads.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (listen_thread_.joinable()) listen_thread_.join();
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (tail_thread_.joinable()) tail_thread_.join();
+  // The decision thread drains whatever is queued (answering every parked
+  // control promise), then — unless aborting — writes the final checkpoint
+  // and closes the ingest log.
+  if (decision_thread_.joinable()) decision_thread_.join();
+  for (std::thread& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(config_.socket_path.c_str());
+  }
+}
+
+bool Server::EnqueueEdge(const stream::StreamEdge& e) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_not_full_.wait(lock, [&] {
+    return queued_edges_ < config_.queue_capacity ||
+           stopping_.load(std::memory_order_acquire);
+  });
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  QueueItem item;
+  item.kind = QueueItem::Kind::kEdge;
+  item.edge = e;
+  queue_.push_back(item);
+  ++queued_edges_;
+  queue_not_empty_.notify_one();
+  return true;
+}
+
+std::string Server::RoundtripControl(CommandType type) {
+  if (!started_) {
+    // No decision thread yet (pre-Start wiring, protocol-level tests):
+    // nothing else can touch the session, run the op inline.
+    return ControlOnDecisionThread(type);
+  }
+  std::promise<std::string> promise;
+  std::future<std::string> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      return ErrReply("server shutting down");
+    }
+    QueueItem item;
+    item.kind = QueueItem::Kind::kControl;
+    item.control = type;
+    item.reply = &promise;
+    queue_.push_back(item);
+  }
+  queue_not_empty_.notify_one();
+  return future.get();
+}
+
+std::string Server::HandleLine(const std::string& line) {
+  Command c;
+  std::string err;
+  if (!ParseCommand(line, &c, &err)) return ErrReply(err);
+  switch (c.type) {
+    case CommandType::kIngest: {
+      const uint64_t bound = config_.session.options.expected_vertices;
+      if (bound > 0 && (c.edge.u >= bound || c.edge.v >= bound)) {
+        return ErrReply("vertex id out of range (expected_vertices=" +
+                        std::to_string(bound) + ")");
+      }
+      if (num_labels_ > 0 &&
+          (c.edge.label_u >= num_labels_ || c.edge.label_v >= num_labels_)) {
+        return ErrReply("label id outside the table (" +
+                        std::to_string(num_labels_) + " labels)");
+      }
+      if (!EnqueueEdge(c.edge)) return ErrReply("server shutting down");
+      return "OK queued";
+    }
+    case CommandType::kGet: {
+      const graph::PartitionId p = table_.Get(c.vertex);
+      std::string reply = "OK " + std::to_string(c.vertex) + " ";
+      reply += p == graph::kNoPartition ? "-" : std::to_string(p);
+      return reply;
+    }
+    case CommandType::kStats:
+      return StatsReply();
+    case CommandType::kCheckpoint:
+    case CommandType::kFinalize:
+    case CommandType::kSnapshotQuality:
+      return RoundtripControl(c.type);
+    case CommandType::kShutdown:
+      shutdown_requested_.store(true, std::memory_order_release);
+      return "OK shutting down";
+  }
+  return ErrReply("unreachable");
+}
+
+std::string Server::StatsReply() {
+  size_t queued = 0;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    queued = queued_edges_;
+  }
+  return "OK edges=" +
+         std::to_string(edges_published_.load(std::memory_order_acquire)) +
+         " assigned=" + std::to_string(table_.assigned()) +
+         " queue=" + std::to_string(queued) +
+         " cut=" + std::to_string(tracker_.cut()) +
+         " window=" +
+         std::to_string(window_population_.load(std::memory_order_relaxed)) +
+         " latency[" + latency_.histogram().Snapshot().Summary() + "]";
+}
+
+void Server::DecisionLoop() {
+  const size_t max_run = std::max<size_t>(config_.session.drive.batch_size, 1);
+  std::vector<stream::StreamEdge> run;
+  run.reserve(max_run);
+  for (;;) {
+    run.clear();
+    QueueItem control;
+    bool have_control = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_not_empty_.wait_for(lock, std::chrono::milliseconds(50), [&] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) {
+        if (stopping_.load(std::memory_order_acquire)) break;
+        continue;
+      }
+      if (abort_.load(std::memory_order_acquire)) {
+        // Crash-like teardown: answer parked controls so their connection
+        // threads can unwind, drop undecided edges (a real SIGKILL drops
+        // them too — durability is the checkpoint's job, not the queue's).
+        for (QueueItem& item : queue_) {
+          if (item.kind == QueueItem::Kind::kControl) {
+            item.reply->set_value(ErrReply("server aborted"));
+          }
+        }
+        queue_.clear();
+        queued_edges_ = 0;
+        queue_not_full_.notify_all();
+        break;
+      }
+      while (!queue_.empty() && run.size() < max_run) {
+        QueueItem& front = queue_.front();
+        if (front.kind == QueueItem::Kind::kEdge) {
+          run.push_back(front.edge);
+          queue_.pop_front();
+        } else {
+          if (run.empty()) {
+            control = front;
+            have_control = true;
+            queue_.pop_front();
+          }
+          break;  // keep stream order: finish edges before this control
+        }
+      }
+      queued_edges_ -= run.size();
+      queue_not_full_.notify_all();
+    }
+    if (!run.empty()) IngestRun(&run);
+    if (have_control) {
+      control.reply->set_value(ControlOnDecisionThread(control.control));
+    }
+  }
+  if (!abort_.load(std::memory_order_acquire)) {
+    if (!config_.checkpoint_path.empty()) {
+      std::string error;
+      if (!RotateCheckpoint(&error)) {
+        std::cerr << "loom_serve: final checkpoint failed: " << error << "\n";
+      }
+    }
+    if (ingest_log_ != nullptr) {
+      try {
+        ingest_log_->Close();
+      } catch (const std::exception& e) {
+        std::cerr << "loom_serve: closing the ingest log failed: " << e.what()
+                  << "\n";
+      }
+    }
+  }
+}
+
+void Server::IngestRun(std::vector<stream::StreamEdge>* run) {
+  // Stream ids are positions: stamp in queue-accept order, starting at the
+  // session's lifetime cursor — the invariant that makes a served stream
+  // bit-identical to an offline replay of the same sequence.
+  const uint64_t base = session_->edges_ingested();
+  for (size_t i = 0; i < run->size(); ++i) {
+    (*run)[i].id = static_cast<graph::EdgeId>(base + i);
+  }
+  const std::span<const stream::StreamEdge> span(run->data(), run->size());
+  if (ingest_log_ != nullptr) ingest_log_->AppendBatch(span);
+  for (const stream::StreamEdge& e : span) tracker_.AddEdge(e);
+  SpanSource source(span);
+  session_->IngestSome(source, run->size());
+  PublishProgress();
+  edges_since_checkpoint_ += run->size();
+  if (!config_.checkpoint_path.empty() && config_.checkpoint_every > 0 &&
+      edges_since_checkpoint_ >= config_.checkpoint_every) {
+    std::string error;
+    if (!RotateCheckpoint(&error)) {
+      std::cerr << "loom_serve: periodic checkpoint failed: " << error << "\n";
+    }
+  }
+}
+
+std::string Server::ControlOnDecisionThread(CommandType type) {
+  switch (type) {
+    case CommandType::kCheckpoint: {
+      if (config_.checkpoint_path.empty()) {
+        return ErrReply("no checkpoint path configured (--checkpoint)");
+      }
+      std::string error;
+      if (!RotateCheckpoint(&error)) return ErrReply(error);
+      return "OK checkpoint " + config_.checkpoint_path +
+             " edges=" + std::to_string(session_->edges_ingested());
+    }
+    case CommandType::kFinalize: {
+      // End-of-stream: place everything still parked in the window. The
+      // backend contract keeps Finalize non-terminal, so ingest may resume
+      // after — but a mid-stream FINALIZE changes subsequent decisions
+      // versus an uninterrupted run; clients own that trade-off.
+      const engine::RunReport report = session_->Finish();
+      PublishProgress();
+      return "OK finalized edges=" + std::to_string(report.edges) +
+             " assigned=" + std::to_string(table_.assigned());
+    }
+    case CommandType::kSnapshotQuality: {
+      // Non-destructive: reports the partitioning AS IS (no finalize — that
+      // would perturb every later decision and break offline equivalence).
+      const partition::Partitioning& p = session_->partitioning();
+      return "OK hash=" +
+             HexU64(partition::AssignmentHash(
+                 p, config_.session.options.expected_vertices)) +
+             " cut=" + std::to_string(tracker_.cut()) +
+             " imbalance=" + FmtF6(partition::Imbalance(p));
+    }
+    default:
+      return ErrReply("not a control command");
+  }
+}
+
+void Server::PublishProgress() {
+  edges_published_.store(session_->edges_ingested(),
+                         std::memory_order_release);
+  engine::ProgressEvent p;
+  session_->backend().FillProgress(&p);
+  window_population_.store(p.window_population, std::memory_order_relaxed);
+}
+
+bool Server::RotateCheckpoint(std::string* error) {
+  // Log first, checkpoint second: after any crash the ingest log covers at
+  // least the checkpointed prefix, so the history stays replayable.
+  if (ingest_log_ != nullptr) {
+    try {
+      ingest_log_->Flush();
+    } catch (const std::exception& e) {
+      *error = e.what();
+      return false;
+    }
+  }
+  if (!engine::CheckpointSessionRotating(session_.get(),
+                                         config_.checkpoint_path, error)) {
+    return false;
+  }
+  edges_since_checkpoint_ = 0;
+  return true;
+}
+
+void Server::ListenLoop() {
+  for (;;) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    const int r = ::poll(&p, 1, 100);
+    if (stopping_.load(std::memory_order_acquire)) return;
+    if (r <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load(std::memory_order_acquire)) return;
+      continue;
+    }
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back(&Server::ConnLoop, this, fd);
+  }
+}
+
+void Server::ConnLoop(int fd) {
+  LineFramer framer;
+  char buf[4096];
+  std::string line;
+  bool alive = true;
+  while (alive) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    framer.Feed(std::string_view(buf, static_cast<size_t>(n)));
+    for (;;) {
+      const LineFramer::Result res = framer.Next(&line);
+      if (res == LineFramer::Result::kNeedMore) break;
+      std::string reply =
+          res == LineFramer::Result::kOversize
+              ? ErrReply("line exceeds " + std::to_string(kMaxLineBytes) +
+                         " bytes")
+              : HandleLine(line);
+      reply.push_back('\n');
+      if (!SendAll(fd, reply)) {
+        alive = false;
+        break;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conn_fds_.erase(std::find(conn_fds_.begin(), conn_fds_.end(), fd));
+  }
+  ::close(fd);
+}
+
+void Server::TailLoop() {
+  try {
+    io::FollowOptions follow;
+    follow.follow = true;
+    follow.poll_interval_ms = config_.tail_poll_ms;
+    follow.stop = &stopping_;
+    io::FileEdgeSource source(config_.tail_path, follow);
+    const uint64_t cursor = edges_published_.load(std::memory_order_acquire);
+    if (cursor > 0) source.SkipTo(cursor);  // resume: skip the decided prefix
+    std::vector<stream::StreamEdge> batch(512);
+    for (;;) {
+      const size_t n = source.NextBatch(batch);
+      if (n == 0) return;  // stop signal
+      for (size_t i = 0; i < n; ++i) {
+        if (!EnqueueEdge(batch[i])) return;
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "loom_serve: tail ingest of '" << config_.tail_path
+              << "' failed: " << e.what() << "\n";
+  }
+}
+
+}  // namespace serve
+}  // namespace loom

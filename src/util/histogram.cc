@@ -1,0 +1,66 @@
+#include "util/histogram.h"
+
+#include <cstdio>
+
+namespace loom {
+namespace util {
+
+namespace {
+
+/// Inclusive value range of bucket b: b == 0 holds only the value 0;
+/// bucket b >= 1 holds [2^(b-1), 2^b - 1].
+uint64_t BucketLo(size_t b) { return b == 0 ? 0 : uint64_t{1} << (b - 1); }
+
+uint64_t BucketHi(size_t b) {
+  if (b == 0) return 0;
+  if (b >= 64) return ~uint64_t{0};
+  return (uint64_t{1} << b) - 1;
+}
+
+}  // namespace
+
+uint64_t HistogramSnapshot::Quantile(double q) const {
+  const uint64_t n = Count();
+  if (n == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the sample we want (1-based, ceil): the smallest bucket whose
+  // cumulative count reaches it.
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      const uint64_t mid = BucketLo(b) + (BucketHi(b) - BucketLo(b)) / 2;
+      return max != 0 && mid > max ? max : mid;
+    }
+  }
+  return max;
+}
+
+std::string HistogramSnapshot::FormatNs(uint64_t ns) {
+  char buf[32];
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lluns", (unsigned long long)ns);
+  } else if (ns < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+std::string HistogramSnapshot::Summary() const {
+  const uint64_t n = Count();
+  if (n == 0) return "n=0";
+  return "n=" + std::to_string(n) + " p50=" + FormatNs(Quantile(0.50)) +
+         " p90=" + FormatNs(Quantile(0.90)) + " p99=" + FormatNs(Quantile(0.99)) +
+         " max=" + FormatNs(max);
+}
+
+}  // namespace util
+}  // namespace loom

@@ -1,0 +1,97 @@
+// Lock-free log2-bucket histogram for latency-style samples.
+//
+// The service layer needs "what does a decision cost right now?" answered
+// from a thread that is NOT the one making decisions (a STATS request must
+// never block ingest). So the histogram is a fixed array of relaxed
+// atomics: the recording thread pays one fetch_add per sample, readers
+// take a Snapshot whenever they like, and there is no lock anywhere.
+// Buckets are powers of two (bucket b holds samples whose bit_width is b,
+// i.e. values in [2^(b-1), 2^b)), which is plenty of resolution for
+// latencies spanning nanoseconds to seconds and makes Merge/quantile
+// arithmetic trivial.
+//
+// Counts are monotone and the snapshot reads each bucket independently, so
+// a snapshot taken mid-Add is a valid histogram of "some recent prefix" of
+// the samples — exactly what a stats endpoint wants, with no stronger
+// ordering paid for.
+
+#ifndef LOOM_UTIL_HISTOGRAM_H_
+#define LOOM_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+
+namespace loom {
+namespace util {
+
+/// Point-in-time copy of a Histogram: plain integers, freely copyable,
+/// with the quantile/format helpers readers actually want.
+struct HistogramSnapshot {
+  static constexpr size_t kBuckets = 65;  // bit_width(v) for v in [0, 2^64)
+
+  std::array<uint64_t, kBuckets> buckets{};
+  uint64_t max = 0;
+
+  uint64_t Count() const {
+    uint64_t n = 0;
+    for (uint64_t b : buckets) n += b;
+    return n;
+  }
+
+  /// Representative value (bucket midpoint, clamped to the observed max)
+  /// for the q-quantile, q in [0, 1]. 0 when the histogram is empty.
+  uint64_t Quantile(double q) const;
+
+  /// "n=<count> p50=<v> p90=<v> p99=<v> max=<v>" with values formatted by
+  /// FormatNs (the histogram itself is unit-agnostic; this helper assumes
+  /// nanoseconds, the only unit the engine records).
+  std::string Summary() const;
+
+  /// Human latency formatting: "874ns", "12.3us", "4.7ms", "1.2s".
+  static std::string FormatNs(uint64_t ns);
+};
+
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = HistogramSnapshot::kBuckets;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records `count` samples of value `v`. Wait-free; safe to call from the
+  /// recording thread while any number of threads Snapshot().
+  void Add(uint64_t v, uint64_t count = 1) {
+    buckets_[std::bit_width(v)].fetch_add(count, std::memory_order_relaxed);
+    uint64_t prev = max_.load(std::memory_order_relaxed);
+    while (v > prev && !max_.compare_exchange_weak(
+                           prev, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot s;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+    }
+    s.max = max_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace util
+}  // namespace loom
+
+#endif  // LOOM_UTIL_HISTOGRAM_H_

@@ -3,12 +3,16 @@
 // actionable error paths (bad magic, unsupported version, truncation,
 // checksum drift, label-space mismatch), and the assignment sinks.
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -265,6 +269,205 @@ TEST(EdgeStreamErrorTest, TextFormatIsHumanReadable) {
 }
 
 // ------------------------------------------------------- assignment sinks
+
+// --------------------------------------------------------------- follow
+// Tail-follow coverage. These tests avoid real concurrency where possible:
+// ReadFollow returns as soon as at least one COMPLETE record is on disk, so
+// writing (and flushing) before each NextBatch keeps everything
+// deterministic and poll-free.
+
+stream::StreamEdge MakeEdge(uint32_t u, uint32_t v) {
+  stream::StreamEdge e;
+  e.u = u;
+  e.v = v;
+  e.label_u = 0;
+  e.label_v = 1;
+  return e;
+}
+
+graph::LabelRegistry TwoLabels() {
+  graph::LabelRegistry registry;
+  registry.Intern("a");
+  registry.Intern("b");
+  return registry;
+}
+
+class EdgeStreamFollowTest : public testing::TestWithParam<io::StreamFormat> {
+};
+
+TEST_P(EdgeStreamFollowTest, ReadsEdgesFlushedAfterOpen) {
+  const fs::path path =
+      TempDir() / ("follow_live_" + io::ToString(GetParam()));
+  io::EdgeStreamWriter writer(path.string(), TwoLabels(), 100, GetParam());
+  writer.Append(MakeEdge(1, 2));
+  writer.Append(MakeEdge(3, 4));
+  writer.Append(MakeEdge(5, 6));
+  writer.Flush();  // header + 3 edges visible; counts still unpatched
+
+  std::atomic<bool> stop{false};
+  io::FollowOptions follow;
+  follow.follow = true;
+  follow.poll_interval_ms = 1;
+  follow.stop = &stop;
+  io::FileEdgeSource reader(path.string(), follow);
+  if (GetParam() == io::StreamFormat::kBinary) {
+    EXPECT_EQ(reader.info().edge_count, 0u);  // stale until Close — ignored
+  }
+  ASSERT_EQ(reader.info().labels.size(), 2u);
+
+  std::vector<stream::StreamEdge> batch(8);
+  ASSERT_EQ(reader.NextBatch(batch), 3u);
+  EXPECT_EQ(batch[0].u, 1u);
+  EXPECT_EQ(batch[2].v, 6u);
+  EXPECT_EQ(batch[2].id, 2u);
+
+  writer.Append(MakeEdge(7, 8));
+  writer.Flush();
+  ASSERT_EQ(reader.NextBatch(batch), 1u);
+  EXPECT_EQ(batch[0].u, 7u);
+  EXPECT_EQ(batch[0].id, 3u);  // stream ids keep counting across polls
+
+  stop.store(true);
+  EXPECT_EQ(reader.NextBatch(batch), 0u);
+  EXPECT_EQ(reader.NextBatch(batch), 0u);  // exhausted once stopped
+}
+
+TEST_P(EdgeStreamFollowTest, PartialRecordIsReReadWhole) {
+  const fs::path path =
+      TempDir() / ("follow_partial_" + io::ToString(GetParam()));
+  io::EdgeStreamWriter writer(path.string(), TwoLabels(), 100, GetParam());
+  writer.Append(MakeEdge(1, 2));
+  writer.Flush();
+
+  std::atomic<bool> stop{false};
+  io::FollowOptions follow;
+  follow.follow = true;
+  follow.poll_interval_ms = 1;
+  follow.stop = &stop;
+  io::FileEdgeSource reader(path.string(), follow);
+
+  // Land only the front half of the next record, as an interrupted
+  // producer would.
+  std::string head, tail;
+  if (GetParam() == io::StreamFormat::kBinary) {
+    const uint32_t u = 9, v = 10;
+    const uint16_t lu = 0, lv = 1;
+    std::string record(12, '\0');
+    std::memcpy(record.data(), &u, 4);
+    std::memcpy(record.data() + 4, &v, 4);
+    std::memcpy(record.data() + 8, &lu, 2);
+    std::memcpy(record.data() + 10, &lv, 2);
+    head = record.substr(0, 5);
+    tail = record.substr(5);
+  } else {
+    head = "E 9 1";
+    tail = "0 0 1\n";
+  }
+  {
+    std::ofstream app(path, std::ios::binary | std::ios::app);
+    app << head;
+  }
+
+  std::vector<stream::StreamEdge> batch(8);
+  ASSERT_EQ(reader.NextBatch(batch), 1u);  // only the complete record
+  EXPECT_EQ(batch[0].u, 1u);
+
+  {
+    std::ofstream app(path, std::ios::binary | std::ios::app);
+    app << tail;
+  }
+  ASSERT_EQ(reader.NextBatch(batch), 1u);
+  EXPECT_EQ(batch[0].u, 9u);
+  EXPECT_EQ(batch[0].v, 10u);
+  EXPECT_EQ(batch[0].id, 1u);
+}
+
+TEST_P(EdgeStreamFollowTest, ConstructorWaitsForCompleteHeader) {
+  const fs::path staging =
+      TempDir() / ("follow_hdr_staging_" + io::ToString(GetParam()));
+  const fs::path path =
+      TempDir() / ("follow_hdr_" + io::ToString(GetParam()));
+  {
+    io::EdgeStreamWriter writer(staging.string(), TwoLabels(), 100,
+                                GetParam());
+    writer.Append(MakeEdge(1, 2));
+    writer.Close();
+  }
+  const std::string bytes = FileBytes(staging);
+  ASSERT_GT(bytes.size(), 10u);
+  {
+    // Seed the target with a torn header prefix.
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes.substr(0, 10);
+  }
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    std::ofstream app(path, std::ios::binary | std::ios::app);
+    app << bytes.substr(10);
+  });
+  io::FollowOptions follow;
+  follow.follow = true;
+  follow.poll_interval_ms = 1;
+  io::FileEdgeSource reader(path.string(), follow);  // must not throw
+  producer.join();
+  std::vector<stream::StreamEdge> batch(4);
+  ASSERT_EQ(reader.NextBatch(batch), 1u);
+  EXPECT_EQ(batch[0].u, 1u);
+}
+
+TEST_P(EdgeStreamFollowTest, SkipToPositionsAtCursorOnLiveFile) {
+  const fs::path path =
+      TempDir() / ("follow_skip_" + io::ToString(GetParam()));
+  io::EdgeStreamWriter writer(path.string(), TwoLabels(), 100, GetParam());
+  for (uint32_t i = 0; i < 5; ++i) writer.Append(MakeEdge(i, i + 1));
+  writer.Flush();  // never closed: counts stay stale
+
+  io::FollowOptions follow;
+  follow.follow = true;
+  follow.poll_interval_ms = 1;
+  io::FileEdgeSource reader(path.string(), follow);
+  reader.SkipTo(3);  // beyond the (stale) declared count of 0
+  std::vector<stream::StreamEdge> batch(8);
+  ASSERT_EQ(reader.NextBatch(batch), 2u);
+  EXPECT_EQ(batch[0].u, 3u);
+  EXPECT_EQ(batch[0].id, 3u);
+  EXPECT_EQ(batch[1].id, 4u);
+}
+
+TEST(EdgeStreamFollowErrorTest, StopDuringHeaderWaitThrows) {
+  const fs::path path = TempDir() / "follow_stop_empty";
+  { std::ofstream touch(path, std::ios::trunc); }
+  std::atomic<bool> stop{true};
+  io::FollowOptions follow;
+  follow.follow = true;
+  follow.poll_interval_ms = 1;
+  follow.stop = &stop;
+  try {
+    io::FileEdgeSource reader(path.string(), follow);
+    FAIL() << "expected a throw: empty file, stop already signalled";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("stopped"), std::string::npos);
+  }
+}
+
+TEST(EdgeStreamFollowErrorTest, BadMagicStillThrowsImmediately) {
+  const fs::path path = TempDir() / "follow_bad_magic";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "definitely not an edge stream\n";
+  }
+  io::FollowOptions follow;
+  follow.follow = true;
+  follow.poll_interval_ms = 1;
+  EXPECT_THROW(io::FileEdgeSource(path.string(), follow), std::runtime_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, EdgeStreamFollowTest,
+                         testing::Values(io::StreamFormat::kBinary,
+                                         io::StreamFormat::kText),
+                         [](const auto& info) {
+                           return io::ToString(info.param);
+                         });
 
 TEST(AssignmentSinkTest, MemorySinkRecordsInArrivalOrder) {
   io::MemoryAssignmentSink sink;

@@ -7,6 +7,7 @@
 #include "util/csv_writer.h"
 #include "util/flat_map64.h"
 #include "util/flat_set64.h"
+#include "util/histogram.h"
 #include "util/string_util.h"
 #include "util/table_writer.h"
 #include "util/timer.h"
@@ -223,6 +224,59 @@ TEST(TimerTest, StartResets) {
   int64_t before = t.ElapsedUs();
   t.Start();
   EXPECT_LE(t.ElapsedUs(), before + 1000000);
+}
+
+TEST(HistogramTest, EmptyIsZeroEverywhere) {
+  Histogram h;
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.Count(), 0u);
+  EXPECT_EQ(s.max, 0u);
+  EXPECT_EQ(s.Quantile(0.5), 0u);
+  EXPECT_EQ(s.Summary(), "n=0");
+}
+
+TEST(HistogramTest, BucketsByBitWidth) {
+  Histogram h;
+  h.Add(0);
+  h.Add(1);
+  h.Add(2);
+  h.Add(3);
+  h.Add(4, 3);  // weighted
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.buckets[0], 1u);  // value 0
+  EXPECT_EQ(s.buckets[1], 1u);  // value 1
+  EXPECT_EQ(s.buckets[2], 2u);  // values in [2, 3]
+  EXPECT_EQ(s.buckets[3], 3u);  // values in [4, 7]
+  EXPECT_EQ(s.Count(), 7u);
+  EXPECT_EQ(s.max, 4u);
+}
+
+TEST(HistogramTest, QuantilesWalkBucketsAndClampToMax) {
+  Histogram h;
+  h.Add(100, 99);  // bucket 7: [64, 127]
+  h.Add(5000);     // bucket 13: [4096, 8191]
+  const HistogramSnapshot s = h.Snapshot();
+  // p50 lands in the 99-sample bucket: its midpoint.
+  EXPECT_EQ(s.Quantile(0.5), 64u + (127u - 64u) / 2);
+  // p100 lands in the tail bucket, whose midpoint (6143) exceeds the
+  // observed max — the estimate must clamp to it.
+  EXPECT_EQ(s.Quantile(1.0), 5000u);
+  EXPECT_EQ(s.max, 5000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(42, 10);
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().Count(), 0u);
+  EXPECT_EQ(h.Snapshot().max, 0u);
+}
+
+TEST(HistogramTest, FormatNsTiers) {
+  EXPECT_EQ(HistogramSnapshot::FormatNs(874), "874ns");
+  EXPECT_EQ(HistogramSnapshot::FormatNs(12'300), "12.3us");
+  EXPECT_EQ(HistogramSnapshot::FormatNs(4'700'000), "4.7ms");
+  EXPECT_EQ(HistogramSnapshot::FormatNs(1'200'000'000), "1.20s");
 }
 
 }  // namespace

@@ -1,0 +1,177 @@
+// loom_ctl — command-line client for a running loom_serve.
+//
+// Usage:
+//   loom_ctl --socket PATH stats
+//   loom_ctl --socket PATH get VERTEX
+//   loom_ctl --socket PATH ingest U V LABEL_U LABEL_V
+//   loom_ctl --socket PATH checkpoint | finalize | quality | shutdown
+//   loom_ctl --socket PATH ingest-file S.les [--from N] [--depth N]
+//
+// Single commands print the server's reply line on stdout and exit 0 on
+// "OK ...", 1 on "ERR ...".
+//
+// ingest-file replays an edge-stream file (binary or text) as INGEST
+// commands, keeping up to --depth (default 512) commands in flight — the
+// server replies strictly in order, so replies are matched positionally;
+// pipelining hides the per-line socket round trip. --from N skips the
+// first N edges: after a server crash, pass the STATS edges= cursor to
+// re-send exactly the undecided suffix. Label ids are the stream file's
+// own — start loom_serve with --like pointing at the same file (or one
+// with an identical label table) so both sides agree.
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "io/edge_stream_io.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+
+namespace {
+
+void Usage() {
+  std::cerr << "usage: loom_ctl --socket PATH COMMAND\n"
+               "commands:\n"
+               "  stats | checkpoint | finalize | quality | shutdown\n"
+               "  get VERTEX\n"
+               "  ingest U V LABEL_U LABEL_V\n"
+               "  ingest-file S.les [--from N] [--depth N]\n";
+}
+
+// One command line in, the reply line printed; exit status from OK/ERR.
+int Roundtrip(loom::serve::Client* client, const std::string& line) {
+  std::string reply, error;
+  if (!client->Roundtrip(line, &reply, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cout << reply << "\n";
+  return loom::serve::IsOk(reply) ? 0 : 1;
+}
+
+int IngestFile(loom::serve::Client* client, const std::string& path,
+               uint64_t from, size_t depth) {
+  using loom::serve::Command;
+  using loom::serve::CommandType;
+  loom::io::FileEdgeSource source(path);
+  if (from > 0) source.SkipTo(from);
+  std::vector<loom::stream::StreamEdge> batch(1024);
+  std::string error, reply;
+  uint64_t sent = 0, acked = 0, rejected = 0;
+  size_t in_flight = 0;
+  auto drain_one = [&]() -> bool {
+    if (!client->ReadReply(&reply, &error)) {
+      std::cerr << "error: " << error << " (after " << acked << " replies)\n";
+      return false;
+    }
+    ++acked;
+    if (!loom::serve::IsOk(reply)) {
+      ++rejected;
+      if (rejected <= 10) std::cerr << "rejected: " << reply << "\n";
+    }
+    --in_flight;
+    return true;
+  };
+  for (;;) {
+    const size_t n = source.NextBatch(batch);
+    if (n == 0) break;
+    for (size_t i = 0; i < n; ++i) {
+      Command c;
+      c.type = CommandType::kIngest;
+      c.edge = batch[i];
+      while (in_flight >= depth) {
+        if (!drain_one()) return 1;
+      }
+      if (!client->SendLine(loom::serve::FormatCommand(c), &error)) {
+        std::cerr << "error: " << error << " (after " << sent << " sends)\n";
+        return 1;
+      }
+      ++sent;
+      ++in_flight;
+    }
+  }
+  while (in_flight > 0) {
+    if (!drain_one()) return 1;
+  }
+  std::cout << "sent " << sent << " edges from " << path;
+  if (from > 0) std::cout << " (skipped first " << from << ")";
+  std::cout << ", " << rejected << " rejected\n";
+  return rejected == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> rest;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--socket") == 0) {
+      if (i + 1 >= argc) {
+        std::cerr << "--socket requires a value\n";
+        return 2;
+      }
+      socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--help") == 0) {
+      Usage();
+      return 0;
+    } else {
+      rest.emplace_back(argv[i]);
+    }
+  }
+  if (socket_path.empty() || rest.empty()) {
+    Usage();
+    return 2;
+  }
+
+  loom::serve::Client client;
+  std::string error;
+  if (!client.Connect(socket_path, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+
+  const std::string& cmd = rest[0];
+  try {
+    if (cmd == "stats" && rest.size() == 1) {
+      return Roundtrip(&client, "STATS");
+    } else if (cmd == "checkpoint" && rest.size() == 1) {
+      return Roundtrip(&client, "CHECKPOINT");
+    } else if (cmd == "finalize" && rest.size() == 1) {
+      return Roundtrip(&client, "FINALIZE");
+    } else if (cmd == "quality" && rest.size() == 1) {
+      return Roundtrip(&client, "SNAPSHOT-QUALITY");
+    } else if (cmd == "shutdown" && rest.size() == 1) {
+      return Roundtrip(&client, "SHUTDOWN");
+    } else if (cmd == "get" && rest.size() == 2) {
+      return Roundtrip(&client, "GET " + rest[1]);
+    } else if (cmd == "ingest" && rest.size() == 5) {
+      return Roundtrip(&client, "INGEST " + rest[1] + " " + rest[2] + " " +
+                                    rest[3] + " " + rest[4]);
+    } else if (cmd == "ingest-file" && rest.size() >= 2) {
+      uint64_t from = 0;
+      size_t depth = 512;
+      for (size_t i = 2; i < rest.size(); i += 2) {
+        if (i + 1 >= rest.size()) {
+          Usage();
+          return 2;
+        }
+        if (rest[i] == "--from") {
+          from = std::stoull(rest[i + 1]);
+        } else if (rest[i] == "--depth") {
+          depth = std::stoul(rest[i + 1]);
+          if (depth == 0) depth = 1;
+        } else {
+          Usage();
+          return 2;
+        }
+      }
+      return IngestFile(&client, rest[1], from, depth);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  Usage();
+  return 2;
+}

@@ -29,6 +29,7 @@
 // from the session's observer events.
 
 #include <algorithm>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -36,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "engine/latency_observer.h"
 #include "engine/session.h"
 #include "graph/graph_io.h"
 #include "io/assignment_sink.h"
@@ -46,6 +48,14 @@
 #include "util/table_writer.h"
 
 namespace {
+
+// SIGINT/SIGTERM request a graceful stop: the drive loop polls this between
+// slices, finishes the slice in flight, writes a final rotating checkpoint
+// (when --checkpoint is set), flushes the sink and exits 0 with a resume
+// hint — never mid-decision, never a torn output file.
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void HandleStopSignal(int sig) { g_stop_signal = sig; }
 
 struct Args {
   std::string graph_path;
@@ -64,6 +74,7 @@ struct Args {
   uint32_t shards = 0;  // 0 = leave the EngineOptions default
   uint64_t seed = 0x10c5;
   bool evaluate = false;
+  bool progress = false;  // per-slice progress + decision-latency histogram
 };
 
 void Usage() {
@@ -74,7 +85,13 @@ void Usage() {
                "         [--threshold F] [--shards N] [--opt key=value]...\n"
                "         [--seed N] [--out FILE | --output-assignments FILE]\n"
                "         [--checkpoint FILE] [--checkpoint-every EDGES]\n"
-               "         [--resume FILE] [--evaluate] [--help-opts]\n"
+               "         [--resume FILE] [--evaluate] [--progress]\n"
+               "         [--help-opts]\n"
+               "signals:\n"
+               "  SIGINT/SIGTERM stop gracefully: the slice in flight\n"
+               "    finishes, a final checkpoint rotates (with --checkpoint),\n"
+               "    the sink flushes, exit code 0; rerun with --resume to\n"
+               "    continue bit-identically\n"
                "checkpointing:\n"
                "  --checkpoint FILE        write a LOOMCK snapshot to FILE\n"
                "    every --checkpoint-every edges (default 100000) and keep\n"
@@ -179,6 +196,8 @@ bool Parse(int argc, char** argv, Args* args) {
       args->seed = std::stoull(v);
     } else if (std::strcmp(argv[i], "--evaluate") == 0) {
       args->evaluate = true;
+    } else if (std::strcmp(argv[i], "--progress") == 0) {
+      args->progress = true;
     } else if (std::strcmp(argv[i], "--help-opts") == 0) {
       UsageOpts();
       std::exit(0);
@@ -358,19 +377,35 @@ int main(int argc, char** argv) {
       }
     }
     session->AddSink(sink.get());
+    engine::LatencyObserver latency;
+    if (args.progress) session->AddObserver(&latency);
 
-    engine::RunReport report;
-    if (args.checkpoint_path.empty()) {
-      report = session->Run(*source);
-    } else {
-      // Step the stream in checkpoint-sized slices, rotating a snapshot
-      // after each full slice; the last (short) slice runs straight into
-      // Finish. Run() and IngestSome+Finish fire the same events in the
-      // same order, so reports are identical either way.
-      for (;;) {
-        const size_t n = session->IngestSome(
-            *source, static_cast<size_t>(args.checkpoint_every));
-        if (n < args.checkpoint_every) break;
+    std::signal(SIGINT, HandleStopSignal);
+    std::signal(SIGTERM, HandleStopSignal);
+
+    // Step the stream in slices (checkpoint-sized when --checkpoint is set,
+    // a polling granule otherwise), rotating a snapshot after each full
+    // slice; the last (short) slice runs straight into Finish. Run() and
+    // IngestSome+Finish fire the same events in the same order, so reports
+    // are identical either way. The slice boundary is also where
+    // SIGINT/SIGTERM is honoured.
+    const uint64_t slice = args.checkpoint_path.empty()
+                               ? uint64_t{1} << 16
+                               : args.checkpoint_every;
+    bool interrupted = false;
+    for (;;) {
+      if (g_stop_signal != 0) {
+        interrupted = true;
+        break;
+      }
+      const size_t n = session->IngestSome(*source, static_cast<size_t>(slice));
+      if (args.progress && n > 0) {
+        std::cerr << "progress: " << session->edges_ingested()
+                  << " edges, latency["
+                  << latency.histogram().Snapshot().Summary() << "]\n";
+      }
+      if (n < slice) break;
+      if (!args.checkpoint_path.empty()) {
         if (!engine::CheckpointSessionRotating(session.get(),
                                                args.checkpoint_path, &error)) {
           std::cerr << "error: " << error << "\n";
@@ -379,13 +414,38 @@ int main(int argc, char** argv) {
         std::cerr << "checkpointed " << session->edges_ingested()
                   << " edges to " << args.checkpoint_path << "\n";
       }
-      report = session->Finish();
     }
+    if (interrupted) {
+      // Graceful stop: no finalize (a finalized prefix diverges from the
+      // resumed full run) — checkpoint what was decided, flush, exit clean.
+      if (!args.checkpoint_path.empty()) {
+        if (!engine::CheckpointSessionRotating(session.get(),
+                                               args.checkpoint_path, &error)) {
+          std::cerr << "error: final checkpoint failed: " << error << "\n";
+          return 1;
+        }
+      }
+      sink->Flush();
+      std::cerr << "interrupted by signal " << g_stop_signal << " at edge "
+                << session->edges_ingested();
+      if (!args.checkpoint_path.empty()) {
+        std::cerr << "; checkpointed to " << args.checkpoint_path
+                  << " — rerun with --resume " << args.checkpoint_path
+                  << " to continue";
+      }
+      std::cerr << "\n";
+      return 0;
+    }
+    engine::RunReport report = session->Finish();
     std::cerr << "partitioned " << report.edges << " edges in "
               << util::TableWriter::Fmt(report.ms, 0) << " ms ("
               << report.backend << ", k=" << session->partitioning().k()
               << ", " << report.events.vertices_assigned
               << " vertices assigned)\n";
+    if (args.progress) {
+      std::cerr << "decision latency (ns/edge, batch means): "
+                << latency.histogram().Snapshot().Summary() << "\n";
+    }
     // Assignment lines stream out in placement order and cover exactly the
     // vertices the stream touched — call out any the graph declared but the
     // stream never reached (isolated vertices have no placement).
