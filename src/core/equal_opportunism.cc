@@ -132,10 +132,14 @@ AllocationDecision EqualOpportunism::DecideBids(
         nbr_cached_vertices_.end());
     nbr_rows_.assign(nbr_cached_vertices_.size() * k, 0);
     for (size_t ci = 0; ci < nbr_cached_vertices_.size(); ++ci) {
-      const std::span<const graph::VertexId> nbrs =
-          neighborhood_->Neighbors(nbr_cached_vertices_[ci]);
-      util::simd::TallyGatherU32(table.data(), table.size(), nbrs.data(),
-                                 nbrs.size(), k, &nbr_rows_[ci * k]);
+      uint32_t* row = &nbr_rows_[ci * k];
+      // Tally page by page; the kernel accumulates, so the sums don't see
+      // the arena's chunk boundaries.
+      neighborhood_->Neighbors(nbr_cached_vertices_[ci])
+          .ForEachChunk([&](const graph::VertexId* ids, size_t n) {
+            util::simd::TallyGatherU32(table.data(), table.size(), ids, n, k,
+                                       row);
+          });
     }
   }
   for (size_t i = 0; i < me.size(); ++i) {

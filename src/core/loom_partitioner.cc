@@ -15,7 +15,8 @@ LoomPartitioner::LoomPartitioner(const LoomOptions& options,
       ctor_num_labels_(num_labels),
       partitioning_(options.base.k, options.base.expected_vertices,
                     options.base.max_imbalance),
-      seen_(options.base.expected_vertices),
+      seen_(options.base.expected_vertices, options.base.adj_page_entries),
+      hub_(options.base.k, options.base.hub_degree_threshold),
       window_(options.window_size) {
   label_values_ = std::make_unique<signature::LabelValues>(
       num_labels, options.prime, options.signature_seed);
@@ -51,7 +52,11 @@ bool LoomPartitioner::IsDeferred(graph::VertexId v, graph::LabelId label) {
 }
 
 void LoomPartitioner::AssignVertex(graph::VertexId v, graph::PartitionId p) {
-  AssignAndNotify(&partitioning_, v, p);
+  // Cluster assignment hits already-placed vertices routinely
+  // (first-writer-wins); the hub hook must fire only on the first placement.
+  if (partitioning_.IsAssigned(v)) return;
+  const graph::PartitionId actual = AssignAndNotify(&partitioning_, v, p);
+  hub_.OnAssign(v, actual, seen_);
 }
 
 void LoomPartitioner::AssignImmediately(const stream::StreamEdge& e) {
@@ -64,8 +69,8 @@ void LoomPartitioner::AssignImmediately(const stream::StreamEdge& e) {
   const bool place_u = !partitioning_.IsAssigned(e.u) && !IsDeferred(e.u, e.label_u);
   const bool place_v = !partitioning_.IsAssigned(e.v) && !IsDeferred(e.v, e.label_v);
   if (!place_u && !place_v) return;
-  const graph::PartitionId p =
-      partition::LdgHeuristic::Choose(e, seen_, partitioning_);
+  const graph::PartitionId p = partition::LdgHeuristic::Choose(
+      e, seen_, partitioning_, /*had_signal=*/nullptr, &hub_);
   if (place_u) AssignVertex(e.u, p);
   if (place_v) AssignVertex(e.v, p);
 }
@@ -114,6 +119,7 @@ void LoomPartitioner::IngestWithAdmission(const stream::StreamEdge& e,
   seen_.TouchVertex(e.u, e.label_u);
   seen_.TouchVertex(e.v, e.label_v);
   seen_.AddEdge(e.u, e.v);  // before any placement: endpoints see each other
+  hub_.OnEdgeVisible(e.u, e.v, seen_, partitioning_);
 
   if (!admitted) {
     // Sec. 3: e can never participate in a motif match — place it now and
@@ -188,8 +194,8 @@ void LoomPartitioner::EvictOldest() {
     // neighbours instead of scattering round-robin. Computed lazily — the
     // LDG scan walks both endpoints' full adjacency (hubs are expensive)
     // and is wasted whenever a positive bid wins.
-    const graph::PartitionId fallback =
-        partition::LdgHeuristic::Choose(*evictee, seen_, partitioning_);
+    const graph::PartitionId fallback = partition::LdgHeuristic::Choose(
+        *evictee, seen_, partitioning_, /*had_signal=*/nullptr, &hub_);
     decision.partition = partitioning_.AtCapacity(fallback)
                              ? partitioning_.LeastLoaded()
                              : fallback;
@@ -282,6 +288,9 @@ bool LoomPartitioner::RestoreState(io::CheckpointReader* r,
                    trie_.get(), &partitioning_, &window_, &match_list_,
                    matcher_.get(), &stats_, &edges_since_compact_));
   seen_.LoadFrom(r, "seen_graph");
+  // Hub rows are derived state — never checkpointed, always re-derived from
+  // the restored graph + table (same rows a fresh run here would hold).
+  hub_.Rebuild(seen_, seen_.NumSlots(), partitioning_);
   if (grown != ctor_num_labels_) {
     // The checkpointed run had grown its alphabet: re-fit the label-sized
     // tables exactly as EnsureLabelSpace did there.
@@ -323,8 +332,8 @@ void LoomPartitioner::Finalize() {
   // maximally informed.
   for (graph::VertexId v = 0; v < seen_.NumSlots(); ++v) {
     if (!seen_.Known(v) || partitioning_.IsAssigned(v)) continue;
-    AssignVertex(
-        v, partition::LdgHeuristic::ChooseForVertex(v, seen_, partitioning_));
+    AssignVertex(v, partition::LdgHeuristic::ChooseForVertex(
+                        v, seen_, partitioning_, &hub_));
   }
 }
 

@@ -16,7 +16,9 @@ LoomShardedPartitioner::LoomShardedPartitioner(
       ctor_num_labels_(num_labels),
       partitioning_(options.loom.base.k, options.loom.base.expected_vertices,
                     options.loom.base.max_imbalance),
-      seen_(std::max<uint32_t>(options.shards, 1)),
+      seen_(std::max<uint32_t>(options.shards, 1),
+            options.loom.base.adj_page_entries),
+      hub_(options.loom.base.k, options.loom.base.hub_degree_threshold),
       window_(options.loom.window_size) {
   options_.shards = seen_.num_shards();
   label_values_ = std::make_unique<signature::LabelValues>(
@@ -66,7 +68,10 @@ void LoomShardedPartitioner::ProcessSlice(uint32_t shard,
       admit_scratch_[slice.base + j] =
           admission.SingleEdgeMotif(e) != nullptr;
     }
-    if (seen_.Owner(e.v) == shard) {
+    // For a self-loop the u-branch above already wrote its single canonical
+    // entry (matching DynamicGraph::AddEdge); a second append here would
+    // double the hub's self-degree on this backend only.
+    if (e.u != e.v && seen_.Owner(e.v) == shard) {
       part.TouchVertex(seen_.Local(e.v), e.label_v);
       part.Append(seen_.Local(e.v), e.u);
     }
@@ -117,6 +122,10 @@ void LoomShardedPartitioner::IngestBatch(
   for (size_t i = 0; i < batch.size(); ++i) {
     const stream::StreamEdge& e = batch[i];
     seen_.Advance(e.u, e.v);
+    // Hub rows track the VISIBLE adjacency, so the hook rides the cursor
+    // bump (not the workers' appends) — mirroring AddEdge-then-hook in the
+    // serial backends.
+    hub_.OnEdgeVisible(e.u, e.v, seen_, partitioning_);
     IngestSequenced(e, admit_scratch_[i] != 0);
   }
 }
@@ -130,7 +139,11 @@ bool LoomShardedPartitioner::IsDeferred(graph::VertexId v,
 
 void LoomShardedPartitioner::AssignVertex(graph::VertexId v,
                                           graph::PartitionId p) {
-  AssignAndNotify(&partitioning_, v, p);
+  // First placement only (mirrors LoomPartitioner::AssignVertex): cluster
+  // assignment revisits placed vertices, and the hub hook must fire once.
+  if (partitioning_.IsAssigned(v)) return;
+  const graph::PartitionId actual = AssignAndNotify(&partitioning_, v, p);
+  hub_.OnAssign(v, actual, seen_);
 }
 
 void LoomShardedPartitioner::AssignImmediately(const stream::StreamEdge& e) {
@@ -139,8 +152,8 @@ void LoomShardedPartitioner::AssignImmediately(const stream::StreamEdge& e) {
   const bool place_v =
       !partitioning_.IsAssigned(e.v) && !IsDeferred(e.v, e.label_v);
   if (!place_u && !place_v) return;
-  const graph::PartitionId p =
-      partition::LdgHeuristic::Choose(e, seen_, partitioning_);
+  const graph::PartitionId p = partition::LdgHeuristic::Choose(
+      e, seen_, partitioning_, /*had_signal=*/nullptr, &hub_);
   if (place_u) AssignVertex(e.u, p);
   if (place_v) AssignVertex(e.v, p);
 }
@@ -206,8 +219,8 @@ void LoomShardedPartitioner::EvictOldest() {
       allocator_->DecideBids(match_list_, me_scratch_, partitioning_);
   const bool used_fallback = decision.partition == graph::kNoPartition;
   if (used_fallback) {
-    const graph::PartitionId fallback =
-        partition::LdgHeuristic::Choose(*evictee, seen_, partitioning_);
+    const graph::PartitionId fallback = partition::LdgHeuristic::Choose(
+        *evictee, seen_, partitioning_, /*had_signal=*/nullptr, &hub_);
     decision.partition = partitioning_.AtCapacity(fallback)
                              ? partitioning_.LeastLoaded()
                              : fallback;
@@ -282,6 +295,8 @@ bool LoomShardedPartitioner::RestoreState(io::CheckpointReader* r,
   st.edges_since_compact = &edges_since_compact_;
   const size_t grown = RestoreLoomCore(r, st);
   seen_.LoadFrom(r);
+  // Derived state — re-built over the restored visible adjacency.
+  hub_.Rebuild(seen_, seen_.NumSlots(), partitioning_);
   if (grown != ctor_num_labels_) {
     matcher_->InvalidateMotifCache();
     for (auto& m : shard_matchers_) m->InvalidateMotifCache();
@@ -318,8 +333,8 @@ void LoomShardedPartitioner::Finalize() {
   match_list_.Compact();
   for (graph::VertexId v = 0; v < seen_.NumSlots(); ++v) {
     if (!seen_.Known(v) || partitioning_.IsAssigned(v)) continue;
-    AssignVertex(
-        v, partition::LdgHeuristic::ChooseForVertex(v, seen_, partitioning_));
+    AssignVertex(v, partition::LdgHeuristic::ChooseForVertex(
+                        v, seen_, partitioning_, &hub_));
   }
 }
 

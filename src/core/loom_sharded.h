@@ -73,15 +73,24 @@ struct LoomShardedOptions {
 };
 
 /// One shard's slice of the streamed-so-far graph: labels and adjacency
-/// for vertices with owner(v) == shard, indexed by local id v / S. Written
-/// exclusively by its shard's worker thread during fan-out; read
-/// exclusively by the sequencer between barriers.
+/// for vertices with owner(v) == shard, indexed by local id v / S.
+/// Adjacency lives in a chunk-stable AdjacencyArena — this is the layer the
+/// arena was built for (ROADMAP item 1): published pages never move, so
+/// the worker can append while a reader walks an already-published prefix.
+/// Today's pipeline still separates the phases with the Dispatch barrier;
+/// the arena removes the data-structure obstacle to overlapping them.
 class ShardGraphPart {
  public:
+  /// Forwarded before any appends (shard parts are default-constructed
+  /// inside a vector, so the page knob arrives after construction).
+  void ConfigurePageCapacity(uint32_t requested) {
+    arena_.ConfigurePageCapacity(requested);
+  }
+
   void Reserve(size_t local_slots) {
     if (labels_.size() < local_slots) {
       labels_.resize(local_slots, graph::kInvalidLabel);
-      adj_.resize(local_slots);
+      arena_.Reserve(local_slots);
     }
   }
 
@@ -90,7 +99,7 @@ class ShardGraphPart {
     assert(label != graph::kInvalidLabel);
     if (local >= labels_.size()) {
       labels_.resize(local + 1, graph::kInvalidLabel);
-      adj_.resize(local + 1);
+      arena_.Reserve(labels_.size());
     }
     if (labels_[local] == graph::kInvalidLabel) {
       labels_[local] = label;
@@ -101,12 +110,10 @@ class ShardGraphPart {
     }
   }
 
-  /// Mirrors one endpoint's half of DynamicGraph::AddEdge (including the
-  /// first-insert capacity jump; appends stay in stream order per vertex).
+  /// Mirrors one endpoint's half of DynamicGraph::AddEdge (appends stay in
+  /// stream order per vertex; published with release, see the arena).
   void Append(graph::VertexId local, graph::VertexId neighbor) {
-    std::vector<graph::VertexId>& a = adj_[local];
-    if (a.capacity() == 0) a.reserve(8);
-    a.push_back(neighbor);
+    arena_.Append(local, neighbor);
   }
 
   bool Known(graph::VertexId local) const {
@@ -116,34 +123,43 @@ class ShardGraphPart {
   size_t LocalSlots() const { return labels_.size(); }
   size_t NumVertices() const { return num_vertices_; }
 
+  /// Published entries in local's chain (0 out of range).
+  uint32_t Degree(graph::VertexId local) const { return arena_.Degree(local); }
+
   /// Raw field dump into the writer's open section (ShardedSeenGraph frames
-  /// the "shards" section around all parts).
+  /// the "shards" section around all parts). Chain encoding is
+  /// byte-identical to the pre-arena PodVec-per-slot layout.
   void SaveTo(io::CheckpointWriter* w) const {
     w->U64(num_vertices_);
     w->PodVec(labels_);
-    w->U64(adj_.size());
-    for (const std::vector<graph::VertexId>& a : adj_) w->PodVec(a);
+    w->U64(labels_.size());
+    for (graph::VertexId local = 0; local < labels_.size(); ++local) {
+      arena_.SaveChain(w, local);
+    }
   }
   void LoadFrom(io::CheckpointReader* r) {
     num_vertices_ = r->U64();
     r->PodVec(&labels_);
-    adj_.assign(r->U64(), {});
-    for (std::vector<graph::VertexId>& a : adj_) r->PodVec(&a);
+    const uint64_t slots = r->U64();
+    if (slots != labels_.size()) {
+      r->Fail("shard slice: adjacency/label table size mismatch");
+    }
+    arena_.Reserve(slots);
+    for (graph::VertexId local = 0; local < slots; ++local) {
+      arena_.LoadChain(r, local);
+    }
   }
 
-  std::span<const graph::VertexId> Prefix(graph::VertexId local,
-                                          uint32_t visible) const {
-    if (local >= adj_.size()) return {};
+  graph::NeighborRange Prefix(graph::VertexId local, uint32_t visible) const {
     // The determinism guarantee rests on cursor bumps never outrunning the
-    // workers' appends; a violation must fail loudly, not read past the
-    // vector (which would just skew scores — a silent quality bug).
-    assert(visible <= adj_[local].size());
-    return {adj_[local].data(), visible};
+    // workers' appends; the arena asserts visible <= published count — a
+    // violation must fail loudly, not skew scores silently.
+    return arena_.Prefix(local, visible);
   }
 
  private:
   std::vector<graph::LabelId> labels_;
-  std::vector<std::vector<graph::VertexId>> adj_;
+  graph::AdjacencyArena arena_;
   size_t num_vertices_ = 0;
 };
 
@@ -153,25 +169,39 @@ class ShardGraphPart {
 /// DynamicGraph would contain at the current stream position.
 class ShardedSeenGraph final : public graph::NeighborView {
  public:
-  explicit ShardedSeenGraph(uint32_t num_shards)
-      : parts_(num_shards), visible_(num_shards) {}
+  /// `page_entries` caps every shard slice's arena page capacity
+  /// (0 = LOOM_ADJ_PAGE / 64; layout-only, see AdjacencyArena).
+  explicit ShardedSeenGraph(uint32_t num_shards, uint32_t page_entries = 0)
+      : parts_(num_shards), visible_(num_shards) {
+    for (ShardGraphPart& p : parts_) p.ConfigurePageCapacity(page_entries);
+  }
 
   ShardGraphPart& part(uint32_t shard) { return parts_[shard]; }
   uint32_t num_shards() const { return static_cast<uint32_t>(parts_.size()); }
 
-  /// Sequencer only: make edge `e`'s two adjacency entries visible (called
-  /// before e's decisions, mirroring Loom's AddEdge-then-decide order).
+  /// Sequencer only: make edge `e`'s adjacency entries visible (called
+  /// before e's decisions, mirroring Loom's AddEdge-then-decide order). A
+  /// self-loop has exactly one entry (canonical form, matching
+  /// DynamicGraph::AddEdge), so its cursor bumps once.
   void Advance(graph::VertexId u, graph::VertexId v) {
     Bump(u);
-    Bump(v);
+    if (u != v) Bump(v);
   }
 
-  std::span<const graph::VertexId> Neighbors(graph::VertexId v) const override {
+  graph::NeighborRange Neighbors(graph::VertexId v) const override {
     const uint32_t s = Owner(v);
     const graph::VertexId local = Local(v);
     const std::vector<uint32_t>& vis = visible_[s];
     if (local >= vis.size()) return {};
     return parts_[s].Prefix(local, vis[local]);
+  }
+
+  /// Visible degree IS the sequencer's cursor — no range construction.
+  size_t Degree(graph::VertexId v) const override {
+    const uint32_t s = Owner(v);
+    const graph::VertexId local = Local(v);
+    const std::vector<uint32_t>& vis = visible_[s];
+    return local < vis.size() ? vis[local] : 0;
   }
 
   bool Known(graph::VertexId v) const {
@@ -225,6 +255,28 @@ class ShardedSeenGraph final : public graph::NeighborView {
     }
     for (ShardGraphPart& p : parts_) p.LoadFrom(r);
     for (std::vector<uint32_t>& vis : visible_) r->PodVec(&vis);
+    // The cursors define which adjacency prefix every future decision may
+    // read; a cursor past its chain (hand-edited or cross-wired file)
+    // would trip the Prefix assert later — or silently read junk in
+    // release builds. Reject at the boundary instead.
+    for (uint32_t s = 0; s < num_shards(); ++s) {
+      const std::vector<uint32_t>& vis = visible_[s];
+      if (vis.size() > parts_[s].LocalSlots()) {
+        r->Fail("shard " + std::to_string(s) + ": " +
+                std::to_string(vis.size()) +
+                " visibility cursors for a slice with " +
+                std::to_string(parts_[s].LocalSlots()) + " local slots");
+      }
+      for (graph::VertexId local = 0; local < vis.size(); ++local) {
+        if (vis[local] > parts_[s].Degree(local)) {
+          r->Fail("shard " + std::to_string(s) + ", local vertex " +
+                  std::to_string(local) + ": visibility cursor " +
+                  std::to_string(vis[local]) + " exceeds the stored degree " +
+                  std::to_string(parts_[s].Degree(local)) +
+                  " (corrupt or cross-wired checkpoint)");
+        }
+      }
+    }
     r->Close();
   }
 
@@ -303,6 +355,10 @@ class LoomShardedPartitioner : public partition::Partitioner {
   size_t ctor_num_labels_;  // label space at construction (checkpoint id)
   partition::Partitioning partitioning_;
   ShardedSeenGraph seen_;
+  /// Hub tally rows over the VISIBLE adjacency (hooked on Advance, not on
+  /// the workers' appends), so they equal the serial backend's at every
+  /// sequenced position. Derived state; rebuilt on restore.
+  partition::HubTallyCache hub_;
 
   std::unique_ptr<signature::LabelValues> label_values_;
   std::unique_ptr<signature::SignatureCalculator> calc_;

@@ -101,6 +101,22 @@ const KeyDesc kKeys[] = {
        o.max_imbalance = x;
        return true;
      }},
+    {"adj_page", "uint in [0, 65536] (0 = default)",
+     [](const EngineOptions& o) { return FormatU64(o.adj_page); },
+     [](EngineOptions& o, std::string_view v) {
+       uint64_t x;
+       if (!ParseU64(v, &x) || x > 65536) return false;
+       o.adj_page = static_cast<uint32_t>(x);
+       return true;
+     }},
+    {"hub_threshold", "uint (0 = default)",
+     [](const EngineOptions& o) { return FormatU64(o.hub_threshold); },
+     [](EngineOptions& o, std::string_view v) {
+       uint64_t x;
+       if (!ParseU64(v, &x) || x > UINT32_MAX) return false;
+       o.hub_threshold = static_cast<uint32_t>(x);
+       return true;
+     }},
     {"window_size", "uint, >= 1",
      [](const EngineOptions& o) { return FormatU64(o.window_size); },
      [](EngineOptions& o, std::string_view v) {

@@ -1,6 +1,7 @@
 #include "graph/dynamic_graph.h"
 
 #include <cassert>
+#include <string>
 
 namespace loom {
 namespace graph {
@@ -8,7 +9,7 @@ namespace graph {
 void DynamicGraph::Reserve(size_t n) {
   if (labels_.size() < n) {
     labels_.resize(n, kInvalidLabel);
-    adj_.resize(n);
+    arena_.Reserve(n);
   }
 }
 
@@ -16,7 +17,7 @@ void DynamicGraph::TouchVertex(VertexId v, LabelId label) {
   assert(label != kInvalidLabel);
   if (v >= labels_.size()) {
     labels_.resize(v + 1, kInvalidLabel);
-    adj_.resize(v + 1);
+    arena_.Reserve(labels_.size());
   }
   if (labels_[v] == kInvalidLabel) {
     labels_[v] = label;
@@ -26,14 +27,26 @@ void DynamicGraph::TouchVertex(VertexId v, LabelId label) {
   }
 }
 
+void DynamicGraph::AddEdge(VertexId u, VertexId v) {
+  assert(Known(u) && Known(v));
+  arena_.Append(u, v);
+  // Self-loops canonicalise to one entry: the old layout pushed v into its
+  // own list twice, double-counting the degree every heuristic reads.
+  if (u != v) arena_.Append(v, u);
+  ++num_edges_;
+}
+
 void DynamicGraph::SaveTo(io::CheckpointWriter* w,
                           std::string_view name) const {
   w->BeginSection(name);
   w->U64(num_vertices_);
   w->U64(num_edges_);
   w->PodVec(labels_);
-  w->U64(adj_.size());
-  for (const std::vector<VertexId>& neighbors : adj_) w->PodVec(neighbors);
+  // Chain-per-vertex, flattened: byte-identical to the legacy
+  // PodVec(std::vector<VertexId>) per slot, so pre-arena checkpoints load
+  // transparently and equal states still produce equal bytes.
+  w->U64(labels_.size());
+  for (VertexId v = 0; v < labels_.size(); ++v) arena_.SaveChain(w, v);
   w->EndSection();
 }
 
@@ -43,25 +56,51 @@ void DynamicGraph::LoadFrom(io::CheckpointReader* r, std::string_view name) {
   num_vertices_ = r->U64();
   num_edges_ = r->U64();
   r->PodVec(&labels_);
-  adj_.assign(r->U64(), {});
-  for (std::vector<VertexId>& neighbors : adj_) r->PodVec(&neighbors);
-  if (adj_.size() != labels_.size()) {
+  const uint64_t adj_slots = r->U64();
+  if (adj_slots != labels_.size()) {
     r->Fail("graph section '" + std::string(name) +
             "': adjacency/label table size mismatch");
   }
+  arena_.Reserve(adj_slots);
+  uint64_t self_entries = 0;
+  for (VertexId v = 0; v < adj_slots; ++v) {
+    arena_.LoadChain(r, v);
+    for (const VertexId w : arena_.Neighbors(v)) {
+      if (w >= adj_slots || labels_[w] == kInvalidLabel) {
+        r->Fail("graph section '" + std::string(name) + "': vertex " +
+                std::to_string(v) + " has neighbour " + std::to_string(w) +
+                " outside the labelled vertex set (corrupt adjacency)");
+      }
+      if (w == v) ++self_entries;
+    }
+  }
+  // The counters travelled with the file but are NOT trusted: recompute
+  // both from the tables just loaded and reject on mismatch — a flipped
+  // counter in a hand-edited (re-checksummed) file would otherwise desync
+  // every stat and capacity computation downstream.
+  uint64_t labelled = 0;
+  for (const LabelId l : labels_) {
+    if (l != kInvalidLabel) ++labelled;
+  }
+  if (labelled != num_vertices_) {
+    r->Fail("graph section '" + std::string(name) + "': declares " +
+            std::to_string(num_vertices_) + " vertices but the label table " +
+            "holds " + std::to_string(labelled) +
+            " labelled entries (counter desync — hand-edited or corrupt "
+            "checkpoint)");
+  }
+  // Each non-self edge contributes two adjacency entries, each self-loop
+  // exactly one (canonical form), so entries + self_entries == 2 * edges.
+  const uint64_t entries = arena_.TotalEntries();
+  if (entries + self_entries != 2 * num_edges_) {
+    r->Fail("graph section '" + std::string(name) + "': declares " +
+            std::to_string(num_edges_) + " edges but the adjacency holds " +
+            std::to_string(entries) + " entries (" +
+            std::to_string(self_entries) +
+            " self) — counter desync, or a pre-canonicalisation checkpoint "
+            "with double-inserted self-loops; re-create the checkpoint");
+  }
   r->Close();
-}
-
-void DynamicGraph::AddEdge(VertexId u, VertexId v) {
-  assert(Known(u) && Known(v));
-  // First insert jumps straight to a capacity that covers typical degrees;
-  // growing 1->2->4->8 costs several tiny reallocations per vertex, paid at
-  // stream rate across every partitioner.
-  if (adj_[u].capacity() == 0) adj_[u].reserve(8);
-  if (adj_[v].capacity() == 0) adj_[v].reserve(8);
-  adj_[u].push_back(v);
-  adj_[v].push_back(u);
-  ++num_edges_;
 }
 
 }  // namespace graph

@@ -4,14 +4,17 @@
 // time; heuristics like "number of neighbours already in partition S" need
 // the adjacency of the streamed-so-far prefix. DynamicGraph provides that:
 // O(1) amortised edge insertion, label assignment on first sight of a
-// vertex, and neighbour iteration.
+// vertex, and neighbour iteration. Adjacency lives in a chunk-stable
+// AdjacencyArena (see graph/adjacency_arena.h): no per-vertex heap
+// allocation, and published neighbour pages never move — the property the
+// overlapped sharded pipeline needs to read while a writer appends.
 
 #ifndef LOOM_GRAPH_DYNAMIC_GRAPH_H_
 #define LOOM_GRAPH_DYNAMIC_GRAPH_H_
 
-#include <span>
 #include <vector>
 
+#include "graph/adjacency_arena.h"
 #include "graph/neighbor_view.h"
 #include "graph/types.h"
 #include "io/checkpoint.h"
@@ -30,7 +33,13 @@ class DynamicGraph final : public NeighborView {
   DynamicGraph() = default;
 
   /// Optionally pre-sizes internal arrays for `n` vertices.
-  explicit DynamicGraph(size_t n) { Reserve(n); }
+  /// `page_entries` caps the arena's page capacity (0 = the LOOM_ADJ_PAGE
+  /// environment default, normally 64; layout-only — neighbour order and
+  /// every derived score are identical for any page size).
+  explicit DynamicGraph(size_t n, uint32_t page_entries = 0)
+      : arena_(page_entries) {
+    Reserve(n);
+  }
 
   void Reserve(size_t n);
 
@@ -40,6 +49,11 @@ class DynamicGraph final : public NeighborView {
 
   /// Inserts undirected edge (u,v); both endpoints must have been touched.
   /// Duplicate edges are permitted (callers dedupe upstream if needed).
+  /// Self-loops are canonicalised to a SINGLE adjacency entry (u appears
+  /// once in its own list, degree 1) — the io/engine ingest layers reject
+  /// them outright, so this is defence in depth for direct API users; all
+  /// backends see the same canonical form (pinned by the self-loop
+  /// differential test).
   void AddEdge(VertexId u, VertexId v);
 
   /// Number of vertex slots (max touched id + 1; untouched slots have
@@ -58,23 +72,27 @@ class DynamicGraph final : public NeighborView {
 
   LabelId label(VertexId v) const { return labels_[v]; }
 
-  std::span<const VertexId> Neighbors(VertexId v) const override {
-    if (v >= adj_.size()) return {};
-    return {adj_[v].data(), adj_[v].size()};
+  NeighborRange Neighbors(VertexId v) const override {
+    return arena_.Neighbors(v);
   }
 
-  size_t Degree(VertexId v) const { return v < adj_.size() ? adj_[v].size() : 0; }
+  size_t Degree(VertexId v) const override { return arena_.Degree(v); }
 
   /// Writes the graph as checkpoint section `name` (labels, adjacency in
   /// insertion order — neighbour order feeds scoring, so it must survive).
+  /// Byte-identical to the pre-arena vector-of-vectors encoding.
   void SaveTo(io::CheckpointWriter* w, std::string_view name) const;
 
-  /// Restores a SaveTo snapshot; requires this graph to be empty.
+  /// Restores a SaveTo snapshot; requires this graph to be empty. The
+  /// stored num_vertices/num_edges counters are VALIDATED against the
+  /// loaded label and adjacency tables (label count, degree sum, entry
+  /// bounds) — a hand-edited or checksum-colliding file fails with an
+  /// actionable error instead of silently desyncing stats.
   void LoadFrom(io::CheckpointReader* r, std::string_view name);
 
  private:
   std::vector<LabelId> labels_;
-  std::vector<std::vector<VertexId>> adj_;
+  AdjacencyArena arena_;
   size_t num_vertices_ = 0;
   size_t num_edges_ = 0;
 };

@@ -8,15 +8,17 @@
 // the same scoring code sees bit-identical state whether the graph was
 // built inline or by worker threads running ahead of the decisions.
 //
-// The span contract matches DynamicGraph::Neighbors: valid until the next
-// mutation of the underlying storage, entries in insertion (stream) order,
-// duplicates preserved.
+// The returned NeighborRange (see graph/adjacency_arena.h) walks the
+// chunk-stable page chain the adjacency now lives in: valid while the
+// underlying arena lives (chains only grow — pages are never reallocated),
+// entries in insertion (stream) order, duplicates preserved, self-loops as
+// a single entry. Consumers either range-for over elements or hand each
+// contiguous page span to the SIMD kernels via ForEachChunk.
 
 #ifndef LOOM_GRAPH_NEIGHBOR_VIEW_H_
 #define LOOM_GRAPH_NEIGHBOR_VIEW_H_
 
-#include <span>
-
+#include "graph/adjacency_arena.h"
 #include "graph/types.h"
 
 namespace loom {
@@ -28,8 +30,14 @@ class NeighborView {
 
   /// Neighbours of `v` in the visible portion of the streamed-so-far graph
   /// (possibly empty for unknown vertices). Insertion order; duplicate
-  /// edges appear once per insertion.
-  virtual std::span<const VertexId> Neighbors(VertexId v) const = 0;
+  /// edges appear once per insertion; a self-loop contributes one entry.
+  virtual NeighborRange Neighbors(VertexId v) const = 0;
+
+  /// Number of entries Neighbors(v) would return, under the same
+  /// visibility rules. Overridden wherever a cheaper read than
+  /// constructing the range exists — this sits on the per-edge
+  /// hub-threshold probe path (HubTallyCache::NoteEntry).
+  virtual size_t Degree(VertexId v) const { return Neighbors(v).size(); }
 };
 
 }  // namespace graph

@@ -73,6 +73,14 @@ class CheckpointWriter {
     if (!v.empty()) Raw(v.data(), v.size() * sizeof(T));
   }
 
+  /// Raw element bytes with NO count prefix — for callers assembling a
+  /// PodVec-compatible payload from non-contiguous storage (the adjacency
+  /// arena writes one U64 count, then one PodArray per page).
+  template <typename T>
+  void PodArray(const T* data, size_t n) {
+    if (n > 0) Raw(data, n * sizeof(T));
+  }
+
   /// Serialises and durably publishes the checkpoint: writes `path + ".tmp"`,
   /// fsyncs it, renames it over `path` and fsyncs the parent directory.
   /// Requires every section to be closed. Throws on I/O failure (the tmp
@@ -136,6 +144,16 @@ class CheckpointReader {
       std::memcpy(v->data(), Cursor(), static_cast<size_t>(n) * sizeof(T));
       pos_ += static_cast<size_t>(n) * sizeof(T);
     }
+  }
+
+  /// Raw element bytes with NO count prefix (the read half of
+  /// CheckpointWriter::PodArray); bounds-checked against the section.
+  template <typename T>
+  void PodArray(T* out, size_t n) {
+    if (n == 0) return;
+    CheckRemaining(static_cast<uint64_t>(n) * sizeof(T), "array payload");
+    std::memcpy(out, Cursor(), n * sizeof(T));
+    pos_ += n * sizeof(T);
   }
 
   /// Unread bytes left in the open section.

@@ -498,6 +498,15 @@ size_t FileEdgeSource::NextBatch(std::span<stream::StreamEdge> out) {
                       " references a label id outside the table (" +
                       std::to_string(info_.labels.size()) + " labels)");
     }
+    // Graphs in this library are self-loop-free (graph/types.h); reject at
+    // the ingest boundary like every other producer (generators drop them,
+    // serve's protocol refuses them) instead of letting one slip into the
+    // backends, where it would have been double-counted pre-canonicalisation.
+    if (e.u == e.v) {
+      Fail(path_, "edge " + std::to_string(pos_ + i) + " is a self-loop (" +
+                      std::to_string(e.u) + "," + std::to_string(e.v) +
+                      "); the stream format forbids self-loops");
+    }
   }
 
   pos_ += produced;

@@ -57,35 +57,50 @@ graph::PartitionId BestByWeightedCount(const uint32_t* counts,
   return best;
 }
 
+/// The neighbour tally — LDG's hot loop — runs on the util::simd kernels:
+/// gather each neighbour's partition from the assignment table, count per
+/// partition (values >= k, i.e. kNoPartition, are skipped by the kernel).
+/// The arena hands each contiguous page span to the kernel; the tally
+/// accumulates into `counts`, so page boundaries are invisible to the sums.
+/// A materialised hub row IS those sums, maintained incrementally — add it
+/// instead of walking.
+void TallyNeighbors(graph::VertexId v, const graph::NeighborView& neighborhood,
+                    const Partitioning& partitioning, const HubTallyCache* hub,
+                    uint32_t* counts) {
+  if (hub != nullptr) {
+    if (const uint32_t* row = hub->Counts(v)) {
+      util::simd::AddU32(counts, row, partitioning.k());
+      return;
+    }
+  }
+  const std::span<const graph::PartitionId> table = partitioning.assignments();
+  neighborhood.Neighbors(v).ForEachChunk(
+      [&](const graph::VertexId* ids, size_t n) {
+        util::simd::TallyGatherU32(table.data(), table.size(), ids, n,
+                                   partitioning.k(), counts);
+      });
+}
+
 }  // namespace
 
 graph::PartitionId LdgHeuristic::ChooseForVertex(
     graph::VertexId v, const graph::NeighborView& neighborhood,
-    const Partitioning& partitioning) {
+    const Partitioning& partitioning, const HubTallyCache* hub) {
   CountsBuffer buf;
   uint32_t* counts = buf.Prepare(partitioning.k());
-  // The neighbour tally — LDG's hot loop — runs on the util::simd kernels:
-  // gather each neighbour's partition from the assignment table, count per
-  // partition (values >= k, i.e. kNoPartition, are skipped by the kernel).
-  const std::span<const graph::PartitionId> table = partitioning.assignments();
-  const std::span<const graph::VertexId> nbrs = neighborhood.Neighbors(v);
-  util::simd::TallyGatherU32(table.data(), table.size(), nbrs.data(),
-                             nbrs.size(), partitioning.k(), counts);
+  TallyNeighbors(v, neighborhood, partitioning, hub, counts);
   return BestByWeightedCount(counts, partitioning);
 }
 
 graph::PartitionId LdgHeuristic::Choose(const stream::StreamEdge& e,
                                         const graph::NeighborView& neighborhood,
                                         const Partitioning& partitioning,
-                                        bool* had_signal) {
+                                        bool* had_signal,
+                                        const HubTallyCache* hub) {
   CountsBuffer buf;
   uint32_t* counts = buf.Prepare(partitioning.k());
-  const std::span<const graph::PartitionId> table = partitioning.assignments();
   for (graph::VertexId endpoint : {e.u, e.v}) {
-    const std::span<const graph::VertexId> nbrs =
-        neighborhood.Neighbors(endpoint);
-    util::simd::TallyGatherU32(table.data(), table.size(), nbrs.data(),
-                               nbrs.size(), partitioning.k(), counts);
+    TallyNeighbors(endpoint, neighborhood, partitioning, hub, counts);
   }
   return BestByWeightedCount(counts, partitioning, had_signal);
 }
@@ -95,7 +110,14 @@ LdgPartitioner::LdgPartitioner(const PartitionerConfig& config)
     // reaches zero at perfect balance), which is why the paper observes only
     // 1-3% imbalance for LDG vs Fennel's/Loom's ~10%.
     : partitioning_(config.k, config.expected_vertices, /*nu=*/1.0),
-      seen_(config.expected_vertices) {}
+      seen_(config.expected_vertices, config.adj_page_entries),
+      hub_(config.k, config.hub_degree_threshold) {}
+
+void LdgPartitioner::AssignVertex(graph::VertexId v, graph::PartitionId target) {
+  const graph::PartitionId actual =
+      AssignAndNotify(&partitioning_, v, target);
+  hub_.OnAssign(v, actual, seen_);
+}
 
 void LdgPartitioner::Ingest(const stream::StreamEdge& e) {
   seen_.TouchVertex(e.u, e.label_u);
@@ -103,15 +125,16 @@ void LdgPartitioner::Ingest(const stream::StreamEdge& e) {
   // Record the edge before deciding: the stream element carries its own
   // adjacency, so each endpoint sees the other.
   seen_.AddEdge(e.u, e.v);
+  hub_.OnEdgeVisible(e.u, e.v, seen_, partitioning_);
 
   // Place unassigned endpoints one at a time, each seeing the other.
   if (!partitioning_.IsAssigned(e.u)) {
-    AssignAndNotify(&partitioning_, e.u,
-                    LdgHeuristic::ChooseForVertex(e.u, seen_, partitioning_));
+    AssignVertex(e.u, LdgHeuristic::ChooseForVertex(e.u, seen_, partitioning_,
+                                                    &hub_));
   }
   if (!partitioning_.IsAssigned(e.v)) {
-    AssignAndNotify(&partitioning_, e.v,
-                    LdgHeuristic::ChooseForVertex(e.v, seen_, partitioning_));
+    AssignVertex(e.v, LdgHeuristic::ChooseForVertex(e.v, seen_, partitioning_,
+                                                    &hub_));
   }
 }
 
@@ -126,6 +149,8 @@ bool LdgPartitioner::RestoreState(io::CheckpointReader* r, std::string* error) {
   (void)error;
   partitioning_.LoadFrom(r);
   seen_.LoadFrom(r, "seen_graph");
+  // Hub rows are derived state — never checkpointed, always re-derived.
+  hub_.Rebuild(seen_, seen_.NumSlots(), partitioning_);
   return true;
 }
 

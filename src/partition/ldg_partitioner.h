@@ -13,6 +13,7 @@
 #define LOOM_PARTITION_LDG_PARTITIONER_H_
 
 #include "graph/dynamic_graph.h"
+#include "partition/hub_tally.h"
 #include "partition/partitioner.h"
 
 namespace loom {
@@ -21,6 +22,11 @@ namespace partition {
 /// Stateless scoring core, shared between the standalone LDG partitioner,
 /// Loom's immediate-assignment path and the sharded backend's sequencer
 /// (which passes a prefix-filtered NeighborView instead of a DynamicGraph).
+///
+/// When the caller maintains a HubTallyCache it passes it as `hub`: vertices
+/// with a materialised counter row skip the adjacency walk entirely (the row
+/// holds the same integers the walk would tally, so the choice is
+/// bit-identical either way — pinned by the hub differential tests).
 class LdgHeuristic {
  public:
   /// Picks the partition for a single vertex `v` given the streamed-so-far
@@ -29,7 +35,8 @@ class LdgHeuristic {
   /// balanced on cold starts).
   static graph::PartitionId ChooseForVertex(graph::VertexId v,
                                             const graph::NeighborView& neighborhood,
-                                            const Partitioning& partitioning);
+                                            const Partitioning& partitioning,
+                                            const HubTallyCache* hub = nullptr);
 
   /// Edge-level convenience used by Loom's immediate path: scores the union
   /// of both endpoints' neighbourhoods (the edge is placed as one unit).
@@ -38,7 +45,8 @@ class LdgHeuristic {
   static graph::PartitionId Choose(const stream::StreamEdge& e,
                                    const graph::NeighborView& neighborhood,
                                    const Partitioning& partitioning,
-                                   bool* had_signal = nullptr);
+                                   bool* had_signal = nullptr,
+                                   const HubTallyCache* hub = nullptr);
 };
 
 class LdgPartitioner : public Partitioner {
@@ -58,8 +66,11 @@ class LdgPartitioner : public Partitioner {
   Partitioning* MutablePartitioning() override { return &partitioning_; }
 
  private:
+  void AssignVertex(graph::VertexId v, graph::PartitionId target);
+
   Partitioning partitioning_;
   graph::DynamicGraph seen_;  // streamed-so-far adjacency
+  HubTallyCache hub_;         // derived from seen_; rebuilt on restore
 };
 
 }  // namespace partition

@@ -31,6 +31,12 @@ struct PartitionerConfig {
   size_t expected_vertices = 0;      // n
   size_t expected_edges = 0;         // m
   double max_imbalance = 1.1;        // ν: capacity = ν·n/k
+
+  // Storage/caching knobs. Both are LAYOUT/SPEED only — assignments are
+  // bit-identical for every value (pinned by differential tests).
+  // 0 = default: LOOM_ADJ_PAGE / LOOM_HUB_THRESHOLD env, else 64 / 128.
+  uint32_t adj_page_entries = 0;     // adjacency arena page capacity
+  uint32_t hub_degree_threshold = 0; // hub tally cache threshold (env 0 = off)
 };
 
 class Partitioner {

@@ -78,6 +78,15 @@ void CutTracker::Restore(io::CheckpointReader* r) {
   edges_seen_.store(r->U64(), std::memory_order_relaxed);
   pending_count_ = r->U64();
   const uint64_t n = r->U64();
+  // Invariant maintained by AddEdge/Append: every pending edge is parked on
+  // exactly one endpoint, so pending_count_ == parked_.size() at all times.
+  // The counter travels separately in the file; trusting a desynced one
+  // would mis-report the cut forever after resume.
+  if (pending_count_ != n) {
+    r->Fail("serve.cut: pending counter " + std::to_string(pending_count_) +
+            " does not match the " + std::to_string(n) +
+            " parked entries (corrupt or hand-edited checkpoint)");
+  }
   parked_.clear();
   parked_.reserve(n);
   for (uint64_t i = 0; i < n; ++i) {

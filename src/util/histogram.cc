@@ -1,5 +1,6 @@
 #include "util/histogram.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace loom {
@@ -23,10 +24,13 @@ uint64_t HistogramSnapshot::Quantile(double q) const {
   const uint64_t n = Count();
   if (n == 0) return 0;
   if (q < 0.0) q = 0.0;
-  if (q > 1.0) q = 1.0;
-  // Rank of the sample we want (1-based, ceil): the smallest bucket whose
-  // cumulative count reaches it.
-  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(n));
+  // p100 is the tracked maximum, exactly — never a bucket midpoint (the
+  // cast-to-integer rank used to floor q·n, so p100 could land one bucket
+  // short AND p90 of small samples rounded down a whole rank).
+  if (q >= 1.0) return max;
+  // Nearest-rank with ceil (1-based): the smallest bucket whose cumulative
+  // count reaches rank ⌈q·n⌉.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(n)));
   if (rank == 0) rank = 1;
   if (rank > n) rank = n;
   uint64_t seen = 0;
@@ -34,7 +38,9 @@ uint64_t HistogramSnapshot::Quantile(double q) const {
     seen += buckets[b];
     if (seen >= rank) {
       const uint64_t mid = BucketLo(b) + (BucketHi(b) - BucketLo(b)) / 2;
-      return max != 0 && mid > max ? max : mid;
+      // The bucket midpoint can overshoot the true maximum (power-of-two
+      // buckets are coarse); the real max is always a tighter upper bound.
+      return mid > max ? max : mid;
     }
   }
   return max;

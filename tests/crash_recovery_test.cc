@@ -31,6 +31,7 @@
 
 #include "datasets/dataset_registry.h"
 #include "engine/session.h"
+#include "graph/dynamic_graph.h"
 #include "io/checkpoint.h"
 #include "stream/stream_order.h"
 #include "test_util.h"
@@ -517,6 +518,58 @@ TEST_F(CorruptionTest, ConfigurationSkewIsNamedNotSilent) {
     std::string error;
     EXPECT_FALSE(session->Resume(path_, &error));
     EXPECT_NE(error.find("fresh"), std::string::npos) << error;
+  }
+}
+
+// ------------------------------------ semantic validation beyond checksums
+
+// The flip/truncation sweeps above are caught by FRAMING (section lengths,
+// FNV checksums). But FNV is not cryptographic and checkpoints are plain
+// files: a hand-edited or tool-rewritten file arrives with checksums that
+// match its lying payload. Counters that travel alongside the tables they
+// describe (graph vertex/edge counts, the cut tracker's pending counter)
+// must therefore be recomputed at load — this pins the graph loader's
+// recompute-or-reject against a file whose framing is INTACT.
+TEST(SemanticCorruptionTest, SelfConsistentButDesyncedCountersAreRejected) {
+  const auto write = [](uint64_t num_vertices, uint64_t num_edges) {
+    io::CheckpointWriter w;
+    w.BeginSection("seen_graph");
+    w.U64(num_vertices);
+    w.U64(num_edges);
+    w.PodVec(std::vector<graph::LabelId>{0, 0});
+    w.U64(2);
+    w.PodVec(std::vector<graph::VertexId>{1});  // adj(0) = {1}
+    w.PodVec(std::vector<graph::VertexId>{0});  // adj(1) = {0}
+    w.EndSection();
+    const std::string path = TempPath("desynced_counters.loomck");
+    w.Commit(path);
+    return path;
+  };
+
+  // Control: the true counters (2 vertices, 1 edge) restore cleanly —
+  // rejection below is the counter check, not framing.
+  {
+    io::CheckpointReader r(write(2, 1));
+    graph::DynamicGraph g;
+    g.LoadFrom(&r, "seen_graph");
+    EXPECT_EQ(g.NumVertices(), 2u);
+    EXPECT_EQ(g.NumEdges(), 1u);
+  }
+  // Same tables, lying counters, valid checksums.
+  for (const auto& [nv, ne] : std::vector<std::pair<uint64_t, uint64_t>>{
+           {3, 1}, {2, 9}, {0, 1}, {2, 0}}) {
+    io::CheckpointReader r(write(nv, ne));
+    EXPECT_TRUE(r.Has("seen_graph"));  // framing and checksums intact
+    graph::DynamicGraph g;
+    try {
+      g.LoadFrom(&r, "seen_graph");
+      FAIL() << "counter desync (" << nv << "," << ne
+             << ") restored silently";
+    } catch (const std::runtime_error& e) {
+      EXPECT_NE(std::string(e.what()).find("counter desync"),
+                std::string::npos)
+          << e.what();
+    }
   }
 }
 

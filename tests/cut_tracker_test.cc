@@ -1,0 +1,171 @@
+#include "serve/cut_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "io/checkpoint.h"
+#include "serve/assignment_table.h"
+#include "stream/stream_edge.h"
+
+namespace loom {
+namespace serve {
+namespace {
+
+stream::StreamEdge E(graph::VertexId u, graph::VertexId v) {
+  stream::StreamEdge e;
+  e.u = u;
+  e.v = v;
+  return e;
+}
+
+TEST(CutTrackerTest, ResolvesPlacedEdgesImmediately) {
+  AssignmentTable table;
+  CutTracker cut(&table);
+  table.Publish(0, 0);
+  table.Publish(1, 1);
+  table.Publish(2, 0);
+  cut.AddEdge(E(0, 1));  // apart → cut
+  cut.AddEdge(E(0, 2));  // together → not cut
+  EXPECT_EQ(cut.cut(), 1u);
+  EXPECT_EQ(cut.edges_seen(), 2u);
+  EXPECT_EQ(cut.pending(), 0u);
+}
+
+TEST(CutTrackerTest, ParksAndResolvesOnAssignment) {
+  AssignmentTable table;
+  CutTracker cut(&table);
+  // Both endpoints unplaced: the edge parks on u, then re-parks on v when
+  // u's placement arrives with v still pending.
+  cut.AddEdge(E(5, 6));
+  EXPECT_EQ(cut.pending(), 1u);
+  table.Publish(5, 0);
+  cut.Append(5, 0);
+  EXPECT_EQ(cut.pending(), 1u);  // re-parked on 6
+  EXPECT_EQ(cut.cut(), 0u);
+  table.Publish(6, 1);
+  cut.Append(6, 1);
+  EXPECT_EQ(cut.pending(), 0u);
+  EXPECT_EQ(cut.cut(), 1u);
+}
+
+// A self-loop can never be cut (its endpoints share a partition by
+// definition) but it still flows through the park/resolve machinery when
+// the vertex is unplaced — the counters must come back to zero pending.
+TEST(CutTrackerTest, SelfLoopsNeverCut) {
+  AssignmentTable table;
+  CutTracker cut(&table);
+  table.Publish(3, 2);
+  cut.AddEdge(E(3, 3));  // already placed: resolves now, same partition
+  EXPECT_EQ(cut.cut(), 0u);
+  EXPECT_EQ(cut.pending(), 0u);
+
+  cut.AddEdge(E(8, 8));  // unplaced: parks on 8 waiting for itself
+  EXPECT_EQ(cut.pending(), 1u);
+  table.Publish(8, 1);
+  cut.Append(8, 1);
+  EXPECT_EQ(cut.cut(), 0u);
+  EXPECT_EQ(cut.pending(), 0u);
+}
+
+// Parallel edges park as distinct multimap entries; a single placement
+// must resolve ALL of them, each contributing to the cut independently.
+TEST(CutTrackerTest, DuplicateParkedPairsEachResolve) {
+  AssignmentTable table;
+  CutTracker cut(&table);
+  table.Publish(1, 1);
+  cut.AddEdge(E(0, 1));
+  cut.AddEdge(E(0, 1));
+  cut.AddEdge(E(0, 1));
+  EXPECT_EQ(cut.pending(), 3u);
+  table.Publish(0, 0);
+  cut.Append(0, 0);
+  EXPECT_EQ(cut.pending(), 0u);
+  EXPECT_EQ(cut.cut(), 3u);
+}
+
+TEST(CutTrackerTest, CheckpointRoundTripsCountersAndParkedEdges) {
+  AssignmentTable table;
+  CutTracker cut(&table);
+  table.Publish(0, 0);
+  table.Publish(1, 1);
+  cut.AddEdge(E(0, 1));  // resolved: cut
+  cut.AddEdge(E(2, 3));  // parked on 2
+  cut.AddEdge(E(2, 4));  // parked on 2
+  EXPECT_EQ(cut.pending(), 2u);
+
+  io::CheckpointWriter w;
+  cut.Save(&w);
+  const std::string path = testing::TempDir() + "/cut_roundtrip.loomck";
+  w.Commit(path);
+
+  AssignmentTable table2;
+  CutTracker restored(&table2);
+  io::CheckpointReader r(path);
+  restored.Restore(&r);
+  EXPECT_EQ(restored.cut(), 1u);
+  EXPECT_EQ(restored.edges_seen(), 3u);
+  EXPECT_EQ(restored.pending(), 2u);
+
+  // The restored parked state keeps resolving exactly like the original's.
+  table2.Publish(2, 0);
+  restored.Append(2, 0);
+  table2.Publish(3, 1);
+  restored.Append(3, 1);
+  table2.Publish(4, 0);
+  restored.Append(4, 0);
+  EXPECT_EQ(restored.pending(), 0u);
+  EXPECT_EQ(restored.cut(), 2u);  // (2,3) apart, (2,4) together
+}
+
+// pending_count_ travels separately from the parked entries; Restore must
+// recompute the relationship and reject a desynced counter instead of
+// mis-reporting the cut forever after resume.
+TEST(CutTrackerTest, RestoreRejectsPendingCounterDesync) {
+  io::CheckpointWriter w;
+  w.BeginSection("serve.cut");
+  w.U64(0);  // cut
+  w.U64(2);  // edges_seen
+  w.U64(5);  // pending_count claims 5; only one parked entry follows
+  w.U64(1);
+  w.U32(7);
+  w.U32(8);
+  w.EndSection();
+  const std::string path = testing::TempDir() + "/cut_desync.loomck";
+  w.Commit(path);
+
+  AssignmentTable table;
+  CutTracker cut(&table);
+  io::CheckpointReader r(path);
+  EXPECT_THROW(
+      {
+        try {
+          cut.Restore(&r);
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("pending counter"),
+                    std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(CutTrackerTest, RestoreRejectsCheckpointWithoutCutSection) {
+  io::CheckpointWriter w;
+  w.BeginSection("unrelated");
+  w.U64(1);
+  w.EndSection();
+  const std::string path = testing::TempDir() + "/cut_nosection.loomck";
+  w.Commit(path);
+
+  AssignmentTable table;
+  CutTracker cut(&table);
+  io::CheckpointReader r(path);
+  EXPECT_THROW(cut.Restore(&r), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace loom

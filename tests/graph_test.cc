@@ -158,7 +158,7 @@ TEST(DynamicGraphTest, TouchAndAddEdge) {
   EXPECT_EQ(g.NumEdges(), 1u);
   EXPECT_EQ(g.Degree(0), 1u);
   ASSERT_EQ(g.Neighbors(2).size(), 1u);
-  EXPECT_EQ(g.Neighbors(2)[0], 0u);
+  EXPECT_EQ(*g.Neighbors(2).begin(), 0u);
 }
 
 TEST(DynamicGraphTest, TouchIsIdempotent) {
@@ -185,6 +185,154 @@ TEST(DynamicGraphTest, ParallelEdgesCounted) {
   g.AddEdge(0, 1);
   EXPECT_EQ(g.NumEdges(), 2u);
   EXPECT_EQ(g.Degree(0), 2u);
+}
+
+TEST(DynamicGraphTest, SelfLoopCanonicalisesToSingleEntry) {
+  DynamicGraph g;
+  g.TouchVertex(0, 0);
+  g.TouchVertex(1, 0);
+  g.AddEdge(0, 0);  // the old layout pushed 0 into its own list twice
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.NumEdges(), 2u);
+  EXPECT_EQ(g.Degree(0), 2u);  // one self entry + one real neighbour
+  const std::vector<VertexId> nbrs = g.Neighbors(0).ToVector();
+  ASSERT_EQ(nbrs.size(), 2u);
+  EXPECT_EQ(nbrs[0], 0u);
+  EXPECT_EQ(nbrs[1], 1u);
+}
+
+TEST(DynamicGraphTest, NeighborOrderIsInsertionOrderAcrossPages) {
+  // Page capacity 2 forces chain hops every two entries; the walk must
+  // still read back the exact insertion order.
+  DynamicGraph g(/*n=*/8, /*page_entries=*/2);
+  for (VertexId v = 0; v < 8; ++v) g.TouchVertex(v, 0);
+  for (VertexId w = 1; w < 8; ++w) g.AddEdge(0, w);
+  EXPECT_EQ(g.Degree(0), 7u);
+  const std::vector<VertexId> nbrs = g.Neighbors(0).ToVector();
+  ASSERT_EQ(nbrs.size(), 7u);
+  for (VertexId w = 1; w < 8; ++w) EXPECT_EQ(nbrs[w - 1], w);
+}
+
+TEST(DynamicGraphTest, CheckpointRoundTripsAcrossPageCapacities) {
+  // The chain encoding is capacity-independent (U64 count + raw entries),
+  // so a graph saved under one page size restores under another.
+  DynamicGraph g(/*n=*/6, /*page_entries=*/3);
+  for (VertexId v = 0; v < 6; ++v) g.TouchVertex(v, static_cast<LabelId>(v));
+  g.AddEdge(0, 1);
+  g.AddEdge(0, 0);
+  for (VertexId w = 1; w < 6; ++w) g.AddEdge(0, w);
+
+  io::CheckpointWriter w;
+  g.SaveTo(&w, "g");
+  const std::string path = testing::TempDir() + "/dyngraph_roundtrip.loomck";
+  w.Commit(path);
+
+  io::CheckpointReader r(path);
+  DynamicGraph h(/*n=*/0, /*page_entries=*/64);
+  h.LoadFrom(&r, "g");
+  EXPECT_EQ(h.NumVertices(), g.NumVertices());
+  EXPECT_EQ(h.NumEdges(), g.NumEdges());
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_EQ(h.label(v), g.label(v));
+    EXPECT_EQ(h.Neighbors(v).ToVector(), g.Neighbors(v).ToVector());
+  }
+}
+
+// LoadFrom recomputes the counters from the loaded tables; a checkpoint
+// whose counters disagree (hand-edited with fixed checksums) is rejected.
+TEST(DynamicGraphTest, LoadFromRejectsVertexCounterDesync) {
+  io::CheckpointWriter w;
+  w.BeginSection("g");
+  w.U64(5);  // claims 5 vertices; the label table below holds 2
+  w.U64(1);  // num_edges
+  w.PodVec(std::vector<LabelId>{0, 0});
+  w.U64(2);  // adjacency slots
+  w.PodVec(std::vector<VertexId>{1});  // adj(0)
+  w.PodVec(std::vector<VertexId>{0});  // adj(1)
+  w.EndSection();
+  const std::string path = testing::TempDir() + "/dyngraph_badvcount.loomck";
+  w.Commit(path);
+
+  io::CheckpointReader r(path);
+  DynamicGraph g;
+  EXPECT_THROW(
+      {
+        try {
+          g.LoadFrom(&r, "g");
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("counter desync"),
+                    std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+TEST(DynamicGraphTest, LoadFromRejectsEdgeCounterDesync) {
+  io::CheckpointWriter w;
+  w.BeginSection("g");
+  w.U64(2);  // num_vertices
+  w.U64(7);  // claims 7 edges; the adjacency holds one
+  w.PodVec(std::vector<LabelId>{0, 0});
+  w.U64(2);
+  w.PodVec(std::vector<VertexId>{1});
+  w.PodVec(std::vector<VertexId>{0});
+  w.EndSection();
+  const std::string path = testing::TempDir() + "/dyngraph_badecount.loomck";
+  w.Commit(path);
+
+  io::CheckpointReader r(path);
+  DynamicGraph g;
+  EXPECT_THROW(g.LoadFrom(&r, "g"), std::runtime_error);
+}
+
+TEST(DynamicGraphTest, LoadFromRejectsOutOfSetNeighbour) {
+  io::CheckpointWriter w;
+  w.BeginSection("g");
+  w.U64(2);
+  w.U64(1);
+  w.PodVec(std::vector<LabelId>{0, 0});
+  w.U64(2);
+  w.PodVec(std::vector<VertexId>{9});  // adj(0) points outside the table
+  w.PodVec(std::vector<VertexId>{0});
+  w.EndSection();
+  const std::string path = testing::TempDir() + "/dyngraph_badnbr.loomck";
+  w.Commit(path);
+
+  io::CheckpointReader r(path);
+  DynamicGraph g;
+  EXPECT_THROW(
+      {
+        try {
+          g.LoadFrom(&r, "g");
+        } catch (const std::runtime_error& e) {
+          EXPECT_NE(std::string(e.what()).find("corrupt adjacency"),
+                    std::string::npos)
+              << e.what();
+          throw;
+        }
+      },
+      std::runtime_error);
+}
+
+// A pre-canonicalisation checkpoint stored a self-loop as TWO entries; the
+// edge-counter identity (entries + self_entries == 2·edges) flags it.
+TEST(DynamicGraphTest, LoadFromRejectsDoubleInsertedSelfLoop) {
+  io::CheckpointWriter w;
+  w.BeginSection("g");
+  w.U64(1);
+  w.U64(1);  // one edge: the self-loop
+  w.PodVec(std::vector<LabelId>{0});
+  w.U64(1);
+  w.PodVec(std::vector<VertexId>{0, 0});  // legacy double insert
+  w.EndSection();
+  const std::string path = testing::TempDir() + "/dyngraph_legacyself.loomck";
+  w.Commit(path);
+
+  io::CheckpointReader r(path);
+  DynamicGraph g;
+  EXPECT_THROW(g.LoadFrom(&r, "g"), std::runtime_error);
 }
 
 }  // namespace

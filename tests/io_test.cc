@@ -292,6 +292,40 @@ graph::LabelRegistry TwoLabels() {
   return registry;
 }
 
+// The stream format forbids self-loops (graphs in this library are
+// self-loop-free); the READER enforces it so a hand-made or corrupted file
+// cannot push a self-loop past the io boundary — partitioner backends only
+// canonicalise them as defence in depth for direct API users.
+class EdgeStreamSelfLoopTest : public testing::TestWithParam<io::StreamFormat> {
+};
+
+TEST_P(EdgeStreamSelfLoopTest, ReaderRejectsSelfLoopRecords) {
+  const fs::path path =
+      TempDir() / ("selfloop_" + io::ToString(GetParam()));
+  {
+    io::EdgeStreamWriter writer(path.string(), TwoLabels(), 100, GetParam());
+    writer.Append(MakeEdge(1, 2));
+    writer.Append(MakeEdge(7, 7));  // the writer is not the trust boundary
+    writer.Append(MakeEdge(3, 4));
+    writer.Close();
+  }
+  io::FileEdgeSource reader(path.string());
+  std::vector<stream::StreamEdge> batch(8);
+  try {
+    while (reader.NextBatch(batch) > 0) {
+    }
+    FAIL() << "self-loop record was not rejected";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("self-loop"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("edge 1"), std::string::npos) << msg;  // which record
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, EdgeStreamSelfLoopTest,
+                         testing::Values(io::StreamFormat::kBinary,
+                                         io::StreamFormat::kText));
+
 class EdgeStreamFollowTest : public testing::TestWithParam<io::StreamFormat> {
 };
 

@@ -264,6 +264,48 @@ TEST(HistogramTest, QuantilesWalkBucketsAndClampToMax) {
   EXPECT_EQ(s.max, 5000u);
 }
 
+// Nearest-rank with ceil (1-based): rank ⌈q·n⌉. The old floor-based rank
+// rounded small samples down a whole rank (p90 of 10 samples picked the
+// 9th instead of the ⌈9⌉th = 9th but p50 of 3 picked the 1st instead of
+// the 2nd) and sent p100 to a bucket midpoint instead of the true max.
+TEST(HistogramTest, QuantileUsesCeilNearestRank) {
+  Histogram h;
+  h.Add(1);   // bucket 1
+  h.Add(2);   // bucket 2
+  h.Add(8);   // bucket 4: [8, 15]
+  const HistogramSnapshot s = h.Snapshot();
+  // n=3: p50 → rank ⌈1.5⌉ = 2 → the middle sample's bucket.
+  EXPECT_EQ(s.Quantile(0.5), 2u);
+  // p0 → rank clamps up to 1 → the smallest sample's bucket.
+  EXPECT_EQ(s.Quantile(0.0), 1u);
+  // p100 → the tracked maximum exactly, never a midpoint estimate.
+  EXPECT_EQ(s.Quantile(1.0), 8u);
+  // Out-of-domain q behaves as the nearest endpoint.
+  EXPECT_EQ(s.Quantile(-0.5), 1u);
+  EXPECT_EQ(s.Quantile(2.0), 8u);
+}
+
+TEST(HistogramTest, SingleSampleIsEveryQuantile) {
+  Histogram h;
+  h.Add(700);  // bucket 10: [512, 1023], midpoint 767
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.Quantile(0.0), 700u);
+  EXPECT_EQ(s.Quantile(0.5), 700u);
+  EXPECT_EQ(s.Quantile(0.99), 700u);
+  EXPECT_EQ(s.Quantile(1.0), 700u);
+}
+
+// A bucket whose midpoint overshoots the observed max must clamp at every
+// quantile that lands in it, not only at p100.
+TEST(HistogramTest, SaturatedBucketClampsMidQuantilesToMax) {
+  Histogram h;
+  h.Add(4100, 10);  // all mass in bucket 13 [4096, 8191], midpoint 6143
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.Quantile(0.5), 4100u);
+  EXPECT_EQ(s.Quantile(0.9), 4100u);
+  EXPECT_EQ(s.Quantile(1.0), 4100u);
+}
+
 TEST(HistogramTest, ResetClears) {
   Histogram h;
   h.Add(42, 10);
