@@ -84,10 +84,20 @@ void WriteSystemJson(bench::JsonWriter& jw, const eval::SystemResult& r) {
   jw.Key("edge_cut").Value(static_cast<uint64_t>(r.edge_cut));
   jw.Key("imbalance").Value(r.imbalance);
   jw.Key("assignment_hash").HexValue(r.assignment_hash);
+  // Edge-partitioning quality triple (hdrf/dbh only; vertex backends
+  // never set edge_balance). diff_bench.py exact-compares all three.
+  if (r.edge_balance > 0.0) {
+    jw.Key("replication_factor").Value(r.replication_factor);
+    jw.Key("edge_balance").Value(r.edge_balance);
+    jw.Key("edge_assignment_hash").HexValue(r.edge_assignment_hash);
+  }
   // Whatever the backend reported through the final-stats observer event
   // (match-pool reuse and matcher totals for loom; deterministic, so safe
-  // to keep in a diffed baseline). No backend-specific fields here.
+  // to keep in a diffed baseline). No backend-specific fields here —
+  // except edge_assignment_hash, already emitted above in hex form (a
+  // second decimal copy would be a duplicate JSON key).
   for (const auto& [name, value] : r.backend_stats) {
+    if (name == "edge_assignment_hash") continue;
     jw.Key(name).Value(value);
   }
   jw.EndObject();
@@ -202,6 +212,10 @@ struct SmokeQuality {
   uint64_t assignment_hash = 0;
   size_t edge_cut = 0;
   double imbalance = 0.0;
+  // Edge-backend triple (0 for vertex partitioners; see partition/edge/).
+  double replication_factor = 0.0;
+  double edge_balance = 0.0;
+  uint64_t edge_assignment_hash = 0;
 
   bool operator==(const SmokeQuality&) const = default;
 };
@@ -227,6 +241,20 @@ bool RunSmokeSpec(const std::string& spec, const datasets::Dataset& ds,
       eval::HashAssignment(p->partitioning(), ds.NumVertices());
   out->edge_cut = partition::EdgeCut(ds.graph, p->partitioning());
   out->imbalance = partition::Imbalance(p->partitioning());
+  engine::FinalStatsEvent stats;
+  p->FillFinalStats(&stats);
+  const uint64_t edge_assignments = stats.Get("edge_assignments");
+  if (edge_assignments > 0) {
+    const uint64_t vertices_seen = stats.Get("vertices_seen");
+    out->replication_factor =
+        vertices_seen > 0 ? static_cast<double>(stats.Get("replica_total")) /
+                                static_cast<double>(vertices_seen)
+                          : 0.0;
+    out->edge_balance = static_cast<double>(stats.Get("max_part_edges")) *
+                        p->partitioning().k() /
+                        static_cast<double>(edge_assignments);
+    out->edge_assignment_hash = stats.Get("edge_assignment_hash");
+  }
   return true;
 }
 
@@ -235,8 +263,12 @@ bool RunSmokeSpec(const std::string& spec, const datasets::Dataset& ds,
 int RunSmoke(const std::string& baseline_path) {
   using namespace loom;
   constexpr double kScale = 0.05;
-  const std::vector<std::string> specs = {"hash", "ldg", "fennel", "loom",
-                                          "loom-sharded:shards=3"};
+  const std::vector<std::string> specs = {
+      "hash", "ldg",  "fennel",
+      "loom", "loom-sharded:shards=3",
+      // Edge partitioners: their triple is (replication factor, edge
+      // balance, edge hash); the vertex-derived fields ride along too.
+      "hdrf:lambda=1.1", "dbh"};
 
   std::ostringstream json;
   bench::JsonWriter jw(json);
@@ -264,6 +296,13 @@ int RunSmoke(const std::string& baseline_path) {
       jw.Key("assignment_hash").HexValue(q.assignment_hash);
       jw.Key("edge_cut").Value(static_cast<uint64_t>(q.edge_cut));
       jw.Key("imbalance").Value(q.imbalance);
+      // Conditional, so the vertex-system records stay byte-identical to
+      // pre-edge-backend baselines.
+      if (q.edge_balance > 0.0) {
+        jw.Key("replication_factor").Value(q.replication_factor);
+        jw.Key("edge_balance").Value(q.edge_balance);
+        jw.Key("edge_assignment_hash").HexValue(q.edge_assignment_hash);
+      }
       jw.EndObject();
     }
     jw.EndArray();
@@ -589,6 +628,49 @@ int main(int argc, char** argv) {
       jw.Key("edge_cut").Value(static_cast<uint64_t>(best.edge_cut));
       jw.Key("imbalance").Value(best.imbalance);
       jw.Key("assignment_hash").HexValue(best.assignment_hash);
+      jw.EndObject();
+    }
+    jw.EndArray();
+    jw.EndObject();
+  }
+
+  // The streaming edge-partitioning gauntlet (ROADMAP item 2): HDRF and
+  // DBH over the four Table 1 datasets, via engine::Session like every
+  // other cell. Their quality triple is (replication factor, edge balance,
+  // edge assignment hash) — WriteSystemJson emits it alongside the
+  // vertex-derived fields, and diff_bench.py exact-compares all of them.
+  if (specs.empty()) {
+    jw.Key("edge_partitioners").BeginObject();
+    jw.Key("runs").Value(2);
+    jw.Key("datasets").BeginArray();
+    for (auto id :
+         {datasets::DatasetId::kLubm100, datasets::DatasetId::kMusicBrainz,
+          datasets::DatasetId::kProvGen, datasets::DatasetId::kDblp}) {
+      datasets::Dataset ds = datasets::MakeDataset(id, bench::BenchScale());
+      eval::ExperimentConfig cfg;
+      cfg.order = stream::StreamOrder::kBreadthFirst;
+      auto source = engine::MakeEdgeSource(ds, cfg.order, cfg.stream_seed);
+      jw.BeginObject();
+      jw.Key("dataset").Value(ds.meta.name);
+      jw.Key("edges").Value(static_cast<uint64_t>(source->SizeHint()));
+      jw.Key("systems").BeginArray();
+      for (const std::string& spec : {std::string("hdrf:lambda=1.1"),
+                                      std::string("dbh")}) {
+        std::string error;
+        eval::SystemResult best;
+        for (int run = 0; run < 2; ++run) {
+          auto r = eval::RunBackendTimingOnly(spec, ds, *source, cfg, &error);
+          if (!r.has_value()) {
+            std::cerr << "edge partitioners: " << error << "\n";
+            return 2;
+          }
+          if (run == 0 || r->partition_ms < best.partition_ms) {
+            best = std::move(*r);
+          }
+        }
+        WriteSystemJson(jw, best);
+      }
+      jw.EndArray();
       jw.EndObject();
     }
     jw.EndArray();

@@ -42,8 +42,11 @@ LoomShardedPartitioner::LoomShardedPartitioner(
   const size_t per_shard =
       options_.loom.base.expected_vertices / options_.shards + 1;
   shard_matchers_.reserve(options_.shards);
+  const uint64_t entries_per_shard =
+      2 * options_.loom.base.expected_edges / options_.shards + 1;
   for (uint32_t s = 0; s < options_.shards; ++s) {
     seen_.part(s).Reserve(per_shard);
+    seen_.part(s).ReserveEntries(entries_per_shard);
     shard_matchers_.push_back(std::make_unique<motif::MotifMatcher>(
         trie_.get(), calc_.get(), options_.loom.matcher));
   }

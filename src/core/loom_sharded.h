@@ -94,6 +94,13 @@ class ShardGraphPart {
     }
   }
 
+  /// Pre-carves arena slab storage for this shard's share of the expected
+  /// adjacency entries (allocation hint only; see
+  /// AdjacencyArena::ReserveEntries).
+  void ReserveEntries(uint64_t expected_entries) {
+    arena_.ReserveEntries(expected_entries);
+  }
+
   /// Mirrors DynamicGraph::TouchVertex (idempotent; relabelling asserts).
   void TouchVertex(graph::VertexId local, graph::LabelId label) {
     assert(label != graph::kInvalidLabel);

@@ -4,6 +4,8 @@
 
 #include "core/loom_partitioner.h"
 #include "core/loom_sharded.h"
+#include "partition/edge/dbh_partitioner.h"
+#include "partition/edge/hdrf_partitioner.h"
 #include "partition/fennel_partitioner.h"
 #include "partition/hash_partitioner.h"
 #include "partition/ldg_partitioner.h"
@@ -76,6 +78,18 @@ void RegisterBuiltins(PartitionerRegistry* r) {
     so.shard_queue_depth = static_cast<size_t>(o.shard_queue_depth);
     return std::make_unique<core::LoomShardedPartitioner>(so, *ctx.workload,
                                                           ctx.num_labels);
+  });
+  // Streaming EDGE partitioners (partition/edge/): they place edges, not
+  // vertices, and report the (replication factor, edge balance, edge hash)
+  // quality triple through FillFinalStats.
+  r->Register("hdrf", [](const EngineOptions& o, const BuildContext&,
+                         std::string*) -> std::unique_ptr<partition::Partitioner> {
+    return std::make_unique<partition::edge::HdrfPartitioner>(
+        o.BaseConfig(), o.lambda, o.epsilon);
+  });
+  r->Register("dbh", [](const EngineOptions& o, const BuildContext&,
+                        std::string*) -> std::unique_ptr<partition::Partitioner> {
+    return std::make_unique<partition::edge::DbhPartitioner>(o.BaseConfig());
   });
 }
 

@@ -67,6 +67,8 @@ struct KeyDesc {
   std::string_view name;
   /// Type and legal range, quoted verbatim in error messages.
   std::string_view spec;
+  /// One-line description for --help-opts / the README options table.
+  std::string_view help;
   std::string (*get)(const EngineOptions&);
   bool (*set)(EngineOptions&, std::string_view);
 };
@@ -76,6 +78,7 @@ struct KeyDesc {
 // programmatic ApplyOverrides) rejects the same inputs.
 const KeyDesc kKeys[] = {
     {"k", "uint, >= 1",
+     "number of partitions",
      [](const EngineOptions& o) { return FormatU64(o.k); },
      [](EngineOptions& o, std::string_view v) {
        uint64_t x;
@@ -84,16 +87,19 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"expected_vertices", "uint",
+     "expected vertex total n (sizes tables and capacity bounds)",
      [](const EngineOptions& o) { return FormatU64(o.expected_vertices); },
      [](EngineOptions& o, std::string_view v) {
        return ParseU64(v, &o.expected_vertices);
      }},
     {"expected_edges", "uint",
+     "expected edge total m (Fennel's objective; adjacency pre-sizing)",
      [](const EngineOptions& o) { return FormatU64(o.expected_edges); },
      [](EngineOptions& o, std::string_view v) {
        return ParseU64(v, &o.expected_edges);
      }},
     {"max_imbalance", "float, >= 1.0",
+     "nu: per-partition vertex capacity is nu*n/k",
      [](const EngineOptions& o) { return FormatDouble(o.max_imbalance); },
      [](EngineOptions& o, std::string_view v) {
        double x;
@@ -102,6 +108,7 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"adj_page", "uint in [0, 65536] (0 = default)",
+     "adjacency arena page capacity; layout/speed only, never quality",
      [](const EngineOptions& o) { return FormatU64(o.adj_page); },
      [](EngineOptions& o, std::string_view v) {
        uint64_t x;
@@ -110,6 +117,7 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"hub_threshold", "uint (0 = default)",
+     "degree at which LDG tallies go incremental; speed only, never quality",
      [](const EngineOptions& o) { return FormatU64(o.hub_threshold); },
      [](EngineOptions& o, std::string_view v) {
        uint64_t x;
@@ -118,6 +126,7 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"window_size", "uint, >= 1",
+     "loom: sliding window size t (paper default 10000 edges)",
      [](const EngineOptions& o) { return FormatU64(o.window_size); },
      [](EngineOptions& o, std::string_view v) {
        uint64_t x;
@@ -126,6 +135,7 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"support_threshold", "float in [0, 1]",
+     "loom: motif support threshold T (paper default 0.4)",
      [](const EngineOptions& o) { return FormatDouble(o.support_threshold); },
      [](EngineOptions& o, std::string_view v) {
        double x;
@@ -134,6 +144,7 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"prime", "uint, >= 2",
+     "loom: finite-field prime p for signatures (paper: 251)",
      [](const EngineOptions& o) { return FormatU64(o.prime); },
      [](EngineOptions& o, std::string_view v) {
        uint64_t x;
@@ -142,11 +153,13 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"signature_seed", "uint (decimal or 0x hex)",
+     "loom: seed for the label -> random signature value draws",
      [](const EngineOptions& o) { return FormatU64(o.signature_seed); },
      [](EngineOptions& o, std::string_view v) {
        return ParseU64(v, &o.signature_seed);
      }},
     {"alpha", "float in (0, 1]",
+     "loom: equal-opportunism rationing aggression (Eq. 2)",
      [](const EngineOptions& o) { return FormatDouble(o.alpha); },
      [](EngineOptions& o, std::string_view v) {
        double x;
@@ -155,6 +168,7 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"balance_b", "float, >= 1.0",
+     "loom: partitions larger than b*Smin get ration 0",
      [](const EngineOptions& o) { return FormatDouble(o.balance_b); },
      [](EngineOptions& o, std::string_view v) {
        double x;
@@ -163,6 +177,7 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"neighbor_bid_weight", "float, >= 0",
+     "loom: weight of the assigned-neighbour term in Eq. 1 bids",
      [](const EngineOptions& o) { return FormatDouble(o.neighbor_bid_weight); },
      [](EngineOptions& o, std::string_view v) {
        double x;
@@ -171,11 +186,13 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"disable_rationing", "bool (true/false)",
+     "loom: ablation escape hatch disabling rationing entirely",
      [](const EngineOptions& o) { return FormatBool(o.disable_rationing); },
      [](EngineOptions& o, std::string_view v) {
        return ParseBool(v, &o.disable_rationing);
      }},
     {"max_matches_per_vertex", "uint, >= 1",
+     "loom: matcher cap on live matches considered per endpoint",
      [](const EngineOptions& o) { return FormatU64(o.max_matches_per_vertex); },
      [](EngineOptions& o, std::string_view v) {
        uint64_t x;
@@ -184,6 +201,7 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"compact_interval", "uint, >= 1",
+     "loom: compact the match list every this many admitted edges",
      [](const EngineOptions& o) { return FormatU64(o.compact_interval); },
      [](EngineOptions& o, std::string_view v) {
        uint64_t x;
@@ -192,6 +210,7 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"fennel_gamma", "float, > 1.0",
+     "fennel: objective exponent gamma (paper evaluation: 1.5)",
      [](const EngineOptions& o) { return FormatDouble(o.fennel_gamma); },
      [](EngineOptions& o, std::string_view v) {
        double x;
@@ -199,7 +218,26 @@ const KeyDesc kKeys[] = {
        o.fennel_gamma = x;
        return true;
      }},
+    {"lambda", "float, >= 0",
+     "hdrf: balance weight (0 = pure greedy; HDRF paper default 1.1)",
+     [](const EngineOptions& o) { return FormatDouble(o.lambda); },
+     [](EngineOptions& o, std::string_view v) {
+       double x;
+       if (!ParseDouble(v, &x) || x < 0.0) return false;
+       o.lambda = x;
+       return true;
+     }},
+    {"epsilon", "float, > 0",
+     "hdrf: balance-term denominator guard",
+     [](const EngineOptions& o) { return FormatDouble(o.epsilon); },
+     [](EngineOptions& o, std::string_view v) {
+       double x;
+       if (!ParseDouble(v, &x) || x <= 0.0) return false;
+       o.epsilon = x;
+       return true;
+     }},
     {"simd", "one of auto|scalar|sse2|avx2",
+     "force the SIMD kernel dispatch level; all levels bit-identical",
      [](const EngineOptions& o) { return o.simd; },
      [](EngineOptions& o, std::string_view v) {
        util::simd::Level level;
@@ -208,6 +246,7 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"shards", "uint in [1, 256]",
+     "loom-sharded: shard worker threads S (output identical for every S)",
      [](const EngineOptions& o) { return FormatU64(o.shards); },
      [](EngineOptions& o, std::string_view v) {
        uint64_t x;
@@ -216,6 +255,7 @@ const KeyDesc kKeys[] = {
        return true;
      }},
     {"shard_queue_depth", "uint, >= 1",
+     "loom-sharded: bounded fan-out work-queue depth per shard",
      [](const EngineOptions& o) { return FormatU64(o.shard_queue_depth); },
      [](EngineOptions& o, std::string_view v) {
        uint64_t x;
@@ -299,6 +339,13 @@ std::vector<std::string_view> EngineOptions::KeyNames() {
   std::vector<std::string_view> out;
   out.reserve(std::size(kKeys));
   for (const KeyDesc& d : kKeys) out.push_back(d.name);
+  return out;
+}
+
+std::vector<EngineOptions::KeyInfo> EngineOptions::KeyTable() {
+  std::vector<KeyInfo> out;
+  out.reserve(std::size(kKeys));
+  for (const KeyDesc& d : kKeys) out.push_back({d.name, d.spec, d.help});
   return out;
 }
 

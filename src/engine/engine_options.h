@@ -74,6 +74,13 @@ struct EngineOptions {
   /// Fennel's objective exponent γ (paper evaluation: 1.5).
   double fennel_gamma = 1.5;
 
+  // ------------------------------------- edge-partitioner knobs (hdrf/dbh)
+  /// HDRF balance weight λ: 0 = pure greedy replication score, larger
+  /// values push toward even edge loads (HDRF paper default 1.1).
+  double lambda = 1.1;
+  /// HDRF balance-term denominator guard ε (> 0).
+  double epsilon = 1.0;
+
   // ------------------------------------------------------------ simd knob
   /// Kernel dispatch level for the util::simd hot-loop kernels: "scalar",
   /// "sse2" or "avx2" force that level process-wide at construction;
@@ -112,6 +119,18 @@ struct EngineOptions {
 
   /// All known key names, in declaration order.
   static std::vector<std::string_view> KeyNames();
+
+  /// Static per-key documentation row: name, type/range spec (as quoted in
+  /// error messages) and a one-line description. What `loom_partition
+  /// --help-opts` and the README options table render.
+  struct KeyInfo {
+    std::string_view name;
+    std::string_view spec;
+    std::string_view help;
+  };
+
+  /// Every known key's documentation, in declaration order.
+  static std::vector<KeyInfo> KeyTable();
 
   /// The subset every backend shares.
   partition::PartitionerConfig BaseConfig() const {

@@ -39,6 +39,18 @@ struct AssignEvent {
   graph::PartitionId partition = graph::kNoPartition;
 };
 
+/// An EDGE received its permanent partition (edge-partitioning backends
+/// only: hdrf/dbh place edges, not vertices — see partition/edge/). Fired
+/// once per ingested edge, in stream order. Vertex-partitioning backends
+/// never emit this; they fire OnAssign instead. Both endpoint ids ride
+/// along so sinks can emit "<u>\t<v>\t<partition>" without a lookup.
+struct EdgeAssignEvent {
+  graph::EdgeId edge = graph::kInvalidEdge;
+  graph::VertexId u = graph::kInvalidVertex;
+  graph::VertexId v = graph::kInvalidVertex;
+  graph::PartitionId partition = graph::kNoPartition;
+};
+
 /// An edge left Loom's sliding window by aging out (not by being claimed
 /// early as part of another edge's cluster).
 struct EvictionEvent {
@@ -136,6 +148,7 @@ class EngineObserver {
   virtual ~EngineObserver() = default;
 
   virtual void OnAssign(const AssignEvent&) {}
+  virtual void OnEdgeAssign(const EdgeAssignEvent&) {}
   virtual void OnEviction(const EvictionEvent&) {}
   virtual void OnClusterDecision(const ClusterDecisionEvent&) {}
   virtual void OnProgress(const ProgressEvent&) {}

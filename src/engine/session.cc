@@ -21,6 +21,13 @@ void Session::Fanout::OnAssign(const AssignEvent& e) {
   for (EngineObserver* o : observers) o->OnAssign(e);
 }
 
+void Session::Fanout::OnEdgeAssign(const EdgeAssignEvent& e) {
+  for (io::EdgeAssignmentSink* sink : edge_sinks) {
+    sink->Append(e.edge, e.u, e.v, e.partition);
+  }
+  for (EngineObserver* o : observers) o->OnEdgeAssign(e);
+}
+
 void Session::Fanout::OnEviction(const EvictionEvent& e) {
   stats.OnEviction(e);
   for (EngineObserver* o : observers) o->OnEviction(e);
@@ -84,6 +91,10 @@ void Session::AddObserver(EngineObserver* observer) {
 
 void Session::AddSink(io::AssignmentSink* sink) {
   fanout_.sinks.push_back(sink);
+}
+
+void Session::AddEdgeSink(io::EdgeAssignmentSink* sink) {
+  fanout_.edge_sinks.push_back(sink);
 }
 
 RunReport Session::Run(EdgeSource& source) {
@@ -250,6 +261,7 @@ const partition::Partitioning& Session::partitioning() const {
 
 void Session::FlushSinks() {
   for (io::AssignmentSink* sink : fanout_.sinks) sink->Flush();
+  for (io::EdgeAssignmentSink* sink : fanout_.edge_sinks) sink->Flush();
 }
 
 RunReport Session::MakeReport() const {

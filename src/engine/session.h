@@ -106,6 +106,11 @@ class Session {
   /// Run/Finish flush it. Not owned.
   void AddSink(io::AssignmentSink* sink);
 
+  /// Binds an EDGE assignment sink: every OnEdgeAssign placement (edge
+  /// backends only — hdrf/dbh; vertex backends never fire it) is appended,
+  /// and Run/Finish flush it. Not owned.
+  void AddEdgeSink(io::EdgeAssignmentSink* sink);
+
   /// Attaches checkpoint-extension state (not owned; nullptr detaches):
   /// Checkpoint() appends its sections after the backend's, Resume()
   /// restores them after the backend restores. Attach before Resume.
@@ -167,6 +172,7 @@ class Session {
   class Fanout : public EngineObserver {
    public:
     void OnAssign(const AssignEvent& e) override;
+    void OnEdgeAssign(const EdgeAssignEvent& e) override;
     void OnEviction(const EvictionEvent& e) override;
     void OnClusterDecision(const ClusterDecisionEvent& e) override;
     void OnProgress(const ProgressEvent& e) override;
@@ -175,6 +181,7 @@ class Session {
 
     StatsObserver stats;
     std::vector<io::AssignmentSink*> sinks;
+    std::vector<io::EdgeAssignmentSink*> edge_sinks;
     std::vector<EngineObserver*> observers;
   };
 

@@ -72,6 +72,14 @@ struct SystemResult {
   /// FNV-1a over the per-vertex assignment — lets perf regressions prove
   /// they changed nothing about partition quality on fixed seeds.
   uint64_t assignment_hash = 0;
+  /// Edge-partitioning quality triple (hdrf/dbh only; 0 for vertex
+  /// partitioners, which never report edge counters). Derived from the
+  /// backend's final-stats counters: RF = replica_total / vertices_seen,
+  /// edge balance = max_part_edges * k / edge_assignments, plus the FNV-1a
+  /// hash over the per-edge placements.
+  double replication_factor = 0.0;
+  double edge_balance = 0.0;
+  uint64_t edge_assignment_hash = 0;
   /// The backend's deterministic end-of-run counters, verbatim from the
   /// session's final-stats observer event: Loom reports match-pool
   /// fresh/reused and matcher totals under "match_allocs_*"/"matcher_*";

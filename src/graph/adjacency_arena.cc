@@ -56,6 +56,23 @@ uint32_t AdjacencyArena::ResolvePageCapacity(uint32_t requested) {
   return env_default;
 }
 
+void AdjacencyArena::ReserveEntries(uint64_t expected_entries) {
+  if (expected_entries == 0) return;
+  // Slot bytes plus a header allowance: chains grow geometrically from
+  // FirstCapacity(), so the worst case (every vertex low-degree) pays
+  // roughly one header per FirstCapacity() entries.
+  const uint64_t headers = expected_entries / FirstCapacity() + 1;
+  const uint64_t bytes =
+      expected_entries * sizeof(VertexId) +
+      headers * (sizeof(AdjacencyPage) + alignof(AdjacencyPage));
+  if (bytes <= slab_bytes_left_) return;
+  // One big slab; whatever was left of the current slab is abandoned (the
+  // same waste NewPage accepts when a page doesn't fit).
+  slabs_.push_back(std::make_unique<std::byte[]>(bytes));
+  slab_cursor_ = slabs_.back().get();
+  slab_bytes_left_ = static_cast<size_t>(bytes);
+}
+
 AdjacencyPage* AdjacencyArena::NewPage(uint32_t capacity) {
   const size_t bytes = PageBytes(capacity);
   if (slab_bytes_left_ < bytes) {

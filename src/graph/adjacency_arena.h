@@ -249,6 +249,15 @@ class AdjacencyArena {
     if (v >= chains_.size()) chains_.resize(static_cast<size_t>(v) + 1);
   }
 
+  /// Pre-carves slab storage for ~`expected_entries` adjacency entries
+  /// (2m for an undirected graph of m edges), hoisting the slab
+  /// allocations ROADMAP item 1 flags as a barrier point off the append
+  /// hot path. Purely an allocation hint: page layout, neighbour order and
+  /// the checkpoint encoding are identical with or without it, and
+  /// underestimates simply fall back to on-demand slabs. Same
+  /// writer-private contract as Reserve.
+  void ReserveEntries(uint64_t expected_entries);
+
   size_t NumSlots() const { return chains_.size(); }
 
   /// Appends w to v's chain and publishes it (release). Single writer; v's

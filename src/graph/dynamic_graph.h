@@ -36,9 +36,15 @@ class DynamicGraph final : public NeighborView {
   /// `page_entries` caps the arena's page capacity (0 = the LOOM_ADJ_PAGE
   /// environment default, normally 64; layout-only — neighbour order and
   /// every derived score are identical for any page size).
-  explicit DynamicGraph(size_t n, uint32_t page_entries = 0)
+  /// `expected_entries` pre-carves arena slab storage for that many
+  /// adjacency entries (2m for m undirected edges; 0 = allocate on
+  /// demand) — an allocation hint only, never affecting layout or the
+  /// checkpoint encoding (AdjacencyArena::ReserveEntries).
+  explicit DynamicGraph(size_t n, uint32_t page_entries = 0,
+                        uint64_t expected_entries = 0)
       : arena_(page_entries) {
     Reserve(n);
+    arena_.ReserveEntries(expected_entries);
   }
 
   void Reserve(size_t n);

@@ -26,5 +26,28 @@ void FileAssignmentSink::Flush() {
   }
 }
 
+FileEdgeAssignmentSink::FileEdgeAssignmentSink(const std::string& path)
+    : path_(path), out_(path, std::ios::trunc) {
+  if (!out_) {
+    throw std::runtime_error("edge assignment sink: cannot write '" + path_ +
+                             "'");
+  }
+}
+
+void FileEdgeAssignmentSink::Append(graph::EdgeId /*edge*/, graph::VertexId u,
+                                    graph::VertexId v,
+                                    graph::PartitionId partition) {
+  out_ << u << '\t' << v << '\t' << partition << '\n';
+  ++written_;
+}
+
+void FileEdgeAssignmentSink::Flush() {
+  out_.flush();
+  if (!out_) {
+    throw std::runtime_error("edge assignment sink: write failed on '" +
+                             path_ + "'");
+  }
+}
+
 }  // namespace io
 }  // namespace loom

@@ -89,6 +89,80 @@ class AssignmentSinkObserver : public engine::EngineObserver {
   AssignmentSink* sink_;
 };
 
+// ---------------------------------------------------------------- edges
+// Edge-partitioning backends (partition/edge/: hdrf, dbh) place EDGES, so
+// their durable output is one line per edge, not per vertex. These mirror
+// the vertex sinks one-for-one; Session forwards OnEdgeAssign events the
+// same way it forwards OnAssign.
+
+/// Receives (edge, u, v, partition) placements in stream order.
+class EdgeAssignmentSink {
+ public:
+  virtual ~EdgeAssignmentSink() = default;
+
+  /// One edge's permanent placement. Fired once per ingested edge.
+  virtual void Append(graph::EdgeId edge, graph::VertexId u, graph::VertexId v,
+                      graph::PartitionId partition) = 0;
+
+  /// Durability point, as AssignmentSink::Flush.
+  virtual void Flush() {}
+};
+
+/// Tab-separated "<u>\t<v>\t<partition>" lines, one per edge, in stream
+/// order (edge ids are positional, so they are not repeated in the file).
+/// Throws std::runtime_error if the path cannot be opened or a write fails
+/// on Flush.
+class FileEdgeAssignmentSink : public EdgeAssignmentSink {
+ public:
+  explicit FileEdgeAssignmentSink(const std::string& path);
+
+  void Append(graph::EdgeId edge, graph::VertexId u, graph::VertexId v,
+              graph::PartitionId partition) override;
+  void Flush() override;
+
+  uint64_t edges_written() const { return written_; }
+
+ private:
+  std::string path_;
+  std::ofstream out_;
+  uint64_t written_ = 0;
+};
+
+/// Buffers edge placements in arrival order.
+class MemoryEdgeAssignmentSink : public EdgeAssignmentSink {
+ public:
+  struct Record {
+    graph::EdgeId edge;
+    graph::VertexId u;
+    graph::VertexId v;
+    graph::PartitionId partition;
+  };
+
+  void Append(graph::EdgeId edge, graph::VertexId u, graph::VertexId v,
+              graph::PartitionId partition) override {
+    records_.push_back({edge, u, v, partition});
+  }
+
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
+
+/// Observer adapter: forwards OnEdgeAssign events into an edge sink.
+class EdgeAssignmentSinkObserver : public engine::EngineObserver {
+ public:
+  explicit EdgeAssignmentSinkObserver(EdgeAssignmentSink* sink)
+      : sink_(sink) {}
+
+  void OnEdgeAssign(const engine::EdgeAssignEvent& e) override {
+    sink_->Append(e.edge, e.u, e.v, e.partition);
+  }
+
+ private:
+  EdgeAssignmentSink* sink_;
+};
+
 }  // namespace io
 }  // namespace loom
 

@@ -1,0 +1,36 @@
+#include "partition/edge/dbh_partitioner.h"
+
+#include <algorithm>
+
+namespace loom {
+namespace partition {
+namespace edge {
+
+namespace {
+
+// SplitMix64 finaliser — identical to the "hash" vertex backend's
+// MixVertex (partition/hash_partitioner.cc), so the two hashing baselines
+// scatter vertices the same way and differ only in WHAT they hash.
+uint64_t MixVertex(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+graph::PartitionId DbhPartitioner::PlaceEdge(const stream::StreamEdge& e) {
+  const uint32_t du = PartialDegree(e.u);
+  const uint32_t dv = PartialDegree(e.v);
+  graph::VertexId anchor;
+  if (du != dv) {
+    anchor = du < dv ? e.u : e.v;
+  } else {
+    anchor = std::min(e.u, e.v);
+  }
+  return static_cast<graph::PartitionId>(MixVertex(anchor) % k());
+}
+
+}  // namespace edge
+}  // namespace partition
+}  // namespace loom

@@ -1,0 +1,61 @@
+// HDRF — High-Degree Replicated First streaming edge partitioner
+// (Petroni et al., CIKM'15; the strongest cheap baseline in the
+// split-merge/NuCut/Adwise zoo, see ROADMAP item 2 and SNIPPETS.md
+// Snippet 2).
+//
+// For edge (u,v), each part p is scored
+//
+//   C(p) = C_rep(p) + λ · C_bal(p)
+//   C_rep(p) = [p ∈ R(u)] · (1 + (1 − δu)) + [p ∈ R(v)] · (1 + (1 − δv))
+//   C_bal(p) = (maxload − load(p)) / (ε + maxload − minload)
+//
+// where δu = θu / (θu + θv) is u's share of the edge's combined PARTIAL
+// degree (streamed-so-far counts, this edge included). The (1 − δ) weight
+// is the algorithm's one idea: when an edge must be cut, prefer replicating
+// the HIGHER-degree endpoint — its replicas amortise over more future
+// edges. λ trades replication against balance (λ=0 is pure greedy; large λ
+// approaches round-robin); ε only guards the λ-term's denominator.
+//
+// Tie-breaking is pinned for bit-determinism: scan parts in id order, a
+// strictly greater score wins; on equal score the part with the smaller
+// load wins; on equal load the lower id is kept.
+
+#ifndef LOOM_PARTITION_EDGE_HDRF_PARTITIONER_H_
+#define LOOM_PARTITION_EDGE_HDRF_PARTITIONER_H_
+
+#include "partition/edge/edge_partitioner.h"
+
+namespace loom {
+namespace partition {
+namespace edge {
+
+class HdrfPartitioner final : public EdgePartitioner {
+ public:
+  /// `lambda` >= 0 weights the balance term; `epsilon` > 0 guards its
+  /// denominator. (Engine spec: "hdrf:lambda=1.1,epsilon=1".)
+  HdrfPartitioner(const PartitionerConfig& config, double lambda,
+                  double epsilon);
+
+  std::string name() const override { return "hdrf"; }
+
+  double lambda() const { return lambda_; }
+  double epsilon() const { return epsilon_; }
+
+ protected:
+  graph::PartitionId PlaceEdge(const stream::StreamEdge& e) override;
+
+  /// λ/ε ride in the checkpoint and are verified on restore — a drifted
+  /// balance weight would silently change every post-resume placement.
+  void SaveExtra(io::CheckpointWriter* w) const override;
+  bool RestoreExtra(io::CheckpointReader* r, std::string* error) override;
+
+ private:
+  const double lambda_;
+  const double epsilon_;
+};
+
+}  // namespace edge
+}  // namespace partition
+}  // namespace loom
+
+#endif  // LOOM_PARTITION_EDGE_HDRF_PARTITIONER_H_

@@ -9,7 +9,8 @@ namespace partition {
 FennelPartitioner::FennelPartitioner(const PartitionerConfig& config,
                                      double gamma)
     : partitioning_(config.k, config.expected_vertices, config.max_imbalance),
-      seen_(config.expected_vertices, config.adj_page_entries),
+      seen_(config.expected_vertices, config.adj_page_entries,
+            /*expected_entries=*/2 * config.expected_edges),
       gamma_(gamma) {
   const double n = static_cast<double>(
       config.expected_vertices > 0 ? config.expected_vertices : 1);

@@ -110,7 +110,8 @@ LdgPartitioner::LdgPartitioner(const PartitionerConfig& config)
     // reaches zero at perfect balance), which is why the paper observes only
     // 1-3% imbalance for LDG vs Fennel's/Loom's ~10%.
     : partitioning_(config.k, config.expected_vertices, /*nu=*/1.0),
-      seen_(config.expected_vertices, config.adj_page_entries),
+      seen_(config.expected_vertices, config.adj_page_entries,
+            /*expected_entries=*/2 * config.expected_edges),
       hub_(config.k, config.hub_degree_threshold) {}
 
 void LdgPartitioner::AssignVertex(graph::VertexId v, graph::PartitionId target) {

@@ -104,6 +104,44 @@ TEST(AdjacencyArenaTest, SnapshotIsStableAcrossLaterAppends) {
   EXPECT_EQ(snap.ToVector(), (std::vector<VertexId>{0, 1, 2}));
 }
 
+// ReserveEntries is an allocation hint only: chain contents, degrees and
+// page-chain geometry must be identical with and without pre-sizing, for
+// accurate hints, wild over-estimates and zero alike.
+TEST(AdjacencyArenaTest, ReserveEntriesNeverChangesContentOrGeometry) {
+  constexpr size_t kSlots = 64;
+  constexpr int kAppends = 5000;
+  for (const uint64_t hint : {uint64_t{0}, uint64_t{kAppends},
+                              uint64_t{10} * kAppends, uint64_t{1}}) {
+    AdjacencyArena plain(4), hinted(4);
+    plain.Reserve(kSlots);
+    hinted.Reserve(kSlots);
+    hinted.ReserveEntries(hint);
+    // Re-hinting mid-life must also be harmless (loom_sharded re-hints
+    // per shard after construction).
+    hinted.ReserveEntries(hint / 2);
+    util::SplitMix64 rng(0xfeedface);
+    for (int i = 0; i < kAppends; ++i) {
+      const VertexId v = static_cast<VertexId>(rng.Next() % kSlots);
+      const VertexId w = static_cast<VertexId>(rng.Next() % 100000);
+      plain.Append(v, w);
+      hinted.Append(v, w);
+    }
+    ASSERT_EQ(plain.TotalEntries(), hinted.TotalEntries()) << hint;
+    for (VertexId v = 0; v < kSlots; ++v) {
+      ASSERT_EQ(plain.Degree(v), hinted.Degree(v)) << hint;
+      EXPECT_EQ(plain.Neighbors(v).ToVector(), hinted.Neighbors(v).ToVector())
+          << "hint=" << hint << " v=" << v;
+      // Same page-chain geometry: chunk sizes must line up exactly.
+      std::vector<size_t> chunks_plain, chunks_hinted;
+      plain.Neighbors(v).ForEachChunk(
+          [&](const VertexId*, size_t n) { chunks_plain.push_back(n); });
+      hinted.Neighbors(v).ForEachChunk(
+          [&](const VertexId*, size_t n) { chunks_hinted.push_back(n); });
+      EXPECT_EQ(chunks_plain, chunks_hinted) << "hint=" << hint << " v=" << v;
+    }
+  }
+}
+
 // ------------------------------------------------------------- checkpoints
 
 // SaveChain's bytes must equal PodVec of the equivalent vector — that

@@ -256,6 +256,12 @@ INSTANTIATE_TEST_SUITE_P(
          datasets::DatasetId::kProvGen, 0.05},
         {"sharded_musicbrainz", "loom-sharded:shards=3",
          datasets::DatasetId::kMusicBrainz, 0.05},
+        // Edge partitioners: backend_stats carries the whole quality triple
+        // (replica_total, max/min part edges, edge_assignment_hash), so the
+        // same EXPECT_EQ proves RF/balance/hash survive a kill -9.
+        {"hdrf_provgen", "hdrf:lambda=1.1", datasets::DatasetId::kProvGen,
+         0.05},
+        {"dbh_musicbrainz", "dbh", datasets::DatasetId::kMusicBrainz, 0.05},
     }),
     [](const testing::TestParamInfo<MatrixCase>& info) {
       return info.param.name;

@@ -1,0 +1,469 @@
+// Differential + brute-force suite for the streaming EDGE partitioners
+// (partition/edge/): HDRF and DBH.
+//
+// The determinism contract under test (edge_partitioner.h): placements
+// depend only on the edge sequence — identical across batch splits,
+// EdgeSource kinds and checkpoint/resume — and the deterministic final
+// stats (replication factor, edge balance, edge assignment hash) are
+// exactly recomputable from the per-edge placement log a sink records.
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <set>
+#include <span>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datasets/dataset_registry.h"
+#include "engine/engine.h"
+#include "engine/generator_source.h"
+#include "io/assignment_sink.h"
+#include "io/checkpoint.h"
+#include "io/edge_stream_io.h"
+#include "partition/edge/dbh_partitioner.h"
+#include "partition/edge/hdrf_partitioner.h"
+#include "partition/partition_metrics.h"
+#include "stream/edge_stream.h"
+#include "test_util.h"
+
+namespace loom {
+namespace partition {
+namespace edge {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr double kScale = 0.05;
+
+PartitionerConfig ConfigFor(const datasets::Dataset& ds, uint32_t k = 8) {
+  PartitionerConfig config;
+  config.k = k;
+  config.expected_vertices = ds.NumVertices();
+  config.expected_edges = ds.NumEdges();
+  return config;
+}
+
+engine::StatCounters FinalStatsOf(const Partitioner& p) {
+  engine::FinalStatsEvent stats;
+  p.FillFinalStats(&stats);
+  return stats.counters;
+}
+
+std::string TempPath(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / "loom_edge_partition";
+  fs::create_directories(dir);
+  return (dir / name).string();
+}
+
+// ------------------------------------------------------- registry plumbing
+
+TEST(EdgePartitionRegistryTest, SpecStringsBuildConfiguredBackends) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, kScale);
+  const engine::EngineOptions options = test_util::OptionsFor(ds);
+
+  for (const char* spec :
+       {"hdrf", "hdrf:lambda=1.1", "hdrf:lambda=0,epsilon=2.5", "dbh"}) {
+    SCOPED_TRACE(spec);
+    auto p = test_util::MakeBackend(spec, options, ds);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(std::string(p->name()),
+              std::string(spec).substr(0, 4) == "hdrf" ? "hdrf" : "dbh");
+  }
+}
+
+TEST(EdgePartitionRegistryTest, BadKnobValuesFailActionably) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, kScale);
+  const engine::BuildContext context = test_util::ContextFor(ds);
+
+  struct BadSpec {
+    const char* spec;
+    const char* expect_in_error;
+  };
+  for (const BadSpec& bad :
+       {BadSpec{"hdrf:lambda=-1", "lambda"},
+        BadSpec{"hdrf:epsilon=0", "epsilon"},
+        BadSpec{"hdrf:lambda=banana", "lambda"}}) {
+    SCOPED_TRACE(bad.spec);
+    std::string error;
+    auto p = engine::BuildPartitioner(bad.spec, test_util::OptionsFor(ds),
+                                      context, &error);
+    EXPECT_EQ(p, nullptr);
+    EXPECT_NE(error.find(bad.expect_in_error), std::string::npos) << error;
+  }
+}
+
+// --------------------------------------------- brute-force stats recompute
+//
+// Everything FillFinalStats reports must be exactly recomputable from the
+// per-edge placement log: replica sets, part loads, replication factor,
+// max/min loads and the FNV-1a placement hash. A MemoryEdgeAssignmentSink
+// (fed through the OnEdgeAssign observer event, the same path loom_partition
+// --edge-out uses) records the log.
+
+void CheckBruteForce(EdgePartitioner* p, const stream::EdgeStream& es,
+                     uint32_t k) {
+  io::MemoryEdgeAssignmentSink sink;
+  io::EdgeAssignmentSinkObserver observer(&sink);
+  p->SetObserver(&observer);
+  for (const stream::StreamEdge& e : es) p->Ingest(e);
+  p->Finalize();
+  p->SetObserver(nullptr);
+
+  ASSERT_EQ(sink.records().size(), es.size());
+
+  std::vector<uint64_t> loads(k, 0);
+  std::vector<std::set<graph::PartitionId>> replicas;
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < sink.records().size(); ++i) {
+    const io::MemoryEdgeAssignmentSink::Record& r = sink.records()[i];
+    ASSERT_EQ(r.edge, es[i].id);
+    ASSERT_EQ(r.u, es[i].u);
+    ASSERT_EQ(r.v, es[i].v);
+    ASSERT_LT(r.partition, k);
+    ++loads[r.partition];
+    const size_t top = std::max(r.u, r.v);
+    if (top >= replicas.size()) replicas.resize(top + 1);
+    replicas[r.u].insert(r.partition);
+    replicas[r.v].insert(r.partition);
+    hash = (hash ^ r.partition) * 0x100000001b3ULL;
+  }
+
+  uint64_t replica_total = 0, vertices_seen = 0;
+  for (size_t v = 0; v < replicas.size(); ++v) {
+    replica_total += replicas[v].size();
+    if (!replicas[v].empty()) ++vertices_seen;
+    EXPECT_EQ(p->ReplicaCount(static_cast<graph::VertexId>(v)),
+              replicas[v].size());
+    for (graph::PartitionId part = 0; part < k; ++part) {
+      EXPECT_EQ(p->IsReplicaOf(static_cast<graph::VertexId>(v), part),
+                replicas[v].count(part) > 0);
+    }
+  }
+  const uint64_t max_load = *std::max_element(loads.begin(), loads.end());
+  const uint64_t min_load = *std::min_element(loads.begin(), loads.end());
+
+  const engine::StatCounters counters = FinalStatsOf(*p);
+  EXPECT_EQ(engine::FindCounter(counters, "edge_assignments", 1), es.size());
+  EXPECT_EQ(engine::FindCounter(counters, "vertices_seen", 1), vertices_seen);
+  EXPECT_EQ(engine::FindCounter(counters, "replica_total", 1), replica_total);
+  EXPECT_EQ(engine::FindCounter(counters, "max_part_edges", 1), max_load);
+  EXPECT_EQ(engine::FindCounter(counters, "min_part_edges", 1), min_load);
+  EXPECT_EQ(engine::FindCounter(counters, "edge_assignment_hash", 1), hash);
+
+  EXPECT_EQ(p->EdgesAssigned(), es.size());
+  EXPECT_EQ(p->EdgeAssignmentHash(), hash);
+  EXPECT_DOUBLE_EQ(p->ReplicationFactor(),
+                   static_cast<double>(replica_total) / vertices_seen);
+  EXPECT_DOUBLE_EQ(p->EdgeBalance(),
+                   static_cast<double>(max_load) * k / es.size());
+  for (graph::PartitionId part = 0; part < k; ++part) {
+    EXPECT_EQ(p->EdgeLoad(part), loads[part]);
+  }
+
+  // The primary vertex placement is each vertex's FIRST replica part, so
+  // every streamed vertex must be assigned to one of its replica parts.
+  const Partitioning& vp = p->partitioning();
+  for (size_t v = 0; v < replicas.size(); ++v) {
+    if (replicas[v].empty()) continue;
+    ASSERT_TRUE(vp.IsAssigned(static_cast<graph::VertexId>(v)));
+    EXPECT_TRUE(replicas[v].count(
+        vp.PartitionOf(static_cast<graph::VertexId>(v))) > 0);
+  }
+}
+
+TEST(EdgePartitionBruteForceTest, HdrfStatsMatchPlacementLogReplay) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, kScale);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  HdrfPartitioner p(ConfigFor(ds), /*lambda=*/1.1, /*epsilon=*/1.0);
+  CheckBruteForce(&p, es, /*k=*/8);
+}
+
+TEST(EdgePartitionBruteForceTest, DbhStatsMatchPlacementLogReplay) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kMusicBrainz, kScale);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kDepthFirst);
+  DbhPartitioner p(ConfigFor(ds));
+  CheckBruteForce(&p, es, /*k=*/8);
+}
+
+// ----------------------------------------------------- scoring properties
+
+TEST(HdrfPropertyTest, LargeLambdaForcesNearPerfectEdgeBalance) {
+  // λ → ∞ reduces HDRF to pure load balancing: part loads may never drift
+  // apart by more than one edge.
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kDblp, kScale);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  HdrfPartitioner p(ConfigFor(ds), /*lambda=*/1000.0, /*epsilon=*/1.0);
+  for (const stream::StreamEdge& e : es) p.Ingest(e);
+  uint64_t max_load = 0, min_load = UINT64_MAX;
+  for (graph::PartitionId part = 0; part < 8; ++part) {
+    max_load = std::max(max_load, p.EdgeLoad(part));
+    min_load = std::min(min_load, p.EdgeLoad(part));
+  }
+  EXPECT_LE(max_load - min_load, 1u);
+}
+
+TEST(HdrfPropertyTest, GreedyBeatsHashingOnReplicationFactor) {
+  // HDRF's whole point: degree-aware greedy placement replicates less
+  // than degree-based hashing on skewed graphs.
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, kScale);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  HdrfPartitioner hdrf(ConfigFor(ds), /*lambda=*/1.1, /*epsilon=*/1.0);
+  DbhPartitioner dbh(ConfigFor(ds));
+  for (const stream::StreamEdge& e : es) {
+    hdrf.Ingest(e);
+    dbh.Ingest(e);
+  }
+  EXPECT_LT(hdrf.ReplicationFactor(), dbh.ReplicationFactor());
+  EXPECT_GE(hdrf.ReplicationFactor(), 1.0);
+  EXPECT_GE(dbh.ReplicationFactor(), 1.0);
+}
+
+// ------------------------------------------------- batch-split determinism
+
+TEST(EdgePartitionDeterminismTest, BatchSplitsNeverChangePlacements) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kLubm100, kScale);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  const std::vector<stream::StreamEdge> all(es.begin(), es.end());
+  const engine::EngineOptions options = test_util::OptionsFor(ds);
+
+  for (const char* spec : {"hdrf:lambda=1.1", "dbh"}) {
+    SCOPED_TRACE(spec);
+    auto run = [&](size_t batch) {
+      auto p = test_util::MakeBackend(spec, options, ds);
+      EXPECT_NE(p, nullptr);
+      for (size_t i = 0; i < all.size(); i += batch) {
+        p->IngestBatch(std::span<const stream::StreamEdge>(
+            all.data() + i, std::min(batch, all.size() - i)));
+      }
+      p->Finalize();
+      return std::pair{FinalStatsOf(*p), test_util::QualityOf(*p, ds)};
+    };
+    const auto reference = run(1);
+    for (const size_t batch : {size_t{3}, size_t{64}, size_t{1024}}) {
+      EXPECT_EQ(run(batch), reference) << "batch=" << batch;
+    }
+  }
+}
+
+// --------------------------------------------------- source-kind diffs
+//
+// file_stream_smoke_test already proves the VERTEX quality triple is
+// source-independent for every registered backend (including hdrf/dbh);
+// this leg pins the EDGE triple — replica counters and placement hash —
+// across RAM, binary file, text file and lazy generator sources.
+
+TEST(EdgePartitionDeterminismTest, EdgeTripleIdenticalAcrossAllSourceKinds) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, kScale);
+  const engine::EngineOptions options = test_util::OptionsFor(ds);
+
+  const std::string binary_path = TempPath("provgen.les");
+  const std::string text_path = TempPath("provgen_text.les");
+  for (auto [path, format] :
+       {std::pair{binary_path, io::StreamFormat::kBinary},
+        std::pair{text_path, io::StreamFormat::kText}}) {
+    auto source = engine::MakeEdgeSource(ds, stream::StreamOrder::kCanonical);
+    io::WriteEdgeStream(path, ds.registry, ds.NumVertices(), source.get(),
+                        format);
+  }
+
+  for (const char* spec : {"hdrf:lambda=1.1", "dbh"}) {
+    SCOPED_TRACE(spec);
+    auto drive = [&](engine::EdgeSource& source) {
+      auto p = test_util::MakeBackend(spec, options, ds);
+      EXPECT_NE(p, nullptr);
+      source.Reset();
+      engine::Drive(p.get(), &source);
+      return FinalStatsOf(*p);
+    };
+
+    auto ram = engine::MakeEdgeSource(ds, stream::StreamOrder::kCanonical);
+    const engine::StatCounters reference = drive(*ram);
+    EXPECT_GT(engine::FindCounter(reference, "edge_assignments", 0), 0u);
+
+    io::FileEdgeSource binary(binary_path);
+    EXPECT_EQ(drive(binary), reference) << "binary file stream diverged";
+
+    io::FileEdgeSource text(text_path);
+    EXPECT_EQ(drive(text), reference) << "text file stream diverged";
+
+    engine::GeneratorEdgeSource lazy(datasets::DatasetId::kProvGen, kScale,
+                                     stream::StreamOrder::kCanonical);
+    EXPECT_EQ(drive(lazy), reference) << "lazy generator stream diverged";
+  }
+}
+
+// ------------------------------------------------------------ checkpoints
+
+TEST(EdgePartitionCheckpointTest, MidStreamRoundTripFinishesBitIdentically) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, kScale);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+  const size_t half = es.size() / 2;
+
+  for (const char* which : {"hdrf", "dbh"}) {
+    SCOPED_TRACE(which);
+    auto make = [&]() -> std::unique_ptr<EdgePartitioner> {
+      if (std::string(which) == "hdrf") {
+        return std::make_unique<HdrfPartitioner>(ConfigFor(ds), 1.1, 1.0);
+      }
+      return std::make_unique<DbhPartitioner>(ConfigFor(ds));
+    };
+
+    auto baseline = make();
+    for (const stream::StreamEdge& e : es) baseline->Ingest(e);
+    baseline->Finalize();
+
+    const std::string path = TempPath(std::string(which) + "_half.loomck");
+    {
+      auto doomed = make();
+      for (size_t i = 0; i < half; ++i) doomed->Ingest(es[i]);
+      io::CheckpointWriter w;
+      std::string error;
+      ASSERT_TRUE(doomed->SaveState(&w, &error)) << error;
+      w.Commit(path);
+    }
+
+    auto resumed = make();
+    io::CheckpointReader r(path);
+    std::string error;
+    ASSERT_TRUE(resumed->RestoreState(&r, &error)) << error;
+    for (size_t i = half; i < es.size(); ++i) resumed->Ingest(es[i]);
+    resumed->Finalize();
+
+    EXPECT_EQ(FinalStatsOf(*resumed), FinalStatsOf(*baseline));
+    EXPECT_EQ(test_util::QualityOf(*resumed, ds),
+              test_util::QualityOf(*baseline, ds));
+  }
+}
+
+TEST(EdgePartitionCheckpointTest, HdrfParameterMismatchIsRejected) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, kScale);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+
+  const std::string path = TempPath("hdrf_lambda.loomck");
+  {
+    HdrfPartitioner p(ConfigFor(ds), /*lambda=*/1.1, /*epsilon=*/1.0);
+    for (size_t i = 0; i < 64 && i < es.size(); ++i) p.Ingest(es[i]);
+    io::CheckpointWriter w;
+    std::string error;
+    ASSERT_TRUE(p.SaveState(&w, &error)) << error;
+    w.Commit(path);
+  }
+
+  HdrfPartitioner other(ConfigFor(ds), /*lambda=*/2.0, /*epsilon=*/1.0);
+  io::CheckpointReader r(path);
+  std::string error;
+  EXPECT_FALSE(other.RestoreState(&r, &error));
+  EXPECT_NE(error.find("lambda"), std::string::npos) << error;
+}
+
+TEST(EdgePartitionCheckpointTest, RestoreIntoUsedInstanceIsRejected) {
+  const datasets::Dataset ds =
+      datasets::MakeDataset(datasets::DatasetId::kProvGen, kScale);
+  const stream::EdgeStream es =
+      stream::MakeStream(ds.graph, stream::StreamOrder::kBreadthFirst);
+
+  const std::string path = TempPath("dbh_used.loomck");
+  {
+    DbhPartitioner p(ConfigFor(ds));
+    p.Ingest(es[0]);
+    io::CheckpointWriter w;
+    std::string error;
+    ASSERT_TRUE(p.SaveState(&w, &error)) << error;
+    w.Commit(path);
+  }
+
+  DbhPartitioner used(ConfigFor(ds));
+  used.Ingest(es[1]);
+  io::CheckpointReader r(path);
+  std::string error;
+  EXPECT_FALSE(used.RestoreState(&r, &error));
+  EXPECT_NE(error.find("fresh"), std::string::npos) << error;
+}
+
+// A checkpoint whose scalar counters disagree with its tables must be
+// rejected with a "counter desync" error, not silently adopted — same
+// discipline as DynamicGraph::LoadFrom. The desynced files are crafted
+// with the public writer against the documented edge_state layout.
+TEST(EdgePartitionCheckpointTest, CounterDesyncIsRejected) {
+  struct Craft {
+    const char* name;
+    uint64_t edges_assigned;
+    uint64_t replica_total;
+    uint64_t vertices_seen;
+  };
+  // loads sum to 3; masks hold 4 bits over 2 vertices.
+  for (const Craft& c : {Craft{"bad_loads", 7, 4, 2},
+                         Craft{"bad_replicas", 3, 9, 2},
+                         Craft{"bad_vertices", 3, 4, 1}}) {
+    SCOPED_TRACE(c.name);
+    const std::string path = TempPath(std::string(c.name) + ".loomck");
+    io::CheckpointWriter w;
+    w.BeginSection("edge_state");
+    w.U32(8);                   // k
+    w.U32(1);                   // words per vertex
+    w.U64(c.edges_assigned);
+    w.U64(0x12345678u);         // hash (not validated semantically)
+    w.U64(c.replica_total);
+    w.U64(c.vertices_seen);
+    w.PodVec(std::vector<uint64_t>{2, 1, 0, 0, 0, 0, 0, 0});  // loads
+    w.PodVec(std::vector<uint32_t>{2, 1});                    // degrees
+    w.PodVec(std::vector<uint64_t>{0b11, 0b100});             // replica masks
+    w.EndSection();
+    w.Commit(path);
+
+    PartitionerConfig config;
+    config.k = 8;
+    DbhPartitioner p(config);
+    io::CheckpointReader r(path);
+    std::string error;
+    EXPECT_FALSE(p.RestoreState(&r, &error));
+    EXPECT_NE(error.find("counter desync"), std::string::npos) << error;
+  }
+}
+
+// ------------------------------------------------------------- file sink
+
+TEST(EdgeAssignmentSinkTest, FileSinkWritesOneLinePerEdgeInStreamOrder) {
+  const std::string path = TempPath("edges.tsv");
+  {
+    io::FileEdgeAssignmentSink sink(path);
+    sink.Append(0, 10, 20, 3);
+    sink.Append(1, 20, 30, 0);
+    sink.Flush();
+    EXPECT_EQ(sink.edges_written(), 2u);
+  }
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "10\t20\t3");
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "20\t30\t0");
+  EXPECT_FALSE(std::getline(in, line));
+}
+
+}  // namespace
+}  // namespace edge
+}  // namespace partition
+}  // namespace loom

@@ -46,6 +46,8 @@ TEST(EngineOptionsTest, EveryKeyRoundTripsFromItsStringForm) {
       {"max_matches_per_vertex", "32"},
       {"compact_interval", "2048"},
       {"fennel_gamma", "1.7"},
+      {"lambda", "2.5"},
+      {"epsilon", "0.25"},
       {"simd", "scalar"},
       {"shards", "3"},
       {"shard_queue_depth", "2"},
@@ -124,12 +126,15 @@ TEST(EngineOptionsTest, ApplyOverridesStopsAtFirstError) {
 
 TEST(PartitionerRegistryTest, BuiltinsAreRegistered) {
   auto names = PartitionerRegistry::Global().Names();
-  ASSERT_GE(names.size(), 5u);
+  ASSERT_GE(names.size(), 7u);
   EXPECT_EQ(names[0], "hash");
   EXPECT_EQ(names[1], "ldg");
   EXPECT_EQ(names[2], "fennel");
   EXPECT_EQ(names[3], "loom");
   EXPECT_EQ(names[4], "loom-sharded");
+  // The edge-partitioning family (PR 9) registers after the vertex family.
+  EXPECT_EQ(names[5], "hdrf");
+  EXPECT_EQ(names[6], "dbh");
 }
 
 TEST(PartitionerRegistryTest, UnknownBackendErrorListsRegisteredOnes) {

@@ -299,7 +299,8 @@ TEST_P(PartitionerContractTest, SeededCheckpointScheduleIsDeterministic) {
 
 INSTANTIATE_TEST_SUITE_P(AllBackends, PartitionerContractTest,
                          ::testing::Values("hash", "ldg", "fennel", "loom",
-                                           "loom-sharded"));
+                                           "loom-sharded", "hdrf:lambda=1.1",
+                                           "dbh"));
 
 }  // namespace
 }  // namespace partition

@@ -26,7 +26,8 @@
 // through an io::AssignmentSink bound to the session (--out/
 // --output-assignments write the familiar "<vertex>\t<partition>" lines;
 // stdout when neither is given), and the progress/final-stats lines come
-// from the session's observer events.
+// from the session's observer events. Edge backends (hdrf, dbh) can also
+// stream per-edge placements to --edge-out as "<u>\t<v>\t<partition>".
 
 #include <algorithm>
 #include <csignal>
@@ -62,6 +63,7 @@ struct Args {
   std::string input_path;  // edge-stream file (alternative to --graph)
   std::string workload_path;
   std::string out_path;
+  std::string edge_out_path;  // per-edge placements (edge backends only)
   std::string system = "loom";
   std::string order = "bfs";
   std::vector<std::string> opts;  // raw key=value overrides
@@ -84,6 +86,7 @@ void Usage() {
                "         [--order bfs|dfs|random|canonical] [--window N]\n"
                "         [--threshold F] [--shards N] [--opt key=value]...\n"
                "         [--seed N] [--out FILE | --output-assignments FILE]\n"
+               "         [--edge-out FILE]\n"
                "         [--checkpoint FILE] [--checkpoint-every EDGES]\n"
                "         [--resume FILE] [--evaluate] [--progress]\n"
                "         [--help-opts]\n"
@@ -114,9 +117,11 @@ void Usage() {
 
 void UsageOpts() {
   loom::engine::EngineOptions defaults;
-  std::cerr << "EngineOptions keys (current defaults):\n";
-  for (const auto& [key, value] : defaults.ToFlat()) {
-    std::cerr << "  " << key << "=" << value << "\n";
+  std::cerr << "EngineOptions keys (every --opt / spec-string key, with "
+               "defaults):\n";
+  for (const auto& info : loom::engine::EngineOptions::KeyTable()) {
+    std::cerr << "  " << info.name << "=" << defaults.Get(info.name) << "\n"
+              << "      " << info.help << "  (" << info.spec << ")\n";
   }
 }
 
@@ -146,6 +151,10 @@ bool Parse(int argc, char** argv, Args* args) {
       const char* v = need_value(argv[i]);
       if (!v) return false;
       args->out_path = v;
+    } else if (std::strcmp(argv[i], "--edge-out") == 0) {
+      const char* v = need_value("--edge-out");
+      if (!v) return false;
+      args->edge_out_path = v;
     } else if (std::strcmp(argv[i], "--system") == 0) {
       const char* v = need_value("--system");
       if (!v) return false;
@@ -377,6 +386,21 @@ int main(int argc, char** argv) {
       }
     }
     session->AddSink(sink.get());
+    // Edge backends (hdrf, dbh) additionally place every EDGE; --edge-out
+    // captures those placements as "<u>\t<v>\t<partition>" lines. Unlike
+    // vertex assignments, per-edge history is not part of checkpoint state,
+    // so on --resume the file only holds post-resume edges.
+    std::unique_ptr<io::FileEdgeAssignmentSink> edge_sink;
+    if (!args.edge_out_path.empty()) {
+      edge_sink = std::make_unique<io::FileEdgeAssignmentSink>(
+          args.edge_out_path);
+      session->AddEdgeSink(edge_sink.get());
+      if (!args.resume_path.empty()) {
+        std::cerr << "note: --edge-out on a resumed run only records edges "
+                     "ingested after the checkpoint (per-edge history is not "
+                     "checkpointed)\n";
+      }
+    }
     engine::LatencyObserver latency;
     if (args.progress) session->AddObserver(&latency);
 
@@ -460,6 +484,26 @@ int main(int argc, char** argv) {
 
     if (args.evaluate) {
       const partition::Partitioning& p = session->partitioning();
+      // Edge backends: the quality triple comes from the backend's final
+      // stats — replication factor (avg replicas per vertex), edge balance
+      // (max part load vs perfect spread), and the placement hash.
+      if (report.Stat("edge_assignments") > 0) {
+        const uint64_t edges = report.Stat("edge_assignments");
+        const uint64_t seen = report.Stat("vertices_seen");
+        const double rf =
+            seen > 0 ? static_cast<double>(report.Stat("replica_total")) /
+                           static_cast<double>(seen)
+                     : 0.0;
+        const double balance =
+            static_cast<double>(report.Stat("max_part_edges")) *
+            static_cast<double>(p.k()) / static_cast<double>(edges);
+        std::cerr << "replication factor: "
+                  << util::TableWriter::Fmt(rf, 3) << " over " << seen
+                  << " vertices, edge balance "
+                  << util::TableWriter::Fmt(balance, 3)
+                  << ", edge assignment hash 0x" << std::hex
+                  << report.Stat("edge_assignment_hash") << std::dec << "\n";
+      }
       if (from_file) {
         // No materialised graph: replay the stream once more and count
         // edges whose endpoints were placed apart — the same edge cut,
