@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "util/rng.h"
+#include "util/string_util.h"
 
 namespace loom {
 namespace bench {
@@ -58,8 +59,11 @@ struct SimdKernelFixture {
 inline double BenchScale(double fallback = 0.5) {
   const char* env = std::getenv("LOOM_BENCH_SCALE");
   if (env == nullptr) return fallback;
-  double v = std::atof(env);
-  return v > 0 ? v : fallback;
+  // Finite-only parse: atof would hand back inf (inf > 0 passes the guard)
+  // and the generators would spin forever sizing an infinite dataset.
+  double v = 0.0;
+  if (!util::ParseFiniteDouble(env, &v) || v <= 0) return fallback;
+  return v;
 }
 
 inline size_t BenchWindow(size_t fallback = 4000) {

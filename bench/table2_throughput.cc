@@ -268,7 +268,7 @@ int RunSmoke(const std::string& baseline_path) {
       "loom", "loom-sharded:shards=3",
       // Edge partitioners: their triple is (replication factor, edge
       // balance, edge hash); the vertex-derived fields ride along too.
-      "hdrf:lambda=1.1", "dbh"};
+      "hdrf:lambda=1.1", "dbh", "hep:threshold_factor=4"};
 
   std::ostringstream json;
   bench::JsonWriter jw(json);
@@ -654,8 +654,9 @@ int main(int argc, char** argv) {
       jw.Key("dataset").Value(ds.meta.name);
       jw.Key("edges").Value(static_cast<uint64_t>(source->SizeHint()));
       jw.Key("systems").BeginArray();
-      for (const std::string& spec : {std::string("hdrf:lambda=1.1"),
-                                      std::string("dbh")}) {
+      for (const std::string& spec :
+           {std::string("hdrf:lambda=1.1"), std::string("dbh"),
+            std::string("hep:threshold_factor=4")}) {
         std::string error;
         eval::SystemResult best;
         for (int run = 0; run < 2; ++run) {

@@ -17,12 +17,19 @@
 #include "datasets/dataset_registry.h"
 #include "eval/experiment.h"
 #include "query/workload_runner.h"
+#include "util/string_util.h"
 #include "util/table_writer.h"
 #include "util/timer.h"
 
 int main(int argc, char** argv) {
   using namespace loom;
-  const double scale = argc > 1 ? std::atof(argv[1]) : 0.5;
+  // Finite-positive parse (atof happily returns inf/nan for bad input).
+  double scale = 0.5;
+  if (argc > 1 &&
+      (!util::ParseFiniteDouble(argv[1], &scale) || scale <= 0.0)) {
+    std::cerr << "usage: " << argv[0] << " [scale > 0]\n";
+    return 2;
+  }
 
   std::cout << "Generating a DBLP-like bibliographic network (scale=" << scale
             << ")...\n";

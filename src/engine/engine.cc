@@ -6,6 +6,7 @@
 #include "core/loom_sharded.h"
 #include "partition/edge/dbh_partitioner.h"
 #include "partition/edge/hdrf_partitioner.h"
+#include "partition/edge/hep_partitioner.h"
 #include "partition/fennel_partitioner.h"
 #include "partition/hash_partitioner.h"
 #include "partition/ldg_partitioner.h"
@@ -90,6 +91,11 @@ void RegisterBuiltins(PartitionerRegistry* r) {
   r->Register("dbh", [](const EngineOptions& o, const BuildContext&,
                         std::string*) -> std::unique_ptr<partition::Partitioner> {
     return std::make_unique<partition::edge::DbhPartitioner>(o.BaseConfig());
+  });
+  r->Register("hep", [](const EngineOptions& o, const BuildContext&,
+                        std::string*) -> std::unique_ptr<partition::Partitioner> {
+    return std::make_unique<partition::edge::HepPartitioner>(
+        o.BaseConfig(), o.threshold_factor, o.lambda, o.epsilon);
   });
 }
 

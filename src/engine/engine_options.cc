@@ -236,6 +236,15 @@ const KeyDesc kKeys[] = {
        o.epsilon = x;
        return true;
      }},
+    {"threshold_factor", "float, > 0",
+     "hep: high/low-degree split at threshold_factor * mean partial degree",
+     [](const EngineOptions& o) { return FormatDouble(o.threshold_factor); },
+     [](EngineOptions& o, std::string_view v) {
+       double x;
+       if (!ParseDouble(v, &x) || x <= 0.0) return false;
+       o.threshold_factor = x;
+       return true;
+     }},
     {"simd", "one of auto|scalar|sse2|avx2",
      "force the SIMD kernel dispatch level; all levels bit-identical",
      [](const EngineOptions& o) { return o.simd; },

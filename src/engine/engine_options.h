@@ -80,6 +80,10 @@ struct EngineOptions {
   double lambda = 1.1;
   /// HDRF balance-term denominator guard ε (> 0).
   double epsilon = 1.0;
+  /// hep: a vertex goes high-degree (streamed via the HDRF fallback, its
+  /// in-memory adjacency freed) once its partial degree exceeds
+  /// threshold_factor x the running mean partial degree.
+  double threshold_factor = 4.0;
 
   // ------------------------------------------------------------ simd knob
   /// Kernel dispatch level for the util::simd hot-loop kernels: "scalar",

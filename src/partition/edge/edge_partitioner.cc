@@ -1,5 +1,6 @@
 #include "partition/edge/edge_partitioner.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <numeric>
@@ -82,9 +83,48 @@ double EdgePartitioner::EdgeBalance() const {
 
 bool EdgePartitioner::IsReplicaOf(graph::VertexId v,
                                   graph::PartitionId p) const {
-  if (v >= degrees_.size()) return false;
+  if (v >= degrees_.size() || p >= k()) return false;
   const uint64_t word = replicas_[static_cast<size_t>(v) * words_ + p / 64];
   return (word >> (p % 64)) & 1ULL;
+}
+
+graph::PartitionId EdgePartitioner::HdrfGreedyPick(const stream::StreamEdge& e,
+                                                   double lambda,
+                                                   double epsilon,
+                                                   double capacity) const {
+  // Partial degrees already include this edge (see Ingest): δu is u's share
+  // of the edge's combined streamed-so-far degree.
+  const double theta_u = PartialDegree(e.u);
+  const double theta_v = PartialDegree(e.v);
+  const double delta_u = theta_u / (theta_u + theta_v);
+  const double delta_v = 1.0 - delta_u;
+
+  const std::vector<uint64_t>& load = loads_;
+  const uint64_t max_load = *std::max_element(load.begin(), load.end());
+  const uint64_t min_load = *std::min_element(load.begin(), load.end());
+  const double spread = epsilon + static_cast<double>(max_load - min_load);
+
+  graph::PartitionId best = 0;
+  double best_score = -1.0;  // every real score is >= 0
+  bool found = false;
+  for (graph::PartitionId p = 0; p < k(); ++p) {
+    if (static_cast<double>(load[p]) + 1.0 > capacity) continue;
+    double rep = 0.0;
+    if (IsReplicaOf(e.u, p)) rep += 1.0 + (1.0 - delta_u);
+    if (e.v != e.u && IsReplicaOf(e.v, p)) rep += 1.0 + (1.0 - delta_v);
+    const double bal = static_cast<double>(max_load - load[p]) / spread;
+    const double score = rep + lambda * bal;
+    // Pinned tie-break: strictly-greater wins; equal score -> smaller load
+    // wins; equal load -> keep the lower id.
+    if (!found || score > best_score ||
+        (score == best_score && load[p] < load[best])) {
+      best = p;
+      best_score = score;
+      found = true;
+    }
+  }
+  assert(found);
+  return best;
 }
 
 uint32_t EdgePartitioner::ReplicaCount(graph::VertexId v) const {

@@ -28,6 +28,7 @@
 #define LOOM_PARTITION_EDGE_EDGE_PARTITIONER_H_
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "partition/partitioner.h"
@@ -73,9 +74,16 @@ class EdgePartitioner : public Partitioner {
   uint64_t EdgeAssignmentHash() const { return edge_hash_; }
 
   uint64_t EdgesAssigned() const { return edges_assigned_; }
-  uint64_t EdgeLoad(graph::PartitionId p) const { return loads_[p]; }
 
-  /// True if some edge incident to v was placed in p.
+  /// Edges placed in part p; 0 for out-of-range p (these readouts are the
+  /// public quality surface — serve handlers and tools pass through ids
+  /// straight from clients, so none of them may index unchecked).
+  uint64_t EdgeLoad(graph::PartitionId p) const {
+    return p < loads_.size() ? loads_[p] : 0;
+  }
+
+  /// True if some edge incident to v was placed in p; false for a
+  /// never-seen vertex or an out-of-range part.
   bool IsReplicaOf(graph::VertexId v, graph::PartitionId p) const;
 
   /// |R(v)| — parts holding at least one of v's edges.
@@ -105,6 +113,19 @@ class EdgePartitioner : public Partitioner {
   }
 
   const std::vector<uint64_t>& loads() const { return loads_; }
+
+  /// The canonical HDRF greedy pick for edge e (Petroni et al.; see
+  /// hdrf_partitioner.h for the scoring formula) — shared by the "hdrf"
+  /// backend and hep's high-degree fallback so the two stay bit-identical
+  /// where they overlap. Parts whose load would exceed `capacity` are
+  /// skipped (the default +inf capacity never skips; finite callers must
+  /// guarantee at least one part qualifies — the min-loaded part always
+  /// does for capacity > (edges+1)/k). Tie-breaking is pinned: strictly
+  /// greater score wins, equal score -> smaller load, equal load -> lower
+  /// id.
+  graph::PartitionId HdrfGreedyPick(
+      const stream::StreamEdge& e, double lambda, double epsilon,
+      double capacity = std::numeric_limits<double>::infinity()) const;
 
  private:
   /// Grows the per-vertex tables to cover id v.

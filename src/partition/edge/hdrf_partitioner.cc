@@ -1,6 +1,6 @@
 #include "partition/edge/hdrf_partitioner.h"
 
-#include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace loom {
@@ -10,43 +10,20 @@ namespace edge {
 HdrfPartitioner::HdrfPartitioner(const PartitionerConfig& config,
                                  double lambda, double epsilon)
     : EdgePartitioner(config), lambda_(lambda), epsilon_(epsilon) {
-  if (lambda_ < 0.0) {
-    throw std::invalid_argument("hdrf: lambda must be >= 0");
+  // NaN fails every ordered comparison, so "lambda_ < 0.0" alone would let
+  // hdrf:lambda=nan through — every score would be NaN, "score > best"
+  // would never fire and all edges would silently land in partition 0.
+  // Reject non-finite values explicitly.
+  if (!std::isfinite(lambda_) || lambda_ < 0.0) {
+    throw std::invalid_argument("hdrf: lambda must be finite and >= 0");
   }
-  if (epsilon_ <= 0.0) {
-    throw std::invalid_argument("hdrf: epsilon must be > 0");
+  if (!std::isfinite(epsilon_) || epsilon_ <= 0.0) {
+    throw std::invalid_argument("hdrf: epsilon must be finite and > 0");
   }
 }
 
 graph::PartitionId HdrfPartitioner::PlaceEdge(const stream::StreamEdge& e) {
-  // Partial degrees already include this edge (see EdgePartitioner::Ingest).
-  const double theta_u = PartialDegree(e.u);
-  const double theta_v = PartialDegree(e.v);
-  const double delta_u = theta_u / (theta_u + theta_v);
-  const double delta_v = 1.0 - delta_u;
-
-  const auto& load = loads();
-  const uint64_t max_load = *std::max_element(load.begin(), load.end());
-  const uint64_t min_load = *std::min_element(load.begin(), load.end());
-  const double spread = epsilon_ + static_cast<double>(max_load - min_load);
-
-  graph::PartitionId best = 0;
-  double best_score = -1.0;  // every real score is >= 0
-  for (graph::PartitionId p = 0; p < k(); ++p) {
-    double rep = 0.0;
-    if (IsReplicaOf(e.u, p)) rep += 1.0 + (1.0 - delta_u);
-    if (e.v != e.u && IsReplicaOf(e.v, p)) rep += 1.0 + (1.0 - delta_v);
-    const double bal = static_cast<double>(max_load - load[p]) / spread;
-    const double score = rep + lambda_ * bal;
-    // Pinned tie-break: strictly-greater wins; equal score -> smaller load
-    // wins; equal load -> keep the lower id.
-    if (score > best_score ||
-        (score == best_score && load[p] < load[best])) {
-      best = p;
-      best_score = score;
-    }
-  }
-  return best;
+  return HdrfGreedyPick(e, lambda_, epsilon_);
 }
 
 void HdrfPartitioner::SaveExtra(io::CheckpointWriter* w) const {

@@ -1,0 +1,91 @@
+// Offline split-merge rebalancing (the FSM idea from the
+// split-merge-partitioner line of work, SNIPPETS.md Snippet 1 family):
+// take a RECORDED edge assignment produced at some k' ("split" — in FSM
+// the split phase over-partitions on purpose; here any `--edge-out` run
+// works), treat each of the k' input parts as an indivisible ATOM, and
+// greedily MERGE atoms down to a target k, picking at every step the
+// feasible pair with the largest vertex-set overlap — merging parts that
+// already share vertices is exactly what removes replicas — subject to a
+// hard edge-balance cap (a merge may never push a part past
+// balance_cap x m / target_k edges).
+//
+// This is a pure offline pass over the "<u>\t<v>\t<partition>" TSV that
+// io::FileEdgeAssignmentSink writes: no partitioner instance, no stream —
+// just atoms, loads, util::DenseBitset vertex sets, and a deterministic
+// greedy (ties: smaller combined load, then lower atom ids). The quality
+// triple of the merged assignment is recomputed from scratch in file
+// order, so the numbers are directly comparable with the live backends'.
+// NaiveModuloMerge (atom i -> i mod k) is the strawman baseline the tests
+// and `loom_partition --rebalance-to` report against.
+
+#ifndef LOOM_PARTITION_EDGE_SPLIT_MERGE_H_
+#define LOOM_PARTITION_EDGE_SPLIT_MERGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace loom {
+namespace partition {
+namespace edge {
+
+/// One line of a recorded edge assignment ("<u>\t<v>\t<partition>").
+struct EdgeAssignmentRecord {
+  graph::VertexId u = 0;
+  graph::VertexId v = 0;
+  graph::PartitionId partition = 0;
+};
+
+/// The standard edge-partitioning quality triple, recomputed offline.
+struct EdgeQuality {
+  double replication_factor = 0.0;   // Σ_v |R(v)| / |{v seen}|
+  double edge_balance = 0.0;         // max_p load(p) · k / m
+  uint64_t edge_assignment_hash = 0; // FNV-1a over placements in file order
+};
+
+struct SplitMergeOptions {
+  uint32_t target_k = 0;     // required: final part count, 0 < target_k <= k'
+  double balance_cap = 1.1;  // no part may exceed cap x m / target_k edges
+};
+
+struct SplitMergeResult {
+  uint32_t input_parts = 0;                     // k' observed in the file
+  std::vector<graph::PartitionId> atom_to_part; // size k': final part per atom
+  EdgeQuality input_quality;                    // triple of the file as-is
+  EdgeQuality quality;                          // triple after the merge
+};
+
+/// Parses a recorded edge assignment TSV (the `--edge-out` format). Returns
+/// false with an actionable, line-numbered `*error` on malformed input.
+bool LoadEdgeAssignments(const std::string& path,
+                         std::vector<EdgeAssignmentRecord>* records,
+                         std::string* error);
+
+/// Greedily merges the k' input parts down to options.target_k. Returns
+/// false with `*error` when the target is invalid for the input or no
+/// feasible merge exists under the balance cap (the message says to raise
+/// it). Deterministic: same records + options -> same mapping.
+bool SplitMerge(const std::vector<EdgeAssignmentRecord>& records,
+                const SplitMergeOptions& options, SplitMergeResult* result,
+                std::string* error);
+
+/// The strawman: atom i -> i mod target_k. What you'd get from hashing
+/// parts together with no regard for vertex overlap or balance.
+std::vector<graph::PartitionId> NaiveModuloMerge(uint32_t input_parts,
+                                                 uint32_t target_k);
+
+/// Recomputes the quality triple of `records` remapped through
+/// `atom_to_part` (identity mapping -> the input's own triple). Records
+/// whose partition has no mapping entry are a caller bug; the function
+/// asserts in debug and clamps in release.
+EdgeQuality EvaluateMerged(const std::vector<EdgeAssignmentRecord>& records,
+                           const std::vector<graph::PartitionId>& atom_to_part,
+                           uint32_t k_out);
+
+}  // namespace edge
+}  // namespace partition
+}  // namespace loom
+
+#endif  // LOOM_PARTITION_EDGE_SPLIT_MERGE_H_

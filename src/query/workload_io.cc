@@ -69,10 +69,11 @@ Workload ReadWorkload(std::istream& is, graph::LabelRegistry* registry) {
     if (!(ls >> name >> freq_str >> shape)) {
       Fail(line_no, "expected '<name> <frequency> <shape-spec>'");
     }
+    // Finite-only parse: std::stod would accept "nan", and NaN slips past
+    // the positivity check below (NaN <= 0.0 is false) into every weighted
+    // ipt computation.
     double frequency = 0.0;
-    try {
-      frequency = std::stod(freq_str);
-    } catch (const std::exception&) {
+    if (!util::ParseFiniteDouble(freq_str, &frequency)) {
       Fail(line_no, "bad frequency: " + freq_str);
     }
     if (frequency <= 0.0) Fail(line_no, "frequency must be positive");

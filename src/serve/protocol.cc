@@ -77,7 +77,13 @@ bool ParseCommand(std::string_view line, Command* out, std::string* error) {
   const std::vector<std::string_view> fields = SplitFields(line);
   const std::string_view verb = fields[0];
   if (verb == "INGEST") {
-    if (!CheckArity(fields, 5, error)) return false;
+    // 4 payload fields, plus an optional trailing sequence number.
+    if (fields.size() != 5 && fields.size() != 6) {
+      *error = "INGEST takes 4 or 5 argument(s) (u v label_u label_v [seq]), "
+               "got " +
+               std::to_string(fields.size() - 1);
+      return false;
+    }
     out->type = CommandType::kIngest;
     stream::StreamEdge& e = out->edge;
     if (!ParseVertex(fields[1], &e.u, error)) return false;
@@ -87,6 +93,12 @@ bool ParseCommand(std::string_view line, Command* out, std::string* error) {
     if (e.u == e.v) {
       *error = "self-loop " + std::string(fields[1]) + " -> " +
                std::string(fields[2]);
+      return false;
+    }
+    out->has_seq = fields.size() == 6;
+    out->seq = 0;
+    if (out->has_seq && !ParseNum(fields[5], &out->seq)) {
+      *error = "bad sequence number '" + std::string(fields[5]) + "'";
       return false;
     }
     return true;
@@ -123,7 +135,8 @@ std::string FormatCommand(const Command& c) {
     case CommandType::kIngest:
       return "INGEST " + std::to_string(c.edge.u) + " " +
              std::to_string(c.edge.v) + " " + std::to_string(c.edge.label_u) +
-             " " + std::to_string(c.edge.label_v);
+             " " + std::to_string(c.edge.label_v) +
+             (c.has_seq ? " " + std::to_string(c.seq) : "");
     case CommandType::kGet:
       return "GET " + std::to_string(c.vertex);
     case CommandType::kStats:

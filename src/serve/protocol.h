@@ -1,13 +1,24 @@
 // loom_serve wire protocol: newline-delimited text, one command per line,
 // exactly one reply line per command.
 //
-//   INGEST <u> <v> <label_u> <label_v>   -> OK queued | ERR <detail>
+//   INGEST <u> <v> <label_u> <label_v> [<seq>]
+//                                        -> OK queued | OK dup ... | ERR ...
 //   GET <v>                              -> OK <v> <partition|->
 //   STATS                                -> OK edges=... assigned=... ...
 //   CHECKPOINT                           -> OK checkpoint <path> edges=<n>
 //   FINALIZE                             -> OK finalized edges=<n>
 //   SNAPSHOT-QUALITY                     -> OK hash=<hex> cut=<n> imbalance=<f>
 //   SHUTDOWN                             -> OK shutting down
+//
+// The optional INGEST <seq> makes re-sends idempotent: it names the edge's
+// 0-based position in the server's accept order. A client that times out
+// waiting for a reply can re-send the same line — if the server already
+// accepted that position ("OK dup seq=<s> cursor=<c>") the duplicate is
+// DROPPED rather than ingested twice, so the served partitioning stays
+// bit-identical to an offline replay of the deduplicated sequence. A seq
+// ahead of the cursor is a gap (edges would be applied out of order) and
+// is rejected with the expected value. Seq-less INGEST keeps the old
+// at-least-once behaviour.
 //
 // Everything in this header is PURE — parsing, formatting and line framing
 // over in-memory bytes, no sockets — so the whole protocol is unit-testable
@@ -54,6 +65,10 @@ struct Command {
   stream::StreamEdge edge{};
   /// kGet payload.
   graph::VertexId vertex = 0;
+  /// kIngest: client-declared accept-order position (only meaningful when
+  /// `has_seq`); the duplicate/gap decision is the server's.
+  uint64_t seq = 0;
+  bool has_seq = false;
 };
 
 /// Parses one complete line (no trailing newline). Returns false with a

@@ -101,6 +101,9 @@ std::unique_ptr<Server> Server::Create(const ServerConfig& config,
     }
     server->edges_published_.store(server->session_->edges_ingested(),
                                    std::memory_order_release);
+    // Resume re-bases the accept cursor too: clients re-sending with seq
+    // below the restored cursor get "OK dup" instead of double-ingest.
+    server->ingest_accepted_ = server->session_->edges_ingested();
   } else {
     server->session_ = make(error);
     if (server->session_ == nullptr) return nullptr;
@@ -201,20 +204,35 @@ void Server::Shutdown() {
   }
 }
 
-bool Server::EnqueueEdge(const stream::StreamEdge& e) {
+Server::EnqueueResult Server::EnqueueEdge(const stream::StreamEdge& e,
+                                          const uint64_t* seq,
+                                          uint64_t* cursor) {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   queue_not_full_.wait(lock, [&] {
     return queued_edges_ < config_.queue_capacity ||
            stopping_.load(std::memory_order_acquire);
   });
-  if (stopping_.load(std::memory_order_acquire)) return false;
+  if (cursor != nullptr) *cursor = ingest_accepted_;
+  if (stopping_.load(std::memory_order_acquire)) {
+    return EnqueueResult::kStopping;
+  }
+  // The dedup decision and the accept must be one atomic step (same lock
+  // hold): two retries of the same seq racing here must resolve to exactly
+  // one accept, and the capacity wait above may have let other accepts
+  // advance the cursor past our seq in the meantime.
+  if (seq != nullptr) {
+    if (*seq < ingest_accepted_) return EnqueueResult::kDuplicate;
+    if (*seq > ingest_accepted_) return EnqueueResult::kGap;
+  }
   QueueItem item;
   item.kind = QueueItem::Kind::kEdge;
   item.edge = e;
   queue_.push_back(item);
   ++queued_edges_;
+  ++ingest_accepted_;
+  if (cursor != nullptr) *cursor = ingest_accepted_;
   queue_not_empty_.notify_one();
-  return true;
+  return EnqueueResult::kAccepted;
 }
 
 std::string Server::RoundtripControl(CommandType type) {
@@ -256,8 +274,23 @@ std::string Server::HandleLine(const std::string& line) {
         return ErrReply("label id outside the table (" +
                         std::to_string(num_labels_) + " labels)");
       }
-      if (!EnqueueEdge(c.edge)) return ErrReply("server shutting down");
-      return "OK queued";
+      uint64_t cursor = 0;
+      switch (EnqueueEdge(c.edge, c.has_seq ? &c.seq : nullptr, &cursor)) {
+        case EnqueueResult::kAccepted:
+          return "OK queued";
+        case EnqueueResult::kDuplicate:
+          // Already accepted at this position — the re-send is dropped, the
+          // reply tells the client where its next fresh edge goes.
+          return "OK dup seq=" + std::to_string(c.seq) +
+                 " cursor=" + std::to_string(cursor);
+        case EnqueueResult::kGap:
+          return ErrReply("sequence gap: got seq=" + std::to_string(c.seq) +
+                          ", next expected " + std::to_string(cursor) +
+                          "; re-send from " + std::to_string(cursor));
+        case EnqueueResult::kStopping:
+          return ErrReply("server shutting down");
+      }
+      return ErrReply("unreachable");
     }
     case CommandType::kGet: {
       const graph::PartitionId p = table_.Get(c.vertex);
@@ -514,7 +547,11 @@ void Server::TailLoop() {
       const size_t n = source.NextBatch(batch);
       if (n == 0) return;  // stop signal
       for (size_t i = 0; i < n; ++i) {
-        if (!EnqueueEdge(batch[i])) return;
+        // The tail source is the at-least-once path: no seq, no dedup.
+        if (EnqueueEdge(batch[i], nullptr, nullptr) !=
+            EnqueueResult::kAccepted) {
+          return;
+        }
       }
     }
   } catch (const std::exception& e) {

@@ -155,7 +155,20 @@ class Server {
 
   Server(const ServerConfig& config, const engine::BuildContext& context);
 
-  bool EnqueueEdge(const stream::StreamEdge& e);
+  enum class EnqueueResult : uint8_t {
+    kAccepted,   // queued; the accept cursor advanced
+    kDuplicate,  // seq below the cursor: already applied, dropped
+    kGap,        // seq ahead of the cursor: rejected, client must back-fill
+    kStopping,   // server shutting down
+  };
+
+  /// Queues one edge (blocking while the queue is full). `seq` is the
+  /// client-declared accept-order position from an idempotent INGEST, or
+  /// nullptr for the at-least-once path (tail source, seq-less INGEST).
+  /// `*cursor` is set to the accept cursor observed under the queue lock —
+  /// the position the NEXT edge will take (for kDuplicate/kGap replies).
+  EnqueueResult EnqueueEdge(const stream::StreamEdge& e, const uint64_t* seq,
+                            uint64_t* cursor);
   std::string RoundtripControl(CommandType type);
   std::string StatsReply();
 
@@ -184,6 +197,12 @@ class Server {
   std::condition_variable queue_not_full_;
   std::deque<QueueItem> queue_;
   size_t queued_edges_ = 0;
+  /// Edges ACCEPTED into the queue since stream position 0 (resume seeds it
+  /// from the session cursor). This — not edges_published_ — is the dedup
+  /// authority for idempotent INGEST: an edge is "already applied" the
+  /// moment it is accepted in order, even if the decision thread has not
+  /// drained it yet. Guarded by queue_mutex_.
+  uint64_t ingest_accepted_ = 0;
 
   // Lifecycle.
   std::atomic<bool> stopping_{false};

@@ -1,0 +1,96 @@
+// util::DenseBitset — a growable bitset over 64-bit words.
+//
+// The HEP-style edge partitioner (partition/edge/hep_partitioner.h) and the
+// split-merge rebalance pass track per-vertex membership sets (core /
+// high-degree flags, per-atom vertex sets) over dense vertex ids — the
+// dense_bitset idiom from the split-merge-partitioner codebase (SNIPPETS.md
+// Snippet 1). std::vector<bool> hides its word layout, which both the
+// popcount-heavy overlap scoring and the checkpoint path need, so this
+// class exposes its words directly: PodVec(words()) serialises it, and
+// intersection counts are one AND+popcount per word.
+//
+// Test(i) beyond the current size is false (never a read out of bounds),
+// Set(i) grows as needed — mirroring EdgePartitioner's lazy vertex tables.
+
+#ifndef LOOM_UTIL_DENSE_BITSET_H_
+#define LOOM_UTIL_DENSE_BITSET_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace loom {
+namespace util {
+
+class DenseBitset {
+ public:
+  DenseBitset() = default;
+  explicit DenseBitset(size_t bits) : words_((bits + 63) / 64, 0) {}
+
+  /// True if bit `i` is set; false for any i past the grown extent.
+  bool Test(size_t i) const {
+    const size_t w = i / 64;
+    return w < words_.size() && ((words_[w] >> (i % 64)) & 1ULL) != 0;
+  }
+
+  /// Sets bit `i`, growing the word array to cover it.
+  void Set(size_t i) {
+    const size_t w = i / 64;
+    if (w >= words_.size()) words_.resize(w + 1, 0);
+    words_[w] |= 1ULL << (i % 64);
+  }
+
+  /// Clears bit `i` (no-op past the grown extent).
+  void Clear(size_t i) {
+    const size_t w = i / 64;
+    if (w < words_.size()) words_[w] &= ~(1ULL << (i % 64));
+  }
+
+  /// Number of set bits.
+  uint64_t Count() const {
+    uint64_t n = 0;
+    for (const uint64_t w : words_) n += std::popcount(w);
+    return n;
+  }
+
+  /// |this AND other| — the overlap the merge scorer maximises.
+  uint64_t CountAnd(const DenseBitset& other) const {
+    const size_t n = std::min(words_.size(), other.words_.size());
+    uint64_t count = 0;
+    for (size_t i = 0; i < n; ++i) {
+      count += std::popcount(words_[i] & other.words_[i]);
+    }
+    return count;
+  }
+
+  /// this |= other (grows to cover the union).
+  void OrWith(const DenseBitset& other) {
+    if (other.words_.size() > words_.size()) {
+      words_.resize(other.words_.size(), 0);
+    }
+    for (size_t i = 0; i < other.words_.size(); ++i) {
+      words_[i] |= other.words_[i];
+    }
+  }
+
+  /// The backing words, for checkpointing (PodVec) and word-wise kernels.
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Replaces the backing words (the checkpoint restore path).
+  void SetWords(std::vector<uint64_t> words) { words_ = std::move(words); }
+
+  bool Empty() const {
+    return std::all_of(words_.begin(), words_.end(),
+                       [](uint64_t w) { return w == 0; });
+  }
+
+ private:
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace util
+}  // namespace loom
+
+#endif  // LOOM_UTIL_DENSE_BITSET_H_

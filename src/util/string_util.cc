@@ -1,6 +1,8 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 
 namespace loom {
@@ -54,6 +56,18 @@ std::string HumanCount(uint64_t n) {
     std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(n));
   }
   return buf;
+}
+
+bool ParseFiniteDouble(const std::string& s, double* out) {
+  double v = 0.0;
+  const char* begin = s.data();
+  const char* end = begin + s.size();
+  auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr != end) return false;
+  // from_chars still accepts "nan" and "inf" spellings; reject them here.
+  if (!std::isfinite(v)) return false;
+  *out = v;
+  return true;
 }
 
 }  // namespace util

@@ -24,6 +24,15 @@ std::string Join(const std::vector<std::string>& parts, const std::string& sep);
 /// Human-readable count: 1234567 -> "1.2M", 12345 -> "12.3k".
 std::string HumanCount(uint64_t n);
 
+/// Parses a FINITE double from the whole of `s` (no trailing junk) into
+/// `*out`; returns false otherwise. "nan"/"inf" are rejected: std::stod
+/// happily produces them, and NaN then slips through every `x < lo`/`x > hi`
+/// range check downstream (ordered comparisons on NaN are always false) —
+/// the exact hole that let hdrf:lambda=nan corrupt placements. Every CLI
+/// flag and file field that feeds a double must come through here or
+/// EngineOptions.
+bool ParseFiniteDouble(const std::string& s, double* out);
+
 }  // namespace util
 }  // namespace loom
 

@@ -262,6 +262,10 @@ INSTANTIATE_TEST_SUITE_P(
         {"hdrf_provgen", "hdrf:lambda=1.1", datasets::DatasetId::kProvGen,
          0.05},
         {"dbh_musicbrainz", "dbh", datasets::DatasetId::kMusicBrainz, 0.05},
+        // hep adds core adjacency + promotion bitset to the checkpoint; the
+        // kill-point matrix proves a resume mid-promotion stays bit-exact.
+        {"hep_provgen", "hep:threshold_factor=4", datasets::DatasetId::kProvGen,
+         0.05},
     }),
     [](const testing::TestParamInfo<MatrixCase>& info) {
       return info.param.name;

@@ -48,6 +48,7 @@ TEST(EngineOptionsTest, EveryKeyRoundTripsFromItsStringForm) {
       {"fennel_gamma", "1.7"},
       {"lambda", "2.5"},
       {"epsilon", "0.25"},
+      {"threshold_factor", "6.5"},
       {"simd", "scalar"},
       {"shards", "3"},
       {"shard_queue_depth", "2"},
@@ -126,15 +127,17 @@ TEST(EngineOptionsTest, ApplyOverridesStopsAtFirstError) {
 
 TEST(PartitionerRegistryTest, BuiltinsAreRegistered) {
   auto names = PartitionerRegistry::Global().Names();
-  ASSERT_GE(names.size(), 7u);
+  ASSERT_GE(names.size(), 8u);
   EXPECT_EQ(names[0], "hash");
   EXPECT_EQ(names[1], "ldg");
   EXPECT_EQ(names[2], "fennel");
   EXPECT_EQ(names[3], "loom");
   EXPECT_EQ(names[4], "loom-sharded");
-  // The edge-partitioning family (PR 9) registers after the vertex family.
+  // The edge-partitioning family (PR 9, hep in PR 10) registers after the
+  // vertex family.
   EXPECT_EQ(names[5], "hdrf");
   EXPECT_EQ(names[6], "dbh");
+  EXPECT_EQ(names[7], "hep");
 }
 
 TEST(PartitionerRegistryTest, UnknownBackendErrorListsRegisteredOnes) {

@@ -300,7 +300,7 @@ TEST_P(PartitionerContractTest, SeededCheckpointScheduleIsDeterministic) {
 INSTANTIATE_TEST_SUITE_P(AllBackends, PartitionerContractTest,
                          ::testing::Values("hash", "ldg", "fennel", "loom",
                                            "loom-sharded", "hdrf:lambda=1.1",
-                                           "dbh"));
+                                           "dbh", "hep:threshold_factor=4"));
 
 }  // namespace
 }  // namespace partition

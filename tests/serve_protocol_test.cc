@@ -44,6 +44,25 @@ TEST(ServeProtocolTest, IngestRoundTrips) {
   EXPECT_EQ(again.edge.v, c.edge.v);
   EXPECT_EQ(again.edge.label_u, c.edge.label_u);
   EXPECT_EQ(again.edge.label_v, c.edge.label_v);
+  // No 5th field -> no sequence number.
+  EXPECT_FALSE(c.has_seq);
+}
+
+TEST(ServeProtocolTest, IngestWithSequenceNumberRoundTrips) {
+  const Command c = ParseOk("INGEST 17 4242 3 0 90071");
+  EXPECT_EQ(c.type, CommandType::kIngest);
+  EXPECT_TRUE(c.has_seq);
+  EXPECT_EQ(c.seq, 90071u);
+  EXPECT_EQ(FormatCommand(c), "INGEST 17 4242 3 0 90071");
+  const Command again = ParseOk(FormatCommand(c));
+  EXPECT_TRUE(again.has_seq);
+  EXPECT_EQ(again.seq, c.seq);
+  // seq 0 is a valid sequence number, distinct from "absent".
+  EXPECT_TRUE(ParseOk("INGEST 1 2 0 0 0").has_seq);
+
+  ParseErr("INGEST 1 2 0 0 -1");      // negative seq
+  ParseErr("INGEST 1 2 0 0 x");       // non-numeric seq
+  ParseErr("INGEST 1 2 0 0 1 2");     // two fields past the labels
 }
 
 TEST(ServeProtocolTest, GetRoundTrips) {
@@ -90,7 +109,7 @@ TEST(ServeProtocolTest, VertexAndLabelBoundsAreEnforced) {
 TEST(ServeProtocolTest, MalformedIngestVariants) {
   ParseErr("INGEST");                 // no payload
   ParseErr("INGEST 1 2 0");           // short one field
-  ParseErr("INGEST 1 2 0 0 9");       // one field too many
+  ParseErr("INGEST 1 2 0 0 9 9");     // one field past the optional seq
   ParseErr("INGEST 1 2 0 zero");      // non-numeric label
   ParseErr("INGEST -1 2 0 0");        // negative id
   ParseErr("INGEST 1.5 2 0 0");       // trailing garbage on a number

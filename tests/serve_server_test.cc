@@ -369,6 +369,91 @@ INSTANTIATE_TEST_SUITE_P(Backends, ServeServerTest,
                            return name;
                          });
 
+TEST(ServeServerIdempotencyTest, SeqNumberedResendsAreDroppedNotReapplied) {
+  // The at-least-once hole: a writer that times out and re-sends (the
+  // documented recovery protocol) must not double-ingest. With the optional
+  // INGEST seq field the server drops exact re-sends ("OK dup"), so the
+  // finished triple is STILL bit-identical to the offline reference even
+  // though a third of the stream was sent twice.
+  const Fixture f = MakeFixture("loom");
+  const Triple reference = OfflineReference(f);
+  const fs::path dir = TempDir("idempotent");
+
+  ServerConfig config;
+  config.socket_path = (dir / "loom.sock").string();
+  config.session = f.session_config;
+  config.registry = &f.ds.registry;
+  std::string error;
+  auto server = Server::Create(config, test_util::ContextFor(f.ds), &error);
+  ASSERT_NE(server, nullptr) << error;
+  server->Start();
+
+  Client client;
+  ASSERT_TRUE(client.Connect(config.socket_path, &error)) << error;
+  auto send_seq = [&](size_t i) -> std::string {
+    Command c;
+    c.type = CommandType::kIngest;
+    c.edge = f.edges[i];
+    c.has_seq = true;
+    c.seq = i;
+    std::string reply, err;
+    EXPECT_TRUE(client.Roundtrip(FormatCommand(c), &reply, &err)) << err;
+    return reply;
+  };
+
+  const size_t resend_from = f.edges.size() / 3;
+  const size_t resend_to = 2 * f.edges.size() / 3;
+  for (size_t i = 0; i < resend_to; ++i) {
+    const std::string reply = send_seq(i);
+    EXPECT_TRUE(IsOk(reply)) << reply;
+  }
+  // The writer "crashes" and replays from an old cursor: every re-send is
+  // acknowledged (so a dumb retry loop keeps walking) but dropped.
+  for (size_t i = resend_from; i < resend_to; ++i) {
+    const std::string reply = send_seq(i);
+    EXPECT_TRUE(IsOk(reply)) << reply;
+    EXPECT_NE(reply.find("dup"), std::string::npos) << reply;
+  }
+  std::string reply;
+  ASSERT_TRUE(client.Roundtrip("STATS", &reply, &error)) << error;
+  EXPECT_NE(reply.find("edges=" + std::to_string(resend_to)),
+            std::string::npos)
+      << reply;
+
+  // Jumping AHEAD of the cursor is a hole in the stream, not a re-send:
+  // rejected, and the error names the seq to re-send from.
+  {
+    Command c;
+    c.type = CommandType::kIngest;
+    c.edge = f.edges[resend_to];
+    c.has_seq = true;
+    c.seq = resend_to + 7;
+    ASSERT_TRUE(client.Roundtrip(FormatCommand(c), &reply, &error)) << error;
+    EXPECT_FALSE(IsOk(reply)) << reply;
+    EXPECT_NE(reply.find("expected " + std::to_string(resend_to)),
+              std::string::npos)
+        << reply;
+  }
+
+  // Seq-less INGEST still works mid-stream (the tail/legacy path).
+  for (size_t i = resend_to; i < f.edges.size(); ++i) {
+    Command c;
+    c.type = CommandType::kIngest;
+    c.edge = f.edges[i];
+    ASSERT_TRUE(client.Roundtrip(FormatCommand(c), &reply, &error)) << error;
+    EXPECT_TRUE(IsOk(reply)) << reply;
+  }
+  ASSERT_TRUE(client.Roundtrip("FINALIZE", &reply, &error)) << error;
+  EXPECT_TRUE(IsOk(reply)) << reply;
+  client.Close();
+  server->Shutdown();
+
+  EXPECT_EQ(server->edges_ingested(), f.edges.size());
+  const Triple served =
+      TripleOf(server->session().partitioning(), f.edges, f.ds.NumVertices());
+  EXPECT_EQ(served, reference);
+}
+
 TEST(ServeServerRobustnessTest, MalformedLinesGetErrRepliesNotDisconnects) {
   const Fixture f = MakeFixture("loom");
   const fs::path dir = TempDir("malformed");

@@ -27,6 +27,7 @@
 #include "graph/graph_io.h"
 #include "io/edge_stream_io.h"
 #include "query/workload_io.h"
+#include "util/string_util.h"
 
 int main(int argc, char** argv) {
   using namespace loom;
@@ -39,14 +40,10 @@ int main(int argc, char** argv) {
   // must print the usual error line, not an unhandled-exception abort.
   bool parse_ok = true;
   auto parse_double = [&](const char* flag, const char* v, double* out) {
-    size_t end = 0;
-    try {
-      *out = std::stod(v, &end);
-    } catch (const std::exception&) {
-      end = 0;
-    }
-    if (end != std::strlen(v)) {
-      std::cerr << flag << ": not a number: '" << v << "'\n";
+    // util::ParseFiniteDouble, not std::stod: stod accepts "nan"/"inf",
+    // and a NaN scale passes every downstream range check unnoticed.
+    if (!util::ParseFiniteDouble(v, out)) {
+      std::cerr << flag << ": not a finite number: '" << v << "'\n";
       parse_ok = false;
     }
   };

@@ -26,8 +26,17 @@
 // through an io::AssignmentSink bound to the session (--out/
 // --output-assignments write the familiar "<vertex>\t<partition>" lines;
 // stdout when neither is given), and the progress/final-stats lines come
-// from the session's observer events. Edge backends (hdrf, dbh) can also
-// stream per-edge placements to --edge-out as "<u>\t<v>\t<partition>".
+// from the session's observer events. Edge backends (hdrf, dbh, hep) can
+// also stream per-edge placements to --edge-out as "<u>\t<v>\t<partition>".
+//
+// A third, offline mode rebalances a RECORDED edge assignment instead of
+// streaming anything:
+//   loom_partition --rebalance-to K --edge-assignments A.tsv
+//                  [--balance-cap F] [--edge-out MERGED.tsv]
+// reads a --edge-out file produced at some k', runs the split-merge pass
+// (partition/edge/split_merge.h) down to K, prints the input / merged /
+// naive-modulo quality triples, and optionally writes the merged
+// assignment back out in the same format.
 
 #include <algorithm>
 #include <csignal>
@@ -38,14 +47,18 @@
 #include <string>
 #include <vector>
 
+#include <fstream>
+
 #include "engine/latency_observer.h"
 #include "engine/session.h"
 #include "graph/graph_io.h"
 #include "io/assignment_sink.h"
 #include "io/edge_stream_io.h"
+#include "partition/edge/split_merge.h"
 #include "partition/partition_metrics.h"
 #include "query/workload_io.h"
 #include "query/workload_runner.h"
+#include "util/string_util.h"
 #include "util/table_writer.h"
 
 namespace {
@@ -77,6 +90,10 @@ struct Args {
   uint64_t seed = 0x10c5;
   bool evaluate = false;
   bool progress = false;  // per-slice progress + decision-latency histogram
+  // Offline rebalance mode (--rebalance-to > 0 switches to it entirely).
+  std::string edge_assignments_path;  // recorded --edge-out file to merge
+  uint32_t rebalance_to = 0;          // target part count (0 = streaming mode)
+  double balance_cap = 1.1;           // merge feasibility cap
 };
 
 void Usage() {
@@ -90,6 +107,9 @@ void Usage() {
                "         [--checkpoint FILE] [--checkpoint-every EDGES]\n"
                "         [--resume FILE] [--evaluate] [--progress]\n"
                "         [--help-opts]\n"
+               "       loom_partition --rebalance-to K\n"
+               "         --edge-assignments A.tsv [--balance-cap F]\n"
+               "         [--edge-out MERGED.tsv]\n"
                "signals:\n"
                "  SIGINT/SIGTERM stop gracefully: the slice in flight\n"
                "    finishes, a final checkpoint rotates (with --checkpoint),\n"
@@ -178,7 +198,33 @@ bool Parse(int argc, char** argv, Args* args) {
     } else if (std::strcmp(argv[i], "--threshold") == 0) {
       const char* v = need_value("--threshold");
       if (!v) return false;
-      args->threshold = std::stod(v);
+      // Not std::stod: it accepts "nan"/"inf", which then sail through
+      // every downstream range check (NaN fails all ordered comparisons).
+      if (!loom::util::ParseFiniteDouble(v, &args->threshold)) {
+        std::cerr << "--threshold needs a finite number, got '" << v << "'\n";
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--balance-cap") == 0) {
+      const char* v = need_value("--balance-cap");
+      if (!v) return false;
+      if (!loom::util::ParseFiniteDouble(v, &args->balance_cap) ||
+          args->balance_cap < 1.0) {
+        std::cerr << "--balance-cap needs a finite number >= 1, got '" << v
+                  << "'\n";
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--rebalance-to") == 0) {
+      const char* v = need_value("--rebalance-to");
+      if (!v) return false;
+      args->rebalance_to = static_cast<uint32_t>(std::stoul(v));
+      if (args->rebalance_to == 0) {
+        std::cerr << "--rebalance-to must be positive\n";
+        return false;
+      }
+    } else if (std::strcmp(argv[i], "--edge-assignments") == 0) {
+      const char* v = need_value("--edge-assignments");
+      if (!v) return false;
+      args->edge_assignments_path = v;
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       const char* v = need_value("--shards");
       if (!v) return false;
@@ -218,6 +264,16 @@ bool Parse(int argc, char** argv, Args* args) {
       return false;
     }
   }
+  if (args->rebalance_to > 0) {
+    // Offline rebalance mode: no stream, no workload — just the recorded
+    // assignment.
+    if (args->edge_assignments_path.empty()) {
+      std::cerr << "--rebalance-to needs --edge-assignments FILE (a recorded "
+                   "--edge-out file)\n";
+      return false;
+    }
+    return true;
+  }
   if (args->graph_path.empty() == args->input_path.empty()) {
     std::cerr << "exactly one of --graph / --input is required\n";
     return false;
@@ -227,6 +283,59 @@ bool Parse(int argc, char** argv, Args* args) {
     return false;
   }
   return true;
+}
+
+void PrintTriple(const char* tag, uint32_t parts,
+                 const loom::partition::edge::EdgeQuality& q) {
+  std::cerr << tag << ": k=" << parts << ", replication factor "
+            << loom::util::TableWriter::Fmt(q.replication_factor, 3)
+            << ", edge balance "
+            << loom::util::TableWriter::Fmt(q.edge_balance, 3)
+            << ", edge assignment hash 0x" << std::hex
+            << q.edge_assignment_hash << std::dec << "\n";
+}
+
+int RunRebalance(const Args& args) {
+  using namespace loom::partition::edge;
+  std::vector<EdgeAssignmentRecord> records;
+  std::string error;
+  if (!LoadEdgeAssignments(args.edge_assignments_path, &records, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 2;
+  }
+  SplitMergeOptions options;
+  options.target_k = args.rebalance_to;
+  options.balance_cap = args.balance_cap;
+  SplitMergeResult result;
+  if (!SplitMerge(records, options, &result, &error)) {
+    std::cerr << "error: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "rebalanced " << records.size() << " edges: "
+            << result.input_parts << " parts -> " << options.target_k
+            << " (balance cap "
+            << loom::util::TableWriter::Fmt(options.balance_cap, 2) << ")\n";
+  PrintTriple("input", result.input_parts, result.input_quality);
+  PrintTriple("merged", options.target_k, result.quality);
+  // The strawman the greedy has to beat: fold parts together mod k.
+  const EdgeQuality naive = EvaluateMerged(
+      records, NaiveModuloMerge(result.input_parts, options.target_k),
+      options.target_k);
+  PrintTriple("naive-modulo", options.target_k, naive);
+  if (!args.edge_out_path.empty()) {
+    std::ofstream out(args.edge_out_path, std::ios::trunc);
+    if (!out) {
+      std::cerr << "error: cannot open " << args.edge_out_path << "\n";
+      return 1;
+    }
+    for (const EdgeAssignmentRecord& rec : records) {
+      out << rec.u << '\t' << rec.v << '\t'
+          << result.atom_to_part[rec.partition] << '\n';
+    }
+    std::cerr << "merged assignment written to " << args.edge_out_path
+              << "\n";
+  }
+  return 0;
 }
 
 }  // namespace
@@ -245,6 +354,15 @@ int main(int argc, char** argv) {
     std::cerr << "malformed numeric flag value\n";
     Usage();
     return 2;
+  }
+
+  if (args.rebalance_to > 0) {
+    try {
+      return RunRebalance(args);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
   }
 
   try {

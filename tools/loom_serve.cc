@@ -41,6 +41,7 @@
 #include "io/edge_stream_io.h"
 #include "query/workload_io.h"
 #include "serve/server.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -133,7 +134,12 @@ bool Parse(int argc, char** argv, Args* args) {
     } else if (std::strcmp(argv[i], "--threshold") == 0) {
       const char* v = need_value("--threshold");
       if (!v) return false;
-      args->threshold = std::stod(v);
+      // Not std::stod: it accepts "nan"/"inf", which then sail through
+      // every downstream range check (NaN fails all ordered comparisons).
+      if (!loom::util::ParseFiniteDouble(v, &args->threshold)) {
+        std::cerr << "--threshold needs a finite number, got '" << v << "'\n";
+        return false;
+      }
     } else if (std::strcmp(argv[i], "--shards") == 0) {
       const char* v = need_value("--shards");
       if (!v) return false;
